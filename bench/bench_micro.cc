@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the core pipeline stages:
+ * corpus construction, parser round-trip, pointer analysis, SHBG
+ * construction, racy-pair detection, symbolic refutation, and the
+ * dynamic detector.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "air/parser.hh"
+#include "air/printer.hh"
+#include "bench_util.hh"
+#include "hb/rules.hh"
+
+namespace {
+
+using namespace sierra;
+
+corpus::BuiltApp
+appFor(int size_class)
+{
+    switch (size_class) {
+      case 0: return corpus::buildNamedApp("VuDroid");     // tiny
+      case 1: return corpus::buildNamedApp("OpenSudoku");  // small
+      case 2: return corpus::buildNamedApp("Beem");        // medium
+      default: return corpus::buildNamedApp("Astrid");     // large
+    }
+}
+
+void
+BM_BuildCorpusApp(benchmark::State &state)
+{
+    for (auto _ : state) {
+        corpus::BuiltApp built = appFor(state.range(0));
+        benchmark::DoNotOptimize(built.app->codeSize());
+    }
+}
+BENCHMARK(BM_BuildCorpusApp)->DenseRange(0, 3);
+
+void
+BM_ParserRoundTrip(benchmark::State &state)
+{
+    corpus::BuiltApp built = appFor(state.range(0));
+    std::string text = air::printModule(built.app->module());
+    for (auto _ : state) {
+        air::ParseResult r = air::parseModule(text);
+        benchmark::DoNotOptimize(r.module->numClasses());
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations()) * text.size());
+}
+BENCHMARK(BM_ParserRoundTrip)->DenseRange(0, 3);
+
+void
+BM_PointsToAnalysis(benchmark::State &state)
+{
+    corpus::BuiltApp built = appFor(state.range(0));
+    SierraDetector detector(*built.app);
+    const auto &plan = detector.plans()[0];
+    for (auto _ : state) {
+        analysis::PointsToAnalysis pta(*built.app, plan, {});
+        auto result = pta.run();
+        benchmark::DoNotOptimize(result->cg.numNodes());
+    }
+}
+BENCHMARK(BM_PointsToAnalysis)->DenseRange(0, 3);
+
+void
+BM_ShbgConstruction(benchmark::State &state)
+{
+    corpus::BuiltApp built = appFor(state.range(0));
+    SierraDetector detector(*built.app);
+    const auto &plan = detector.plans()[0];
+    analysis::PointsToAnalysis pta(*built.app, plan, {});
+    auto result = pta.run();
+    for (auto _ : state) {
+        hb::HbBuilder builder(*result, plan, *built.app, {});
+        auto shbg = builder.build();
+        benchmark::DoNotOptimize(shbg->numClosurePairs());
+    }
+}
+BENCHMARK(BM_ShbgConstruction)->DenseRange(0, 3);
+
+void
+BM_FullPipeline(benchmark::State &state)
+{
+    corpus::BuiltApp built = appFor(state.range(0));
+    SierraDetector detector(*built.app);
+    for (auto _ : state) {
+        AppReport report = detector.analyze({});
+        benchmark::DoNotOptimize(report.afterRefutation);
+    }
+}
+BENCHMARK(BM_FullPipeline)->DenseRange(0, 3);
+
+void
+BM_Refutation(benchmark::State &state)
+{
+    corpus::BuiltApp built = appFor(state.range(0));
+    SierraDetector detector(*built.app);
+    SierraOptions no_refute;
+    no_refute.runRefutation = false;
+    const std::string activity =
+        built.app->manifest().activities[0];
+    HarnessAnalysis ha = detector.analyzeActivity(activity, no_refute);
+    for (auto _ : state) {
+        auto pairs = ha.pairs; // fresh flags each iteration
+        symbolic::RefutationStats stats = symbolic::refuteRaces(
+            *ha.pta, ha.accesses, pairs, {});
+        benchmark::DoNotOptimize(stats.refuted);
+    }
+}
+BENCHMARK(BM_Refutation)->DenseRange(0, 3);
+
+void
+BM_EventRacerSchedule(benchmark::State &state)
+{
+    corpus::BuiltApp built = appFor(state.range(0));
+    // Install the framework model / Nondet like the detector would.
+    harness::HarnessGenerator gen(*built.app);
+    uint32_t seed = 1;
+    for (auto _ : state) {
+        dynamic::RunOptions run;
+        run.seed = seed++;
+        dynamic::Interpreter interp(*built.app, run);
+        dynamic::Trace trace = interp.run();
+        benchmark::DoNotOptimize(trace.accesses.size());
+    }
+}
+BENCHMARK(BM_EventRacerSchedule)->DenseRange(0, 3);
+
+void
+BM_ShbgClosureScaling(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        hb::Shbg g(n);
+        for (int i = 0; i + 1 < n; ++i)
+            g.addEdge(i, i + 1, hb::HbRule::Invocation);
+        benchmark::DoNotOptimize(g.numClosurePairs());
+    }
+    state.SetComplexityN(n);
+}
+BENCHMARK(BM_ShbgClosureScaling)->RangeMultiplier(2)->Range(32, 512);
+
+} // namespace
+
+BENCHMARK_MAIN();

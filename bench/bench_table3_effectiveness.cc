@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Paper Table 3: SIERRA effectiveness on the 20-app dataset.
+ *
+ * Columns mirror the paper: harnesses, actions, HB edges, ordered %,
+ * racy pairs without/with action-sensitivity, racy pairs after
+ * refutation, true races and false positives (scored automatically
+ * against the seeded ground truth instead of manual inspection), and
+ * the dynamic detector's (EventRacer-analogue) report count.
+ *
+ * Expected shapes vs the paper: action-sensitivity shrinks racy pairs
+ * by a large factor (paper ~5x); refutation shrinks them further; the
+ * static detector's true races far exceed the dynamic detector's.
+ */
+
+#include <cinttypes>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace sierra;
+    bench::header("Table 3: SIERRA effectiveness (20-app dataset)");
+    std::printf("%-18s %4s %5s %7s %5s %7s %7s %6s %5s %4s %4s %4s\n",
+                "App", "Har", "Acts", "HBedge", "Ord%", "RacyNoAS",
+                "RacyAS", "AfterR", "True", "FP", "Miss", "ER");
+
+    std::vector<bench::AppStats> all;
+    bench::EvalOptions eval;
+    eval.ablateContext = true;
+    eval.runEventRacer = true;
+
+    for (const auto &spec : corpus::namedAppSpecs()) {
+        bench::AppStats s = bench::evaluateApp(
+            spec.name, corpus::buildNamedApp(spec), eval);
+        std::printf(
+            "%-18s %4d %5d %7" PRId64 " %5.1f %7d %7d %6d %5d %4d %4d "
+            "%4d\n",
+            s.name.c_str(), s.harnesses, s.actions, s.hbEdges,
+            s.orderedPct, s.racyNoAs, s.racyAs, s.afterRefutation,
+            s.truePositives, s.falsePositives, s.missed,
+            s.eventRacerRaces);
+        all.push_back(std::move(s));
+    }
+
+    auto col = [&](auto getter) {
+        std::vector<double> v;
+        for (const auto &s : all)
+            v.push_back(static_cast<double>(getter(s)));
+        return bench::median(v);
+    };
+    std::printf(
+        "%-18s %4.0f %5.0f %7.0f %5.1f %7.0f %7.0f %6.0f %5.1f %4.1f "
+        "%4.0f %4.0f\n",
+        "Median",
+        col([](const auto &s) { return s.harnesses; }),
+        col([](const auto &s) { return s.actions; }),
+        col([](const auto &s) { return s.hbEdges; }),
+        col([](const auto &s) { return s.orderedPct; }),
+        col([](const auto &s) { return s.racyNoAs; }),
+        col([](const auto &s) { return s.racyAs; }),
+        col([](const auto &s) { return s.afterRefutation; }),
+        col([](const auto &s) { return s.truePositives; }),
+        col([](const auto &s) { return s.falsePositives; }),
+        col([](const auto &s) { return s.missed; }),
+        col([](const auto &s) { return s.eventRacerRaces; }));
+
+    std::printf("\nPaper medians for reference: harnesses 10.5, actions "
+                "160, HB edges 2755,\nordered 22%%, racy w/o AS 431, "
+                "with AS 80.5, after refutation 33, true 29.5,\nFP 8.5, "
+                "EventRacer 4.\n");
+    return 0;
+}

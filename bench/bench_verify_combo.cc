@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The static+dynamic combination the paper proposes in Section 6.4:
+ * SIERRA's surviving reports are handed to the dynamic verifier, which
+ * hunts for both access orders across randomized schedules. Confirmed
+ * reports are certainly real; unobserved ones are where the dynamic
+ * side's coverage limits show (the reason EventRacer misses races).
+ */
+
+#include <set>
+
+#include "bench_util.hh"
+#include "dynamic/race_verifier.hh"
+
+int
+main()
+{
+    using namespace sierra;
+    bench::header("Static reports verified dynamically (Section 6.4 "
+                  "combination)");
+    std::printf("%-18s %8s %10s %10s %12s\n", "App", "reports",
+                "confirmed", "observed", "unobserved");
+
+    int total_reports = 0;
+    int total_confirmed = 0;
+    int total_observed = 0;
+    int total_unobserved = 0;
+    for (const auto &spec : corpus::namedAppSpecs()) {
+        corpus::BuiltApp built = corpus::buildNamedApp(spec);
+        SierraDetector detector(*built.app);
+        AppReport report = detector.analyze({});
+        std::set<std::string> keys;
+        for (const auto &race : report.races) {
+            if (!race.refuted)
+                keys.insert(race.fieldKey);
+        }
+        dynamic::RaceVerifierOptions options;
+        options.numSchedules = 6;
+        dynamic::RaceVerificationReport verification =
+            verifyRacesDynamically(
+                *built.app, {keys.begin(), keys.end()}, options);
+        std::printf("%-18s %8zu %10d %10d %12d\n", spec.name.c_str(),
+                    keys.size(), verification.confirmed,
+                    verification.observed, verification.unobserved);
+        total_reports += static_cast<int>(keys.size());
+        total_confirmed += verification.confirmed;
+        total_observed += verification.observed;
+        total_unobserved += verification.unobserved;
+    }
+    std::printf("%-18s %8d %10d %10d %12d\n", "Total", total_reports,
+                total_confirmed, total_observed, total_unobserved);
+    std::printf(
+        "\nReading: 'confirmed' = both orders actually executed "
+        "(certain races);\n'observed'/'unobserved' = schedules did not "
+        "exercise both orders -- the same\ncoverage gap that makes "
+        "purely dynamic detectors miss races (Table 3).\n");
+    return 0;
+}

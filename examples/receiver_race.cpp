@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Walk-through of the paper's Fig. 2 inter-component race: a
+ * BroadcastReceiver updating a database that the activity's lifecycle
+ * callbacks open, close and free.
+ *
+ * Shows how registration introduces the HB edge onCreate < onReceive
+ * while delivery stays unordered with onStop/onDestroy -- the race.
+ */
+
+#include <iostream>
+
+#include "corpus/patterns.hh"
+#include "sierra/detector.hh"
+
+using namespace sierra;
+
+namespace {
+
+int
+actionByLabel(const HarnessAnalysis &ha, const std::string &needle)
+{
+    for (const auto &a : ha.pta->actions.all()) {
+        if (a.label.find(needle) != std::string::npos)
+            return a.id;
+    }
+    return -1;
+}
+
+} // namespace
+
+int
+main()
+{
+    corpus::AppFactory factory("receiver-example");
+    corpus::ActivityBuilder &activity =
+        factory.addActivity("MainActivity");
+    corpus::addReceiverDbRace(factory, activity);
+    corpus::BuiltApp built = factory.finish();
+
+    SierraDetector detector(*built.app);
+    HarnessAnalysis ha = detector.analyzeActivity("MainActivity", {});
+
+    int receive = actionByLabel(ha, "onReceive");
+    int create = actionByLabel(ha, "onCreate");
+    int stop = actionByLabel(ha, "onStop");
+    int destroy = actionByLabel(ha, "onDestroy");
+
+    auto rel = [&](int a, int b) {
+        if (ha.shbg->reaches(a, b))
+            return "happens-before";
+        if (ha.shbg->reaches(b, a))
+            return "happens-after";
+        return "UNORDERED";
+    };
+    std::cout << "onCreate vs onReceive:  " << rel(create, receive)
+              << " (registration orders delivery)\n";
+    std::cout << "onStop vs onReceive:    " << rel(stop, receive)
+              << " (the Fig. 2 race window)\n";
+    std::cout << "onDestroy vs onReceive: " << rel(destroy, receive)
+              << "\n\n";
+
+    std::cout << "reported races:\n";
+    for (const auto &pair : ha.pairs) {
+        if (!pair.refuted)
+            std::cout << "  " << pair.toString(*ha.pta, ha.accesses)
+                      << "\n";
+    }
+    std::cout << "\nThe paper's fixes: register/unregister in "
+                 "onStart/onStop, or guard updates\nwith an "
+                 "activity-state flag.\n";
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The paper's Section 6.4 comparison on one app: run SIERRA and the
+ * EventRacer-style dynamic detector side by side and score both
+ * against the seeded ground truth.
+ *
+ * Run: ./static_vs_dynamic [app-name] (default: Beem)
+ */
+
+#include <iostream>
+
+#include "corpus/named_apps.hh"
+#include "dynamic/event_racer.hh"
+#include "sierra/detector.hh"
+
+using namespace sierra;
+
+int
+main(int argc, char **argv)
+{
+    std::string name = argc > 1 ? argv[1] : "Beem";
+    corpus::BuiltApp built = corpus::buildNamedApp(name);
+
+    // Static detection.
+    SierraDetector detector(*built.app);
+    AppReport report = detector.analyze({});
+    corpus::Score ss = corpus::scoreReport(report, built.truth);
+
+    // Dynamic detection (3 randomized schedules, like a short fuzzing
+    // session with a real device).
+    dynamic::EventRacerOptions er_opts;
+    er_opts.numSchedules = 3;
+    dynamic::EventRacerReport er = runEventRacer(*built.app, er_opts);
+    corpus::Score ds = corpus::scoreKeys(er.raceKeys(), built.truth);
+
+    std::cout << "app: " << name << "\n\n";
+    std::cout << "SIERRA (static):\n";
+    std::cout << "  reports: " << report.afterRefutation
+              << "  true races: " << ss.truePositives
+              << "  false positives: " << ss.falsePositives
+              << "  missed: " << ss.missedTrueKeys << "\n";
+    std::cout << "EventRacer-style (dynamic, "
+              << er.schedulesRun << " schedules, "
+              << er.eventsExecuted << " events):\n";
+    std::cout << "  reports: " << er.raceKeys().size()
+              << "  true races: " << ds.truePositives
+              << "  false positives: " << ds.falsePositives
+              << "  missed: " << ds.missedTrueKeys << "\n\n";
+
+    std::cout << "dynamic reports:\n";
+    for (const auto &race : er.races) {
+        if (!race.filteredByCoverage) {
+            std::cout << "  " << race.fieldKey << ": " << race.event1
+                      << " || " << race.event2 << "\n";
+        }
+    }
+    std::cout << "\nThe headline (paper Table 3): the static detector "
+                 "covers schedules the\ndynamic one never executes -- "
+              << ds.missedTrueKeys
+              << " seeded race(s) are invisible to the dynamic run "
+                 "here.\n";
+    return 0;
+}

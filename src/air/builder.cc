@@ -1,0 +1,317 @@
+#include "builder.hh"
+
+#include "klass.hh"
+#include "logging.hh"
+
+namespace sierra::air {
+
+MethodBuilder::MethodBuilder(Method *method)
+    : _method(method), _nextReg(method->firstTempReg())
+{
+    SIERRA_ASSERT(method->instrs().empty(),
+                  "builder requires an empty method: ",
+                  method->qualifiedName());
+}
+
+int
+MethodBuilder::newReg()
+{
+    return _nextReg++;
+}
+
+int
+MethodBuilder::emit(Instruction instr)
+{
+    SIERRA_ASSERT(!_finished, "emit after finish()");
+    int idx = nextIndex();
+    _method->instrs().push_back(std::move(instr));
+    return idx;
+}
+
+void
+MethodBuilder::constInt(int dst, int64_t value)
+{
+    Instruction i;
+    i.op = Opcode::ConstInt;
+    i.dst = dst;
+    i.intValue = value;
+    emit(std::move(i));
+}
+
+void
+MethodBuilder::constStr(int dst, std::string value)
+{
+    Instruction i;
+    i.op = Opcode::ConstStr;
+    i.dst = dst;
+    i.strValue = std::move(value);
+    emit(std::move(i));
+}
+
+void
+MethodBuilder::constNull(int dst)
+{
+    Instruction i;
+    i.op = Opcode::ConstNull;
+    i.dst = dst;
+    emit(std::move(i));
+}
+
+void
+MethodBuilder::move(int dst, int src)
+{
+    Instruction i;
+    i.op = Opcode::Move;
+    i.dst = dst;
+    i.srcs = {src};
+    emit(std::move(i));
+}
+
+void
+MethodBuilder::binOp(int dst, BinOpKind op, int lhs, int rhs)
+{
+    Instruction i;
+    i.op = Opcode::BinOp;
+    i.dst = dst;
+    i.binop = op;
+    i.srcs = {lhs, rhs};
+    emit(std::move(i));
+}
+
+void
+MethodBuilder::unOp(int dst, UnOpKind op, int src)
+{
+    Instruction i;
+    i.op = Opcode::UnOp;
+    i.dst = dst;
+    i.unop = op;
+    i.srcs = {src};
+    emit(std::move(i));
+}
+
+int
+MethodBuilder::newObject(int dst, std::string class_name)
+{
+    Instruction i;
+    i.op = Opcode::New;
+    i.dst = dst;
+    i.typeName = std::move(class_name);
+    return emit(std::move(i));
+}
+
+int
+MethodBuilder::newArray(int dst, std::string elem_class, int length_reg)
+{
+    Instruction i;
+    i.op = Opcode::NewArray;
+    i.dst = dst;
+    i.typeName = std::move(elem_class);
+    i.srcs = {length_reg};
+    return emit(std::move(i));
+}
+
+void
+MethodBuilder::getField(int dst, int obj, FieldRef field)
+{
+    Instruction i;
+    i.op = Opcode::GetField;
+    i.dst = dst;
+    i.srcs = {obj};
+    i.field = std::move(field);
+    emit(std::move(i));
+}
+
+void
+MethodBuilder::putField(int obj, FieldRef field, int value)
+{
+    Instruction i;
+    i.op = Opcode::PutField;
+    i.srcs = {obj, value};
+    i.field = std::move(field);
+    emit(std::move(i));
+}
+
+void
+MethodBuilder::getStatic(int dst, FieldRef field)
+{
+    Instruction i;
+    i.op = Opcode::GetStatic;
+    i.dst = dst;
+    i.field = std::move(field);
+    emit(std::move(i));
+}
+
+void
+MethodBuilder::putStatic(FieldRef field, int value)
+{
+    Instruction i;
+    i.op = Opcode::PutStatic;
+    i.srcs = {value};
+    i.field = std::move(field);
+    emit(std::move(i));
+}
+
+void
+MethodBuilder::arrayGet(int dst, int arr, int idx)
+{
+    Instruction i;
+    i.op = Opcode::ArrayGet;
+    i.dst = dst;
+    i.srcs = {arr, idx};
+    emit(std::move(i));
+}
+
+void
+MethodBuilder::arrayPut(int arr, int idx, int value)
+{
+    Instruction i;
+    i.op = Opcode::ArrayPut;
+    i.srcs = {arr, idx, value};
+    emit(std::move(i));
+}
+
+int
+MethodBuilder::invoke(int dst, InvokeKind kind, MethodRef method,
+                      std::vector<int> args)
+{
+    Instruction i;
+    i.op = Opcode::Invoke;
+    i.dst = dst;
+    i.invokeKind = kind;
+    method.numArgs = static_cast<int>(args.size());
+    i.method = std::move(method);
+    i.srcs = std::move(args);
+    return emit(std::move(i));
+}
+
+int
+MethodBuilder::call(int receiver, const std::string &class_name,
+                    const std::string &method_name, std::vector<int> args)
+{
+    std::vector<int> all{receiver};
+    all.insert(all.end(), args.begin(), args.end());
+    return invoke(-1, InvokeKind::Virtual, {class_name, method_name, 0},
+                  std::move(all));
+}
+
+int
+MethodBuilder::callTo(int dst, int receiver, const std::string &class_name,
+                      const std::string &method_name, std::vector<int> args)
+{
+    std::vector<int> all{receiver};
+    all.insert(all.end(), args.begin(), args.end());
+    return invoke(dst, InvokeKind::Virtual, {class_name, method_name, 0},
+                  std::move(all));
+}
+
+int
+MethodBuilder::callStatic(int dst, const std::string &class_name,
+                          const std::string &method_name,
+                          std::vector<int> args)
+{
+    return invoke(dst, InvokeKind::Static, {class_name, method_name, 0},
+                  std::move(args));
+}
+
+Label
+MethodBuilder::newLabel()
+{
+    Label l;
+    l.id = static_cast<int>(_labelTargets.size());
+    _labelTargets.push_back(-1);
+    return l;
+}
+
+void
+MethodBuilder::bind(Label label)
+{
+    SIERRA_ASSERT(label.id >= 0 &&
+                  label.id < static_cast<int>(_labelTargets.size()),
+                  "bad label");
+    SIERRA_ASSERT(_labelTargets[label.id] == -1, "label bound twice");
+    _labelTargets[label.id] = nextIndex();
+}
+
+void
+MethodBuilder::iff(int lhs, CondKind cond, int rhs, Label target)
+{
+    Instruction i;
+    i.op = Opcode::If;
+    i.cond = cond;
+    i.srcs = {lhs, rhs};
+    int idx = emit(std::move(i));
+    _patches.emplace_back(idx, target.id);
+}
+
+void
+MethodBuilder::ifz(int src, CondKind cond, Label target)
+{
+    Instruction i;
+    i.op = Opcode::IfZ;
+    i.cond = cond;
+    i.srcs = {src};
+    int idx = emit(std::move(i));
+    _patches.emplace_back(idx, target.id);
+}
+
+void
+MethodBuilder::gotoLabel(Label target)
+{
+    Instruction i;
+    i.op = Opcode::Goto;
+    int idx = emit(std::move(i));
+    _patches.emplace_back(idx, target.id);
+}
+
+void
+MethodBuilder::ret(int src)
+{
+    Instruction i;
+    i.op = Opcode::Return;
+    i.srcs = {src};
+    emit(std::move(i));
+}
+
+void
+MethodBuilder::retVoid()
+{
+    Instruction i;
+    i.op = Opcode::ReturnVoid;
+    emit(std::move(i));
+}
+
+void
+MethodBuilder::throwReg(int src)
+{
+    Instruction i;
+    i.op = Opcode::Throw;
+    i.srcs = {src};
+    emit(std::move(i));
+}
+
+void
+MethodBuilder::nop()
+{
+    Instruction i;
+    i.op = Opcode::Nop;
+    emit(std::move(i));
+}
+
+void
+MethodBuilder::finish()
+{
+    SIERRA_ASSERT(!_finished, "finish() called twice");
+    auto &instrs = _method->instrs();
+    if (instrs.empty() || !instrs.back().isTerminator())
+        retVoid();
+    for (const auto &[instr_idx, label_id] : _patches) {
+        int target = _labelTargets[label_id];
+        SIERRA_ASSERT(target >= 0, "unbound label in ",
+                      _method->qualifiedName());
+        instrs[instr_idx].target = target;
+    }
+    _method->setNumRegisters(_nextReg);
+    _finished = true;
+}
+
+} // namespace sierra::air

@@ -1,0 +1,62 @@
+#include "klass.hh"
+
+#include "logging.hh"
+
+namespace sierra::air {
+
+std::string
+Method::qualifiedName() const
+{
+    return _owner->name() + "." + _name;
+}
+
+MethodRef
+Method::ref() const
+{
+    MethodRef r;
+    r.className = _owner->name();
+    r.methodName = _name;
+    r.numArgs = numParams() + (_isStatic ? 0 : 1);
+    return r;
+}
+
+bool
+Klass::isFramework() const
+{
+    return _name.rfind("android.", 0) == 0 ||
+           _name.rfind("java.", 0) == 0;
+}
+
+const Field *
+Klass::findField(const std::string &name) const
+{
+    for (const auto &f : _fields) {
+        if (f.name == name)
+            return &f;
+    }
+    return nullptr;
+}
+
+Method *
+Klass::addMethod(std::string name, std::vector<Type> param_types,
+                 Type return_type, bool is_static)
+{
+    if (_methodIndex.count(name))
+        fatal("duplicate method ", _name, ".", name);
+    auto m = std::make_unique<Method>(this, std::move(name),
+                                      std::move(param_types),
+                                      std::move(return_type), is_static);
+    Method *raw = m.get();
+    _methodIndex[raw->name()] = raw;
+    _methods.push_back(std::move(m));
+    return raw;
+}
+
+Method *
+Klass::findMethod(const std::string &name) const
+{
+    auto it = _methodIndex.find(name);
+    return it == _methodIndex.end() ? nullptr : it->second;
+}
+
+} // namespace sierra::air

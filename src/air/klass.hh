@@ -1,0 +1,90 @@
+/**
+ * @file
+ * AIR class definitions.
+ */
+
+#ifndef SIERRA_AIR_KLASS_HH
+#define SIERRA_AIR_KLASS_HH
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "method.hh"
+#include "type.hh"
+
+namespace sierra::air {
+
+/** An instance or static field declaration. */
+struct Field {
+    std::string name;
+    Type type;
+    bool isStatic{false};
+};
+
+/**
+ * An AIR class: name, super class, interfaces, fields and methods.
+ *
+ * Named Klass to sidestep the keyword; instances are owned by a Module.
+ */
+class Klass
+{
+  public:
+    Klass(std::string name, std::string super_name)
+        : _name(std::move(name)), _superName(std::move(super_name))
+    {
+    }
+
+    const std::string &name() const { return _name; }
+    const std::string &superName() const { return _superName; }
+    void setSuperName(std::string s) { _superName = std::move(s); }
+
+    const std::vector<std::string> &interfaces() const
+    {
+        return _interfaces;
+    }
+    void addInterface(std::string iface)
+    {
+        _interfaces.push_back(std::move(iface));
+    }
+
+    bool isInterface() const { return _isInterface; }
+    void setInterface(bool v) { _isInterface = v; }
+    /** True for classes synthesized by the harness generator. */
+    bool isSynthetic() const { return _isSynthetic; }
+    void setSynthetic(bool v) { _isSynthetic = v; }
+    /** True for Android framework model classes (android.* etc.). */
+    bool isFramework() const;
+
+    const std::vector<Field> &fields() const { return _fields; }
+    void addField(Field f) { _fields.push_back(std::move(f)); }
+    /** Find a field declared directly on this class; null if absent. */
+    const Field *findField(const std::string &name) const;
+
+    /** Create and register a method; returns a stable pointer. */
+    Method *addMethod(std::string name, std::vector<Type> param_types,
+                      Type return_type, bool is_static);
+
+    /** Find a method declared directly on this class; null if absent. */
+    Method *findMethod(const std::string &name) const;
+
+    const std::vector<std::unique_ptr<Method>> &methods() const
+    {
+        return _methods;
+    }
+
+  private:
+    std::string _name;
+    std::string _superName;
+    std::vector<std::string> _interfaces;
+    bool _isInterface{false};
+    bool _isSynthetic{false};
+    std::vector<Field> _fields;
+    std::vector<std::unique_ptr<Method>> _methods;
+    std::unordered_map<std::string, Method *> _methodIndex;
+};
+
+} // namespace sierra::air
+
+#endif // SIERRA_AIR_KLASS_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Error and status reporting helpers, modeled after gem5's logging.hh.
+ *
+ * panic()  - internal invariant violated (a bug in this library); aborts.
+ * fatal()  - unrecoverable user error (bad input module, bad config);
+ *            exits with an error code.
+ * warn()   - something is suspicious but analysis can continue.
+ */
+
+#ifndef SIERRA_AIR_LOGGING_HH
+#define SIERRA_AIR_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace sierra {
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream &os)
+{
+    (void)os;
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &first, const Rest &...rest)
+{
+    os << first;
+    formatInto(os, rest...);
+}
+
+} // namespace detail
+
+/** Concatenate all arguments into one string using operator<<. */
+template <typename... Args>
+std::string
+strCat(const Args &...args)
+{
+    std::ostringstream os;
+    detail::formatInto(os, args...);
+    return os.str();
+}
+
+/** Abort: an internal invariant of the library was violated. */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    std::cerr << "panic: " << strCat(args...) << std::endl;
+    std::abort();
+}
+
+/** Exit: the user supplied input the library cannot process. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    std::cerr << "fatal: " << strCat(args...) << std::endl;
+    std::exit(1);
+}
+
+/** Non-fatal diagnostic. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    std::cerr << "warn: " << strCat(args...) << std::endl;
+}
+
+/** panic() unless the condition holds. */
+#define SIERRA_ASSERT(cond, ...)                                            \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::sierra::panic("assertion '", #cond, "' failed at ",           \
+                            __FILE__, ":", __LINE__, ": ",                  \
+                            ::sierra::strCat(__VA_ARGS__));                 \
+        }                                                                   \
+    } while (0)
+
+} // namespace sierra
+
+#endif // SIERRA_AIR_LOGGING_HH

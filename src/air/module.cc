@@ -1,0 +1,50 @@
+#include "module.hh"
+
+#include "logging.hh"
+#include "printer.hh"
+
+namespace sierra::air {
+
+Klass *
+Module::addClass(std::string name, std::string super_name)
+{
+    if (_classes.count(name))
+        fatal("duplicate class ", name);
+    auto k = std::make_unique<Klass>(name, std::move(super_name));
+    Klass *raw = k.get();
+    _classes[raw->name()] = std::move(k);
+    _order.push_back(raw);
+    return raw;
+}
+
+Klass *
+Module::getClass(const std::string &name) const
+{
+    auto it = _classes.find(name);
+    return it == _classes.end() ? nullptr : it->second.get();
+}
+
+Klass *
+Module::requireClass(const std::string &name) const
+{
+    Klass *k = getClass(name);
+    if (!k)
+        fatal("unknown class ", name);
+    return k;
+}
+
+Method *
+Module::findMethod(const std::string &class_name,
+                   const std::string &method_name) const
+{
+    Klass *k = getClass(class_name);
+    return k ? k->findMethod(method_name) : nullptr;
+}
+
+size_t
+Module::codeSize() const
+{
+    return printModule(*this).size();
+}
+
+} // namespace sierra::air

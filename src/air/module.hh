@@ -1,0 +1,61 @@
+/**
+ * @file
+ * AIR module: the unit of analysis, holding all classes of one app plus
+ * the framework model classes.
+ */
+
+#ifndef SIERRA_AIR_MODULE_HH
+#define SIERRA_AIR_MODULE_HH
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "klass.hh"
+
+namespace sierra::air {
+
+/**
+ * A closed world of classes.
+ *
+ * Iteration order over classes is insertion order, which keeps every
+ * downstream analysis deterministic.
+ */
+class Module
+{
+  public:
+    Module() = default;
+    Module(const Module &) = delete;
+    Module &operator=(const Module &) = delete;
+
+    /** Create and register a class; fatal() on duplicates. */
+    Klass *addClass(std::string name, std::string super_name = "");
+
+    /** Look up a class by name; null if absent. */
+    Klass *getClass(const std::string &name) const;
+
+    /** Look up a class by name; fatal() if absent. */
+    Klass *requireClass(const std::string &name) const;
+
+    /** Resolve "ClassName.method"; null if either part is absent. */
+    Method *findMethod(const std::string &class_name,
+                       const std::string &method_name) const;
+
+    const std::vector<Klass *> &classes() const { return _order; }
+    size_t numClasses() const { return _order.size(); }
+
+    /**
+     * Approximate "bytecode size" of the module in bytes: the length of
+     * its textual serialization. Used as the Table 2 dex-size analogue.
+     */
+    size_t codeSize() const;
+
+  private:
+    std::unordered_map<std::string, std::unique_ptr<Klass>> _classes;
+    std::vector<Klass *> _order;
+};
+
+} // namespace sierra::air
+
+#endif // SIERRA_AIR_MODULE_HH

@@ -1,0 +1,658 @@
+#include "parser.hh"
+
+#include <cctype>
+#include <stdexcept>
+
+#include "logging.hh"
+
+namespace sierra::air {
+
+namespace {
+
+/** Token categories recognized by the AIR lexer. */
+enum class Tok {
+    Ident,
+    Int,
+    Str,
+    Punct, //!< one of { } ( ) [ ] : ; , = @ .
+    Eof,
+};
+
+struct Token {
+    Tok kind{Tok::Eof};
+    std::string text;
+    int64_t intValue{0};
+    int line{1};
+};
+
+/** Parse failure carrying a message and a line number. */
+struct ParseFail : std::runtime_error {
+    int line;
+    ParseFail(const std::string &msg, int l)
+        : std::runtime_error(msg), line(l)
+    {
+    }
+};
+
+bool
+isIdentStart(char c)
+{
+    // '<' admits constructor names like "<init>".
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '$' || c == '<';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '$' || c == '-' || c == '<' || c == '>';
+}
+
+/** Whole-input lexer; keeps the parser itself simple. */
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string &text) : _text(text) {}
+
+    std::vector<Token> run();
+
+  private:
+    void fail(const std::string &msg) { throw ParseFail(msg, _line); }
+
+    const std::string &_text;
+    size_t _pos{0};
+    int _line{1};
+};
+
+std::vector<Token>
+Lexer::run()
+{
+    std::vector<Token> out;
+    const std::string punct = "{}()[]:;,=@.";
+    while (_pos < _text.size()) {
+        char c = _text[_pos];
+        if (c == '\n') {
+            ++_line;
+            ++_pos;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++_pos;
+            continue;
+        }
+        if (c == '#' || (c == '/' && _pos + 1 < _text.size() &&
+                         _text[_pos + 1] == '/')) {
+            while (_pos < _text.size() && _text[_pos] != '\n')
+                ++_pos;
+            continue;
+        }
+        Token t;
+        t.line = _line;
+        if (isIdentStart(c)) {
+            size_t start = _pos;
+            while (_pos < _text.size() && isIdentChar(_text[_pos]))
+                ++_pos;
+            t.kind = Tok::Ident;
+            t.text = _text.substr(start, _pos - start);
+        } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                   (c == '-' && _pos + 1 < _text.size() &&
+                    std::isdigit(
+                        static_cast<unsigned char>(_text[_pos + 1])))) {
+            size_t start = _pos;
+            if (c == '-')
+                ++_pos;
+            while (_pos < _text.size() &&
+                   std::isdigit(static_cast<unsigned char>(_text[_pos]))) {
+                ++_pos;
+            }
+            t.kind = Tok::Int;
+            t.text = _text.substr(start, _pos - start);
+            t.intValue = std::stoll(t.text);
+        } else if (c == '"') {
+            ++_pos;
+            std::string value;
+            while (_pos < _text.size() && _text[_pos] != '"') {
+                char d = _text[_pos];
+                if (d == '\\' && _pos + 1 < _text.size()) {
+                    ++_pos;
+                    char e = _text[_pos];
+                    if (e == 'n')
+                        value += '\n';
+                    else
+                        value += e;
+                } else {
+                    if (d == '\n')
+                        ++_line;
+                    value += d;
+                }
+                ++_pos;
+            }
+            if (_pos >= _text.size())
+                fail("unterminated string literal");
+            ++_pos; // closing quote
+            t.kind = Tok::Str;
+            t.text = std::move(value);
+        } else if (punct.find(c) != std::string::npos) {
+            t.kind = Tok::Punct;
+            t.text = std::string(1, c);
+            ++_pos;
+        } else {
+            fail(strCat("unexpected character '", c, "'"));
+        }
+        out.push_back(std::move(t));
+    }
+    Token eof;
+    eof.kind = Tok::Eof;
+    eof.line = _line;
+    out.push_back(eof);
+    return out;
+}
+
+/** Recursive-descent parser over the token stream. */
+class Parser
+{
+  public:
+    Parser(Module &module, std::vector<Token> tokens)
+        : _module(module), _tokens(std::move(tokens))
+    {
+    }
+
+    void run();
+
+  private:
+    const Token &peek() const { return _tokens[_idx]; }
+    const Token &next() { return _tokens[_idx++]; }
+
+    [[noreturn]] void
+    fail(const std::string &msg)
+    {
+        throw ParseFail(msg, peek().line);
+    }
+
+    bool isPunct(const std::string &p) const
+    {
+        return peek().kind == Tok::Punct && peek().text == p;
+    }
+    bool isIdent(const std::string &s) const
+    {
+        return peek().kind == Tok::Ident && peek().text == s;
+    }
+    void
+    expectPunct(const std::string &p)
+    {
+        if (!isPunct(p))
+            fail(strCat("expected '", p, "', got '", peek().text, "'"));
+        next();
+    }
+    void
+    expectIdent(const std::string &s)
+    {
+        if (!isIdent(s))
+            fail(strCat("expected '", s, "', got '", peek().text, "'"));
+        next();
+    }
+    std::string
+    expectAnyIdent()
+    {
+        if (peek().kind != Tok::Ident)
+            fail(strCat("expected identifier, got '", peek().text, "'"));
+        return next().text;
+    }
+    int64_t
+    expectInt()
+    {
+        if (peek().kind != Tok::Int)
+            fail(strCat("expected integer, got '", peek().text, "'"));
+        return next().intValue;
+    }
+
+    /** Dotted name: Ident ('.' Ident)*. */
+    std::string parseDottedName();
+    /** Dotted name with optional trailing "[]". */
+    Type parseType();
+    /** "rN" register token. */
+    int parseReg();
+    /** Split "a.b.c" into ("a.b", "c"). */
+    static std::pair<std::string, std::string>
+    splitLast(const std::string &dotted);
+
+    void parseClass();
+    void parseMethod(Klass *klass, bool is_static, bool is_abstract);
+    Instruction parseInstruction();
+    /** Body of an instruction that starts with "rD = ...". */
+    Instruction parseAssignment(int dst);
+    int parseBranchTarget();
+
+    Module &_module;
+    std::vector<Token> _tokens;
+    size_t _idx{0};
+};
+
+std::string
+Parser::parseDottedName()
+{
+    std::string name = expectAnyIdent();
+    while (isPunct(".")) {
+        // Lookahead: only consume the dot if an identifier follows.
+        if (_tokens[_idx + 1].kind != Tok::Ident)
+            break;
+        next();
+        name += "." + next().text;
+    }
+    return name;
+}
+
+Type
+Parser::parseType()
+{
+    std::string name = parseDottedName();
+    if (isPunct("[")) {
+        next();
+        expectPunct("]");
+        return Type::parse(name + "[]");
+    }
+    return Type::parse(name);
+}
+
+int
+Parser::parseReg()
+{
+    const Token &t = peek();
+    if (t.kind != Tok::Ident || t.text.size() < 2 || t.text[0] != 'r')
+        fail(strCat("expected register, got '", t.text, "'"));
+    for (size_t i = 1; i < t.text.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(t.text[i])))
+            fail(strCat("expected register, got '", t.text, "'"));
+    }
+    next();
+    return std::stoi(t.text.substr(1));
+}
+
+std::pair<std::string, std::string>
+Parser::splitLast(const std::string &dotted)
+{
+    size_t pos = dotted.rfind('.');
+    if (pos == std::string::npos)
+        return {"", dotted};
+    return {dotted.substr(0, pos), dotted.substr(pos + 1)};
+}
+
+void
+Parser::run()
+{
+    while (peek().kind != Tok::Eof)
+        parseClass();
+}
+
+void
+Parser::parseClass()
+{
+    bool is_interface = false;
+    if (isIdent("interface")) {
+        is_interface = true;
+        next();
+    } else {
+        expectIdent("class");
+    }
+    std::string name = parseDottedName();
+    std::string super;
+    if (isIdent("extends")) {
+        next();
+        super = parseDottedName();
+    }
+    std::vector<std::string> ifaces;
+    if (isIdent("implements")) {
+        next();
+        ifaces.push_back(parseDottedName());
+        while (isPunct(",")) {
+            next();
+            ifaces.push_back(parseDottedName());
+        }
+    }
+    if (_module.getClass(name))
+        fail(strCat("duplicate class '", name, "'"));
+    Klass *k = _module.addClass(name, super);
+    k->setInterface(is_interface);
+    for (auto &i : ifaces)
+        k->addInterface(std::move(i));
+
+    expectPunct("{");
+    while (!isPunct("}")) {
+        bool is_static = false;
+        bool is_abstract = false;
+        while (isIdent("static") || isIdent("abstract")) {
+            if (isIdent("static"))
+                is_static = true;
+            else
+                is_abstract = true;
+            next();
+        }
+        if (isIdent("field")) {
+            next();
+            std::string fname = expectAnyIdent();
+            expectPunct(":");
+            Type ftype = parseType();
+            k->addField({fname, ftype, is_static});
+        } else if (isIdent("method")) {
+            next();
+            parseMethod(k, is_static, is_abstract);
+        } else {
+            fail(strCat("expected field or method, got '", peek().text,
+                        "'"));
+        }
+    }
+    expectPunct("}");
+}
+
+void
+Parser::parseMethod(Klass *klass, bool is_static, bool is_abstract)
+{
+    std::string name = expectAnyIdent();
+    expectPunct("(");
+    std::vector<Type> params;
+    while (!isPunct(")")) {
+        expectAnyIdent(); // parameter name "pN" (documentary only)
+        expectPunct(":");
+        params.push_back(parseType());
+        if (isPunct(","))
+            next();
+    }
+    expectPunct(")");
+    expectPunct(":");
+    Type ret = parseType();
+
+    if (klass->findMethod(name))
+        fail(strCat("duplicate method '", klass->name(), ".", name, "'"));
+    Method *m = klass->addMethod(name, std::move(params), ret, is_static);
+    m->setAbstract(is_abstract);
+
+    if (isPunct(";")) {
+        next();
+        return;
+    }
+    // "regs=N { instrs }"
+    expectIdent("regs");
+    expectPunct("=");
+    int num_regs = static_cast<int>(expectInt());
+    m->setNumRegisters(num_regs);
+    expectPunct("{");
+    while (!isPunct("}")) {
+        // "@N:" index prefix; verified to be sequential.
+        expectPunct("@");
+        int64_t idx = expectInt();
+        if (idx != m->numInstrs())
+            fail(strCat("instruction index @", idx, " out of order"));
+        expectPunct(":");
+        m->instrs().push_back(parseInstruction());
+    }
+    expectPunct("}");
+}
+
+int
+Parser::parseBranchTarget()
+{
+    expectPunct("@");
+    return static_cast<int>(expectInt());
+}
+
+Instruction
+Parser::parseInstruction()
+{
+    Instruction i;
+    const Token &t = peek();
+    if (t.kind != Tok::Ident)
+        fail(strCat("expected instruction, got '", t.text, "'"));
+
+    const std::string &w = t.text;
+    if (w == "nop") {
+        next();
+        i.op = Opcode::Nop;
+        return i;
+    }
+    if (w == "return-void") {
+        next();
+        i.op = Opcode::ReturnVoid;
+        return i;
+    }
+    if (w == "return") {
+        next();
+        i.op = Opcode::Return;
+        i.srcs = {parseReg()};
+        return i;
+    }
+    if (w == "throw") {
+        next();
+        i.op = Opcode::Throw;
+        i.srcs = {parseReg()};
+        return i;
+    }
+    if (w == "goto") {
+        next();
+        i.op = Opcode::Goto;
+        i.target = parseBranchTarget();
+        return i;
+    }
+    if (w == "if") {
+        next();
+        i.op = Opcode::If;
+        i.srcs.push_back(parseReg());
+        std::string cname = expectAnyIdent();
+        if (!condFromName(cname, i.cond))
+            fail(strCat("bad condition '", cname, "'"));
+        i.srcs.push_back(parseReg());
+        expectIdent("goto");
+        i.target = parseBranchTarget();
+        return i;
+    }
+    if (w == "ifz") {
+        next();
+        i.op = Opcode::IfZ;
+        i.srcs.push_back(parseReg());
+        std::string cname = expectAnyIdent();
+        if (!condFromName(cname, i.cond))
+            fail(strCat("bad condition '", cname, "'"));
+        expectIdent("goto");
+        i.target = parseBranchTarget();
+        return i;
+    }
+    if (w == "putfield") {
+        next();
+        i.op = Opcode::PutField;
+        int obj = parseReg();
+        expectPunct(".");
+        auto [cls, fld] = splitLast(parseDottedName());
+        if (cls.empty())
+            fail("field reference needs a class name");
+        i.field = {cls, fld};
+        expectPunct("=");
+        i.srcs = {obj, parseReg()};
+        return i;
+    }
+    if (w == "putstatic") {
+        next();
+        i.op = Opcode::PutStatic;
+        auto [cls, fld] = splitLast(parseDottedName());
+        if (cls.empty())
+            fail("field reference needs a class name");
+        i.field = {cls, fld};
+        expectPunct("=");
+        i.srcs = {parseReg()};
+        return i;
+    }
+    if (w == "aput") {
+        next();
+        i.op = Opcode::ArrayPut;
+        int arr = parseReg();
+        expectPunct("[");
+        int idx = parseReg();
+        expectPunct("]");
+        expectPunct("=");
+        i.srcs = {arr, idx, parseReg()};
+        return i;
+    }
+    if (w.rfind("invoke-", 0) == 0) {
+        // result-less invoke
+        return parseAssignment(-1);
+    }
+
+    // Everything else starts with a destination register.
+    int dst = parseReg();
+    expectPunct("=");
+    return parseAssignment(dst);
+}
+
+Instruction
+Parser::parseAssignment(int dst)
+{
+    Instruction i;
+    i.dst = dst;
+    const Token &t = peek();
+    if (t.kind != Tok::Ident)
+        fail(strCat("expected instruction body, got '", t.text, "'"));
+    const std::string w = t.text;
+
+    if (w == "const") {
+        next();
+        if (peek().kind == Tok::Int) {
+            i.op = Opcode::ConstInt;
+            i.intValue = next().intValue;
+        } else if (peek().kind == Tok::Str) {
+            i.op = Opcode::ConstStr;
+            i.strValue = next().text;
+        } else {
+            fail("expected const payload");
+        }
+        return i;
+    }
+    if (w == "null") {
+        next();
+        i.op = Opcode::ConstNull;
+        return i;
+    }
+    if (w == "new") {
+        next();
+        i.op = Opcode::New;
+        i.typeName = parseDottedName();
+        return i;
+    }
+    if (w == "new-array") {
+        next();
+        i.op = Opcode::NewArray;
+        i.typeName = parseDottedName();
+        expectPunct("[");
+        i.srcs = {parseReg()};
+        expectPunct("]");
+        return i;
+    }
+    if (w == "getfield") {
+        next();
+        i.op = Opcode::GetField;
+        i.srcs = {parseReg()};
+        expectPunct(".");
+        auto [cls, fld] = splitLast(parseDottedName());
+        if (cls.empty())
+            fail("field reference needs a class name");
+        i.field = {cls, fld};
+        return i;
+    }
+    if (w == "getstatic") {
+        next();
+        i.op = Opcode::GetStatic;
+        auto [cls, fld] = splitLast(parseDottedName());
+        if (cls.empty())
+            fail("field reference needs a class name");
+        i.field = {cls, fld};
+        return i;
+    }
+    if (w == "aget") {
+        next();
+        i.op = Opcode::ArrayGet;
+        int arr = parseReg();
+        expectPunct("[");
+        int idx = parseReg();
+        expectPunct("]");
+        i.srcs = {arr, idx};
+        return i;
+    }
+    if (w.rfind("invoke-", 0) == 0) {
+        next();
+        i.op = Opcode::Invoke;
+        std::string kind_name = w.substr(7);
+        if (!invokeKindFromName(kind_name, i.invokeKind))
+            fail(strCat("bad invoke kind '", kind_name, "'"));
+        auto [cls, mth] = splitLast(parseDottedName());
+        if (cls.empty())
+            fail("method reference needs a class name");
+        i.method = {cls, mth, 0};
+        expectPunct("(");
+        while (!isPunct(")")) {
+            i.srcs.push_back(parseReg());
+            if (isPunct(","))
+                next();
+        }
+        expectPunct(")");
+        i.method.numArgs = static_cast<int>(i.srcs.size());
+        return i;
+    }
+
+    BinOpKind bop;
+    if (binopFromName(w, bop)) {
+        next();
+        i.op = Opcode::BinOp;
+        i.binop = bop;
+        i.srcs.push_back(parseReg());
+        expectPunct(",");
+        i.srcs.push_back(parseReg());
+        return i;
+    }
+    UnOpKind uop;
+    if (unopFromName(w, uop)) {
+        next();
+        i.op = Opcode::UnOp;
+        i.unop = uop;
+        i.srcs = {parseReg()};
+        return i;
+    }
+
+    // Fallback: "rD = rS" move.
+    if (w.size() >= 2 && w[0] == 'r' &&
+        std::isdigit(static_cast<unsigned char>(w[1]))) {
+        i.op = Opcode::Move;
+        i.srcs = {parseReg()};
+        return i;
+    }
+    fail(strCat("unknown instruction '", w, "'"));
+}
+
+} // namespace
+
+ParseStatus
+parseInto(Module &module, const std::string &text)
+{
+    try {
+        Lexer lexer(text);
+        Parser parser(module, lexer.run());
+        parser.run();
+        return {};
+    } catch (const ParseFail &e) {
+        ParseStatus st;
+        st.ok = false;
+        st.error = e.what();
+        st.errorLine = e.line;
+        return st;
+    }
+}
+
+ParseResult
+parseModule(const std::string &text)
+{
+    ParseResult result;
+    auto module = std::make_unique<Module>();
+    result.status = parseInto(*module, text);
+    if (result.status.ok)
+        result.module = std::move(module);
+    return result;
+}
+
+} // namespace sierra::air

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Parser for the AIR textual format produced by printer.hh.
+ *
+ * The textual format is the analysis-facing analogue of an APK: corpus
+ * apps can be written by hand in it, and printed modules round-trip.
+ */
+
+#ifndef SIERRA_AIR_PARSER_HH
+#define SIERRA_AIR_PARSER_HH
+
+#include <memory>
+#include <string>
+
+#include "module.hh"
+
+namespace sierra::air {
+
+/** Success/failure of a parse; never throws. */
+struct ParseStatus {
+    bool ok{true};
+    std::string error;
+    int errorLine{0};
+};
+
+/** The outcome of parsing a standalone module. */
+struct ParseResult {
+    std::unique_ptr<Module> module; //!< null on failure
+    ParseStatus status;
+
+    bool ok() const { return module != nullptr; }
+};
+
+/** Parse classes from AIR text into an existing module. */
+ParseStatus parseInto(Module &module, const std::string &text);
+
+/** Parse a whole module from AIR text. */
+ParseResult parseModule(const std::string &text);
+
+} // namespace sierra::air
+
+#endif // SIERRA_AIR_PARSER_HH

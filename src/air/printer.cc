@@ -1,0 +1,80 @@
+#include "printer.hh"
+
+#include <sstream>
+
+#include "klass.hh"
+#include "module.hh"
+
+namespace sierra::air {
+
+std::string
+printMethod(const Method &method)
+{
+    std::ostringstream os;
+    os << "    ";
+    if (method.isStatic())
+        os << "static ";
+    if (method.isAbstract())
+        os << "abstract ";
+    os << "method " << method.name() << "(";
+    for (int i = 0; i < method.numParams(); ++i) {
+        if (i)
+            os << ", ";
+        os << "p" << i << ": " << method.paramTypes()[i].toString();
+    }
+    os << ") : " << method.returnType().toString();
+    if (method.isAbstract() || !method.hasBody()) {
+        os << ";\n";
+        return os.str();
+    }
+    os << " regs=" << method.numRegisters() << " {\n";
+    for (int i = 0; i < method.numInstrs(); ++i) {
+        os << "        @" << i << ": " << method.instr(i).toString()
+           << "\n";
+    }
+    os << "    }\n";
+    return os.str();
+}
+
+std::string
+printKlass(const Klass &klass)
+{
+    std::ostringstream os;
+    if (klass.isInterface())
+        os << "interface ";
+    else
+        os << "class ";
+    os << klass.name();
+    if (!klass.superName().empty())
+        os << " extends " << klass.superName();
+    if (!klass.interfaces().empty()) {
+        os << " implements ";
+        for (size_t i = 0; i < klass.interfaces().size(); ++i) {
+            if (i)
+                os << ", ";
+            os << klass.interfaces()[i];
+        }
+    }
+    os << " {\n";
+    for (const auto &f : klass.fields()) {
+        os << "    ";
+        if (f.isStatic)
+            os << "static ";
+        os << "field " << f.name << ": " << f.type.toString() << "\n";
+    }
+    for (const auto &m : klass.methods())
+        os << printMethod(*m);
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+printModule(const Module &module)
+{
+    std::ostringstream os;
+    for (const Klass *k : module.classes())
+        os << printKlass(*k) << "\n";
+    return os.str();
+}
+
+} // namespace sierra::air

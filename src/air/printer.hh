@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Textual serialization of AIR modules.
+ *
+ * The printed form round-trips through the parser (see parser.hh) and its
+ * byte length doubles as the module's "bytecode size" for Table 2.
+ */
+
+#ifndef SIERRA_AIR_PRINTER_HH
+#define SIERRA_AIR_PRINTER_HH
+
+#include <string>
+
+namespace sierra::air {
+
+class Module;
+class Klass;
+class Method;
+
+/** Print one method in AIR textual syntax. */
+std::string printMethod(const Method &method);
+
+/** Print one class in AIR textual syntax. */
+std::string printKlass(const Klass &klass);
+
+/** Print an entire module in AIR textual syntax. */
+std::string printModule(const Module &module);
+
+} // namespace sierra::air
+
+#endif // SIERRA_AIR_PRINTER_HH

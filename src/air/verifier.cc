@@ -1,0 +1,205 @@
+#include "verifier.hh"
+
+#include <unordered_set>
+
+#include "logging.hh"
+
+namespace sierra::air {
+
+namespace {
+
+/** Expected operand shape per opcode: {num srcs, has dst, has target}. */
+struct Shape {
+    int numSrcs;
+    bool hasDst;
+    bool hasTarget;
+};
+
+bool
+shapeFor(Opcode op, Shape &out)
+{
+    switch (op) {
+      case Opcode::Nop: out = {0, false, false}; return true;
+      case Opcode::ConstInt: out = {0, true, false}; return true;
+      case Opcode::ConstStr: out = {0, true, false}; return true;
+      case Opcode::ConstNull: out = {0, true, false}; return true;
+      case Opcode::Move: out = {1, true, false}; return true;
+      case Opcode::BinOp: out = {2, true, false}; return true;
+      case Opcode::UnOp: out = {1, true, false}; return true;
+      case Opcode::New: out = {0, true, false}; return true;
+      case Opcode::NewArray: out = {1, true, false}; return true;
+      case Opcode::GetField: out = {1, true, false}; return true;
+      case Opcode::PutField: out = {2, false, false}; return true;
+      case Opcode::GetStatic: out = {0, true, false}; return true;
+      case Opcode::PutStatic: out = {1, false, false}; return true;
+      case Opcode::ArrayGet: out = {2, true, false}; return true;
+      case Opcode::ArrayPut: out = {3, false, false}; return true;
+      case Opcode::Invoke: return false; // variable arity
+      case Opcode::Return: out = {1, false, false}; return true;
+      case Opcode::ReturnVoid: out = {0, false, false}; return true;
+      case Opcode::If: out = {2, false, true}; return true;
+      case Opcode::IfZ: out = {1, false, true}; return true;
+      case Opcode::Goto: out = {0, false, true}; return true;
+      case Opcode::Throw: out = {1, false, false}; return true;
+    }
+    return false;
+}
+
+class Verifier
+{
+  public:
+    explicit Verifier(const Module &module) : _module(module) {}
+
+    std::vector<VerifyIssue> run();
+
+  private:
+    void report(std::string where, std::string message)
+    {
+        _issues.push_back({std::move(where), std::move(message)});
+    }
+
+    void checkHierarchy(const Klass &klass);
+    void checkMethod(const Method &method);
+    void checkInstr(const Method &method, int idx);
+
+    const Module &_module;
+    std::vector<VerifyIssue> _issues;
+};
+
+void
+Verifier::checkHierarchy(const Klass &klass)
+{
+    // Detect super-class cycles and dangling super references.
+    std::unordered_set<const Klass *> seen;
+    const Klass *cur = &klass;
+    while (cur) {
+        if (!seen.insert(cur).second) {
+            report(klass.name(), "super-class cycle involving " +
+                                     cur->name());
+            return;
+        }
+        if (cur->superName().empty())
+            return;
+        const Klass *super = _module.getClass(cur->superName());
+        if (!super) {
+            report(klass.name(),
+                   "unresolved super class " + cur->superName());
+            return;
+        }
+        cur = super;
+    }
+}
+
+void
+Verifier::checkMethod(const Method &method)
+{
+    if (method.isAbstract() && method.hasBody()) {
+        report(method.qualifiedName(), "abstract method has a body");
+        return;
+    }
+    if (!method.hasBody())
+        return;
+    const auto &instrs = method.instrs();
+    if (!instrs.back().isTerminator() &&
+        !instrs.back().isConditionalBranch()) {
+        report(method.qualifiedName(),
+               "body does not end in a terminator");
+    }
+    if (method.numRegisters() < method.firstTempReg()) {
+        report(method.qualifiedName(),
+               strCat("register count ", method.numRegisters(),
+                      " smaller than parameter frame ",
+                      method.firstTempReg()));
+    }
+    for (int i = 0; i < method.numInstrs(); ++i)
+        checkInstr(method, i);
+}
+
+void
+Verifier::checkInstr(const Method &method, int idx)
+{
+    const Instruction &instr = method.instr(idx);
+    std::string where =
+        strCat(method.qualifiedName(), "@", idx);
+
+    auto check_reg = [&](int r) {
+        if (r < 0 || r >= method.numRegisters()) {
+            report(where, strCat("register r", r, " out of range (",
+                                 method.numRegisters(), " registers)"));
+        }
+    };
+
+    Shape shape;
+    if (shapeFor(instr.op, shape)) {
+        if (static_cast<int>(instr.srcs.size()) != shape.numSrcs) {
+            report(where, strCat("expected ", shape.numSrcs,
+                                 " source registers, got ",
+                                 instr.srcs.size()));
+        }
+        if (shape.hasDst && instr.dst < 0)
+            report(where, "missing destination register");
+        if (!shape.hasDst && instr.dst >= 0)
+            report(where, "unexpected destination register");
+        if (shape.hasTarget &&
+            (instr.target < 0 || instr.target >= method.numInstrs())) {
+            report(where, strCat("branch target @", instr.target,
+                                 " out of range"));
+        }
+    }
+
+    for (int r : instr.srcs)
+        check_reg(r);
+    if (instr.dst >= 0)
+        check_reg(instr.dst);
+
+    // Reference resolution; classes outside the module are allowed for
+    // framework-API targets but other structural facts are checked.
+    if (instr.op == Opcode::New && instr.typeName.empty())
+        report(where, "new with empty class name");
+    if ((instr.op == Opcode::GetField || instr.op == Opcode::PutField ||
+         instr.op == Opcode::GetStatic || instr.op == Opcode::PutStatic)) {
+        if (instr.field.className.empty() || instr.field.fieldName.empty())
+            report(where, "incomplete field reference");
+    }
+    if (instr.op == Opcode::Invoke) {
+        if (instr.method.className.empty() ||
+            instr.method.methodName.empty()) {
+            report(where, "incomplete method reference");
+        }
+        bool needs_receiver = instr.invokeKind != InvokeKind::Static;
+        if (needs_receiver && instr.srcs.empty())
+            report(where, "non-static invoke without a receiver");
+    }
+}
+
+std::vector<VerifyIssue>
+Verifier::run()
+{
+    for (const Klass *k : _module.classes()) {
+        checkHierarchy(*k);
+        for (const auto &m : k->methods())
+            checkMethod(*m);
+    }
+    return std::move(_issues);
+}
+
+} // namespace
+
+std::vector<VerifyIssue>
+verifyModule(const Module &module)
+{
+    return Verifier(module).run();
+}
+
+void
+verifyOrDie(const Module &module)
+{
+    auto issues = verifyModule(module);
+    if (issues.empty())
+        return;
+    for (const auto &issue : issues)
+        std::cerr << "verify: " << issue.toString() << "\n";
+    fatal("module failed verification with ", issues.size(), " issue(s)");
+}
+
+} // namespace sierra::air

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Structural well-formedness checks for AIR modules.
+ */
+
+#ifndef SIERRA_AIR_VERIFIER_HH
+#define SIERRA_AIR_VERIFIER_HH
+
+#include <string>
+#include <vector>
+
+#include "module.hh"
+
+namespace sierra::air {
+
+/** One verification diagnostic. */
+struct VerifyIssue {
+    std::string where; //!< "Class.method@idx" or "Class"
+    std::string message;
+
+    std::string toString() const { return where + ": " + message; }
+};
+
+/**
+ * Check a module for structural problems.
+ *
+ * Verifies: register indices within bounds, branch targets within method
+ * bodies, operand counts per opcode, referenced classes/fields/methods
+ * resolvable (unless the class is outside the module, which is reported),
+ * bodies ending in terminators, and super-class links being acyclic.
+ *
+ * @return all issues found; empty means the module is well formed.
+ */
+std::vector<VerifyIssue> verifyModule(const Module &module);
+
+/** Convenience: verify and fatal() with a readable dump on any issue. */
+void verifyOrDie(const Module &module);
+
+} // namespace sierra::air
+
+#endif // SIERRA_AIR_VERIFIER_HH

@@ -1,0 +1,72 @@
+#include "action.hh"
+
+#include "air/logging.hh"
+
+namespace sierra::analysis {
+
+const char *
+actionKindName(ActionKind k)
+{
+    switch (k) {
+      case ActionKind::HarnessRoot: return "harness-root";
+      case ActionKind::Lifecycle: return "lifecycle";
+      case ActionKind::Gui: return "gui";
+      case ActionKind::XmlGui: return "xml-gui";
+      case ActionKind::PostedRunnable: return "posted-runnable";
+      case ActionKind::PostedMessage: return "posted-message";
+      case ActionKind::AsyncPre: return "async-pre";
+      case ActionKind::AsyncBackground: return "async-background";
+      case ActionKind::AsyncPost: return "async-post";
+      case ActionKind::ThreadRun: return "thread-run";
+      case ActionKind::ExecutorRun: return "executor-run";
+      case ActionKind::Receive: return "receive";
+      case ActionKind::ServiceCreate: return "service-create";
+      case ActionKind::ServiceConnected: return "service-connected";
+    }
+    panic("unreachable action kind");
+}
+
+bool
+isQueuePosted(ActionKind k)
+{
+    return k == ActionKind::PostedRunnable ||
+           k == ActionKind::PostedMessage;
+}
+
+const char *
+threadAffinityName(ThreadAffinity a)
+{
+    switch (a) {
+      case ThreadAffinity::MainLooper: return "main-looper";
+      case ThreadAffinity::Background: return "background";
+      case ThreadAffinity::CustomLooper: return "custom-looper";
+    }
+    panic("unreachable thread affinity");
+}
+
+int
+ActionRegistry::create(ActionKind kind, int creator, SiteId creation_site,
+                       const std::string &entry_class,
+                       const std::string &callback_name)
+{
+    std::string key =
+        strCat(static_cast<int>(kind), "/", creator, "/", creation_site,
+               "/", entry_class, "/", callback_name);
+    auto it = _index.find(key);
+    if (it != _index.end())
+        return it->second;
+
+    Action a;
+    a.id = static_cast<int>(_actions.size());
+    a.kind = kind;
+    a.creator = creator;
+    a.creationSite = creation_site;
+    a.entryClass = entry_class;
+    a.callbackName = callback_name;
+    a.label = entry_class + "." + callback_name;
+    _actions.push_back(std::move(a));
+    _index.emplace(std::move(key), _actions.back().id);
+    return _actions.back().id;
+}
+
+} // namespace sierra::analysis

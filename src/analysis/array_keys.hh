@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Canonical location keys for array elements.
+ *
+ * By default arrays are index-insensitive: every element maps to one
+ * "$elems" summary location (the paper's model, and one of its stated
+ * false-positive sources). With index-sensitive analysis enabled,
+ * accesses with constant indices get per-element "$elem#i" locations;
+ * unknown-index accesses keep the wildcard and may alias any element.
+ */
+
+#ifndef SIERRA_ANALYSIS_ARRAY_KEYS_HH
+#define SIERRA_ANALYSIS_ARRAY_KEYS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace sierra::analysis {
+
+/** Key of the summary location covering all elements of an array. */
+inline std::string
+arrayWildcardKey(const std::string &array_klass)
+{
+    return array_klass + ".$elems";
+}
+
+/** Key of one element under index-sensitive array analysis. */
+inline std::string
+arrayElementKey(const std::string &array_klass, int64_t index)
+{
+    return array_klass + ".$elem#" + std::to_string(index);
+}
+
+/** True if the key names an array location (element or wildcard). */
+inline bool
+isArrayKey(const std::string &key)
+{
+    return key.find(".$elem") != std::string::npos;
+}
+
+/** True if the key is an array wildcard (unknown-index) location. */
+inline bool
+isArrayWildcardKey(const std::string &key)
+{
+    return key.find(".$elems") != std::string::npos;
+}
+
+} // namespace sierra::analysis
+
+#endif // SIERRA_ANALYSIS_ARRAY_KEYS_HH

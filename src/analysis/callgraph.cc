@@ -1,0 +1,55 @@
+#include "callgraph.hh"
+
+#include <algorithm>
+
+namespace sierra::analysis {
+
+const std::vector<NodeId> CallGraph::_emptyNodes;
+
+NodeId
+CallGraph::internNode(const air::Method *method, CtxId ctx)
+{
+    auto key = std::make_pair(method, ctx);
+    auto it = _index.find(key);
+    if (it != _index.end())
+        return it->second;
+    NodeId id = static_cast<NodeId>(_nodes.size());
+    _nodes.push_back({method, ctx});
+    _edges.emplace_back();
+    _reverse.emplace_back();
+    _actionsOf.emplace_back();
+    _index.emplace(key, id);
+    _byMethod[method].push_back(id);
+    return id;
+}
+
+NodeId
+CallGraph::findNode(const air::Method *method, CtxId ctx) const
+{
+    auto it = _index.find(std::make_pair(method, ctx));
+    return it == _index.end() ? -1 : it->second;
+}
+
+bool
+CallGraph::addEdge(NodeId caller, SiteId site, NodeId callee)
+{
+    auto &edges = _edges[caller];
+    for (const auto &e : edges) {
+        if (e.site == site && e.callee == callee)
+            return false;
+    }
+    edges.push_back({site, callee});
+    auto &rev = _reverse[callee];
+    if (std::find(rev.begin(), rev.end(), caller) == rev.end())
+        rev.push_back(caller);
+    return true;
+}
+
+const std::vector<NodeId> &
+CallGraph::nodesOfMethod(const air::Method *m) const
+{
+    auto it = _byMethod.find(m);
+    return it == _byMethod.end() ? _emptyNodes : it->second;
+}
+
+} // namespace sierra::analysis

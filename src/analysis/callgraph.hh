@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Context-sensitive call graph.
+ */
+
+#ifndef SIERRA_ANALYSIS_CALLGRAPH_HH
+#define SIERRA_ANALYSIS_CALLGRAPH_HH
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "context.hh"
+#include "sites.hh"
+
+namespace sierra::analysis {
+
+/** Call-graph node id. */
+using NodeId = int;
+
+/** One call-graph node: a method under a context. */
+struct CGNodeData {
+    const air::Method *method{nullptr};
+    CtxId ctx{kEmptyCtx};
+};
+
+/** One resolved call edge. */
+struct CGEdge {
+    SiteId site{kNoSite}; //!< the invoke instruction
+    NodeId callee{-1};
+};
+
+/** An action-spawn edge: a post/execute/start site creating an action. */
+struct SpawnEdge {
+    NodeId creator{-1};
+    SiteId site{kNoSite};
+    int actionId{-1};
+};
+
+/**
+ * The on-the-fly call graph filled in by the pointer analysis.
+ *
+ * Also records, per node, the set of actions whose handling can execute
+ * the node (used to attribute memory accesses to actions).
+ */
+class CallGraph
+{
+  public:
+    /** Intern a (method, context) node. */
+    NodeId internNode(const air::Method *method, CtxId ctx);
+
+    /** Look up an existing node; -1 if absent. */
+    NodeId findNode(const air::Method *method, CtxId ctx) const;
+
+    const CGNodeData &node(NodeId id) const { return _nodes[id]; }
+    int numNodes() const { return static_cast<int>(_nodes.size()); }
+
+    /** Add a call edge; returns true if it was new. */
+    bool addEdge(NodeId caller, SiteId site, NodeId callee);
+
+    const std::vector<CGEdge> &edgesOf(NodeId id) const
+    {
+        return _edges[id];
+    }
+    const std::vector<NodeId> &callersOf(NodeId id) const
+    {
+        return _reverse[id];
+    }
+
+    /** Record an action-spawn edge (idempotent). */
+    void
+    addSpawn(SpawnEdge e)
+    {
+        for (const auto &s : _spawns) {
+            if (s.creator == e.creator && s.site == e.site &&
+                s.actionId == e.actionId) {
+                return;
+            }
+        }
+        _spawns.push_back(e);
+    }
+    const std::vector<SpawnEdge> &spawns() const { return _spawns; }
+
+    /** Actions that can execute this node. */
+    const std::set<int> &actionsOf(NodeId id) const
+    {
+        return _actionsOf[id];
+    }
+    /** Add an action to a node's action set; true if it was new. */
+    bool addAction(NodeId id, int action)
+    {
+        return _actionsOf[id].insert(action).second;
+    }
+
+    /** All nodes of a given method, in creation order. */
+    const std::vector<NodeId> &nodesOfMethod(const air::Method *m) const;
+
+  private:
+    struct KeyHash {
+        size_t
+        operator()(const std::pair<const air::Method *, CtxId> &p) const
+        {
+            return std::hash<const void *>()(p.first) * 31 +
+                   std::hash<int>()(p.second);
+        }
+    };
+
+    std::vector<CGNodeData> _nodes;
+    std::vector<std::vector<CGEdge>> _edges;
+    std::vector<std::vector<NodeId>> _reverse;
+    std::vector<std::set<int>> _actionsOf;
+    std::vector<SpawnEdge> _spawns;
+    std::unordered_map<std::pair<const air::Method *, CtxId>, NodeId,
+                       KeyHash>
+        _index;
+    std::unordered_map<const air::Method *, std::vector<NodeId>>
+        _byMethod;
+    static const std::vector<NodeId> _emptyNodes;
+};
+
+} // namespace sierra::analysis
+
+#endif // SIERRA_ANALYSIS_CALLGRAPH_HH

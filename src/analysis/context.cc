@@ -1,0 +1,84 @@
+#include "context.hh"
+
+#include "air/logging.hh"
+
+namespace sierra::analysis {
+
+const char *
+contextPolicyName(ContextPolicy p)
+{
+    switch (p) {
+      case ContextPolicy::Insensitive: return "insensitive";
+      case ContextPolicy::KCfa: return "k-cfa";
+      case ContextPolicy::KObj: return "k-obj";
+      case ContextPolicy::Hybrid: return "hybrid";
+      case ContextPolicy::ActionSensitive: return "action-sensitive";
+    }
+    panic("unreachable context policy");
+}
+
+CtxId
+ContextTable::intern(const ContextData &data)
+{
+    auto it = _index.find(data);
+    if (it != _index.end())
+        return it->second;
+    CtxId id = static_cast<CtxId>(_contexts.size());
+    _contexts.push_back(data);
+    _index.emplace(data, id);
+    return id;
+}
+
+CtxId
+ContextTable::pushElem(CtxId base, SiteId elem, int k)
+{
+    const ContextData &b = get(base);
+    ContextData d;
+    d.actionId = b.actionId;
+    d.elems.push_back(elem);
+    for (SiteId e : b.elems) {
+        if (static_cast<int>(d.elems.size()) >= k)
+            break;
+        d.elems.push_back(e);
+    }
+    return intern(d);
+}
+
+CtxId
+ContextTable::make(int action_id, std::vector<SiteId> elems, int k)
+{
+    ContextData d;
+    d.actionId = action_id;
+    if (static_cast<int>(elems.size()) > k)
+        elems.resize(k);
+    d.elems = std::move(elems);
+    return intern(d);
+}
+
+CtxId
+ContextTable::withAction(CtxId base, int action_id)
+{
+    ContextData d = get(base);
+    if (d.actionId == action_id)
+        return base;
+    d.actionId = action_id;
+    return intern(d);
+}
+
+std::string
+ContextTable::toString(CtxId id, const SiteTable &sites) const
+{
+    const ContextData &d = get(id);
+    std::string out = "[";
+    if (d.actionId >= 0)
+        out += "act" + std::to_string(d.actionId);
+    for (size_t i = 0; i < d.elems.size(); ++i) {
+        if (i || d.actionId >= 0)
+            out += "; ";
+        out += sites.toString(d.elems[i]);
+    }
+    out += "]";
+    return out;
+}
+
+} // namespace sierra::analysis

@@ -1,0 +1,97 @@
+#include "dominators.hh"
+
+#include <algorithm>
+
+#include "air/logging.hh"
+
+namespace sierra::analysis {
+
+DominatorTree::DominatorTree(const Cfg &cfg) : _cfg(cfg)
+{
+    const int n = cfg.numBlocks();
+    _idom.assign(n, -1);
+    _rpoIndex.assign(n, -1);
+
+    // Depth-first postorder from the entry.
+    std::vector<int> postorder;
+    std::vector<int> state(n, 0); // 0 unvisited, 1 on stack, 2 done
+    std::vector<std::pair<int, size_t>> stack{{cfg.entryBlock(), 0}};
+    state[cfg.entryBlock()] = 1;
+    while (!stack.empty()) {
+        auto &[b, next] = stack.back();
+        const auto &succs = cfg.blocks()[b].succs;
+        if (next < succs.size()) {
+            int s = succs[next++];
+            if (state[s] == 0) {
+                state[s] = 1;
+                stack.emplace_back(s, 0);
+            }
+        } else {
+            state[b] = 2;
+            postorder.push_back(b);
+            stack.pop_back();
+        }
+    }
+    std::vector<int> rpo(postorder.rbegin(), postorder.rend());
+    for (size_t i = 0; i < rpo.size(); ++i)
+        _rpoIndex[rpo[i]] = static_cast<int>(i);
+
+    auto intersect = [&](int a, int b) {
+        while (a != b) {
+            while (_rpoIndex[a] > _rpoIndex[b])
+                a = _idom[a];
+            while (_rpoIndex[b] > _rpoIndex[a])
+                b = _idom[b];
+        }
+        return a;
+    };
+
+    _idom[cfg.entryBlock()] = cfg.entryBlock();
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int b : rpo) {
+            if (b == cfg.entryBlock())
+                continue;
+            int new_idom = -1;
+            for (int p : cfg.blocks()[b].preds) {
+                if (_rpoIndex[p] == -1 || _idom[p] == -1)
+                    continue; // unreachable or not yet processed
+                new_idom =
+                    new_idom == -1 ? p : intersect(p, new_idom);
+            }
+            if (new_idom != -1 && _idom[b] != new_idom) {
+                _idom[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    // Normalize: entry's idom is conventionally -1 externally.
+    _idom[cfg.entryBlock()] = -1;
+}
+
+bool
+DominatorTree::dominates(int a, int b) const
+{
+    if (_rpoIndex[b] == -1)
+        return false; // b unreachable
+    int cur = b;
+    while (cur != -1) {
+        if (cur == a)
+            return true;
+        cur = _idom[cur];
+    }
+    return false;
+}
+
+bool
+DominatorTree::instrDominates(int a, int b) const
+{
+    int ba = _cfg.blockOf(a);
+    int bb = _cfg.blockOf(b);
+    if (ba == bb)
+        return a <= b;
+    return dominates(ba, bb);
+}
+
+} // namespace sierra::analysis

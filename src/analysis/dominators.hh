@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Dominator trees over CFGs (Cooper-Harvey-Kennedy iterative algorithm).
+ *
+ * Dominance powers HB rules 2 (lifecycle callback splitting) and 4
+ * (intra-procedural domination of posting sites) from the paper.
+ */
+
+#ifndef SIERRA_ANALYSIS_DOMINATORS_HH
+#define SIERRA_ANALYSIS_DOMINATORS_HH
+
+#include <vector>
+
+#include "cfg.hh"
+
+namespace sierra::analysis {
+
+/**
+ * The (pre-)dominator tree of a CFG.
+ *
+ * Blocks unreachable from the entry have no dominator information and
+ * dominate nothing.
+ */
+class DominatorTree
+{
+  public:
+    explicit DominatorTree(const Cfg &cfg);
+
+    const Cfg &cfg() const { return _cfg; }
+
+    /** Immediate dominator of a block; -1 for the entry/unreachable. */
+    int idom(int block) const { return _idom[block]; }
+
+    /** True if block a dominates block b (reflexive). */
+    bool dominates(int a, int b) const;
+
+    /** True if the instruction at index a dominates the one at b. */
+    bool instrDominates(int a, int b) const;
+
+    /** True if the block is reachable from the entry. */
+    bool reachable(int block) const
+    {
+        return block == _cfg.entryBlock() || _idom[block] != -1;
+    }
+
+  private:
+    const Cfg &_cfg;
+    std::vector<int> _idom;
+    std::vector<int> _rpoIndex; //!< reverse-postorder number per block
+};
+
+} // namespace sierra::analysis
+
+#endif // SIERRA_ANALYSIS_DOMINATORS_HH

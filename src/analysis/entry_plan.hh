@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The interface between the harness generator and the pointer analysis:
+ * which synthetic method is the entrypoint and which of its call sites
+ * are event sites that spawn actions.
+ */
+
+#ifndef SIERRA_ANALYSIS_ENTRY_PLAN_HH
+#define SIERRA_ANALYSIS_ENTRY_PLAN_HH
+
+#include <string>
+#include <vector>
+
+#include "action.hh"
+#include "air/method.hh"
+
+namespace sierra::analysis {
+
+/** One callback invocation site inside a generated harness. */
+struct EntryEventSite {
+    const air::Method *method{nullptr}; //!< the harness main
+    int instrIdx{-1};                   //!< the invoke instruction
+    ActionKind kind{ActionKind::Lifecycle};
+    std::string callbackName; //!< e.g. "onCreate" or an XML onClick
+    std::string targetClass;  //!< class receiving the callback
+    int widgetId{-1};         //!< for XmlGui sites
+    bool inEventLoop{false};  //!< true for sites inside the while(*)
+    int lifecycleInstance{0}; //!< 1, 2, ... for split cyclic callbacks
+};
+
+/** The harness entrypoint plan for one activity. */
+struct EntryPlan {
+    std::string activityClass;
+    air::Method *mainMethod{nullptr};
+    std::vector<EntryEventSite> eventSites;
+
+    /** Find the event site at the given instruction; null if absent. */
+    const EntryEventSite *
+    siteAt(const air::Method *m, int instr_idx) const
+    {
+        for (const auto &s : eventSites) {
+            if (s.method == m && s.instrIdx == instr_idx)
+                return &s;
+        }
+        return nullptr;
+    }
+};
+
+} // namespace sierra::analysis
+
+#endif // SIERRA_ANALYSIS_ENTRY_PLAN_HH

@@ -1,0 +1,36 @@
+#include "heap.hh"
+
+#include "air/logging.hh"
+
+namespace sierra::analysis {
+
+ObjId
+ObjectTable::intern(const HeapObject &obj)
+{
+    auto it = _index.find(obj);
+    if (it != _index.end())
+        return it->second;
+    ObjId id = static_cast<ObjId>(_objects.size());
+    _objects.push_back(obj);
+    _index.emplace(obj, id);
+    return id;
+}
+
+std::string
+ObjectTable::toString(ObjId id, const SiteTable &sites) const
+{
+    const HeapObject &o = get(id);
+    switch (o.kind) {
+      case ObjKind::Site:
+        return strCat(o.klassName, "@", sites.toString(o.site));
+      case ObjKind::InflatedView:
+        return strCat(o.klassName, "#view", o.viewId);
+      case ObjKind::Singleton:
+        return strCat(o.klassName, "#singleton", o.singletonKey);
+      case ObjKind::Synthetic:
+        return strCat(o.klassName, "#synthetic@", sites.toString(o.site));
+    }
+    panic("unreachable obj kind");
+}
+
+} // namespace sierra::analysis

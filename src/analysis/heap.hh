@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Abstract heap objects for the pointer analysis.
+ */
+
+#ifndef SIERRA_ANALYSIS_HEAP_HH
+#define SIERRA_ANALYSIS_HEAP_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "context.hh"
+#include "sites.hh"
+
+namespace sierra::analysis {
+
+/** Interned abstract object id; ids start at 0. */
+using ObjId = int;
+
+/** Flavors of abstract heap objects. */
+enum class ObjKind {
+    Site,         //!< allocation-site object under a heap context
+    InflatedView, //!< view inflated from layout XML, keyed by view id
+                  //!< (the paper's InflatedViewContext, Section 3.3)
+    Singleton,    //!< framework singleton, e.g. the main Looper
+    Synthetic,    //!< per-action payloads (messages, intents)
+};
+
+/** One abstract heap object. */
+struct HeapObject {
+    ObjKind kind{ObjKind::Site};
+    std::string klassName; //!< dynamic type used for dispatch
+    SiteId site{kNoSite};  //!< allocation site (Site/Synthetic kinds)
+    CtxId heapCtx{kEmptyCtx};
+    int viewId{-1};        //!< InflatedView key
+    int singletonKey{-1};  //!< Singleton key
+
+    bool operator==(const HeapObject &o) const
+    {
+        return kind == o.kind && klassName == o.klassName &&
+               site == o.site && heapCtx == o.heapCtx &&
+               viewId == o.viewId && singletonKey == o.singletonKey;
+    }
+};
+
+/** Well-known singleton keys. */
+enum SingletonKey {
+    kMainLooper = 1,
+    kSystemIntent = 2, //!< the intent delivered to broadcast receivers
+    //! base for per-HandlerThread loopers: key = base + thread ObjId
+    kHandlerThreadLooperBase = 1000,
+};
+
+/** Interning table for abstract objects. */
+class ObjectTable
+{
+  public:
+    ObjId intern(const HeapObject &obj);
+    const HeapObject &get(ObjId id) const { return _objects[id]; }
+
+    ObjId siteObject(const std::string &klass, SiteId site, CtxId heap_ctx)
+    {
+        HeapObject o;
+        o.kind = ObjKind::Site;
+        o.klassName = klass;
+        o.site = site;
+        o.heapCtx = heap_ctx;
+        return intern(o);
+    }
+
+    ObjId inflatedView(const std::string &klass, int view_id)
+    {
+        HeapObject o;
+        o.kind = ObjKind::InflatedView;
+        o.klassName = klass;
+        o.viewId = view_id;
+        return intern(o);
+    }
+
+    ObjId singleton(const std::string &klass, int key)
+    {
+        HeapObject o;
+        o.kind = ObjKind::Singleton;
+        o.klassName = klass;
+        o.singletonKey = key;
+        return intern(o);
+    }
+
+    ObjId syntheticObject(const std::string &klass, SiteId site)
+    {
+        HeapObject o;
+        o.kind = ObjKind::Synthetic;
+        o.klassName = klass;
+        o.site = site;
+        return intern(o);
+    }
+
+    std::string toString(ObjId id, const SiteTable &sites) const;
+
+    size_t size() const { return _objects.size(); }
+
+  private:
+    struct ObjHash {
+        size_t
+        operator()(const HeapObject &o) const
+        {
+            size_t h = std::hash<int>()(static_cast<int>(o.kind));
+            h = h * 31 + std::hash<std::string>()(o.klassName);
+            h = h * 31 + std::hash<int>()(o.site);
+            h = h * 31 + std::hash<int>()(o.heapCtx);
+            h = h * 31 + std::hash<int>()(o.viewId);
+            h = h * 31 + std::hash<int>()(o.singletonKey);
+            return h;
+        }
+    };
+
+    std::vector<HeapObject> _objects;
+    std::unordered_map<HeapObject, ObjId, ObjHash> _index;
+};
+
+} // namespace sierra::analysis
+
+#endif // SIERRA_ANALYSIS_HEAP_HH

@@ -1,0 +1,1172 @@
+#include "points_to.hh"
+
+#include <deque>
+
+#include "air/logging.hh"
+#include "array_keys.hh"
+#include "framework/known_api.hh"
+
+namespace sierra::analysis {
+
+using air::Instruction;
+using air::InvokeKind;
+using air::Method;
+using air::Opcode;
+using framework::ApiKind;
+
+const std::set<ObjId> PointsToResult::_emptySet;
+
+const std::set<ObjId> &
+PointsToResult::pointsTo(NodeId node, int reg) const
+{
+    if (node < 0 || node >= static_cast<int>(regPts.size()))
+        return _emptySet;
+    const auto &regs = regPts[node];
+    if (reg < 0 || reg >= static_cast<int>(regs.size()))
+        return _emptySet;
+    return regs[reg];
+}
+
+ConstVal
+PointsToResult::constOf(NodeId node, int reg) const
+{
+    if (node < 0 || node >= static_cast<int>(regConst.size()))
+        return {};
+    const auto &regs = regConst[node];
+    if (reg < 0 || reg >= static_cast<int>(regs.size()))
+        return {};
+    return regs[reg];
+}
+
+std::string
+PointsToResult::fieldKey(ObjId obj, const air::FieldRef &field) const
+{
+    const std::string &klass = objects.get(obj).klassName;
+    std::string decl = cha.declaringClassOfField(klass, field.fieldName);
+    if (decl.empty())
+        decl = field.className;
+    return decl + "." + field.fieldName;
+}
+
+std::string
+PointsToResult::staticKey(const air::FieldRef &field) const
+{
+    std::string decl =
+        cha.declaringClassOfField(field.className, field.fieldName);
+    if (decl.empty())
+        decl = field.className;
+    return decl + "." + field.fieldName;
+}
+
+ObjId
+PointsToResult::looperOfAction(int action_id) const
+{
+    const Action &a = actions.get(action_id);
+    switch (a.affinity) {
+      case ThreadAffinity::Background:
+        return -1;
+      case ThreadAffinity::MainLooper:
+        return mainLooperObj;
+      case ThreadAffinity::CustomLooper:
+        return a.looperObj >= 0 ? a.looperObj : mainLooperObj;
+    }
+    return mainLooperObj;
+}
+
+int
+PointsToResult::numRealActions() const
+{
+    int n = 0;
+    for (const Action &a : actions.all()) {
+        if (a.kind != ActionKind::HarnessRoot)
+            ++n;
+    }
+    return n;
+}
+
+/**
+ * The worklist engine. One instance per run; all state lives in the
+ * PointsToResult being built plus the dependency maps below.
+ */
+class PointsToAnalysis::Engine
+{
+  public:
+    Engine(const framework::App &app, const EntryPlan &plan,
+           PointsToOptions options)
+        : _app(app), _plan(plan), _opts(options), _apis(app.module())
+    {
+    }
+
+    std::unique_ptr<PointsToResult> run();
+
+  private:
+    bool asMode() const
+    {
+        return _opts.ctx.policy == ContextPolicy::ActionSensitive;
+    }
+
+    void
+    enqueue(NodeId n)
+    {
+        if (!_queued[n]) {
+            _queued[n] = true;
+            _worklist.push_back(n);
+        }
+    }
+
+    NodeId internNode(const Method *method, CtxId ctx);
+
+    bool addObj(NodeId n, int reg, ObjId o);
+    bool addObjs(NodeId n, int reg, const std::set<ObjId> &objs);
+    bool mergeConst(NodeId n, int reg, ConstVal v);
+
+    /** Merge a value into returnPts and push through return flows. */
+    void addReturn(NodeId n, const std::set<ObjId> &objs);
+    void addReturnFlow(NodeId src, NodeId dst_node, int dst_reg);
+
+    bool addFieldObjs(ObjId obj, const std::string &key,
+                      const std::set<ObjId> &objs);
+    bool addStaticObjs(const std::string &key,
+                       const std::set<ObjId> &objs);
+
+    CtxId heapCtxOf(CtxId ctx);
+    /** Context for a callee per the active policy. `action_id` is the
+     *  action the callee runs under (-1 outside AS mode). */
+    CtxId selectCtx(bool is_virtual, CtxId caller, ObjId recv,
+                    SiteId site, int action_id);
+
+    /** Create (or fold onto an ancestor) an action. */
+    int spawnAction(ActionKind kind, int creator, SiteId site,
+                    const std::string &cls, const std::string &cb);
+    /** Create the entry node for an action and bind its receiver. */
+    NodeId spawnEntry(int action_id, const Method *entry, ObjId this_obj,
+                      NodeId creator_node, SiteId site);
+
+    bool addActionToNode(NodeId n, int action);
+
+    void processNode(NodeId n);
+    bool processInstr(NodeId n, const Method *m, int idx);
+    bool processInvoke(NodeId n, const Method *m, int idx);
+    bool handleEventSite(NodeId n, const Method *m, int idx,
+                         const EntryEventSite &ev);
+    bool handleIntrinsic(NodeId n, const Method *m, int idx,
+                         ApiKind kind);
+    bool normalCall(NodeId n, const Method *m, int idx);
+
+    /** Bind call args into a callee node; true if anything changed. */
+    bool bindArgs(NodeId caller, const Instruction &instr,
+                  const Method *target, NodeId callee, bool has_this);
+
+    const std::string &classOf(ObjId o) const
+    {
+        return _r->objects.get(o).klassName;
+    }
+
+    /** Constant "what" recorded on message objects. */
+    void mergeFieldConst(ObjId obj, const std::string &key, ConstVal v);
+    ConstVal fieldConstOf(ObjId obj, const std::string &key) const;
+
+    const framework::App &_app;
+    const EntryPlan &_plan;
+    PointsToOptions _opts;
+    framework::KnownApis _apis;
+    std::unique_ptr<PointsToResult> _r;
+
+    std::deque<NodeId> _worklist;
+    std::vector<char> _queued;
+
+    std::map<std::pair<ObjId, std::string>, std::set<NodeId>>
+        _fieldReaders;
+    std::map<std::string, std::set<NodeId>> _staticReaders;
+    //! callee -> (dst node, dst reg) forwarding of return values
+    std::map<NodeId, std::vector<std::pair<NodeId, int>>> _returnFlows;
+    std::map<std::pair<ObjId, std::string>, ConstVal> _fieldConst;
+    bool _warnedActionCap{false};
+};
+
+NodeId
+PointsToAnalysis::Engine::internNode(const Method *method, CtxId ctx)
+{
+    NodeId existing = _r->cg.findNode(method, ctx);
+    if (existing >= 0)
+        return existing;
+    NodeId n = _r->cg.internNode(method, ctx);
+    _r->regPts.emplace_back(method->numRegisters());
+    _r->returnPts.emplace_back();
+    _r->regConst.emplace_back(method->numRegisters());
+    _queued.push_back(false);
+    enqueue(n);
+    return n;
+}
+
+bool
+PointsToAnalysis::Engine::addObj(NodeId n, int reg, ObjId o)
+{
+    if (reg < 0 || reg >= static_cast<int>(_r->regPts[n].size()))
+        return false;
+    bool added = _r->regPts[n][reg].insert(o).second;
+    if (added)
+        enqueue(n);
+    return added;
+}
+
+bool
+PointsToAnalysis::Engine::addObjs(NodeId n, int reg,
+                                  const std::set<ObjId> &objs)
+{
+    bool changed = false;
+    for (ObjId o : objs)
+        changed |= addObj(n, reg, o);
+    return changed;
+}
+
+bool
+PointsToAnalysis::Engine::mergeConst(NodeId n, int reg, ConstVal v)
+{
+    if (reg < 0 || reg >= static_cast<int>(_r->regConst[n].size()))
+        return false;
+    if (v.state == ConstVal::State::Bottom)
+        return false;
+    ConstVal &cur = _r->regConst[n][reg];
+    if (cur.state == ConstVal::State::Top)
+        return false;
+    if (cur.state == ConstVal::State::Bottom) {
+        cur = v;
+        return true;
+    }
+    // cur is Const
+    if (v.state == ConstVal::State::Const && v.value == cur.value)
+        return false;
+    cur.state = ConstVal::State::Top;
+    return true;
+}
+
+void
+PointsToAnalysis::Engine::addReturn(NodeId n, const std::set<ObjId> &objs)
+{
+    bool changed = false;
+    for (ObjId o : objs)
+        changed |= _r->returnPts[n].insert(o).second;
+    if (!changed)
+        return;
+    auto it = _returnFlows.find(n);
+    if (it == _returnFlows.end())
+        return;
+    for (auto [dst_node, dst_reg] : it->second)
+        addObjs(dst_node, dst_reg, _r->returnPts[n]);
+}
+
+void
+PointsToAnalysis::Engine::addReturnFlow(NodeId src, NodeId dst_node,
+                                        int dst_reg)
+{
+    auto &flows = _returnFlows[src];
+    for (auto &[dn, dr] : flows) {
+        if (dn == dst_node && dr == dst_reg)
+            return;
+    }
+    flows.emplace_back(dst_node, dst_reg);
+    addObjs(dst_node, dst_reg, _r->returnPts[src]);
+}
+
+bool
+PointsToAnalysis::Engine::addFieldObjs(ObjId obj, const std::string &key,
+                                       const std::set<ObjId> &objs)
+{
+    auto &dst = _r->fieldPts[{obj, key}];
+    bool changed = false;
+    for (ObjId o : objs)
+        changed |= dst.insert(o).second;
+    if (changed) {
+        auto notify = [&](const std::string &k) {
+            auto it = _fieldReaders.find({obj, k});
+            if (it != _fieldReaders.end()) {
+                for (NodeId reader : it->second)
+                    enqueue(reader);
+            }
+        };
+        notify(key);
+        // A write to an exact array element must also wake readers
+        // registered on the wildcard: an unknown-index ArrayGet scans
+        // the exact keys that exist when it runs, so a later-created
+        // $elem#i entry would otherwise never reach it.
+        size_t elem_pos = key.find(".$elem#");
+        if (elem_pos != std::string::npos)
+            notify(key.substr(0, elem_pos) + ".$elems");
+    }
+    return changed;
+}
+
+bool
+PointsToAnalysis::Engine::addStaticObjs(const std::string &key,
+                                        const std::set<ObjId> &objs)
+{
+    auto &dst = _r->staticPts[key];
+    bool changed = false;
+    for (ObjId o : objs)
+        changed |= dst.insert(o).second;
+    if (changed) {
+        auto it = _staticReaders.find(key);
+        if (it != _staticReaders.end()) {
+            for (NodeId reader : it->second)
+                enqueue(reader);
+        }
+    }
+    return changed;
+}
+
+CtxId
+PointsToAnalysis::Engine::heapCtxOf(CtxId ctx)
+{
+    const ContextData &d = _r->contexts.get(ctx);
+    return _r->contexts.make(asMode() ? d.actionId : -1, d.elems,
+                             _opts.ctx.heapK);
+}
+
+CtxId
+PointsToAnalysis::Engine::selectCtx(bool is_virtual, CtxId caller,
+                                    ObjId recv, SiteId site,
+                                    int action_id)
+{
+    const int k = _opts.ctx.k;
+    auto obj_ctx = [&]() {
+        std::vector<SiteId> elems;
+        if (recv >= 0) {
+            const HeapObject &o = _r->objects.get(recv);
+            elems.push_back(o.site); // kNoSite for non-site objects
+            for (SiteId e : _r->contexts.get(o.heapCtx).elems)
+                elems.push_back(e);
+        }
+        return _r->contexts.make(action_id, std::move(elems), k);
+    };
+    auto cfa_ctx = [&]() {
+        CtxId pushed = _r->contexts.pushElem(caller, site, k);
+        return _r->contexts.withAction(pushed, action_id);
+    };
+
+    switch (_opts.ctx.policy) {
+      case ContextPolicy::Insensitive:
+        return _r->contexts.make(-1, {}, 0);
+      case ContextPolicy::KCfa:
+        return cfa_ctx();
+      case ContextPolicy::KObj:
+        return is_virtual ? obj_ctx()
+                          : _r->contexts.withAction(caller, action_id);
+      case ContextPolicy::Hybrid:
+      case ContextPolicy::ActionSensitive:
+        return is_virtual ? obj_ctx() : cfa_ctx();
+    }
+    panic("unreachable context policy");
+}
+
+int
+PointsToAnalysis::Engine::spawnAction(ActionKind kind, int creator,
+                                      SiteId site, const std::string &cls,
+                                      const std::string &cb)
+{
+    // Fold repost chains: an ancestor action created at the same site
+    // with the same entry is the same static action (e.g. a Runnable
+    // that postDelayed()s itself, paper Fig. 8).
+    int cur = creator;
+    while (cur >= 0) {
+        const Action &a = _r->actions.get(cur);
+        if (a.creationSite == site && a.entryClass == cls &&
+            a.callbackName == cb) {
+            return cur;
+        }
+        cur = a.creator;
+    }
+    if (_r->actions.size() >= _opts.maxActions) {
+        if (!_warnedActionCap) {
+            warn("action cap (", _opts.maxActions,
+                 ") reached; folding further actions");
+            _warnedActionCap = true;
+        }
+        for (const Action &a : _r->actions.all()) {
+            if (a.creationSite == site && a.entryClass == cls &&
+                a.callbackName == cb) {
+                return a.id;
+            }
+        }
+        return _r->rootAction;
+    }
+    return _r->actions.create(kind, creator, site, cls, cb);
+}
+
+NodeId
+PointsToAnalysis::Engine::spawnEntry(int action_id, const Method *entry,
+                                     ObjId this_obj, NodeId creator_node,
+                                     SiteId site)
+{
+    CtxId caller_ctx = _r->cg.node(creator_node).ctx;
+    CtxId cc = selectCtx(this_obj >= 0, caller_ctx, this_obj, site,
+                         asMode() ? action_id : -1);
+    NodeId n2 = internNode(entry, cc);
+    Action &a = _r->actions.get(action_id);
+    if (a.entryNode < 0)
+        a.entryNode = n2;
+    if (addActionToNode(n2, action_id))
+        enqueue(n2);
+    _r->cg.addSpawn({creator_node, site, action_id});
+    if (this_obj >= 0 && !entry->isStatic())
+        addObj(n2, entry->thisReg(), this_obj);
+    return n2;
+}
+
+bool
+PointsToAnalysis::Engine::addActionToNode(NodeId n, int action)
+{
+    bool added = _r->cg.addAction(n, action);
+    if (added)
+        enqueue(n);
+    return added;
+}
+
+void
+PointsToAnalysis::Engine::mergeFieldConst(ObjId obj,
+                                          const std::string &key,
+                                          ConstVal v)
+{
+    if (v.state == ConstVal::State::Bottom)
+        return;
+    ConstVal &cur = _fieldConst[{obj, key}];
+    if (cur.state == ConstVal::State::Bottom) {
+        cur = v;
+    } else if (cur.state == ConstVal::State::Const &&
+               (v.state != ConstVal::State::Const ||
+                v.value != cur.value)) {
+        cur.state = ConstVal::State::Top;
+    }
+}
+
+ConstVal
+PointsToAnalysis::Engine::fieldConstOf(ObjId obj,
+                                       const std::string &key) const
+{
+    auto it = _fieldConst.find({obj, key});
+    return it == _fieldConst.end() ? ConstVal{} : it->second;
+}
+
+std::unique_ptr<PointsToResult>
+PointsToAnalysis::Engine::run()
+{
+    _r = std::make_unique<PointsToResult>(_app.module());
+    _r->options = _opts;
+    _r->mainLooperObj =
+        _r->objects.singleton(framework::names::looper, kMainLooper);
+
+    SIERRA_ASSERT(_plan.mainMethod, "entry plan without a main method");
+    _r->rootAction = _r->actions.create(
+        ActionKind::HarnessRoot, -1, kNoSite,
+        _plan.mainMethod->owner()->name(), _plan.mainMethod->name());
+    CtxId root_ctx =
+        _r->contexts.make(asMode() ? _r->rootAction : -1, {}, 0);
+    _r->rootNode = internNode(_plan.mainMethod, root_ctx);
+    _r->actions.get(_r->rootAction).entryNode = _r->rootNode;
+    addActionToNode(_r->rootNode, _r->rootAction);
+
+    while (!_worklist.empty()) {
+        NodeId n = _worklist.front();
+        _worklist.pop_front();
+        _queued[n] = false;
+        processNode(n);
+    }
+    return std::move(_r);
+}
+
+void
+PointsToAnalysis::Engine::processNode(NodeId n)
+{
+    const Method *m = _r->cg.node(n).method;
+    if (!m->hasBody())
+        return;
+    bool changed = true;
+    int guard = 0;
+    while (changed) {
+        changed = false;
+        for (int i = 0; i < m->numInstrs(); ++i)
+            changed |= processInstr(n, m, i);
+        if (++guard > 1000)
+            panic("local fixpoint divergence in ", m->qualifiedName());
+    }
+}
+
+bool
+PointsToAnalysis::Engine::processInstr(NodeId n, const Method *m,
+                                       int idx)
+{
+    const Instruction &instr = m->instr(idx);
+    auto pts = [&](int reg) -> const std::set<ObjId> & {
+        return _r->pointsTo(n, reg);
+    };
+    SiteId site = _r->sites.intern(m, idx);
+
+    switch (instr.op) {
+      case Opcode::ConstInt:
+        return mergeConst(
+            n, instr.dst,
+            {ConstVal::State::Const, instr.intValue});
+      case Opcode::ConstStr:
+        return addObj(n, instr.dst,
+                      _r->objects.syntheticObject("java.lang.Str", site));
+      case Opcode::ConstNull:
+      case Opcode::Nop:
+      case Opcode::Throw:
+      case Opcode::Goto:
+      case Opcode::If:
+      case Opcode::IfZ:
+      case Opcode::ReturnVoid:
+        return false;
+      case Opcode::Move: {
+        bool c = addObjs(n, instr.dst, pts(instr.srcs[0]));
+        c |= mergeConst(n, instr.dst, _r->constOf(n, instr.srcs[0]));
+        return c;
+      }
+      case Opcode::BinOp:
+      case Opcode::UnOp:
+        // Conservative: arithmetic results are non-constant references
+        // never flow here, so only poison the const lattice.
+        return mergeConst(n, instr.dst,
+                          {ConstVal::State::Top, 0});
+      case Opcode::New: {
+        ObjId o = _r->objects.siteObject(
+            instr.typeName, site, heapCtxOf(_r->cg.node(n).ctx));
+        return addObj(n, instr.dst, o);
+      }
+      case Opcode::NewArray: {
+        std::string klass =
+            (instr.typeName.empty() ? "int" : instr.typeName) + "[]";
+        ObjId o = _r->objects.siteObject(klass, site,
+                                         heapCtxOf(_r->cg.node(n).ctx));
+        return addObj(n, instr.dst, o);
+      }
+      case Opcode::GetField: {
+        bool changed = false;
+        for (ObjId o : pts(instr.srcs[0])) {
+            std::string key = _r->fieldKey(o, instr.field);
+            _fieldReaders[{o, key}].insert(n);
+            auto it = _r->fieldPts.find({o, key});
+            if (it != _r->fieldPts.end())
+                changed |= addObjs(n, instr.dst, it->second);
+            changed |= mergeConst(n, instr.dst, fieldConstOf(o, key));
+        }
+        return changed;
+      }
+      case Opcode::PutField: {
+        for (ObjId o : pts(instr.srcs[0])) {
+            std::string key = _r->fieldKey(o, instr.field);
+            addFieldObjs(o, key, pts(instr.srcs[1]));
+            mergeFieldConst(o, key, _r->constOf(n, instr.srcs[1]));
+        }
+        return false;
+      }
+      case Opcode::GetStatic: {
+        std::string key = _r->staticKey(instr.field);
+        _staticReaders[key].insert(n);
+        auto it = _r->staticPts.find(key);
+        if (it == _r->staticPts.end())
+            return false;
+        return addObjs(n, instr.dst, it->second);
+      }
+      case Opcode::PutStatic:
+        addStaticObjs(_r->staticKey(instr.field), pts(instr.srcs[0]));
+        return false;
+      case Opcode::ArrayGet: {
+        bool changed = false;
+        ConstVal idx = _r->constOf(n, instr.srcs[1]);
+        bool sensitive = _opts.indexSensitiveArrays;
+        for (ObjId o : pts(instr.srcs[0])) {
+            const std::string klass = classOf(o);
+            std::vector<std::string> keys{arrayWildcardKey(klass)};
+            if (sensitive && idx.isConst()) {
+                keys.push_back(arrayElementKey(klass, idx.value));
+            } else if (sensitive) {
+                // Unknown index: read every known exact element too.
+                std::string prefix = klass + ".$elem#";
+                for (auto it = _r->fieldPts.lower_bound({o, prefix});
+                     it != _r->fieldPts.end() &&
+                     it->first.first == o &&
+                     it->first.second.rfind(prefix, 0) == 0;
+                     ++it) {
+                    keys.push_back(it->first.second);
+                }
+            }
+            for (const auto &key : keys) {
+                _fieldReaders[{o, key}].insert(n);
+                auto it = _r->fieldPts.find({o, key});
+                if (it != _r->fieldPts.end())
+                    changed |= addObjs(n, instr.dst, it->second);
+            }
+        }
+        return changed;
+      }
+      case Opcode::ArrayPut: {
+        ConstVal idx = _r->constOf(n, instr.srcs[1]);
+        for (ObjId o : pts(instr.srcs[0])) {
+            std::string key =
+                _opts.indexSensitiveArrays && idx.isConst()
+                    ? arrayElementKey(classOf(o), idx.value)
+                    : arrayWildcardKey(classOf(o));
+            addFieldObjs(o, key, pts(instr.srcs[2]));
+        }
+        return false;
+      }
+      case Opcode::Return:
+        addReturn(n, pts(instr.srcs[0]));
+        return false;
+      case Opcode::Invoke:
+        return processInvoke(n, m, idx);
+    }
+    return false;
+}
+
+bool
+PointsToAnalysis::Engine::processInvoke(NodeId n, const Method *m,
+                                        int idx)
+{
+    if (const EntryEventSite *ev = _plan.siteAt(m, idx))
+        return handleEventSite(n, m, idx, *ev);
+
+    const Instruction &instr = m->instr(idx);
+    ApiKind kind = _apis.classify(instr.method);
+    if (kind != ApiKind::None)
+        return handleIntrinsic(n, m, idx, kind);
+    return normalCall(n, m, idx);
+}
+
+bool
+PointsToAnalysis::Engine::bindArgs(NodeId caller,
+                                   const Instruction &instr,
+                                   const Method *target, NodeId callee,
+                                   bool has_this)
+{
+    bool changed = false;
+    size_t arg_base = has_this ? 1 : 0;
+    if (has_this && !target->isStatic() && !instr.srcs.empty()) {
+        changed |= addObjs(callee, target->thisReg(),
+                           _r->pointsTo(caller, instr.srcs[0]));
+    }
+    for (int p = 0; p < target->numParams(); ++p) {
+        size_t src_idx = arg_base + static_cast<size_t>(p);
+        if (src_idx >= instr.srcs.size())
+            break;
+        int src_reg = instr.srcs[src_idx];
+        changed |= addObjs(callee, target->paramReg(p),
+                           _r->pointsTo(caller, src_reg));
+        changed |= mergeConst(callee, target->paramReg(p),
+                              _r->constOf(caller, src_reg));
+    }
+    return changed;
+}
+
+bool
+PointsToAnalysis::Engine::handleEventSite(NodeId n, const Method *m,
+                                          int idx,
+                                          const EntryEventSite &ev)
+{
+    const Instruction &instr = m->instr(idx);
+    SiteId site = _r->sites.intern(m, idx);
+
+    int act = spawnAction(ev.kind, _r->rootAction, site, ev.targetClass,
+                          ev.callbackName);
+    {
+        Action &a = _r->actions.get(act);
+        a.affinity = ThreadAffinity::MainLooper;
+        a.widgetId = ev.widgetId;
+        a.looperObj = _r->mainLooperObj;
+    }
+
+    // Copy: spawnEntry interns nodes, which may reallocate regPts.
+    const std::set<ObjId> receivers = _r->pointsTo(n, instr.srcs[0]);
+    for (ObjId o : receivers) {
+        const Method *target = _r->cha.resolveVirtual(
+            classOf(o), instr.method.methodName);
+        if (!target)
+            continue;
+        // Even a bodyless (framework default) callback is a real action
+        // node in the SHBG; only spawn a CG node when there is a body.
+        if (!target->hasBody()) {
+            _r->cg.addSpawn({n, site, act});
+            continue;
+        }
+        NodeId n2 = spawnEntry(act, target, o, n, site);
+        bindArgs(n, instr, target, n2, true);
+    }
+    return false;
+}
+
+bool
+PointsToAnalysis::Engine::handleIntrinsic(NodeId n, const Method *m,
+                                          int idx, ApiKind kind)
+{
+    const Instruction &instr = m->instr(idx);
+    SiteId site = _r->sites.intern(m, idx);
+    // Copies throughout: intrinsics intern nodes/actions while iterating,
+    // which may reallocate the backing vectors.
+    auto pts = [&](size_t i) -> std::set<ObjId> {
+        if (i >= instr.srcs.size())
+            return {};
+        return _r->pointsTo(n, instr.srcs[i]);
+    };
+    const std::set<int> creators = _r->cg.actionsOf(n);
+
+    auto looper_of_handler = [&](ObjId h) {
+        auto it = _r->handlerLooper.find(h);
+        return it == _r->handlerLooper.end() ? _r->mainLooperObj
+                                             : it->second;
+    };
+    auto set_looper = [&](Action &a, ObjId looper) {
+        a.looperObj = looper;
+        a.affinity = looper == _r->mainLooperObj
+                         ? ThreadAffinity::MainLooper
+                         : ThreadAffinity::CustomLooper;
+    };
+    auto spawn_runnable = [&](ActionKind akind, ObjId runnable,
+                              ObjId looper, ThreadAffinity affinity) {
+        const Method *run =
+            _r->cha.resolveVirtual(classOf(runnable), "run");
+        if (!run || !run->hasBody())
+            return;
+        for (int creator : creators) {
+            int act = spawnAction(akind, creator, site,
+                                  classOf(runnable), "run");
+            Action &a = _r->actions.get(act);
+            a.affinity = affinity;
+            if (affinity != ThreadAffinity::Background)
+                set_looper(a, looper);
+            spawnEntry(act, run, runnable, n, site);
+        }
+    };
+
+    switch (kind) {
+      case ApiKind::HandlerPost: {
+        for (ObjId h : pts(0)) {
+            ObjId looper = looper_of_handler(h);
+            for (ObjId r : pts(1)) {
+                spawn_runnable(ActionKind::PostedRunnable, r, looper,
+                               looper == _r->mainLooperObj
+                                   ? ThreadAffinity::MainLooper
+                                   : ThreadAffinity::CustomLooper);
+            }
+        }
+        return false;
+      }
+      case ApiKind::ViewPost:
+      case ApiKind::RunOnUiThread: {
+        for (ObjId r : pts(1)) {
+            spawn_runnable(ActionKind::PostedRunnable, r,
+                           _r->mainLooperObj,
+                           ThreadAffinity::MainLooper);
+        }
+        return false;
+      }
+      case ApiKind::HandlerSendMessage: {
+        for (ObjId h : pts(0)) {
+            const Method *target =
+                _r->cha.resolveVirtual(classOf(h), "handleMessage");
+            if (!target || !target->hasBody())
+                continue;
+            ObjId looper = looper_of_handler(h);
+            // Constant message "what" (on-demand constant propagation,
+            // paper Section 5).
+            ConstVal what;
+            bool empty_message =
+                instr.method.methodName == "sendEmptyMessage";
+            if (empty_message) {
+                what = _r->constOf(n, instr.srcs.size() > 1
+                                          ? instr.srcs[1]
+                                          : -1);
+            } else {
+                for (ObjId msg : pts(1)) {
+                    ConstVal w = fieldConstOf(
+                        msg, "android.os.Message.what");
+                    if (what.state == ConstVal::State::Bottom)
+                        what = w;
+                    else if (!(what.isConst() && w.isConst() &&
+                               what.value == w.value))
+                        what.state = ConstVal::State::Top;
+                }
+            }
+            for (int creator : creators) {
+                int act = spawnAction(ActionKind::PostedMessage, creator,
+                                      site, classOf(h), "handleMessage");
+                Action &a = _r->actions.get(act);
+                set_looper(a, looper);
+                if (what.isConst())
+                    a.messageWhat = static_cast<int>(what.value);
+                NodeId n2 = spawnEntry(act, target, h, n, site);
+                if (target->numParams() >= 1) {
+                    if (empty_message) {
+                        ObjId msg = _r->objects.syntheticObject(
+                            framework::names::message, site);
+                        if (what.isConst()) {
+                            mergeFieldConst(msg,
+                                            "android.os.Message.what",
+                                            what);
+                        }
+                        addObj(n2, target->paramReg(0), msg);
+                    } else {
+                        addObjs(n2, target->paramReg(0), pts(1));
+                    }
+                }
+            }
+        }
+        return false;
+      }
+      case ApiKind::AsyncTaskExecute: {
+        for (ObjId t : pts(0)) {
+            const std::string &cls = classOf(t);
+            struct Phase {
+                const char *cb;
+                ActionKind kind;
+                ThreadAffinity affinity;
+            };
+            static const Phase phases[] = {
+                {"onPreExecute", ActionKind::AsyncPre,
+                 ThreadAffinity::MainLooper},
+                {"doInBackground", ActionKind::AsyncBackground,
+                 ThreadAffinity::Background},
+                {"onPostExecute", ActionKind::AsyncPost,
+                 ThreadAffinity::MainLooper},
+            };
+            NodeId bg_node = -1;
+            for (const auto &phase : phases) {
+                const Method *target =
+                    _r->cha.resolveVirtual(cls, phase.cb);
+                if (!target || !target->hasBody())
+                    continue;
+                for (int creator : creators) {
+                    int act = spawnAction(phase.kind, creator, site, cls,
+                                          phase.cb);
+                    Action &a = _r->actions.get(act);
+                    a.affinity = phase.affinity;
+                    if (phase.affinity == ThreadAffinity::MainLooper)
+                        a.looperObj = _r->mainLooperObj;
+                    NodeId n2 = spawnEntry(act, target, t, n, site);
+                    if (phase.kind == ActionKind::AsyncBackground) {
+                        bg_node = n2;
+                    } else if (phase.kind == ActionKind::AsyncPost &&
+                               bg_node >= 0 &&
+                               target->numParams() >= 1) {
+                        // doInBackground's result flows into
+                        // onPostExecute's parameter.
+                        addReturnFlow(bg_node, n2, target->paramReg(0));
+                    }
+                }
+            }
+        }
+        return false;
+      }
+      case ApiKind::ThreadStart: {
+        for (ObjId t : pts(0)) {
+            const Method *run = _r->cha.resolveVirtual(classOf(t), "run");
+            if (run && run->hasBody()) {
+                spawn_runnable(ActionKind::ThreadRun, t, -1,
+                               ThreadAffinity::Background);
+                continue;
+            }
+            // Plain java.lang.Thread wrapping a Runnable.
+            std::string key = "java.lang.Thread.$target";
+            _fieldReaders[{t, key}].insert(n);
+            auto it = _r->fieldPts.find({t, key});
+            if (it == _r->fieldPts.end())
+                continue;
+            for (ObjId r : it->second) {
+                spawn_runnable(ActionKind::ThreadRun, r, -1,
+                               ThreadAffinity::Background);
+            }
+        }
+        return false;
+      }
+      case ApiKind::ExecutorExecute: {
+        for (ObjId r : pts(1)) {
+            spawn_runnable(ActionKind::ExecutorRun, r, -1,
+                           ThreadAffinity::Background);
+        }
+        return false;
+      }
+      case ApiKind::ThreadInit: {
+        if (instr.srcs.size() >= 2) {
+            for (ObjId t : pts(0)) {
+                addFieldObjs(t, "java.lang.Thread.$target", pts(1));
+            }
+        }
+        return false;
+      }
+      case ApiKind::HandlerInit: {
+        for (ObjId h : pts(0)) {
+            ObjId looper = _r->mainLooperObj;
+            if (instr.srcs.size() >= 2 && !pts(1).empty())
+                looper = *pts(1).begin();
+            _r->handlerLooper[h] = looper;
+        }
+        return false;
+      }
+      case ApiKind::RegisterReceiver: {
+        for (ObjId r : pts(1)) {
+            const Method *target =
+                _r->cha.resolveVirtual(classOf(r), "onReceive");
+            if (!target || !target->hasBody())
+                continue;
+            for (int creator : creators) {
+                int act = spawnAction(ActionKind::Receive, creator, site,
+                                      classOf(r), "onReceive");
+                Action &a = _r->actions.get(act);
+                a.affinity = ThreadAffinity::MainLooper;
+                a.looperObj = _r->mainLooperObj;
+                NodeId n2 = spawnEntry(act, target, r, n, site);
+                if (target->numParams() >= 1)
+                    addObjs(n2, target->paramReg(0), pts(0));
+                if (target->numParams() >= 2) {
+                    addObj(n2, target->paramReg(1),
+                           _r->objects.singleton(
+                               framework::names::intent,
+                               kSystemIntent));
+                }
+            }
+        }
+        return false;
+      }
+      case ApiKind::BindService: {
+        for (ObjId c : pts(2)) {
+            const Method *target = _r->cha.resolveVirtual(
+                classOf(c), "onServiceConnected");
+            if (!target || !target->hasBody())
+                continue;
+            for (int creator : creators) {
+                int act = spawnAction(ActionKind::ServiceConnected,
+                                      creator, site, classOf(c),
+                                      "onServiceConnected");
+                Action &a = _r->actions.get(act);
+                a.affinity = ThreadAffinity::MainLooper;
+                a.looperObj = _r->mainLooperObj;
+                NodeId n2 = spawnEntry(act, target, c, n, site);
+                if (target->numParams() >= 1) {
+                    addObj(n2, target->paramReg(0),
+                           _r->objects.syntheticObject(
+                               "android.os.IBinder", site));
+                }
+            }
+        }
+        return false;
+      }
+      case ApiKind::StartService: {
+        for (const auto &svc : _app.manifest().services) {
+            for (const char *cb : {"onCreate", "onStartCommand"}) {
+                const Method *target =
+                    _r->cha.resolveVirtual(svc.className, cb);
+                if (!target || !target->hasBody())
+                    continue;
+                for (int creator : creators) {
+                    int act = spawnAction(ActionKind::ServiceCreate,
+                                          creator, site, svc.className,
+                                          cb);
+                    Action &a = _r->actions.get(act);
+                    a.affinity = ThreadAffinity::MainLooper;
+                    a.looperObj = _r->mainLooperObj;
+                    ObjId self = _r->objects.singleton(svc.className,
+                                                       kSystemIntent);
+                    NodeId n2 = spawnEntry(act, target, self, n, site);
+                    if (target->numParams() >= 1) {
+                        addObj(n2, target->paramReg(0),
+                               _r->objects.syntheticObject(
+                                   framework::names::intent, site));
+                    }
+                }
+            }
+        }
+        return false;
+      }
+      case ApiKind::FindViewById: {
+        ConstVal id = instr.srcs.size() > 1
+                          ? _r->constOf(n, instr.srcs[1])
+                          : ConstVal{};
+        if (id.isConst() && _opts.ctx.inflatedViewContext) {
+            // Look the id up across the app's layouts.
+            const framework::Widget *widget = nullptr;
+            for (const auto &[activity, layout] : _app.layouts()) {
+                widget = layout.byId(static_cast<int>(id.value));
+                if (widget)
+                    break;
+            }
+            std::string klass =
+                widget ? widget->widgetClass : framework::names::view;
+            return addObj(n, instr.dst,
+                          _r->objects.inflatedView(
+                              klass, static_cast<int>(id.value)));
+        }
+        return addObj(n, instr.dst,
+                      _r->objects.syntheticObject(
+                          framework::names::view, site));
+      }
+      case ApiKind::SetListener: {
+        std::string cb = framework::KnownApis::listenerCallback(
+            instr.method.methodName);
+        int widget_id = -1;
+        for (ObjId v : pts(0)) {
+            const HeapObject &vo = _r->objects.get(v);
+            if (vo.kind == ObjKind::InflatedView) {
+                widget_id = vo.viewId;
+                break;
+            }
+        }
+        for (ObjId l : pts(1)) {
+            const Method *target =
+                _r->cha.resolveVirtual(classOf(l), cb);
+            if (!target || !target->hasBody())
+                continue;
+            for (int creator : creators) {
+                int act = spawnAction(ActionKind::Gui, creator, site,
+                                      classOf(l), cb);
+                Action &a = _r->actions.get(act);
+                a.affinity = ThreadAffinity::MainLooper;
+                a.looperObj = _r->mainLooperObj;
+                if (a.widgetId < 0)
+                    a.widgetId = widget_id;
+                NodeId n2 = spawnEntry(act, target, l, n, site);
+                if (target->numParams() >= 1)
+                    addObjs(n2, target->paramReg(0), pts(0));
+            }
+        }
+        return false;
+      }
+      case ApiKind::MessageObtain: {
+        if (instr.dst < 0)
+            return false;
+        return addObj(n, instr.dst,
+                      _r->objects.syntheticObject(
+                          framework::names::message, site));
+      }
+      case ApiKind::HandlerThreadGetLooper: {
+        // One abstract looper per HandlerThread object; handlers bound
+        // to it deliver to that thread's queue (CustomLooper affinity).
+        if (instr.dst < 0)
+            return false;
+        bool changed = false;
+        for (ObjId t : pts(0)) {
+            changed |= addObj(
+                n, instr.dst,
+                _r->objects.singleton(framework::names::looper,
+                                      kHandlerThreadLooperBase + t));
+        }
+        return changed;
+      }
+      case ApiKind::LooperMain:
+      case ApiKind::LooperMy: {
+        // myLooper() is approximated by the main looper.
+        if (instr.dst < 0)
+            return false;
+        return addObj(n, instr.dst, _r->mainLooperObj);
+      }
+      case ApiKind::HandlerRemove:
+      case ApiKind::SetContentView:
+      case ApiKind::UnregisterReceiver:
+      case ApiKind::SendBroadcast:
+      case ApiKind::StartActivity:
+      case ApiKind::ObjectInit:
+      case ApiKind::None:
+        return false;
+    }
+    return false;
+}
+
+bool
+PointsToAnalysis::Engine::normalCall(NodeId n, const Method *m, int idx)
+{
+    const Instruction &instr = m->instr(idx);
+    SiteId site = _r->sites.intern(m, idx);
+    CtxId caller_ctx = _r->cg.node(n).ctx;
+    int caller_action =
+        asMode() ? _r->contexts.get(caller_ctx).actionId : -1;
+    bool changed = false;
+
+    auto connect = [&](const Method *target, CtxId cc, bool has_this) {
+        if (!target->hasBody())
+            return;
+        NodeId n2 = internNode(target, cc);
+        _r->cg.addEdge(n, site, n2);
+        for (int a : _r->cg.actionsOf(n))
+            addActionToNode(n2, a);
+        bindArgs(n, instr, target, n2, has_this);
+        if (instr.dst >= 0 && target->returnType().isReference())
+            addReturnFlow(n2, n, instr.dst);
+    };
+
+    switch (instr.invokeKind) {
+      case InvokeKind::Static: {
+        const Method *target = _r->cha.resolveStatic(
+            instr.method.className, instr.method.methodName);
+        if (!target)
+            return false;
+        CtxId cc = selectCtx(false, caller_ctx, -1, site, caller_action);
+        connect(target, cc, false);
+        return changed;
+      }
+      case InvokeKind::Special: {
+        const Method *target = _r->cha.resolveVirtual(
+            instr.method.className, instr.method.methodName);
+        if (!target)
+            return false;
+        CtxId cc = selectCtx(false, caller_ctx, -1, site, caller_action);
+        connect(target, cc, true);
+        return changed;
+      }
+      case InvokeKind::Virtual:
+      case InvokeKind::Interface: {
+        if (instr.srcs.empty())
+            return false;
+        // Copy: interning callee nodes may reallocate regPts.
+        const std::set<ObjId> receivers =
+            _r->pointsTo(n, instr.srcs[0]);
+        for (ObjId o : receivers) {
+            const Method *target = _r->cha.resolveVirtual(
+                classOf(o), instr.method.methodName);
+            if (!target || !target->hasBody())
+                continue;
+            CtxId cc =
+                selectCtx(true, caller_ctx, o, site, caller_action);
+            NodeId n2 = internNode(target, cc);
+            _r->cg.addEdge(n, site, n2);
+            for (int a : _r->cg.actionsOf(n))
+                addActionToNode(n2, a);
+            // Precise per-receiver this-binding.
+            if (!target->isStatic())
+                addObj(n2, target->thisReg(), o);
+            bool arg_changed = false;
+            for (int p = 0; p < target->numParams(); ++p) {
+                size_t src_idx = 1 + static_cast<size_t>(p);
+                if (src_idx >= instr.srcs.size())
+                    break;
+                arg_changed |= addObjs(
+                    n2, target->paramReg(p),
+                    _r->pointsTo(n, instr.srcs[src_idx]));
+                arg_changed |= mergeConst(
+                    n2, target->paramReg(p),
+                    _r->constOf(n, instr.srcs[src_idx]));
+            }
+            (void)arg_changed;
+            if (instr.dst >= 0 && target->returnType().isReference())
+                addReturnFlow(n2, n, instr.dst);
+        }
+        return changed;
+      }
+    }
+    return changed;
+}
+
+PointsToAnalysis::PointsToAnalysis(const framework::App &app,
+                                   const EntryPlan &plan,
+                                   PointsToOptions options)
+    : _engine(std::make_unique<Engine>(app, plan, options))
+{
+}
+
+PointsToAnalysis::~PointsToAnalysis() = default;
+
+std::unique_ptr<PointsToResult>
+PointsToAnalysis::run()
+{
+    return _engine->run();
+}
+
+} // namespace sierra::analysis

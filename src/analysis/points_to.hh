@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Context-sensitive Andersen-style pointer analysis with on-the-fly call
+ * graph construction and action discovery (paper Sections 3.1 and 3.3).
+ *
+ * This is the reproduction's substitute for WALA's pointer analysis plus
+ * SIERRA's action-sensitive context-selector plugin. The engine:
+ *  - builds the call graph on the fly from the harness entry,
+ *  - reifies concurrency actions at framework API sites (Handler.post,
+ *    AsyncTask.execute, Thread.start, registerReceiver, setOn*Listener,
+ *    ...) and at harness event sites,
+ *  - attributes call-graph nodes to the actions that can execute them,
+ *  - resolves findViewById through the layout model using the
+ *    InflatedViewContext abstraction,
+ *  - tracks which looper each Handler is bound to (paper Section 4.4).
+ */
+
+#ifndef SIERRA_ANALYSIS_POINTS_TO_HH
+#define SIERRA_ANALYSIS_POINTS_TO_HH
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "action.hh"
+#include "callgraph.hh"
+#include "class_hierarchy.hh"
+#include "context.hh"
+#include "entry_plan.hh"
+#include "framework/app.hh"
+#include "heap.hh"
+#include "sites.hh"
+
+namespace sierra::analysis {
+
+/** Options controlling one pointer-analysis run. */
+struct PointsToOptions {
+    ContextOptions ctx;
+    int maxActions{4096}; //!< backstop against runaway action creation
+    /**
+     * Give array accesses with constant indices per-element locations
+     * instead of one "$elems" summary (the paper's future-work citation
+     * of Dillig et al.; removes the index-insensitivity FP class).
+     */
+    bool indexSensitiveArrays{false};
+};
+
+/** A flow-insensitive constant lattice value for one register. */
+struct ConstVal {
+    enum class State { Bottom, Const, Top };
+    State state{State::Bottom};
+    int64_t value{0};
+
+    bool isConst() const { return state == State::Const; }
+};
+
+/** Everything the downstream stages (HB, race, symbolic) consume. */
+class PointsToResult
+{
+  public:
+    SiteTable sites;
+    ContextTable contexts;
+    ObjectTable objects;
+    CallGraph cg;
+    ActionRegistry actions;
+    ClassHierarchy cha;
+    PointsToOptions options;
+
+    NodeId rootNode{-1};
+    int rootAction{-1};
+
+    //! per-node, per-register points-to sets
+    std::vector<std::vector<std::set<ObjId>>> regPts;
+    //! (object, canonical "Class.field") -> points-to set
+    std::map<std::pair<ObjId, std::string>, std::set<ObjId>> fieldPts;
+    //! canonical "Class.field" -> points-to set for statics
+    std::map<std::string, std::set<ObjId>> staticPts;
+    //! per-node return-value points-to sets
+    std::vector<std::set<ObjId>> returnPts;
+    //! per-node, per-register constant lattice
+    std::vector<std::vector<ConstVal>> regConst;
+    //! Handler object -> Looper object it posts to
+    std::unordered_map<ObjId, ObjId> handlerLooper;
+    //! the main looper's abstract object
+    ObjId mainLooperObj{-1};
+
+    explicit PointsToResult(const air::Module &module) : cha(module) {}
+
+    const std::set<ObjId> &pointsTo(NodeId node, int reg) const;
+    ConstVal constOf(NodeId node, int reg) const;
+
+    /** Canonical "DeclaringClass.field" key for an access. */
+    std::string fieldKey(ObjId obj, const air::FieldRef &field) const;
+    std::string staticKey(const air::FieldRef &field) const;
+
+    /** Looper object an action's events are delivered to, or -1 for
+     *  background-thread actions. */
+    ObjId looperOfAction(int action_id) const;
+
+    /** Count of actions excluding the synthetic harness root. */
+    int numRealActions() const;
+
+  private:
+    static const std::set<ObjId> _emptySet;
+};
+
+/**
+ * The analysis driver: run() produces a PointsToResult for one harness.
+ */
+class PointsToAnalysis
+{
+  public:
+    PointsToAnalysis(const framework::App &app, const EntryPlan &plan,
+                     PointsToOptions options = {});
+    ~PointsToAnalysis();
+
+    std::unique_ptr<PointsToResult> run();
+
+  private:
+    class Engine;
+    std::unique_ptr<Engine> _engine;
+};
+
+} // namespace sierra::analysis
+
+#endif // SIERRA_ANALYSIS_POINTS_TO_HH

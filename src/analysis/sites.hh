@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Interned program-point identities (sites).
+ *
+ * A site is a (method, instruction index) pair: allocation sites, call
+ * sites and access sites all share this identity space, which lets
+ * contexts mix k-obj and k-cfa elements uniformly.
+ */
+
+#ifndef SIERRA_ANALYSIS_SITES_HH
+#define SIERRA_ANALYSIS_SITES_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "air/method.hh"
+
+namespace sierra::analysis {
+
+/** Interned site id; 0 is reserved for "no site". */
+using SiteId = int;
+inline constexpr SiteId kNoSite = 0;
+
+/** Bidirectional (method, instr) <-> SiteId mapping. */
+class SiteTable
+{
+  public:
+    SiteTable() { _sites.push_back({nullptr, -1}); } // kNoSite
+
+    SiteId
+    intern(const air::Method *method, int instr_idx)
+    {
+        auto key = std::make_pair(method, instr_idx);
+        auto it = _index.find(key);
+        if (it != _index.end())
+            return it->second;
+        SiteId id = static_cast<SiteId>(_sites.size());
+        _sites.push_back({method, instr_idx});
+        _index.emplace(key, id);
+        return id;
+    }
+
+    /** Look up an existing site without creating it; kNoSite if absent. */
+    SiteId
+    find(const air::Method *method, int instr_idx) const
+    {
+        auto it = _index.find(std::make_pair(method, instr_idx));
+        return it == _index.end() ? kNoSite : it->second;
+    }
+
+    const air::Method *methodOf(SiteId id) const
+    {
+        return _sites[id].first;
+    }
+    int instrOf(SiteId id) const { return _sites[id].second; }
+
+    std::string
+    toString(SiteId id) const
+    {
+        if (id == kNoSite)
+            return "<none>";
+        return _sites[id].first->qualifiedName() + "@" +
+               std::to_string(_sites[id].second);
+    }
+
+    size_t size() const { return _sites.size(); }
+
+  private:
+    struct PairHash {
+        size_t
+        operator()(const std::pair<const air::Method *, int> &p) const
+        {
+            return std::hash<const void *>()(p.first) * 31 +
+                   std::hash<int>()(p.second);
+        }
+    };
+
+    std::vector<std::pair<const air::Method *, int>> _sites;
+    std::unordered_map<std::pair<const air::Method *, int>, SiteId,
+                       PairHash>
+        _index;
+};
+
+} // namespace sierra::analysis
+
+#endif // SIERRA_ANALYSIS_SITES_HH

@@ -1,0 +1,97 @@
+#include "app_factory.hh"
+
+#include "air/logging.hh"
+#include "framework/known_api.hh"
+
+namespace sierra::corpus {
+
+using air::MethodBuilder;
+using air::Type;
+
+ActivityBuilder::ActivityBuilder(framework::App &app, std::string name)
+    : _app(app), _name(std::move(name)), _layout(_name)
+{
+    _klass = app.module().addClass(_name, framework::names::activity);
+    // A trivial constructor so harnesses can invoke-special it.
+    air::Method *init =
+        _klass->addMethod("<init>", {}, Type::voidTy(), false);
+    MethodBuilder b(init);
+    b.finish();
+}
+
+void
+ActivityBuilder::on(const std::string &callback,
+                    std::function<void(air::MethodBuilder &)> code)
+{
+    SIERRA_ASSERT(!_finalized, "on() after finalize()");
+    _snippets[callback].push_back(std::move(code));
+}
+
+std::string
+ActivityBuilder::addField(const std::string &name, air::Type type)
+{
+    _klass->addField({name, std::move(type), false});
+    return _name + "." + name;
+}
+
+void
+ActivityBuilder::finalize()
+{
+    SIERRA_ASSERT(!_finalized, "finalize() twice");
+    _finalized = true;
+    for (auto &[callback, snippets] : _snippets) {
+        air::Method *m =
+            _klass->addMethod(callback, {}, Type::voidTy(), false);
+        MethodBuilder b(m);
+        for (auto &snippet : snippets)
+            snippet(b);
+        b.finish();
+    }
+    if (!_layout.widgets().empty())
+        _app.setLayout(_name, _layout);
+}
+
+AppFactory::AppFactory(const std::string &app_name)
+{
+    _built.app = std::make_unique<framework::App>(app_name);
+    _built.app->manifest().packageName = "org.sierra." + app_name;
+    framework::installFrameworkModel(_built.app->module());
+}
+
+ActivityBuilder &
+AppFactory::addActivity(const std::string &name)
+{
+    auto ab = std::make_unique<ActivityBuilder>(*_built.app, name);
+    _built.app->manifest().activities.push_back(name);
+    if (_built.app->manifest().mainActivity.empty())
+        _built.app->manifest().mainActivity = name;
+    _activities.push_back(std::move(ab));
+    return *_activities.back();
+}
+
+void
+AppFactory::addManifestService(const std::string &class_name)
+{
+    _built.app->manifest().services.push_back({class_name});
+}
+
+void
+AppFactory::addManifestReceiver(const std::string &class_name)
+{
+    framework::ReceiverSpec spec;
+    spec.className = class_name;
+    spec.declaredInManifest = true;
+    _built.app->manifest().receivers.push_back(std::move(spec));
+}
+
+BuiltApp
+AppFactory::finish()
+{
+    SIERRA_ASSERT(!_finished, "finish() twice");
+    _finished = true;
+    for (auto &ab : _activities)
+        ab->finalize();
+    return std::move(_built);
+}
+
+} // namespace sierra::corpus

@@ -1,0 +1,51 @@
+#include "generator.hh"
+
+#include <cstdio>
+#include <random>
+
+#include "air/logging.hh"
+#include "patterns.hh"
+
+namespace sierra::corpus {
+
+BuiltApp
+generateSyntheticApp(const std::string &name, const SyntheticSpec &spec)
+{
+    AppFactory factory(name);
+    std::mt19937 rng(spec.seed);
+    const auto &catalog = patternCatalog();
+
+    for (int i = 0; i < spec.activities; ++i) {
+        ActivityBuilder &act = factory.addActivity(
+            name + "$Activity" + std::to_string(i));
+        int span =
+            spec.maxPatternsPerActivity - spec.minPatternsPerActivity;
+        int count = spec.minPatternsPerActivity +
+                    (span > 0 ? static_cast<int>(rng() % (span + 1))
+                              : 0);
+        for (int p = 0; p < count; ++p) {
+            const auto &entry = catalog[rng() % catalog.size()];
+            entry.fn(factory, act);
+        }
+    }
+    return factory.finish();
+}
+
+BuiltApp
+buildFdroidApp(int index)
+{
+    SIERRA_ASSERT(index >= 0 && index < kFdroidAppCount,
+                  "fdroid index out of range: ", index);
+    SyntheticSpec spec;
+    spec.seed = 0x5EED0000u + static_cast<uint32_t>(index);
+    // Sizes follow a small spread around the paper's 1.1 MB median:
+    // 1-4 activities, 1-3 patterns each.
+    spec.activities = 1 + index % 4;
+    spec.minPatternsPerActivity = 1;
+    spec.maxPatternsPerActivity = 3;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "fdroid-%03d", index);
+    return generateSyntheticApp(buf, spec);
+}
+
+} // namespace sierra::corpus

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Synthetic app generator for the 174-app F-Droid dataset analogue
+ * (paper Section 6.6). Apps are fully deterministic functions of their
+ * index, so every run of the Table 5 bench sees the same corpus.
+ */
+
+#ifndef SIERRA_CORPUS_GENERATOR_HH
+#define SIERRA_CORPUS_GENERATOR_HH
+
+#include <cstdint>
+
+#include "app_factory.hh"
+
+namespace sierra::corpus {
+
+/** Parameters of one synthetic app. */
+struct SyntheticSpec {
+    uint32_t seed{0};
+    int activities{2};
+    int minPatternsPerActivity{1};
+    int maxPatternsPerActivity{3};
+};
+
+/** Generate one synthetic app from a spec. */
+BuiltApp generateSyntheticApp(const std::string &name,
+                              const SyntheticSpec &spec);
+
+/** Number of apps in the F-Droid dataset analogue. */
+inline constexpr int kFdroidAppCount = 174;
+
+/** Build the i-th F-Droid-analogue app (0 <= i < kFdroidAppCount). */
+BuiltApp buildFdroidApp(int index);
+
+} // namespace sierra::corpus
+
+#endif // SIERRA_CORPUS_GENERATOR_HH

@@ -1,0 +1,78 @@
+#include "ground_truth.hh"
+
+#include <set>
+
+namespace sierra::corpus {
+
+bool
+GroundTruth::isTrueRaceKey(const std::string &key) const
+{
+    for (const auto &s : seeded) {
+        if (s.fieldKey == key && s.cls == SeedClass::TrueRace)
+            return true;
+    }
+    return false;
+}
+
+bool
+GroundTruth::isSeededKey(const std::string &key) const
+{
+    for (const auto &s : seeded) {
+        if (s.fieldKey == key)
+            return true;
+    }
+    return false;
+}
+
+bool
+GroundTruth::isKnownFpKey(const std::string &key) const
+{
+    for (const auto &s : seeded) {
+        if (s.fieldKey == key && s.cls == SeedClass::KnownFp)
+            return true;
+    }
+    return false;
+}
+
+Score
+scoreKeys(const std::vector<std::string> &surviving_keys,
+          const GroundTruth &truth)
+{
+    Score score;
+    std::set<std::string> found;
+    for (const auto &key : surviving_keys) {
+        if (truth.isTrueRaceKey(key)) {
+            ++score.truePositives;
+            found.insert(key);
+        } else {
+            ++score.falsePositives;
+            if (truth.isKnownFpKey(key))
+                ++score.knownFalsePositives;
+            else
+                ++score.unexpectedFalsePositives;
+        }
+    }
+    std::set<std::string> true_keys;
+    for (const auto &s : truth.seeded) {
+        if (s.cls == SeedClass::TrueRace)
+            true_keys.insert(s.fieldKey);
+    }
+    for (const auto &key : true_keys) {
+        if (!found.count(key))
+            ++score.missedTrueKeys;
+    }
+    return score;
+}
+
+Score
+scoreReport(const AppReport &report, const GroundTruth &truth)
+{
+    std::vector<std::string> surviving;
+    for (const auto &race : report.races) {
+        if (!race.refuted)
+            surviving.push_back(race.fieldKey);
+    }
+    return scoreKeys(surviving, truth);
+}
+
+} // namespace sierra::corpus

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Seeded ground truth for corpus apps.
+ *
+ * Every corpus pattern seeds races with known identities (canonical
+ * field keys), so the paper's "manual inspection" columns (true races
+ * vs. false positives, Table 3) are scored automatically.
+ */
+
+#ifndef SIERRA_CORPUS_GROUND_TRUTH_HH
+#define SIERRA_CORPUS_GROUND_TRUTH_HH
+
+#include <string>
+#include <vector>
+
+#include "sierra/detector.hh"
+
+namespace sierra::corpus {
+
+/** Classification of a seeded location. */
+enum class SeedClass {
+    TrueRace, //!< a real (possibly benign) event race; must be reported
+    FpTrap,   //!< accesses are actually ordered/guarded; a surviving
+              //!< report on this location is a false positive
+    KnownFp,  //!< not a real race, but beyond static reasoning (implicit
+              //!< dependencies, index-insensitive containers -- the
+              //!< paper's Section 6.5 FP classes); SIERRA is *expected*
+              //!< to report it, and such reports count as FPs
+};
+
+/** One seeded location. */
+struct SeededRace {
+    std::string fieldKey; //!< canonical "Class.field"
+    SeedClass cls{SeedClass::TrueRace};
+    std::string note;     //!< which pattern seeded it and why
+};
+
+/** All seeds of one app. */
+struct GroundTruth {
+    std::vector<SeededRace> seeded;
+
+    void
+    add(std::string key, SeedClass cls, std::string note)
+    {
+        seeded.push_back({std::move(key), cls, std::move(note)});
+    }
+    void
+    merge(const GroundTruth &other)
+    {
+        seeded.insert(seeded.end(), other.seeded.begin(),
+                      other.seeded.end());
+    }
+    bool isTrueRaceKey(const std::string &key) const;
+    bool isSeededKey(const std::string &key) const;
+    bool isKnownFpKey(const std::string &key) const;
+};
+
+/** Scoring of a detector run against the ground truth. */
+struct Score {
+    int truePositives{0};  //!< surviving reports on TrueRace keys
+    int falsePositives{0}; //!< surviving reports on other keys
+    int missedTrueKeys{0}; //!< TrueRace keys with no surviving report
+    //! FPs on KnownFp keys (expected static-analysis limitations)
+    int knownFalsePositives{0};
+    //! FPs on neither TrueRace nor KnownFp keys (real precision bugs)
+    int unexpectedFalsePositives{0};
+};
+
+/** Score an app-level SIERRA report. */
+Score scoreReport(const AppReport &report, const GroundTruth &truth);
+
+/** Score an arbitrary set of surviving race keys (used for the dynamic
+ *  detector comparison). */
+Score scoreKeys(const std::vector<std::string> &surviving_keys,
+                const GroundTruth &truth);
+
+} // namespace sierra::corpus
+
+#endif // SIERRA_CORPUS_GROUND_TRUTH_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The 20-app dataset (paper Table 2), modeled as deterministic corpus
+ * apps. Each app's size class derives from its real bytecode size; its
+ * first activity carries a fixed "signature" pattern (e.g. OpenSudoku
+ * carries the paper's Fig. 8 guarded timer), and the remaining
+ * activities get a deterministic pattern mix seeded by the app name.
+ */
+
+#ifndef SIERRA_CORPUS_NAMED_APPS_HH
+#define SIERRA_CORPUS_NAMED_APPS_HH
+
+#include <string>
+#include <vector>
+
+#include "app_factory.hh"
+
+namespace sierra::corpus {
+
+/** One Table 2 row. */
+struct NamedAppSpec {
+    std::string name;
+    std::string installs;   //!< Google Play install bracket (Table 2)
+    int bytecodeKb{0};      //!< real app's .dex size, drives our scale
+    int activities{1};
+    std::vector<std::string> signaturePatterns; //!< first activity's
+};
+
+/** The 20 apps of Table 2. */
+const std::vector<NamedAppSpec> &namedAppSpecs();
+
+/** Find a spec by name; fatal() if unknown. */
+const NamedAppSpec &namedAppSpec(const std::string &name);
+
+/** Build the model app for a spec. */
+BuiltApp buildNamedApp(const NamedAppSpec &spec);
+BuiltApp buildNamedApp(const std::string &name);
+
+} // namespace sierra::corpus
+
+#endif // SIERRA_CORPUS_NAMED_APPS_HH

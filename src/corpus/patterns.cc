@@ -1,0 +1,1297 @@
+#include "patterns.hh"
+
+#include "air/logging.hh"
+#include "framework/known_api.hh"
+
+namespace sierra::corpus {
+
+using air::CondKind;
+using air::InvokeKind;
+using air::Klass;
+using air::Label;
+using air::Method;
+using air::MethodBuilder;
+using air::Type;
+namespace names = framework::names;
+
+namespace {
+
+/** Define a method with a builder callback. */
+Method *
+defineMethod(Klass *k, const std::string &name,
+             std::vector<Type> params, Type ret, bool is_static,
+             const std::function<void(MethodBuilder &)> &body)
+{
+    Method *m = k->addMethod(name, std::move(params), ret, is_static);
+    MethodBuilder b(m);
+    body(b);
+    b.finish();
+    return m;
+}
+
+/** Define an empty constructor. */
+void
+emptyCtor(Klass *k)
+{
+    defineMethod(k, "<init>", {}, Type::voidTy(), false,
+                 [](MethodBuilder &) {});
+}
+
+/** Define a one-field "store the argument" constructor. */
+void
+storingCtor(Klass *k, const std::string &field_class,
+            const std::string &field, Type param_type)
+{
+    defineMethod(k, "<init>", {std::move(param_type)}, Type::voidTy(),
+                 false, [&](MethodBuilder &b) {
+                     b.putField(b.thisReg(),
+                                fieldRef(field_class, field),
+                                b.paramReg(0));
+                 });
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// Pattern: Fig. 1 intra-component race (AsyncTask vs. scroll).
+// --------------------------------------------------------------------
+void
+addAsyncNewsRace(AppFactory &f, ActivityBuilder &act)
+{
+    int n = f.nextUnique();
+    int view_id = f.nextViewId();
+    std::string adapter_cls = "NewsAdapter$" + std::to_string(n);
+    std::string task_cls = "LoaderTask$" + std::to_string(n);
+    std::string click_cls = "NewsClick$" + std::to_string(n);
+    std::string scroll_cls = "NewsScroll$" + std::to_string(n);
+    std::string act_cls = act.name();
+    std::string adapter_field = "adapter$" + std::to_string(n);
+    std::string rv_field = "rv$" + std::to_string(n);
+
+    air::Module &mod = f.app().module();
+
+    // The adapter: data written on the background thread, counters read
+    // from GUI events.
+    Klass *adapter = mod.addClass(adapter_cls, names::baseAdapter);
+    adapter->addField({"data", Type::object(names::object), false});
+    adapter->addField({"count", Type::intTy(), false});
+    adapter->addField({"cachedCount", Type::intTy(), false});
+    emptyCtor(adapter);
+    defineMethod(adapter, "addItem", {Type::object(names::object)},
+                 Type::voidTy(), false, [&](MethodBuilder &b) {
+                     b.putField(b.thisReg(), fieldRef(adapter_cls, "data"),
+                                b.paramReg(0));
+                     int r = b.newReg();
+                     int rc = b.newReg();
+                     int r2 = b.newReg();
+                     b.getField(r, b.thisReg(),
+                                fieldRef(adapter_cls, "count"));
+                     b.constInt(rc, 1);
+                     b.binOp(r2, air::BinOpKind::Add, r, rc);
+                     b.putField(b.thisReg(),
+                                fieldRef(adapter_cls, "count"), r2);
+                 });
+    defineMethod(adapter, "notifyChanged", {}, Type::voidTy(), false,
+                 [&](MethodBuilder &b) {
+                     int r = b.newReg();
+                     b.getField(r, b.thisReg(),
+                                fieldRef(adapter_cls, "count"));
+                     b.putField(b.thisReg(),
+                                fieldRef(adapter_cls, "cachedCount"), r);
+                 });
+
+    // The AsyncTask.
+    Klass *task = mod.addClass(task_cls, names::asyncTask);
+    task->addField({"adapter", Type::object(adapter_cls), false});
+    storingCtor(task, task_cls, "adapter", Type::object(adapter_cls));
+    defineMethod(task, "doInBackground", {},
+                 Type::object(names::object), false,
+                 [&](MethodBuilder &b) {
+                     int ra = b.newReg();
+                     int rn = b.newReg();
+                     b.getField(ra, b.thisReg(),
+                                fieldRef(task_cls, "adapter"));
+                     b.newObject(rn, names::object);
+                     b.call(ra, adapter_cls, "addItem", {rn});
+                     b.ret(rn);
+                 });
+    defineMethod(task, "onPostExecute", {Type::object(names::object)},
+                 Type::voidTy(), false, [&](MethodBuilder &b) {
+                     int ra = b.newReg();
+                     b.getField(ra, b.thisReg(),
+                                fieldRef(task_cls, "adapter"));
+                     b.call(ra, adapter_cls, "notifyChanged");
+                 });
+
+    // Listeners.
+    Klass *click = mod.addClass(click_cls, names::object);
+    click->addInterface(names::onClickListener);
+    click->addField({"act", Type::object(act_cls), false});
+    storingCtor(click, click_cls, "act", Type::object(act_cls));
+    defineMethod(click, "onClick", {Type::object(names::view)},
+                 Type::voidTy(), false, [&](MethodBuilder &b) {
+                     int ra = b.newReg();
+                     int rad = b.newReg();
+                     int rt = b.newReg();
+                     b.getField(ra, b.thisReg(),
+                                fieldRef(click_cls, "act"));
+                     b.getField(rad, ra, fieldRef(act_cls, adapter_field));
+                     b.newObject(rt, task_cls);
+                     b.invoke(-1, InvokeKind::Special,
+                              {task_cls, "<init>", 0}, {rt, rad});
+                     b.call(rt, task_cls, "execute");
+                 });
+
+    Klass *scroll = mod.addClass(scroll_cls, names::object);
+    scroll->addInterface(names::onScrollListener);
+    scroll->addField({"act", Type::object(act_cls), false});
+    storingCtor(scroll, scroll_cls, "act", Type::object(act_cls));
+    defineMethod(scroll, "onScroll", {Type::object(names::view)},
+                 Type::voidTy(), false, [&](MethodBuilder &b) {
+                     int ra = b.newReg();
+                     int rad = b.newReg();
+                     b.getField(ra, b.thisReg(),
+                                fieldRef(scroll_cls, "act"));
+                     b.getField(rad, ra, fieldRef(act_cls, adapter_field));
+                     int r1 = b.newReg();
+                     int r2 = b.newReg();
+                     int r3 = b.newReg();
+                     b.getField(r1, rad, fieldRef(adapter_cls, "count"));
+                     b.getField(r2, rad,
+                                fieldRef(adapter_cls, "cachedCount"));
+                     b.getField(r3, rad, fieldRef(adapter_cls, "data"));
+                 });
+
+    // Activity wiring.
+    act.addField(adapter_field, Type::object(adapter_cls));
+    act.addField(rv_field, Type::object(names::recycleView));
+    framework::Widget w;
+    w.id = view_id;
+    w.name = "rvNews$" + std::to_string(n);
+    w.widgetClass = names::recycleView;
+    act.layout().addWidget(w);
+
+    act.on("onCreate", [=](MethodBuilder &b) {
+        int rid = b.newReg();
+        int rv = b.newReg();
+        int rad = b.newReg();
+        int rcl = b.newReg();
+        int rsl = b.newReg();
+        b.constInt(rid, view_id);
+        b.callTo(rv, b.thisReg(), act_cls, "findViewById", {rid});
+        b.putField(b.thisReg(), fieldRef(act_cls, rv_field), rv);
+        b.newObject(rad, adapter_cls);
+        b.invoke(-1, InvokeKind::Special, {adapter_cls, "<init>", 0},
+                 {rad});
+        b.putField(b.thisReg(), fieldRef(act_cls, adapter_field), rad);
+        b.newObject(rcl, click_cls);
+        b.invoke(-1, InvokeKind::Special, {click_cls, "<init>", 0},
+                 {rcl, b.thisReg()});
+        b.call(rv, names::view, "setOnClickListener", {rcl});
+        b.newObject(rsl, scroll_cls);
+        b.invoke(-1, InvokeKind::Special, {scroll_cls, "<init>", 0},
+                 {rsl, b.thisReg()});
+        b.call(rv, names::view, "setOnScrollListener", {rsl});
+    });
+
+    f.truth().add(adapter_cls + ".count", SeedClass::TrueRace,
+                  "asyncNewsRace: background add vs scroll read");
+    f.truth().add(adapter_cls + ".data", SeedClass::TrueRace,
+                  "asyncNewsRace: background add vs scroll read (ref)");
+    f.truth().add(adapter_cls + ".cachedCount", SeedClass::TrueRace,
+                  "asyncNewsRace: onPostExecute vs scroll");
+}
+
+// --------------------------------------------------------------------
+// Pattern: Fig. 2 inter-component race (receiver vs. lifecycle DB).
+// --------------------------------------------------------------------
+void
+addReceiverDbRace(AppFactory &f, ActivityBuilder &act)
+{
+    int n = f.nextUnique();
+    std::string db_cls = "DataBase$" + std::to_string(n);
+    std::string recv_cls = "Recv$" + std::to_string(n);
+    std::string act_cls = act.name();
+    std::string db_field = "mDB$" + std::to_string(n);
+    std::string recv_field = "recv$" + std::to_string(n);
+
+    air::Module &mod = f.app().module();
+
+    Klass *db = mod.addClass(db_cls, names::object);
+    db->addField({"conn", Type::object(names::object), false});
+    db->addField({"isOpen", Type::intTy(), false});
+    emptyCtor(db);
+    defineMethod(db, "open", {}, Type::voidTy(), false,
+                 [&](MethodBuilder &b) {
+                     int rc = b.newReg();
+                     int r1 = b.newReg();
+                     b.newObject(rc, names::object);
+                     b.putField(b.thisReg(), fieldRef(db_cls, "conn"), rc);
+                     b.constInt(r1, 1);
+                     b.putField(b.thisReg(), fieldRef(db_cls, "isOpen"),
+                                r1);
+                 });
+    defineMethod(db, "close", {}, Type::voidTy(), false,
+                 [&](MethodBuilder &b) {
+                     int rn = b.newReg();
+                     int r0 = b.newReg();
+                     b.constNull(rn);
+                     b.putField(b.thisReg(), fieldRef(db_cls, "conn"), rn);
+                     b.constInt(r0, 0);
+                     b.putField(b.thisReg(), fieldRef(db_cls, "isOpen"),
+                                r0);
+                 });
+    defineMethod(db, "update", {}, Type::voidTy(), false,
+                 [&](MethodBuilder &b) {
+                     int r = b.newReg();
+                     int r2 = b.newReg();
+                     b.getField(r, b.thisReg(), fieldRef(db_cls, "conn"));
+                     b.getField(r2, b.thisReg(),
+                                fieldRef(db_cls, "isOpen"));
+                 });
+
+    Klass *recv = mod.addClass(recv_cls, names::receiver);
+    recv->addField({"act", Type::object(act_cls), false});
+    storingCtor(recv, recv_cls, "act", Type::object(act_cls));
+    defineMethod(recv, "onReceive",
+                 {Type::object(names::object),
+                  Type::object(names::intent)},
+                 Type::voidTy(), false, [&](MethodBuilder &b) {
+                     int ra = b.newReg();
+                     int rdb = b.newReg();
+                     b.getField(ra, b.thisReg(),
+                                fieldRef(recv_cls, "act"));
+                     b.getField(rdb, ra, fieldRef(act_cls, db_field));
+                     b.call(rdb, db_cls, "update");
+                 });
+
+    act.addField(db_field, Type::object(db_cls));
+    act.addField(recv_field, Type::object(recv_cls));
+
+    act.on("onCreate", [=](MethodBuilder &b) {
+        int rdb = b.newReg();
+        int rr = b.newReg();
+        int rs = b.newReg();
+        b.newObject(rdb, db_cls);
+        b.invoke(-1, InvokeKind::Special, {db_cls, "<init>", 0}, {rdb});
+        b.putField(b.thisReg(), fieldRef(act_cls, db_field), rdb);
+        b.newObject(rr, recv_cls);
+        b.invoke(-1, InvokeKind::Special, {recv_cls, "<init>", 0},
+                 {rr, b.thisReg()});
+        b.putField(b.thisReg(), fieldRef(act_cls, recv_field), rr);
+        b.constStr(rs, "org.sierra.DATA_READY");
+        b.call(b.thisReg(), act_cls, "registerReceiver", {rr, rs});
+    });
+    act.on("onStart", [=](MethodBuilder &b) {
+        int rdb = b.newReg();
+        b.getField(rdb, b.thisReg(), fieldRef(act_cls, db_field));
+        b.call(rdb, db_cls, "open");
+    });
+    act.on("onStop", [=](MethodBuilder &b) {
+        int rdb = b.newReg();
+        b.getField(rdb, b.thisReg(), fieldRef(act_cls, db_field));
+        b.call(rdb, db_cls, "close");
+    });
+    act.on("onDestroy", [=](MethodBuilder &b) {
+        int rr = b.newReg();
+        int rn = b.newReg();
+        b.getField(rr, b.thisReg(), fieldRef(act_cls, recv_field));
+        b.call(b.thisReg(), act_cls, "unregisterReceiver", {rr});
+        b.constNull(rn);
+        b.putField(b.thisReg(), fieldRef(act_cls, db_field), rn);
+    });
+
+    f.truth().add(db_cls + ".conn", SeedClass::TrueRace,
+                  "receiverDbRace: close(onStop) vs update(onReceive)");
+    f.truth().add(db_cls + ".isOpen", SeedClass::TrueRace,
+                  "receiverDbRace: guard variable race");
+    f.truth().add(act_cls + "." + db_field, SeedClass::TrueRace,
+                  "receiverDbRace: onDestroy null vs onReceive read");
+}
+
+// --------------------------------------------------------------------
+// Pattern: Fig. 8 guarded timer (refutable by symbolic execution).
+// --------------------------------------------------------------------
+void
+addGuardedTimer(AppFactory &f, ActivityBuilder &act)
+{
+    int n = f.nextUnique();
+    std::string timer_cls = "Timer$" + std::to_string(n);
+    std::string act_cls = act.name();
+    std::string timer_field = "timer$" + std::to_string(n);
+
+    air::Module &mod = f.app().module();
+
+    Klass *timer = mod.addClass(timer_cls, names::object);
+    timer->addInterface(names::runnable);
+    timer->addField({"mIsRunning", Type::intTy(), false});
+    timer->addField({"mAccumTime", Type::intTy(), false});
+    timer->addField({"handler", Type::object(names::handler), false});
+    emptyCtor(timer);
+    defineMethod(timer, "run", {}, Type::voidTy(), false,
+                 [&](MethodBuilder &b) {
+                     Label l_end = b.newLabel();
+                     Label l_else = b.newLabel();
+                     int r = b.newReg();
+                     b.getField(r, b.thisReg(),
+                                fieldRef(timer_cls, "mIsRunning"));
+                     b.ifz(r, CondKind::Eq, l_end);
+                     int rt = b.newReg();
+                     int rc = b.newReg();
+                     int rt2 = b.newReg();
+                     b.getField(rt, b.thisReg(),
+                                fieldRef(timer_cls, "mAccumTime"));
+                     b.constInt(rc, 10);
+                     b.binOp(rt2, air::BinOpKind::Add, rt, rc);
+                     b.putField(b.thisReg(),
+                                fieldRef(timer_cls, "mAccumTime"), rt2);
+                     int rnd = b.newReg();
+                     b.callStatic(rnd, "sierra.Nondet", "choose");
+                     b.ifz(rnd, CondKind::Eq, l_else);
+                     int rh = b.newReg();
+                     int rdel = b.newReg();
+                     b.getField(rh, b.thisReg(),
+                                fieldRef(timer_cls, "handler"));
+                     b.constInt(rdel, 100);
+                     b.call(rh, names::handler, "postDelayed",
+                            {b.thisReg(), rdel});
+                     b.gotoLabel(l_end);
+                     b.bind(l_else);
+                     int rz = b.newReg();
+                     b.constInt(rz, 0);
+                     b.putField(b.thisReg(),
+                                fieldRef(timer_cls, "mIsRunning"), rz);
+                     b.bind(l_end);
+                     b.retVoid();
+                 });
+    defineMethod(timer, "stop", {}, Type::voidTy(), false,
+                 [&](MethodBuilder &b) {
+                     Label l_end = b.newLabel();
+                     int r = b.newReg();
+                     b.getField(r, b.thisReg(),
+                                fieldRef(timer_cls, "mIsRunning"));
+                     b.ifz(r, CondKind::Eq, l_end);
+                     int rz = b.newReg();
+                     b.constInt(rz, 0);
+                     b.putField(b.thisReg(),
+                                fieldRef(timer_cls, "mIsRunning"), rz);
+                     int rz2 = b.newReg();
+                     b.constInt(rz2, 0);
+                     b.putField(b.thisReg(),
+                                fieldRef(timer_cls, "mAccumTime"), rz2);
+                     b.bind(l_end);
+                     b.retVoid();
+                 });
+
+    act.addField(timer_field, Type::object(timer_cls));
+
+    // The timer starts once, at creation (a single posting site keeps
+    // the pattern's ground truth crisp: the only unrefutable race left
+    // is the mIsRunning guard itself, as in the paper's Fig. 8).
+    act.on("onCreate", [=](MethodBuilder &b) {
+        int rt = b.newReg();
+        int rh = b.newReg();
+        int r1 = b.newReg();
+        b.newObject(rt, timer_cls);
+        b.invoke(-1, InvokeKind::Special, {timer_cls, "<init>", 0}, {rt});
+        b.newObject(rh, names::handler);
+        b.invoke(-1, InvokeKind::Special,
+                 {names::handler, "<init>", 0}, {rh});
+        b.putField(rt, fieldRef(timer_cls, "handler"), rh);
+        b.putField(b.thisReg(), fieldRef(act_cls, timer_field), rt);
+        b.constInt(r1, 1);
+        b.putField(rt, fieldRef(timer_cls, "mIsRunning"), r1);
+        b.getField(rh, rt, fieldRef(timer_cls, "handler"));
+        b.call(rh, names::handler, "post", {rt});
+    });
+    act.on("onPause", [=](MethodBuilder &b) {
+        int rt = b.newReg();
+        b.getField(rt, b.thisReg(), fieldRef(act_cls, timer_field));
+        b.call(rt, timer_cls, "stop");
+    });
+
+    f.truth().add(timer_cls + ".mIsRunning", SeedClass::TrueRace,
+                  "guardedTimer: guard variable race (benign)");
+    f.truth().add(timer_cls + ".mAccumTime", SeedClass::FpTrap,
+                  "guardedTimer: protected by mIsRunning; refutable");
+}
+
+// --------------------------------------------------------------------
+// Pattern: Message.what guard (on-demand constant propagation).
+// --------------------------------------------------------------------
+void
+addMessageGuard(AppFactory &f, ActivityBuilder &act)
+{
+    int n = f.nextUnique();
+    std::string handler_cls = "MsgHandler$" + std::to_string(n);
+    std::string act_cls = act.name();
+    std::string mh_field = "mh$" + std::to_string(n);
+    int w1 = f.nextViewId();
+    int w2 = f.nextViewId();
+    std::string send1 = "onSendOne$" + std::to_string(n);
+    std::string send2 = "onSendTwo$" + std::to_string(n);
+
+    air::Module &mod = f.app().module();
+
+    Klass *handler = mod.addClass(handler_cls, names::handler);
+    handler->addField({"flagA", Type::intTy(), false});
+    handler->addField({"flagB", Type::intTy(), false});
+    defineMethod(handler, "<init>", {}, Type::voidTy(), false,
+                 [&](MethodBuilder &b) {
+                     b.invoke(-1, InvokeKind::Special,
+                              {names::handler, "<init>", 0},
+                              {b.thisReg()});
+                 });
+    defineMethod(handler, "handleMessage",
+                 {Type::object(names::message)}, Type::voidTy(), false,
+                 [&](MethodBuilder &b) {
+                     Label l_two = b.newLabel();
+                     Label l_end = b.newLabel();
+                     int rw = b.newReg();
+                     int rc = b.newReg();
+                     b.getField(rw, b.paramReg(0),
+                                fieldRef(names::message, "what"));
+                     b.constInt(rc, 2);
+                     b.iff(rw, CondKind::Eq, rc, l_two);
+                     int r1 = b.newReg();
+                     b.constInt(r1, 1);
+                     b.putField(b.thisReg(),
+                                fieldRef(handler_cls, "flagA"), r1);
+                     b.gotoLabel(l_end);
+                     b.bind(l_two);
+                     int r2 = b.newReg();
+                     b.constInt(r2, 1);
+                     b.putField(b.thisReg(),
+                                fieldRef(handler_cls, "flagB"), r2);
+                     b.bind(l_end);
+                     b.retVoid();
+                 });
+
+    act.addField(mh_field, Type::object(handler_cls));
+    framework::Widget wa;
+    wa.id = w1;
+    wa.name = "btnOne$" + std::to_string(n);
+    wa.widgetClass = names::button;
+    wa.xmlOnClick = send1;
+    act.layout().addWidget(wa);
+    framework::Widget wb;
+    wb.id = w2;
+    wb.name = "btnTwo$" + std::to_string(n);
+    wb.widgetClass = names::button;
+    wb.xmlOnClick = send2;
+    act.layout().addWidget(wb);
+
+    act.on("onCreate", [=](MethodBuilder &b) {
+        int rm = b.newReg();
+        b.newObject(rm, handler_cls);
+        b.invoke(-1, InvokeKind::Special, {handler_cls, "<init>", 0},
+                 {rm});
+        b.putField(b.thisReg(), fieldRef(act_cls, mh_field), rm);
+    });
+
+    // XML onClick handlers take the clicked view as a parameter.
+    auto send_body = [=](MethodBuilder &b, int what, bool read_flag_b) {
+        int rh = b.newReg();
+        int rmsg = b.newReg();
+        int rc = b.newReg();
+        b.getField(rh, b.thisReg(), fieldRef(act_cls, mh_field));
+        b.callStatic(rmsg, names::message, "obtain");
+        b.constInt(rc, what);
+        b.putField(rmsg, fieldRef(names::message, "what"), rc);
+        b.call(rh, handler_cls, "sendMessage", {rmsg});
+        if (read_flag_b) {
+            int rb = b.newReg();
+            b.getField(rb, rh, fieldRef(handler_cls, "flagB"));
+        }
+    };
+    defineMethod(act.klass(), send1, {Type::object(names::view)},
+                 Type::voidTy(), false,
+                 [&](MethodBuilder &b) { send_body(b, 1, true); });
+    defineMethod(act.klass(), send2, {Type::object(names::view)},
+                 Type::voidTy(), false,
+                 [&](MethodBuilder &b) { send_body(b, 2, false); });
+
+    f.truth().add(handler_cls + ".flagB", SeedClass::TrueRace,
+                  "messageGuard: what=2 write vs gui read");
+    f.truth().add(handler_cls + ".flagA", SeedClass::FpTrap,
+                  "messageGuard: only what!=2 writes flagA; candidate "
+                  "pairs are refuted via message-what constants");
+}
+
+// --------------------------------------------------------------------
+// Pattern: posting order (HB rule 4 negative).
+// --------------------------------------------------------------------
+void
+addOrderedPosts(AppFactory &f, ActivityBuilder &act)
+{
+    int n = f.nextUnique();
+    std::string init_cls = "InitTask$" + std::to_string(n);
+    std::string use_cls = "UseTask$" + std::to_string(n);
+    std::string act_cls = act.name();
+    std::string cfg_field = "cfg$" + std::to_string(n);
+
+    air::Module &mod = f.app().module();
+
+    Klass *init = mod.addClass(init_cls, names::object);
+    init->addInterface(names::runnable);
+    init->addField({"act", Type::object(act_cls), false});
+    storingCtor(init, init_cls, "act", Type::object(act_cls));
+    defineMethod(init, "run", {}, Type::voidTy(), false,
+                 [&](MethodBuilder &b) {
+                     int ra = b.newReg();
+                     int rn = b.newReg();
+                     b.getField(ra, b.thisReg(),
+                                fieldRef(init_cls, "act"));
+                     b.newObject(rn, names::object);
+                     b.putField(ra, fieldRef(act_cls, cfg_field), rn);
+                 });
+
+    Klass *use = mod.addClass(use_cls, names::object);
+    use->addInterface(names::runnable);
+    use->addField({"act", Type::object(act_cls), false});
+    storingCtor(use, use_cls, "act", Type::object(act_cls));
+    defineMethod(use, "run", {}, Type::voidTy(), false,
+                 [&](MethodBuilder &b) {
+                     int ra = b.newReg();
+                     int r = b.newReg();
+                     b.getField(ra, b.thisReg(),
+                                fieldRef(use_cls, "act"));
+                     b.getField(r, ra, fieldRef(act_cls, cfg_field));
+                 });
+
+    act.addField(cfg_field, Type::object(names::object));
+    act.on("onCreate", [=](MethodBuilder &b) {
+        int rh = b.newReg();
+        int r1 = b.newReg();
+        int r2 = b.newReg();
+        b.newObject(rh, names::handler);
+        b.invoke(-1, InvokeKind::Special,
+                 {names::handler, "<init>", 0}, {rh});
+        b.newObject(r1, init_cls);
+        b.invoke(-1, InvokeKind::Special, {init_cls, "<init>", 0},
+                 {r1, b.thisReg()});
+        b.newObject(r2, use_cls);
+        b.invoke(-1, InvokeKind::Special, {use_cls, "<init>", 0},
+                 {r2, b.thisReg()});
+        // Posted in order: rule 4 orders the two actions, so the
+        // write/read on cfg$N is NOT a race.
+        b.call(rh, names::handler, "post", {r1});
+        b.call(rh, names::handler, "post", {r2});
+    });
+
+    f.truth().add(act_cls + "." + cfg_field, SeedClass::FpTrap,
+                  "orderedPosts: rule 4 orders the posted runnables");
+}
+
+// --------------------------------------------------------------------
+// Pattern: background thread vs. GUI read (true race).
+// --------------------------------------------------------------------
+void
+addThreadRace(AppFactory &f, ActivityBuilder &act)
+{
+    int n = f.nextUnique();
+    std::string worker_cls = "Worker$" + std::to_string(n);
+    std::string act_cls = act.name();
+    std::string result_field = "result$" + std::to_string(n);
+    std::string done_field = "done$" + std::to_string(n);
+    int wid = f.nextViewId();
+    std::string show = "onShow$" + std::to_string(n);
+
+    air::Module &mod = f.app().module();
+
+    Klass *worker = mod.addClass(worker_cls, names::thread);
+    worker->addField({"act", Type::object(act_cls), false});
+    storingCtor(worker, worker_cls, "act", Type::object(act_cls));
+    defineMethod(worker, "run", {}, Type::voidTy(), false,
+                 [&](MethodBuilder &b) {
+                     int ra = b.newReg();
+                     int rn = b.newReg();
+                     int r1 = b.newReg();
+                     b.getField(ra, b.thisReg(),
+                                fieldRef(worker_cls, "act"));
+                     b.newObject(rn, names::object);
+                     b.putField(ra, fieldRef(act_cls, result_field), rn);
+                     b.constInt(r1, 1);
+                     b.putField(ra, fieldRef(act_cls, done_field), r1);
+                 });
+
+    act.addField(result_field, Type::object(names::object));
+    act.addField(done_field, Type::intTy());
+    framework::Widget w;
+    w.id = wid;
+    w.name = "btnShow$" + std::to_string(n);
+    w.widgetClass = names::button;
+    w.xmlOnClick = show;
+    act.layout().addWidget(w);
+
+    act.on("onCreate", [=](MethodBuilder &b) {
+        int rn = b.newReg();
+        int rw = b.newReg();
+        b.constNull(rn);
+        b.putField(b.thisReg(), fieldRef(act_cls, result_field), rn);
+        b.newObject(rw, worker_cls);
+        b.invoke(-1, InvokeKind::Special, {worker_cls, "<init>", 0},
+                 {rw, b.thisReg()});
+        b.call(rw, worker_cls, "start");
+    });
+    defineMethod(act.klass(), show, {Type::object(names::view)},
+                 Type::voidTy(), false, [&](MethodBuilder &b) {
+                     int r1 = b.newReg();
+                     int r2 = b.newReg();
+                     b.getField(r1, b.thisReg(),
+                                fieldRef(act_cls, result_field));
+                     b.getField(r2, b.thisReg(),
+                                fieldRef(act_cls, done_field));
+                 });
+
+    f.truth().add(act_cls + "." + result_field, SeedClass::TrueRace,
+                  "threadRace: thread write vs gui read (ref)");
+    f.truth().add(act_cls + "." + done_field, SeedClass::TrueRace,
+                  "threadRace: thread write vs gui read");
+}
+
+// --------------------------------------------------------------------
+// Pattern: action-sensitivity ablation trap (paper Section 3.3).
+// --------------------------------------------------------------------
+void
+addActionAliasTrap(AppFactory &f, ActivityBuilder &act)
+{
+    int n = f.nextUnique();
+    std::string util_cls = "Util$" + std::to_string(n);
+    std::string buf_cls = "Buffer$" + std::to_string(n);
+    std::string act_cls = act.name();
+    int w1 = f.nextViewId();
+    int w2 = f.nextViewId();
+    std::string h1 = "onAlias1$" + std::to_string(n);
+    std::string h2 = "onAlias2$" + std::to_string(n);
+
+    air::Module &mod = f.app().module();
+
+    Klass *buf = mod.addClass(buf_cls, names::object);
+    buf->addField({"v", Type::intTy(), false});
+    emptyCtor(buf);
+
+    // Two call layers: with k=1 hybrid contexts the allocation in
+    // makeBuf merges across the two GUI actions; action-sensitivity
+    // keeps the objects distinct (the paper's foo()/bar() example).
+    Klass *util = mod.addClass(util_cls, names::object);
+    defineMethod(util, "makeBuf", {}, Type::object(buf_cls), true,
+                 [&](MethodBuilder &b) {
+                     int rb = b.newReg();
+                     b.newObject(rb, buf_cls);
+                     b.invoke(-1, InvokeKind::Special,
+                              {buf_cls, "<init>", 0}, {rb});
+                     b.ret(rb);
+                 });
+    defineMethod(util, "helper", {}, Type::object(buf_cls), true,
+                 [&](MethodBuilder &b) {
+                     int rb = b.newReg();
+                     b.callStatic(rb, util_cls, "makeBuf");
+                     b.ret(rb);
+                 });
+
+    framework::Widget wa;
+    wa.id = w1;
+    wa.name = "btnAlias1$" + std::to_string(n);
+    wa.widgetClass = names::button;
+    wa.xmlOnClick = h1;
+    act.layout().addWidget(wa);
+    framework::Widget wb;
+    wb.id = w2;
+    wb.name = "btnAlias2$" + std::to_string(n);
+    wb.widgetClass = names::button;
+    wb.xmlOnClick = h2;
+    act.layout().addWidget(wb);
+
+    auto body = [=](MethodBuilder &b) {
+        int rb = b.newReg();
+        int rv = b.newReg();
+        b.callStatic(rb, util_cls, "helper");
+        b.constInt(rv, 7);
+        b.putField(rb, fieldRef(buf_cls, "v"), rv);
+    };
+    defineMethod(act.klass(), h1, {Type::object(names::view)},
+                 Type::voidTy(), false, body);
+    defineMethod(act.klass(), h2, {Type::object(names::view)},
+                 Type::voidTy(), false, body);
+
+    f.truth().add(buf_cls + ".v", SeedClass::FpTrap,
+                  "actionAliasTrap: per-action buffers never alias; "
+                  "reported only without action-sensitivity");
+}
+
+// --------------------------------------------------------------------
+// Pattern: static field race between a service and the activity.
+// --------------------------------------------------------------------
+void
+addServiceStaticRace(AppFactory &f, ActivityBuilder &act)
+{
+    int n = f.nextUnique();
+    std::string cfg_cls = "Cfg$" + std::to_string(n);
+    std::string svc_cls = "SyncService$" + std::to_string(n);
+    std::string act_cls = act.name();
+
+    air::Module &mod = f.app().module();
+
+    Klass *cfg = mod.addClass(cfg_cls, names::object);
+    cfg->addField({"flag", Type::intTy(), true});
+
+    Klass *svc = mod.addClass(svc_cls, names::service);
+    emptyCtor(svc);
+    defineMethod(svc, "onStartCommand",
+                 {Type::object(names::intent)}, Type::intTy(), false,
+                 [&](MethodBuilder &b) {
+                     int r1 = b.newReg();
+                     b.constInt(r1, 1);
+                     b.putStatic(fieldRef(cfg_cls, "flag"), r1);
+                     int rz = b.newReg();
+                     b.constInt(rz, 0);
+                     b.ret(rz);
+                 });
+    f.addManifestService(svc_cls);
+
+    act.on("onResume", [=](MethodBuilder &b) {
+        int r = b.newReg();
+        b.getStatic(r, fieldRef(cfg_cls, "flag"));
+    });
+
+    f.truth().add(cfg_cls + ".flag", SeedClass::TrueRace,
+                  "serviceStaticRace: service write vs activity read");
+}
+
+// --------------------------------------------------------------------
+// Pattern: ordered lifecycle accesses (negative control).
+// --------------------------------------------------------------------
+void
+addLifecycleSafe(AppFactory &f, ActivityBuilder &act)
+{
+    int n = f.nextUnique();
+    std::string act_cls = act.name();
+    std::string field = "init$" + std::to_string(n);
+
+    act.addField(field, Type::object(names::object));
+    act.on("onCreate", [=](MethodBuilder &b) {
+        int rn = b.newReg();
+        b.newObject(rn, names::object);
+        b.putField(b.thisReg(), fieldRef(act_cls, field), rn);
+    });
+    act.on("onDestroy", [=](MethodBuilder &b) {
+        int r = b.newReg();
+        int rn = b.newReg();
+        b.getField(r, b.thisReg(), fieldRef(act_cls, field));
+        b.constNull(rn);
+        b.putField(b.thisReg(), fieldRef(act_cls, field), rn);
+    });
+
+    f.truth().add(act_cls + "." + field, SeedClass::FpTrap,
+                  "lifecycleSafe: onCreate < onDestroy orders accesses");
+}
+
+// --------------------------------------------------------------------
+// Pattern: enabledAfter GUI flow (negative control).
+// --------------------------------------------------------------------
+void
+addGuiFlowSafe(AppFactory &f, ActivityBuilder &act)
+{
+    int n = f.nextUnique();
+    std::string act_cls = act.name();
+    std::string field = "sel$" + std::to_string(n);
+    int w1 = f.nextViewId();
+    int w2 = f.nextViewId();
+    std::string h1 = "onPick$" + std::to_string(n);
+    std::string h2 = "onConfirm$" + std::to_string(n);
+
+    act.addField(field, Type::object(names::object));
+    framework::Widget wa;
+    wa.id = w1;
+    wa.name = "btnPick$" + std::to_string(n);
+    wa.widgetClass = names::button;
+    wa.xmlOnClick = h1;
+    act.layout().addWidget(wa);
+    framework::Widget wb;
+    wb.id = w2;
+    wb.name = "btnConfirm$" + std::to_string(n);
+    wb.widgetClass = names::button;
+    wb.xmlOnClick = h2;
+    wb.enabledAfter = {w1}; // confirm only reachable after pick
+    act.layout().addWidget(wb);
+
+    defineMethod(act.klass(), h1, {Type::object(names::view)},
+                 Type::voidTy(), false, [&](MethodBuilder &b) {
+                     int rn = b.newReg();
+                     b.newObject(rn, names::object);
+                     b.putField(b.thisReg(), fieldRef(act_cls, field),
+                                rn);
+                 });
+    defineMethod(act.klass(), h2, {Type::object(names::view)},
+                 Type::voidTy(), false, [&](MethodBuilder &b) {
+                     int r = b.newReg();
+                     b.getField(r, b.thisReg(),
+                                fieldRef(act_cls, field));
+                 });
+
+    f.truth().add(act_cls + "." + field, SeedClass::FpTrap,
+                  "guiFlowSafe: enabledAfter orders the GUI actions");
+}
+
+// --------------------------------------------------------------------
+// Pattern: implicit dependency (paper Section 6.5, the OpenManager FP).
+// A thread started in onCreate fills the list; the click handler can
+// only fire after the user sees the filled list, but no static (or
+// dynamic) happens-before captures that -- SIERRA reports the pair.
+// --------------------------------------------------------------------
+void
+addImplicitDepTrap(AppFactory &f, ActivityBuilder &act)
+{
+    int n = f.nextUnique();
+    std::string filler_cls = "Filler$" + std::to_string(n);
+    std::string act_cls = act.name();
+    std::string list_field = "list$" + std::to_string(n);
+    int wid = f.nextViewId();
+    std::string open = "onOpen$" + std::to_string(n);
+
+    air::Module &mod = f.app().module();
+    Klass *filler = mod.addClass(filler_cls, names::thread);
+    filler->addField({"act", Type::object(act_cls), false});
+    storingCtor(filler, filler_cls, "act", Type::object(act_cls));
+    defineMethod(filler, "run", {}, Type::voidTy(), false,
+                 [&](MethodBuilder &b) {
+                     int ra = b.newReg();
+                     int rn = b.newReg();
+                     b.getField(ra, b.thisReg(),
+                                fieldRef(filler_cls, "act"));
+                     b.newObject(rn, names::object);
+                     b.putField(ra, fieldRef(act_cls, list_field), rn);
+                 });
+
+    act.addField(list_field, Type::object(names::object));
+    framework::Widget w;
+    w.id = wid;
+    w.name = "lstOpen$" + std::to_string(n);
+    w.widgetClass = names::listView;
+    w.xmlOnClick = open;
+    act.layout().addWidget(w);
+
+    act.on("onCreate", [=](MethodBuilder &b) {
+        int rw = b.newReg();
+        b.newObject(rw, filler_cls);
+        b.invoke(-1, InvokeKind::Special, {filler_cls, "<init>", 0},
+                 {rw, b.thisReg()});
+        b.call(rw, filler_cls, "start");
+    });
+    defineMethod(act.klass(), open, {Type::object(names::view)},
+                 Type::voidTy(), false, [&](MethodBuilder &b) {
+                     int r = b.newReg();
+                     b.getField(r, b.thisReg(),
+                                fieldRef(act_cls, list_field));
+                 });
+
+    f.truth().add(act_cls + "." + list_field, SeedClass::KnownFp,
+                  "implicitDepTrap: the user clicks only after the "
+                  "fill; beyond static reasoning");
+}
+
+// --------------------------------------------------------------------
+// Pattern: index-insensitive container (paper Section 6.5's second FP
+// class). Two GUI handlers touch disjoint array slots; the analysis
+// merges all elements into one $elems location and reports a race.
+// --------------------------------------------------------------------
+void
+addArrayIndexTrap(AppFactory &f, ActivityBuilder &act)
+{
+    int n = f.nextUnique();
+    std::string slot_cls = "Slot$" + std::to_string(n);
+    std::string act_cls = act.name();
+    std::string arr_field = "slots$" + std::to_string(n);
+    int w1 = f.nextViewId();
+    int w2 = f.nextViewId();
+    std::string h1 = "onSlotA$" + std::to_string(n);
+    std::string h2 = "onSlotB$" + std::to_string(n);
+
+    air::Module &mod = f.app().module();
+    Klass *slot = mod.addClass(slot_cls, names::object);
+    emptyCtor(slot);
+
+    act.addField(arr_field, Type::array(slot_cls));
+    framework::Widget wa;
+    wa.id = w1;
+    wa.name = "btnSlotA$" + std::to_string(n);
+    wa.widgetClass = names::button;
+    wa.xmlOnClick = h1;
+    act.layout().addWidget(wa);
+    framework::Widget wb;
+    wb.id = w2;
+    wb.name = "btnSlotB$" + std::to_string(n);
+    wb.widgetClass = names::button;
+    wb.xmlOnClick = h2;
+    act.layout().addWidget(wb);
+
+    act.on("onCreate", [=](MethodBuilder &b) {
+        int rlen = b.newReg();
+        int rarr = b.newReg();
+        b.constInt(rlen, 4);
+        b.newArray(rarr, slot_cls, rlen);
+        b.putField(b.thisReg(), fieldRef(act_cls, arr_field), rarr);
+    });
+    auto handler = [=](int index) {
+        return [=](MethodBuilder &b) {
+            int rarr = b.newReg();
+            int ri = b.newReg();
+            int rs = b.newReg();
+            b.getField(rarr, b.thisReg(),
+                       fieldRef(act_cls, arr_field));
+            b.constInt(ri, index);
+            b.newObject(rs, slot_cls);
+            b.invoke(-1, InvokeKind::Special, {slot_cls, "<init>", 0},
+                     {rs});
+            b.arrayPut(rarr, ri, rs);
+        };
+    };
+    defineMethod(act.klass(), h1, {Type::object(names::view)},
+                 Type::voidTy(), false, handler(0));
+    defineMethod(act.klass(), h2, {Type::object(names::view)},
+                 Type::voidTy(), false, handler(1));
+
+    f.truth().add(slot_cls + "[].$elems", SeedClass::KnownFp,
+                  "arrayIndexTrap: disjoint indices merged by the "
+                  "index-insensitive heap model");
+}
+
+// --------------------------------------------------------------------
+// Pattern: per-event session objects through a helper chain. With
+// plain hybrid k=1 contexts the helper's allocation merges across GUI
+// actions (false aliasing, paper Section 3.3); action-sensitive
+// contexts keep the sessions separate. Amplifies the Table 3 column
+// 6-vs-7 ablation.
+// --------------------------------------------------------------------
+void
+addWorkSession(AppFactory &f, ActivityBuilder &act)
+{
+    int n = f.nextUnique();
+    std::string sess_cls = "Session$" + std::to_string(n);
+    std::string fac_cls = "SessFactory$" + std::to_string(n);
+    std::string act_cls = act.name();
+    int w1 = f.nextViewId();
+    int w2 = f.nextViewId();
+    int w3 = f.nextViewId();
+    std::string h1 = "onWork1$" + std::to_string(n);
+    std::string h2 = "onWork2$" + std::to_string(n);
+    std::string h3 = "onWork3$" + std::to_string(n);
+
+    air::Module &mod = f.app().module();
+    Klass *sess = mod.addClass(sess_cls, names::object);
+    sess->addField({"tag", Type::intTy(), false});
+    sess->addField({"payload", Type::object(names::object), false});
+    emptyCtor(sess);
+
+    Klass *fac = mod.addClass(fac_cls, names::object);
+    defineMethod(fac, "make", {}, Type::object(sess_cls), true,
+                 [&](MethodBuilder &b) {
+                     int rs = b.newReg();
+                     b.newObject(rs, sess_cls);
+                     b.invoke(-1, InvokeKind::Special,
+                              {sess_cls, "<init>", 0}, {rs});
+                     b.ret(rs);
+                 });
+    defineMethod(fac, "open", {}, Type::object(sess_cls), true,
+                 [&](MethodBuilder &b) {
+                     int rs = b.newReg();
+                     b.callStatic(rs, fac_cls, "make");
+                     b.ret(rs);
+                 });
+
+    auto add_widget = [&](int id, const std::string &cb) {
+        framework::Widget w;
+        w.id = id;
+        w.name = "btn" + cb;
+        w.widgetClass = names::button;
+        w.xmlOnClick = cb;
+        act.layout().addWidget(w);
+    };
+    add_widget(w1, h1);
+    add_widget(w2, h2);
+    add_widget(w3, h3);
+
+    auto body = [=](int tag) {
+        return [=](MethodBuilder &b) {
+            int rs = b.newReg();
+            int rv = b.newReg();
+            int rn = b.newReg();
+            int rr = b.newReg();
+            b.callStatic(rs, fac_cls, "open");
+            b.constInt(rv, tag);
+            b.putField(rs, fieldRef(sess_cls, "tag"), rv);
+            b.newObject(rn, names::object);
+            b.putField(rs, fieldRef(sess_cls, "payload"), rn);
+            b.getField(rr, rs, fieldRef(sess_cls, "tag"));
+        };
+    };
+    defineMethod(act.klass(), h1, {Type::object(names::view)},
+                 Type::voidTy(), false, body(1));
+    defineMethod(act.klass(), h2, {Type::object(names::view)},
+                 Type::voidTy(), false, body(2));
+    defineMethod(act.klass(), h3, {Type::object(names::view)},
+                 Type::voidTy(), false, body(3));
+
+    f.truth().add(sess_cls + ".tag", SeedClass::FpTrap,
+                  "workSession: per-action sessions never alias");
+    f.truth().add(sess_cls + ".payload", SeedClass::FpTrap,
+                  "workSession: per-action sessions never alias");
+}
+
+// --------------------------------------------------------------------
+// Pattern: ServiceConnection vs. lifecycle (bindService).
+// onServiceConnected caches the binder in an activity field that
+// onDestroy clears -- unordered, a true race (Table 1's
+// onServiceConnected row).
+// --------------------------------------------------------------------
+void
+addConnectionRace(AppFactory &f, ActivityBuilder &act)
+{
+    int n = f.nextUnique();
+    std::string conn_cls = "Conn$" + std::to_string(n);
+    std::string act_cls = act.name();
+    std::string binder_field = "binder$" + std::to_string(n);
+
+    air::Module &mod = f.app().module();
+    Klass *conn = mod.addClass(conn_cls, names::object);
+    conn->addInterface(names::serviceConnection);
+    conn->addField({"act", Type::object(act_cls), false});
+    storingCtor(conn, conn_cls, "act", Type::object(act_cls));
+    defineMethod(conn, "onServiceConnected",
+                 {Type::object(names::object)}, Type::voidTy(), false,
+                 [&](MethodBuilder &b) {
+                     int ra = b.newReg();
+                     b.getField(ra, b.thisReg(),
+                                fieldRef(conn_cls, "act"));
+                     b.putField(ra, fieldRef(act_cls, binder_field),
+                                b.paramReg(0));
+                 });
+    defineMethod(conn, "onServiceDisconnected",
+                 {Type::object(names::object)}, Type::voidTy(), false,
+                 [&](MethodBuilder &b) { (void)b; });
+
+    act.addField(binder_field, Type::object(names::object));
+    act.on("onCreate", [=](MethodBuilder &b) {
+        int rc = b.newReg();
+        int ri = b.newReg();
+        b.newObject(rc, conn_cls);
+        b.invoke(-1, InvokeKind::Special, {conn_cls, "<init>", 0},
+                 {rc, b.thisReg()});
+        b.newObject(ri, names::intent);
+        b.call(b.thisReg(), act_cls, "bindService", {ri, rc});
+    });
+    act.on("onDestroy", [=](MethodBuilder &b) {
+        int rn = b.newReg();
+        b.constNull(rn);
+        b.putField(b.thisReg(), fieldRef(act_cls, binder_field), rn);
+    });
+
+    f.truth().add(act_cls + "." + binder_field, SeedClass::TrueRace,
+                  "connectionRace: onServiceConnected write vs "
+                  "onDestroy null");
+}
+
+// --------------------------------------------------------------------
+// Pattern: Executor pool task vs. GUI read (Table 1's Runnable row).
+// --------------------------------------------------------------------
+void
+addExecutorRace(AppFactory &f, ActivityBuilder &act)
+{
+    int n = f.nextUnique();
+    std::string job_cls = "PoolJob$" + std::to_string(n);
+    std::string act_cls = act.name();
+    std::string out_field = "poolOut$" + std::to_string(n);
+    int wid = f.nextViewId();
+    std::string show = "onPool$" + std::to_string(n);
+
+    air::Module &mod = f.app().module();
+    Klass *job = mod.addClass(job_cls, names::object);
+    job->addInterface(names::runnable);
+    job->addField({"act", Type::object(act_cls), false});
+    storingCtor(job, job_cls, "act", Type::object(act_cls));
+    defineMethod(job, "run", {}, Type::voidTy(), false,
+                 [&](MethodBuilder &b) {
+                     int ra = b.newReg();
+                     int rn = b.newReg();
+                     b.getField(ra, b.thisReg(),
+                                fieldRef(job_cls, "act"));
+                     b.newObject(rn, names::object);
+                     b.putField(ra, fieldRef(act_cls, out_field), rn);
+                 });
+
+    act.addField(out_field, Type::object(names::object));
+    framework::Widget w;
+    w.id = wid;
+    w.name = "btnPool$" + std::to_string(n);
+    w.widgetClass = names::button;
+    w.xmlOnClick = show;
+    act.layout().addWidget(w);
+
+    act.on("onCreate", [=](MethodBuilder &b) {
+        int rj = b.newReg();
+        b.newObject(rj, job_cls);
+        b.invoke(-1, InvokeKind::Special, {job_cls, "<init>", 0},
+                 {rj, b.thisReg()});
+        // Submit through the Executor interface (invoke-interface).
+        int rexec = b.newReg();
+        b.newObject(rexec, names::executor);
+        b.invoke(-1, InvokeKind::Interface,
+                 {names::executor, "execute", 0}, {rexec, rj});
+    });
+    defineMethod(act.klass(), show, {Type::object(names::view)},
+                 Type::voidTy(), false, [&](MethodBuilder &b) {
+                     int r = b.newReg();
+                     b.getField(r, b.thisReg(),
+                                fieldRef(act_cls, out_field));
+                 });
+
+    f.truth().add(act_cls + "." + out_field, SeedClass::TrueRace,
+                  "executorRace: pool write vs gui read");
+}
+
+// --------------------------------------------------------------------
+// Pattern: HandlerThread (custom background looper). Two GUI handlers
+// post jobs touching shared state to the same background looper: the
+// posts are unordered (true event race on the custom looper). Jobs
+// posted in order from onCreate are FIFO-ordered (rule 4 negative).
+// --------------------------------------------------------------------
+void
+addHandlerThreadRace(AppFactory &f, ActivityBuilder &act)
+{
+    int n = f.nextUnique();
+    std::string act_cls = act.name();
+    std::string job_a = "BgJobA$" + std::to_string(n);
+    std::string job_b = "BgJobB$" + std::to_string(n);
+    std::string init1 = "BgInit1$" + std::to_string(n);
+    std::string init2 = "BgInit2$" + std::to_string(n);
+    std::string handler_field = "bgHandler$" + std::to_string(n);
+    std::string shared_field = "bgShared$" + std::to_string(n);
+    std::string cfg_field = "bgCfg$" + std::to_string(n);
+    int w1 = f.nextViewId();
+    int w2 = f.nextViewId();
+    std::string h1 = "onBgA$" + std::to_string(n);
+    std::string h2 = "onBgB$" + std::to_string(n);
+
+    air::Module &mod = f.app().module();
+    auto make_runnable = [&](const std::string &cls,
+                             const std::string &field, bool write) {
+        Klass *k = mod.addClass(cls, names::object);
+        k->addInterface(names::runnable);
+        k->addField({"act", Type::object(act_cls), false});
+        storingCtor(k, cls, "act", Type::object(act_cls));
+        defineMethod(k, "run", {}, Type::voidTy(), false,
+                     [&](MethodBuilder &b) {
+                         int ra = b.newReg();
+                         b.getField(ra, b.thisReg(),
+                                    fieldRef(cls, "act"));
+                         if (write) {
+                             int rn = b.newReg();
+                             b.newObject(rn, names::object);
+                             b.putField(ra, fieldRef(act_cls, field),
+                                        rn);
+                         } else {
+                             int r = b.newReg();
+                             b.getField(r, ra,
+                                        fieldRef(act_cls, field));
+                         }
+                     });
+    };
+    make_runnable(job_a, shared_field, true);
+    make_runnable(job_b, shared_field, true);
+    make_runnable(init1, cfg_field, true);
+    make_runnable(init2, cfg_field, false);
+
+    act.addField(handler_field, Type::object(names::handler));
+    act.addField(shared_field, Type::object(names::object));
+    act.addField(cfg_field, Type::object(names::object));
+    framework::Widget wa;
+    wa.id = w1;
+    wa.name = "btnBgA$" + std::to_string(n);
+    wa.widgetClass = names::button;
+    wa.xmlOnClick = h1;
+    act.layout().addWidget(wa);
+    framework::Widget wb;
+    wb.id = w2;
+    wb.name = "btnBgB$" + std::to_string(n);
+    wb.widgetClass = names::button;
+    wb.xmlOnClick = h2;
+    act.layout().addWidget(wb);
+
+    act.on("onCreate", [=](MethodBuilder &b) {
+        int rt = b.newReg();
+        int rs = b.newReg();
+        int rl = b.newReg();
+        int rh = b.newReg();
+        b.newObject(rt, names::handlerThread);
+        b.constStr(rs, "bg-worker");
+        b.invoke(-1, InvokeKind::Special,
+                 {names::handlerThread, "<init>", 0}, {rt, rs});
+        b.call(rt, names::handlerThread, "start");
+        b.callTo(rl, rt, names::handlerThread, "getLooper");
+        b.newObject(rh, names::handler);
+        b.invoke(-1, InvokeKind::Special,
+                 {names::handler, "<init>", 0}, {rh, rl});
+        b.putField(b.thisReg(), fieldRef(act_cls, handler_field), rh);
+        // Ordered posts: init1 (write) then init2 (read) -- FIFO on
+        // the background looper, so no race on the cfg field.
+        int r1 = b.newReg();
+        int r2 = b.newReg();
+        b.newObject(r1, init1);
+        b.invoke(-1, InvokeKind::Special, {init1, "<init>", 0},
+                 {r1, b.thisReg()});
+        b.newObject(r2, init2);
+        b.invoke(-1, InvokeKind::Special, {init2, "<init>", 0},
+                 {r2, b.thisReg()});
+        b.call(rh, names::handler, "post", {r1});
+        b.call(rh, names::handler, "post", {r2});
+    });
+    auto click_body = [=](const std::string &job_cls) {
+        return [=](MethodBuilder &b) {
+            int rh = b.newReg();
+            int rj = b.newReg();
+            b.getField(rh, b.thisReg(),
+                       fieldRef(act_cls, handler_field));
+            b.newObject(rj, job_cls);
+            b.invoke(-1, InvokeKind::Special, {job_cls, "<init>", 0},
+                     {rj, b.thisReg()});
+            b.call(rh, names::handler, "post", {rj});
+        };
+    };
+    defineMethod(act.klass(), h1, {Type::object(names::view)},
+                 Type::voidTy(), false, click_body(job_a));
+    defineMethod(act.klass(), h2, {Type::object(names::view)},
+                 Type::voidTy(), false, click_body(job_b));
+
+    f.truth().add(act_cls + "." + shared_field, SeedClass::TrueRace,
+                  "handlerThreadRace: unordered posts on a custom "
+                  "looper");
+    f.truth().add(act_cls + "." + cfg_field, SeedClass::FpTrap,
+                  "handlerThreadRace: FIFO-ordered posts (rule 4)");
+}
+
+const std::vector<PatternEntry> &
+patternCatalog()
+{
+    static const std::vector<PatternEntry> catalog = {
+        {"asyncNewsRace", &addAsyncNewsRace, 3, 0},
+        {"receiverDbRace", &addReceiverDbRace, 3, 0},
+        {"guardedTimer", &addGuardedTimer, 1, 1},
+        {"messageGuard", &addMessageGuard, 1, 1},
+        {"orderedPosts", &addOrderedPosts, 0, 1},
+        {"threadRace", &addThreadRace, 2, 0},
+        {"actionAliasTrap", &addActionAliasTrap, 0, 1},
+        {"serviceStaticRace", &addServiceStaticRace, 1, 0},
+        {"lifecycleSafe", &addLifecycleSafe, 0, 1},
+        {"guiFlowSafe", &addGuiFlowSafe, 0, 1},
+        {"implicitDepTrap", &addImplicitDepTrap, 0, 1},
+        {"connectionRace", &addConnectionRace, 1, 0},
+        {"handlerThreadRace", &addHandlerThreadRace, 1, 1},
+        {"executorRace", &addExecutorRace, 1, 0},
+        {"arrayIndexTrap", &addArrayIndexTrap, 0, 1},
+        {"workSession", &addWorkSession, 0, 2},
+    };
+    return catalog;
+}
+
+} // namespace sierra::corpus

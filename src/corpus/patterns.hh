@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Race patterns for corpus apps.
+ *
+ * Each pattern injects classes/callbacks into an activity and seeds the
+ * app's ground truth. The catalog mirrors the paper's scenarios:
+ *
+ *  - asyncNewsRace      Fig. 1: AsyncTask vs. scroll on an adapter
+ *  - receiverDbRace     Fig. 2: BroadcastReceiver vs. lifecycle DB
+ *  - guardedTimer       Fig. 8: ad-hoc sync refutable by symbolic exec
+ *  - messageGuard       Section 5: Message.what constant propagation
+ *  - orderedPosts       HB rule 4 negative (posting order)
+ *  - threadRace         background thread vs. GUI read
+ *  - actionAliasTrap    Section 3.3: action-sensitivity ablation
+ *  - serviceStaticRace  static field, service vs. activity
+ *  - lifecycleSafe      ordered lifecycle accesses (negative)
+ *  - guiFlowSafe        enabledAfter GUI ordering (negative)
+ *  - implicitDepTrap    Section 6.5: implicit dependency (known FP)
+ *  - connectionRace     onServiceConnected vs onDestroy (true race)
+ *  - handlerThreadRace  custom background looper (HandlerThread):
+ *                       unordered posts race, FIFO posts do not
+ *  - executorRace       Executor pool task vs GUI read (true race)
+ *  - arrayIndexTrap     Section 6.5: index-insensitive array (known FP)
+ *  - workSession        Section 3.3 ablation amplifier (per-action
+ *                       sessions falsely alias without AS contexts)
+ */
+
+#ifndef SIERRA_CORPUS_PATTERNS_HH
+#define SIERRA_CORPUS_PATTERNS_HH
+
+#include "app_factory.hh"
+
+namespace sierra::corpus {
+
+void addAsyncNewsRace(AppFactory &f, ActivityBuilder &act);
+void addReceiverDbRace(AppFactory &f, ActivityBuilder &act);
+void addGuardedTimer(AppFactory &f, ActivityBuilder &act);
+void addMessageGuard(AppFactory &f, ActivityBuilder &act);
+void addOrderedPosts(AppFactory &f, ActivityBuilder &act);
+void addThreadRace(AppFactory &f, ActivityBuilder &act);
+void addActionAliasTrap(AppFactory &f, ActivityBuilder &act);
+void addServiceStaticRace(AppFactory &f, ActivityBuilder &act);
+void addLifecycleSafe(AppFactory &f, ActivityBuilder &act);
+void addGuiFlowSafe(AppFactory &f, ActivityBuilder &act);
+void addImplicitDepTrap(AppFactory &f, ActivityBuilder &act);
+void addConnectionRace(AppFactory &f, ActivityBuilder &act);
+void addHandlerThreadRace(AppFactory &f, ActivityBuilder &act);
+void addExecutorRace(AppFactory &f, ActivityBuilder &act);
+void addArrayIndexTrap(AppFactory &f, ActivityBuilder &act);
+void addWorkSession(AppFactory &f, ActivityBuilder &act);
+
+/** All pattern functions, for sweep-style corpus generation. */
+using PatternFn = void (*)(AppFactory &, ActivityBuilder &);
+struct PatternEntry {
+    const char *name;
+    PatternFn fn;
+    int seededTrueRaces; //!< TrueRace locations this pattern seeds
+    int seededTraps;     //!< FpTrap locations this pattern seeds
+};
+const std::vector<PatternEntry> &patternCatalog();
+
+} // namespace sierra::corpus
+
+#endif // SIERRA_CORPUS_PATTERNS_HH

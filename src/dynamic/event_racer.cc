@@ -1,0 +1,145 @@
+#include "event_racer.hh"
+
+#include <map>
+#include <set>
+
+#include "air/logging.hh"
+
+namespace sierra::dynamic {
+
+namespace {
+
+/** Reachability closure over the trace's HB edges (events are few). */
+class HbClosure
+{
+  public:
+    explicit HbClosure(const Trace &trace)
+    {
+        const int n = static_cast<int>(trace.events.size());
+        _words = (n + 63) / 64;
+        _reach.assign(n, std::vector<uint64_t>(_words, 0));
+        // Events are created in execution order, so predecessors always
+        // have smaller ids: one forward pass closes the relation.
+        for (int e = 0; e < n; ++e) {
+            for (int p : trace.events[e].hbPreds) {
+                if (p < 0 || p >= n)
+                    continue;
+                _reach[e][p >> 6] |= uint64_t(1) << (p & 63);
+                for (size_t w = 0; w < _words; ++w)
+                    _reach[e][w] |= _reach[p][w];
+            }
+        }
+    }
+
+    bool
+    ordered(int a, int b) const
+    {
+        if (a == b)
+            return true;
+        return bit(a, b) || bit(b, a);
+    }
+
+  private:
+    bool
+    bit(int a, int b) const
+    {
+        return (_reach[a][b >> 6] >> (b & 63)) & 1;
+    }
+
+    size_t _words{0};
+    std::vector<std::vector<uint64_t>> _reach;
+};
+
+} // namespace
+
+std::vector<DynamicRace>
+detectRaces(const Trace &trace, bool coverage_filter)
+{
+    HbClosure hb(trace);
+    std::vector<DynamicRace> out;
+    std::set<std::tuple<std::string, std::string, std::string>> seen;
+
+    // Group accesses per location to keep the pair scan tight.
+    std::map<std::pair<int, std::string>, std::vector<int>> by_loc;
+    for (size_t i = 0; i < trace.accesses.size(); ++i) {
+        const TraceAccess &a = trace.accesses[i];
+        by_loc[{a.obj, a.key}].push_back(static_cast<int>(i));
+    }
+
+    for (const auto &[loc, indices] : by_loc) {
+        for (size_t ii = 0; ii < indices.size(); ++ii) {
+            for (size_t jj = ii + 1; jj < indices.size(); ++jj) {
+                const TraceAccess &x = trace.accesses[indices[ii]];
+                const TraceAccess &y = trace.accesses[indices[jj]];
+                if (!x.isWrite && !y.isWrite)
+                    continue;
+                if (x.event == y.event)
+                    continue;
+                if (hb.ordered(x.event, y.event))
+                    continue;
+                DynamicRace race;
+                race.fieldKey = x.key;
+                race.event1 = trace.events[x.event].label;
+                race.event2 = trace.events[y.event].label;
+                race.site1 = x.site;
+                race.site2 = y.site;
+                if (coverage_filter &&
+                    trace.primitiveGuards.count(loc)) {
+                    // "Race coverage": the variable guards a branch the
+                    // detector observed; EventRacer reasons only about
+                    // primitive variables here.
+                    race.filteredByCoverage = true;
+                }
+                auto key = std::make_tuple(
+                    std::min(x.site, y.site), std::max(x.site, y.site),
+                    x.key);
+                if (seen.insert(key).second)
+                    out.push_back(std::move(race));
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<std::string>
+EventRacerReport::raceKeys() const
+{
+    std::set<std::string> keys;
+    for (const auto &race : races) {
+        if (!race.filteredByCoverage)
+            keys.insert(race.fieldKey);
+    }
+    return {keys.begin(), keys.end()};
+}
+
+EventRacerReport
+runEventRacer(const framework::App &app,
+              const EventRacerOptions &options)
+{
+    EventRacerReport report;
+    std::set<std::tuple<std::string, std::string, std::string>> seen;
+
+    for (int s = 0; s < options.numSchedules; ++s) {
+        RunOptions run = options.run;
+        run.seed = options.run.seed + static_cast<uint32_t>(s) * 7919;
+        Interpreter interp(app, run);
+        Trace trace = interp.run();
+        ++report.schedulesRun;
+        report.eventsExecuted +=
+            static_cast<int64_t>(trace.events.size());
+
+        auto races =
+            detectRaces(trace, options.raceCoverageFilter);
+        for (auto &race : races) {
+            ++report.rawRaceCount;
+            auto key = std::make_tuple(
+                std::min(race.site1, race.site2),
+                std::max(race.site1, race.site2), race.fieldKey);
+            if (seen.insert(key).second)
+                report.races.push_back(std::move(race));
+        }
+    }
+    return report;
+}
+
+} // namespace sierra::dynamic

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * A dynamic event-race detector in the style of EventRacer Android
+ * (Bielik et al., OOPSLA'15) -- the comparison baseline of paper
+ * Section 6.4.
+ *
+ * The detector runs the interpreter under a handful of randomized
+ * schedules, computes the happens-before closure of each trace (creation
+ * edges, same-creator FIFO, lifecycle chains), and reports conflicting
+ * accesses from unordered events. Its "race coverage" analogue filters
+ * races on variables it observed guarding branches -- but, like the real
+ * tool, only for primitive-typed variables, so pointer-guarded ad-hoc
+ * synchronization still produces false positives (paper: 102 of 182
+ * EventRacer reports). Being dynamic, it only sees code the schedules
+ * actually executed -- the source of its false negatives.
+ */
+
+#ifndef SIERRA_DYNAMIC_EVENT_RACER_HH
+#define SIERRA_DYNAMIC_EVENT_RACER_HH
+
+#include <string>
+#include <vector>
+
+#include "interpreter.hh"
+
+namespace sierra::dynamic {
+
+/** One dynamic race report. */
+struct DynamicRace {
+    std::string fieldKey; //!< canonical "Class.field"
+    std::string event1;   //!< labels of the two racing events
+    std::string event2;
+    std::string site1;
+    std::string site2;
+    bool filteredByCoverage{false};
+};
+
+/** Detector options. */
+struct EventRacerOptions {
+    RunOptions run;
+    int numSchedules{3};
+    bool raceCoverageFilter{true};
+};
+
+/** Aggregate result over all schedules. */
+struct EventRacerReport {
+    std::vector<DynamicRace> races; //!< after coverage filtering
+    int rawRaceCount{0};            //!< before coverage filtering
+    int schedulesRun{0};
+    int64_t eventsExecuted{0};
+
+    /** Distinct field keys among (unfiltered) reports. */
+    std::vector<std::string> raceKeys() const;
+};
+
+/** Run the dynamic detector over one app. */
+EventRacerReport runEventRacer(const framework::App &app,
+                               const EventRacerOptions &options = {});
+
+/** Detect races in a single trace (exposed for unit tests). */
+std::vector<DynamicRace> detectRaces(const Trace &trace,
+                                     bool coverage_filter);
+
+} // namespace sierra::dynamic
+
+#endif // SIERRA_DYNAMIC_EVENT_RACER_HH

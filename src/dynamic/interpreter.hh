@@ -1,0 +1,170 @@
+/**
+ * @file
+ * An event-driven interpreter for AIR apps.
+ *
+ * This is the substrate for the dynamic race detector (the paper's
+ * EventRacer Android comparison, Section 6.4): it actually executes the
+ * app's code under a randomized event schedule -- lifecycle transitions,
+ * GUI events, message/runnable delivery, background threads, broadcast
+ * and service events -- and records a trace of events, happens-before
+ * edges and memory accesses.
+ *
+ * Events execute atomically (the looper guarantee); background bodies
+ * are also executed atomically but are unordered against concurrent
+ * events in the trace's happens-before relation, which is what the race
+ * detector consumes.
+ */
+
+#ifndef SIERRA_DYNAMIC_INTERPRETER_HH
+#define SIERRA_DYNAMIC_INTERPRETER_HH
+
+#include <deque>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/class_hierarchy.hh"
+#include "framework/app.hh"
+#include "framework/known_api.hh"
+#include "framework/lifecycle.hh"
+#include "value.hh"
+
+namespace sierra::dynamic {
+
+/** One executed event (trace node). */
+struct TraceEvent {
+    int id{-1};
+    std::string label;       //!< e.g. "MainActivity.onCreate"
+    std::string kind;        //!< lifecycle/gui/post/message/thread/...
+    bool onMainLooper{true};
+    int creator{-1};         //!< event that enqueued/enabled this one
+    //! ids of events that happen-before this one (direct edges)
+    std::vector<int> hbPreds;
+};
+
+/** One memory access in the trace. */
+struct TraceAccess {
+    int event{-1};
+    int obj{-1};             //!< heap index; -1 for statics
+    std::string key;         //!< canonical "Class.field"
+    bool isWrite{false};
+    std::string site;        //!< "Class.method@idx"
+};
+
+/** A full execution trace of one schedule. */
+struct Trace {
+    std::vector<TraceEvent> events;
+    std::vector<TraceAccess> accesses;
+    //! (obj, key) pairs observed as branch guards, split by whether the
+    //! guarded variable is primitive (race-coverage filter material)
+    std::set<std::pair<int, std::string>> primitiveGuards;
+    std::set<std::pair<int, std::string>> referenceGuards;
+};
+
+/** Interpreter/scheduler options. */
+struct RunOptions {
+    uint32_t seed{1};
+    int maxEvents{160};      //!< events per schedule
+    int maxStepsPerEvent{20000};
+    int maxCallDepth{64};
+};
+
+/**
+ * Executes one app under one randomized schedule and yields the trace.
+ */
+class Interpreter
+{
+  public:
+    Interpreter(const framework::App &app, RunOptions options);
+
+    /** Run one schedule to completion. */
+    Trace run();
+
+    /**
+     * Evaluate one static method directly (no scheduling) -- a
+     * debugging/testing entry point for AIR code. Accesses it performs
+     * are recorded under a single synthetic event.
+     */
+    Value evalStatic(const std::string &class_name,
+                     const std::string &method_name,
+                     std::vector<Value> args = {});
+
+    /** Read a static field after evalStatic/run (null if unset). */
+    Value staticField(const std::string &key) const;
+
+  private:
+    struct PendingEvent {
+        std::string label;
+        std::string kind;
+        const air::Method *method{nullptr};
+        std::vector<Value> args;
+        bool onMainLooper{true};
+        int looperRef{-1};//!< heap ref of the target looper; -1 = main
+        int creator{-1};
+        int queueSeq{-1}; //!< FIFO position on its looper queue
+        //! AsyncTask continuation: post onPostExecute when done
+        int asyncTaskRef{-1};
+    };
+
+    int newObject(const std::string &klass);
+    Value invoke(const air::Method *method, std::vector<Value> args,
+                 int depth);
+    Value intrinsic(framework::ApiKind kind,
+                    const air::Instruction &instr,
+                    const air::Method *caller,
+                    const std::vector<Value> &args);
+    void record(int obj, const std::string &key, bool is_write,
+                const air::Method *m, int idx);
+    std::string fieldKeyOf(int obj, const air::FieldRef &ref) const;
+
+    /** Enqueue an event; returns its pending index. */
+    void post(PendingEvent ev);
+    /** Execute one pending event, assigning a trace id. */
+    void execute(PendingEvent ev);
+
+    void driveActivity(const std::string &activity);
+    void fireLifecycle(int act_ref, const std::string &activity,
+                       const std::string &cb, int creator);
+
+    const framework::App &_app;
+    RunOptions _opts;
+    std::mt19937 _rng;
+    analysis::ClassHierarchy _cha;
+    framework::LifecycleModel _lifecycle;
+
+    std::vector<RtObject> _heap;
+    std::map<std::string, Value> _statics;
+    std::map<int, int> _viewObjects; //!< view id -> heap ref
+
+    //! per-looper FIFOs of posted events (-1 = the main looper)
+    std::map<int, std::deque<PendingEvent>> _looperQueues;
+    //! canonical main-looper object (lazily created)
+    int _mainLooperRef{-1};
+    int looperOfHandler(int handler_ref);
+    //! started-but-not-executed background bodies
+    std::vector<PendingEvent> _background;
+    //! registered listeners: (view ref, callback, listener ref)
+    struct ListenerReg {
+        int view;
+        std::string callback;
+        int listener;
+        int registrar; //!< event that registered it
+    };
+    std::vector<ListenerReg> _listeners;
+    //! registered broadcast receivers (heap refs) + registering event
+    std::vector<std::pair<int, int>> _receivers;
+
+    Trace _trace;
+    int _currentEvent{-1};
+    int _queueSeqCounter{0};
+    int _eventBudget{0};
+    //! (creator event, looper) -> last executed event it posted there
+    std::map<std::pair<int, int>, int> _lastPostedBy;
+    //! provenance of the registers in the current frame (guards)
+    struct Frame;
+};
+
+} // namespace sierra::dynamic
+
+#endif // SIERRA_DYNAMIC_INTERPRETER_HH

@@ -1,0 +1,107 @@
+#include "race_verifier.hh"
+
+#include <map>
+#include <set>
+
+namespace sierra::dynamic {
+
+const VerifiedRace *
+RaceVerificationReport::find(const std::string &key) const
+{
+    for (const auto &race : races) {
+        if (race.fieldKey == key)
+            return &race;
+    }
+    return nullptr;
+}
+
+RaceVerificationReport
+verifyRacesDynamically(const framework::App &app,
+                       const std::vector<std::string> &race_keys,
+                       const RaceVerifierOptions &options)
+{
+    // Per key: the site pairs observed in conflict, with the order(s)
+    // seen. A pair observed as (a before b) in one schedule and
+    // (b before a) in another is a confirmed order nondeterminism.
+    // Limitation: orders are merged across heap objects sharing the
+    // key (object identities are not stable across schedules), so two
+    // objects each seen in one opposite order can over-confirm.
+    struct PairOrders {
+        bool forward{false};
+        bool backward{false};
+    };
+    std::map<std::string, std::map<std::pair<std::string, std::string>,
+                                   PairOrders>>
+        orders;
+    std::map<std::string, int> schedules_with_conflict;
+    std::set<std::string> wanted(race_keys.begin(), race_keys.end());
+
+    for (int s = 0; s < options.numSchedules; ++s) {
+        RunOptions run = options.run;
+        run.seed = options.run.seed + static_cast<uint32_t>(s) * 6151;
+        Interpreter interp(app, run);
+        Trace trace = interp.run();
+
+        // First conflicting occurrence order per (key, site pair) in
+        // this schedule, in trace order.
+        std::map<std::pair<int, std::string>,
+                 std::vector<const TraceAccess *>>
+            by_loc;
+        for (const auto &a : trace.accesses) {
+            if (wanted.count(a.key))
+                by_loc[{a.obj, a.key}].push_back(&a);
+        }
+        std::set<std::string> conflicted_keys;
+        for (const auto &[loc, accesses] : by_loc) {
+            for (size_t i = 0; i < accesses.size(); ++i) {
+                for (size_t j = i + 1; j < accesses.size(); ++j) {
+                    const TraceAccess &x = *accesses[i];
+                    const TraceAccess &y = *accesses[j];
+                    if (!x.isWrite && !y.isWrite)
+                        continue;
+                    if (x.event == y.event)
+                        continue;
+                    conflicted_keys.insert(x.key);
+                    // x executed before y in this schedule.
+                    auto pair_key =
+                        std::make_pair(std::min(x.site, y.site),
+                                       std::max(x.site, y.site));
+                    PairOrders &po = orders[x.key][pair_key];
+                    if (x.site <= y.site)
+                        po.forward = true;
+                    else
+                        po.backward = true;
+                }
+            }
+        }
+        for (const auto &key : conflicted_keys)
+            ++schedules_with_conflict[key];
+    }
+
+    RaceVerificationReport report;
+    for (const auto &key : race_keys) {
+        VerifiedRace v;
+        v.fieldKey = key;
+        auto sit = schedules_with_conflict.find(key);
+        v.schedulesWithConflict =
+            sit == schedules_with_conflict.end() ? 0 : sit->second;
+        v.conflictObserved = v.schedulesWithConflict > 0;
+        auto oit = orders.find(key);
+        if (oit != orders.end()) {
+            for (const auto &[pair_key, po] : oit->second) {
+                if (po.forward && po.backward)
+                    v.bothOrdersObserved = true;
+            }
+        }
+        if (v.bothOrdersObserved)
+            ++report.confirmed;
+        else if (v.conflictObserved)
+            ++report.observed;
+        else
+            ++report.unobserved;
+        report.races.push_back(std::move(v));
+    }
+    return report;
+}
+
+} // namespace sierra::dynamic

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Dynamic verification of statically-reported races (the combination
+ * the paper proposes in Section 6.4: "the static approach can find
+ * over-approximate candidate races which the dynamic approach can
+ * then verify", citing the authors' deterministic-replay work).
+ *
+ * For each statically-reported race location the verifier runs a batch
+ * of randomized schedules and looks for *order nondeterminism*: the
+ * same pair of conflicting access sites observed in both orders across
+ * schedules. A race confirmed this way is certainly real; an
+ * unconfirmed one may still be real (schedules are not exhaustive --
+ * the dynamic tool's usual caveat).
+ */
+
+#ifndef SIERRA_DYNAMIC_RACE_VERIFIER_HH
+#define SIERRA_DYNAMIC_RACE_VERIFIER_HH
+
+#include <string>
+#include <vector>
+
+#include "interpreter.hh"
+
+namespace sierra::dynamic {
+
+/** Verification status of one reported race location. */
+struct VerifiedRace {
+    std::string fieldKey;
+    bool conflictObserved{false};  //!< conflicting accesses executed
+    bool bothOrdersObserved{false};//!< ...in both orders across runs
+    int schedulesWithConflict{0};
+};
+
+/** Verifier options. */
+struct RaceVerifierOptions {
+    RunOptions run;
+    int numSchedules{8};
+};
+
+/** Aggregate result. */
+struct RaceVerificationReport {
+    std::vector<VerifiedRace> races;
+    int confirmed{0};   //!< bothOrdersObserved
+    int observed{0};    //!< conflictObserved but single order
+    int unobserved{0};  //!< never executed a conflict
+
+    const VerifiedRace *find(const std::string &key) const;
+};
+
+/**
+ * Run randomized schedules and classify each reported race key.
+ * `race_keys` are canonical "Class.field" locations (e.g. the
+ * surviving keys of an AppReport).
+ */
+RaceVerificationReport
+verifyRacesDynamically(const framework::App &app,
+                       const std::vector<std::string> &race_keys,
+                       const RaceVerifierOptions &options = {});
+
+} // namespace sierra::dynamic
+
+#endif // SIERRA_DYNAMIC_RACE_VERIFIER_HH

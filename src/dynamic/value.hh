@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Runtime values and heap objects for the AIR interpreter.
+ */
+
+#ifndef SIERRA_DYNAMIC_VALUE_HH
+#define SIERRA_DYNAMIC_VALUE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sierra::dynamic {
+
+/** A runtime value: null, integer, string, or heap reference. */
+struct Value {
+    enum class Kind { Null, Int, Str, Ref };
+    Kind kind{Kind::Null};
+    int64_t i{0};
+    std::string s;
+    int ref{-1}; //!< heap object index
+
+    static Value null() { return {}; }
+    static Value
+    ofInt(int64_t v)
+    {
+        Value out;
+        out.kind = Kind::Int;
+        out.i = v;
+        return out;
+    }
+    static Value
+    ofStr(std::string v)
+    {
+        Value out;
+        out.kind = Kind::Str;
+        out.s = std::move(v);
+        return out;
+    }
+    static Value
+    ofRef(int r)
+    {
+        Value out;
+        out.kind = Kind::Ref;
+        out.ref = r;
+        return out;
+    }
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isRef() const { return kind == Kind::Ref; }
+    /** Branch truthiness: null/0 are false-y (compare against zero). */
+    int64_t
+    asCondInt() const
+    {
+        switch (kind) {
+          case Kind::Null: return 0;
+          case Kind::Int: return i;
+          case Kind::Str: return s.empty() ? 0 : 1;
+          case Kind::Ref: return ref + 1; // non-zero
+        }
+        return 0;
+    }
+
+    std::string toString() const;
+};
+
+/** One heap object. */
+struct RtObject {
+    std::string klass;
+    std::map<std::string, Value> fields; //!< canonical key -> value
+    std::vector<Value> elems;            //!< array payload
+    int viewId{-1};                      //!< for inflated views
+};
+
+} // namespace sierra::dynamic
+
+#endif // SIERRA_DYNAMIC_VALUE_HH

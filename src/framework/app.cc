@@ -1,0 +1,18 @@
+#include "app.hh"
+
+#include "air/printer.hh"
+
+namespace sierra::framework {
+
+size_t
+App::codeSize() const
+{
+    size_t total = 0;
+    for (const air::Klass *k : _module->classes()) {
+        if (!k->isFramework() && !k->isSynthetic())
+            total += air::printKlass(*k).size();
+    }
+    return total;
+}
+
+} // namespace sierra::framework

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The unit SIERRA analyzes: code + manifest + layouts (an "APK").
+ */
+
+#ifndef SIERRA_FRAMEWORK_APP_HH
+#define SIERRA_FRAMEWORK_APP_HH
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "air/module.hh"
+#include "layout.hh"
+#include "manifest.hh"
+
+namespace sierra::framework {
+
+/**
+ * One Android app as seen by the analyses and the interpreter.
+ *
+ * Owns the AIR module (with the framework model installed), the manifest
+ * and the per-activity layouts.
+ */
+class App
+{
+  public:
+    explicit App(std::string name)
+        : _name(std::move(name)), _module(std::make_unique<air::Module>())
+    {
+    }
+
+    const std::string &name() const { return _name; }
+
+    air::Module &module() { return *_module; }
+    const air::Module &module() const { return *_module; }
+
+    Manifest &manifest() { return _manifest; }
+    const Manifest &manifest() const { return _manifest; }
+
+    void
+    setLayout(const std::string &activity, Layout layout)
+    {
+        _layouts[activity] = std::move(layout);
+    }
+    /** Layout for an activity; null if it declares none. */
+    const Layout *layoutFor(const std::string &activity) const
+    {
+        auto it = _layouts.find(activity);
+        return it == _layouts.end() ? nullptr : &it->second;
+    }
+    const std::map<std::string, Layout> &layouts() const
+    {
+        return _layouts;
+    }
+
+    /** Approximate bytecode size (Table 2 analogue), app classes only. */
+    size_t codeSize() const;
+
+  private:
+    std::string _name;
+    std::unique_ptr<air::Module> _module;
+    Manifest _manifest;
+    std::map<std::string, Layout> _layouts;
+};
+
+} // namespace sierra::framework
+
+#endif // SIERRA_FRAMEWORK_APP_HH

@@ -1,0 +1,346 @@
+#include "app_text.hh"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+#include "air/parser.hh"
+#include "air/printer.hh"
+#include "known_api.hh"
+
+namespace sierra::framework {
+
+namespace {
+
+/** A whitespace token with quote support and line tracking. */
+struct HeaderToken {
+    std::string text;
+    bool quoted{false};
+    int line{1};
+};
+
+/** Tokenize the header region (everything up to its closing brace). */
+bool
+tokenizeHeader(const std::string &text, size_t &pos, int &line,
+               std::vector<HeaderToken> &out, std::string &error)
+{
+    int depth = 0;
+    bool seen_open = false;
+    while (pos < text.size()) {
+        char c = text[pos];
+        if (c == '\n') {
+            ++line;
+            ++pos;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++pos;
+            continue;
+        }
+        if (c == '#' ||
+            (c == '/' && pos + 1 < text.size() && text[pos + 1] == '/')) {
+            while (pos < text.size() && text[pos] != '\n')
+                ++pos;
+            continue;
+        }
+        if (c == '"') {
+            ++pos;
+            HeaderToken t;
+            t.quoted = true;
+            t.line = line;
+            while (pos < text.size() && text[pos] != '"') {
+                if (text[pos] == '\n')
+                    ++line;
+                t.text += text[pos++];
+            }
+            if (pos >= text.size()) {
+                error = "unterminated string in app header";
+                return false;
+            }
+            ++pos;
+            out.push_back(std::move(t));
+            continue;
+        }
+        if (c == '{' || c == '}') {
+            out.push_back({std::string(1, c), false, line});
+            ++pos;
+            depth += c == '{' ? 1 : -1;
+            if (c == '{')
+                seen_open = true;
+            if (seen_open && depth == 0)
+                return true; // header complete
+            continue;
+        }
+        HeaderToken t;
+        t.line = line;
+        while (pos < text.size() &&
+               !std::isspace(static_cast<unsigned char>(text[pos])) &&
+               text[pos] != '{' && text[pos] != '}' &&
+               text[pos] != '"') {
+            t.text += text[pos++];
+        }
+        out.push_back(std::move(t));
+    }
+    error = "unterminated app header block";
+    return false;
+}
+
+class HeaderParser
+{
+  public:
+    HeaderParser(const std::vector<HeaderToken> &tokens,
+                 AppTextResult &result)
+        : _tokens(tokens), _result(result)
+    {
+    }
+
+    std::unique_ptr<App> run();
+
+  private:
+    const HeaderToken &peek() const { return _tokens[_idx]; }
+    const HeaderToken &next() { return _tokens[_idx++]; }
+    bool
+    atEnd() const
+    {
+        return _idx >= _tokens.size();
+    }
+    bool
+    is(const std::string &word) const
+    {
+        return !atEnd() && !peek().quoted && peek().text == word;
+    }
+    bool
+    fail(const std::string &msg)
+    {
+        _result.error = msg;
+        _result.errorLine = atEnd() ? 0 : peek().line;
+        return false;
+    }
+
+    bool expect(const std::string &word);
+    bool parseLayout(App &app);
+
+    const std::vector<HeaderToken> &_tokens;
+    AppTextResult &_result;
+    size_t _idx{0};
+};
+
+bool
+HeaderParser::expect(const std::string &word)
+{
+    if (!is(word))
+        return fail("expected '" + word + "' in app header");
+    next();
+    return true;
+}
+
+bool
+HeaderParser::parseLayout(App &app)
+{
+    if (atEnd())
+        return fail("layout needs an activity name");
+    std::string activity = next().text;
+    Layout layout(activity);
+    if (!expect("{"))
+        return false;
+    while (!is("}")) {
+        if (atEnd())
+            return fail("unterminated layout block");
+        if (!expect("widget"))
+            return false;
+        Widget w;
+        if (atEnd())
+            return fail("widget needs an id");
+        try {
+            w.id = std::stoi(next().text);
+        } catch (...) {
+            return fail("widget id must be an integer");
+        }
+        if (atEnd())
+            return fail("widget needs a name");
+        w.name = next().text;
+        if (atEnd())
+            return fail("widget needs a class");
+        w.widgetClass = next().text;
+        while (is("onclick") || is("after")) {
+            std::string kw = next().text;
+            if (atEnd())
+                return fail("'" + kw + "' needs a value");
+            if (kw == "onclick") {
+                w.xmlOnClick = next().text;
+            } else {
+                try {
+                    w.enabledAfter.push_back(std::stoi(next().text));
+                } catch (...) {
+                    return fail("'after' needs a widget id");
+                }
+            }
+        }
+        layout.addWidget(std::move(w));
+    }
+    next(); // '}'
+    app.setLayout(activity, std::move(layout));
+    return true;
+}
+
+std::unique_ptr<App>
+HeaderParser::run()
+{
+    if (!expect("app"))
+        return nullptr;
+    if (atEnd()) {
+        fail("app needs a name");
+        return nullptr;
+    }
+    auto app = std::make_unique<App>(next().text);
+    if (!expect("{"))
+        return nullptr;
+
+    while (!is("}")) {
+        if (atEnd()) {
+            fail("unterminated app block");
+            return nullptr;
+        }
+        std::string kw = next().text;
+        if (kw == "activity") {
+            if (atEnd()) {
+                fail("activity needs a class name");
+                return nullptr;
+            }
+            std::string name = next().text;
+            app->manifest().activities.push_back(name);
+            if (is("main")) {
+                next();
+                app->manifest().mainActivity = name;
+            }
+            if (app->manifest().mainActivity.empty())
+                app->manifest().mainActivity = name;
+        } else if (kw == "service") {
+            if (atEnd()) {
+                fail("service needs a class name");
+                return nullptr;
+            }
+            app->manifest().services.push_back({next().text});
+        } else if (kw == "receiver") {
+            if (atEnd()) {
+                fail("receiver needs a class name");
+                return nullptr;
+            }
+            ReceiverSpec spec;
+            spec.className = next().text;
+            while (is("action")) {
+                next();
+                if (atEnd()) {
+                    fail("'action' needs a value");
+                    return nullptr;
+                }
+                spec.actions.push_back(next().text);
+            }
+            app->manifest().receivers.push_back(std::move(spec));
+        } else if (kw == "package") {
+            if (atEnd()) {
+                fail("package needs a name");
+                return nullptr;
+            }
+            app->manifest().packageName = next().text;
+        } else if (kw == "layout") {
+            if (!parseLayout(*app))
+                return nullptr;
+        } else {
+            fail("unknown app-header keyword '" + kw + "'");
+            return nullptr;
+        }
+    }
+    next(); // '}'
+    return app;
+}
+
+} // namespace
+
+AppTextResult
+parseAppText(const std::string &text)
+{
+    AppTextResult result;
+    size_t pos = 0;
+    int line = 1;
+    std::vector<HeaderToken> tokens;
+    if (!tokenizeHeader(text, pos, line, tokens, result.error)) {
+        result.errorLine = line;
+        return result;
+    }
+
+    HeaderParser parser(tokens, result);
+    std::unique_ptr<App> app = parser.run();
+    if (!app)
+        return result;
+
+    // The rest of the file is plain AIR classes.
+    air::ParseStatus status =
+        air::parseInto(app->module(), text.substr(pos));
+    if (!status.ok) {
+        result.error = status.error;
+        result.errorLine = line + status.errorLine - 1;
+        return result;
+    }
+    installFrameworkModel(app->module());
+
+    // Sanity: every manifest entry must name a class in the module.
+    for (const auto &a : app->manifest().activities) {
+        if (!app->module().getClass(a)) {
+            result.error = "manifest activity '" + a +
+                           "' has no class in the module";
+            return result;
+        }
+    }
+    result.app = std::move(app);
+    return result;
+}
+
+std::string
+printAppText(const App &app)
+{
+    std::ostringstream os;
+    os << "app \"" << app.name() << "\" {\n";
+    if (!app.manifest().packageName.empty()) {
+        // Quoted: package names derived from app names may contain
+        // spaces (e.g. "org.sierra.K-9 Mail").
+        os << "    package \"" << app.manifest().packageName << "\"\n";
+    }
+    for (const auto &a : app.manifest().activities) {
+        os << "    activity " << a;
+        if (a == app.manifest().mainActivity)
+            os << " main";
+        os << "\n";
+    }
+    for (const auto &s : app.manifest().services)
+        os << "    service " << s.className << "\n";
+    for (const auto &r : app.manifest().receivers) {
+        os << "    receiver " << r.className;
+        for (const auto &action : r.actions)
+            os << " action \"" << action << "\"";
+        os << "\n";
+    }
+    for (const auto &[activity, layout] : app.layouts()) {
+        os << "    layout " << activity << " {\n";
+        for (const auto &w : layout.widgets()) {
+            os << "        widget " << w.id << " \"" << w.name << "\" "
+               << w.widgetClass;
+            if (!w.xmlOnClick.empty())
+                os << " onclick " << w.xmlOnClick;
+            for (int dep : w.enabledAfter)
+                os << " after " << dep;
+            os << "\n";
+        }
+        os << "    }\n";
+    }
+    os << "}\n\n";
+
+    for (const air::Klass *k : app.module().classes()) {
+        if (k->isFramework() || k->isSynthetic())
+            continue;
+        os << air::printKlass(*k) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace sierra::framework

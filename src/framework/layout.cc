@@ -1,0 +1,25 @@
+#include "layout.hh"
+
+namespace sierra::framework {
+
+const Widget *
+Layout::byId(int id) const
+{
+    for (const auto &w : _widgets) {
+        if (w.id == id)
+            return &w;
+    }
+    return nullptr;
+}
+
+const Widget *
+Layout::byName(const std::string &name) const
+{
+    for (const auto &w : _widgets) {
+        if (w.name == name)
+            return &w;
+    }
+    return nullptr;
+}
+
+} // namespace sierra::framework

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * GUI layout model: the reproduction's analogue of Android layout XML.
+ *
+ * Supplies (a) the view-id -> widget binding that findViewById resolves
+ * through (DroidEL's job in the paper), (b) XML-registered callbacks, and
+ * (c) optional "enabledAfter" edges that encode GUI flows where one
+ * widget only becomes reachable after another was activated (the source
+ * of onClick2 < onClick3 edges in paper Figure 6).
+ */
+
+#ifndef SIERRA_FRAMEWORK_LAYOUT_HH
+#define SIERRA_FRAMEWORK_LAYOUT_HH
+
+#include <string>
+#include <vector>
+
+namespace sierra::framework {
+
+/** One widget declared in a layout. */
+struct Widget {
+    int id{0};                //!< the R.id.* constant
+    std::string name;         //!< developer-facing name, e.g. "btnSend"
+    std::string widgetClass;  //!< e.g. "android.widget.Button"
+    std::string xmlOnClick;   //!< activity method bound via android:onClick
+    std::vector<int> enabledAfter; //!< widget ids that must fire first
+};
+
+/** The layout of one Activity. */
+class Layout
+{
+  public:
+    Layout() = default;
+    explicit Layout(std::string activity_class)
+        : _activityClass(std::move(activity_class))
+    {
+    }
+
+    const std::string &activityClass() const { return _activityClass; }
+
+    void addWidget(Widget w) { _widgets.push_back(std::move(w)); }
+    const std::vector<Widget> &widgets() const { return _widgets; }
+
+    /** Find a widget by view id; null if absent. */
+    const Widget *byId(int id) const;
+    /** Find a widget by name; null if absent. */
+    const Widget *byName(const std::string &name) const;
+
+  private:
+    std::string _activityClass;
+    std::vector<Widget> _widgets;
+};
+
+} // namespace sierra::framework
+
+#endif // SIERRA_FRAMEWORK_LAYOUT_HH

@@ -1,0 +1,86 @@
+#include "lifecycle.hh"
+
+#include <algorithm>
+
+#include "air/logging.hh"
+
+namespace sierra::framework {
+
+const char *
+lifecycleStateName(LifecycleState s)
+{
+    switch (s) {
+      case LifecycleState::Launched: return "Launched";
+      case LifecycleState::Created: return "Created";
+      case LifecycleState::Started: return "Started";
+      case LifecycleState::Resumed: return "Resumed";
+      case LifecycleState::Paused: return "Paused";
+      case LifecycleState::Stopped: return "Stopped";
+      case LifecycleState::Destroyed: return "Destroyed";
+    }
+    panic("unreachable lifecycle state");
+}
+
+LifecycleModel::LifecycleModel()
+{
+    using S = LifecycleState;
+    _transitions = {
+        {S::Launched, S::Created, "onCreate"},
+        {S::Created, S::Started, "onStart"},
+        {S::Started, S::Resumed, "onResume"},
+        {S::Resumed, S::Paused, "onPause"},
+        {S::Paused, S::Resumed, "onResume"},
+        {S::Paused, S::Stopped, "onStop"},
+        // onRestart leads back to Started (Android routes through
+        // onRestart -> onStart; we model the composite edge plus the
+        // explicit onRestart callback).
+        {S::Stopped, S::Started, "onRestart"},
+        {S::Stopped, S::Destroyed, "onDestroy"},
+    };
+    for (const auto &t : _transitions) {
+        if (std::find(_callbackNames.begin(), _callbackNames.end(),
+                      t.callback) == _callbackNames.end()) {
+            _callbackNames.push_back(t.callback);
+        }
+    }
+    // onStart appears once above but onRestart implies a second onStart;
+    // callbackNames is the set, which already contains it.
+}
+
+bool
+LifecycleModel::isLifecycleCallback(const std::string &name) const
+{
+    return std::find(_callbackNames.begin(), _callbackNames.end(), name) !=
+           _callbackNames.end();
+}
+
+std::vector<LifecycleTransition>
+LifecycleModel::transitionsFrom(LifecycleState s) const
+{
+    std::vector<LifecycleTransition> out;
+    for (const auto &t : _transitions) {
+        if (t.from == s)
+            out.push_back(t);
+    }
+    return out;
+}
+
+std::vector<std::string>
+LifecycleModel::entrySequence()
+{
+    return {"onCreate", "onStart", "onResume"};
+}
+
+std::vector<std::string>
+LifecycleModel::exitSequence()
+{
+    return {"onPause", "onStop", "onDestroy"};
+}
+
+std::vector<std::pair<std::string, std::string>>
+LifecycleModel::cyclePairs()
+{
+    return {{"onResume", "onPause"}, {"onStart", "onStop"}};
+}
+
+} // namespace sierra::framework

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The Android Activity lifecycle state machine (paper Figure 5).
+ *
+ * Shared by the harness generator (which mirrors the machine in synthetic
+ * code), the happens-before rules (which split cyclic callbacks by
+ * dominator), and the dynamic interpreter (which drives real executions
+ * through it).
+ */
+
+#ifndef SIERRA_FRAMEWORK_LIFECYCLE_HH
+#define SIERRA_FRAMEWORK_LIFECYCLE_HH
+
+#include <string>
+#include <vector>
+
+namespace sierra::framework {
+
+/** Activity lifecycle states. */
+enum class LifecycleState {
+    Launched,
+    Created,
+    Started,
+    Resumed,
+    Paused,
+    Stopped,
+    Destroyed,
+};
+
+const char *lifecycleStateName(LifecycleState s);
+
+/** One transition of the lifecycle machine. */
+struct LifecycleTransition {
+    LifecycleState from;
+    LifecycleState to;
+    std::string callback; //!< callback invoked on this transition
+};
+
+/**
+ * The Activity lifecycle machine.
+ *
+ * Transitions follow the official Android Activity documentation:
+ * Launched -onCreate-> Created -onStart-> Started -onResume-> Resumed
+ * -onPause-> Paused { -onResume-> Resumed | -onStop-> Stopped }
+ * Stopped { -onRestart-> Started (via onStart) | -onDestroy-> Destroyed }.
+ */
+class LifecycleModel
+{
+  public:
+    LifecycleModel();
+
+    const std::vector<LifecycleTransition> &transitions() const
+    {
+        return _transitions;
+    }
+
+    /** All lifecycle callback names, in first-visit order. */
+    const std::vector<std::string> &callbackNames() const
+    {
+        return _callbackNames;
+    }
+
+    /** True if the name is a lifecycle callback (onCreate, ...). */
+    bool isLifecycleCallback(const std::string &name) const;
+
+    /** Transitions leaving a given state. */
+    std::vector<LifecycleTransition>
+    transitionsFrom(LifecycleState s) const;
+
+    /**
+     * The linear "happy path" callback sequence used before/after the
+     * harness event loop: onCreate onStart onResume ... onPause onStop
+     * onDestroy.
+     */
+    static std::vector<std::string> entrySequence();
+    static std::vector<std::string> exitSequence();
+
+    /**
+     * Cyclic callback pairs (paper Section 4.3 rule 2): pause/resume and
+     * stop/restart cycles whose callbacks need dominator splitting.
+     */
+    static std::vector<std::pair<std::string, std::string>> cyclePairs();
+
+  private:
+    std::vector<LifecycleTransition> _transitions;
+    std::vector<std::string> _callbackNames;
+};
+
+} // namespace sierra::framework
+
+#endif // SIERRA_FRAMEWORK_LIFECYCLE_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * App manifest model (AndroidManifest.xml analogue).
+ */
+
+#ifndef SIERRA_FRAMEWORK_MANIFEST_HH
+#define SIERRA_FRAMEWORK_MANIFEST_HH
+
+#include <string>
+#include <vector>
+
+namespace sierra::framework {
+
+/** A broadcast receiver declaration. */
+struct ReceiverSpec {
+    std::string className;
+    std::vector<std::string> actions; //!< intent actions it subscribes to
+    bool declaredInManifest{true};    //!< false = registered in code only
+};
+
+/** A service declaration. */
+struct ServiceSpec {
+    std::string className;
+};
+
+/** The manifest of one app. */
+struct Manifest {
+    std::string packageName;
+    std::vector<std::string> activities;
+    std::string mainActivity; //!< the LAUNCHER activity
+    std::vector<ReceiverSpec> receivers;
+    std::vector<ServiceSpec> services;
+
+    bool
+    hasActivity(const std::string &name) const
+    {
+        for (const auto &a : activities) {
+            if (a == name)
+                return true;
+        }
+        return false;
+    }
+};
+
+} // namespace sierra::framework
+
+#endif // SIERRA_FRAMEWORK_MANIFEST_HH

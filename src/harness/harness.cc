@@ -1,0 +1,237 @@
+#include "harness.hh"
+
+#include <functional>
+
+#include "air/builder.hh"
+#include "air/logging.hh"
+#include "framework/known_api.hh"
+#include "framework/lifecycle.hh"
+
+namespace sierra::harness {
+
+using air::CondKind;
+using air::InvokeKind;
+using air::Label;
+using air::MethodBuilder;
+using air::Type;
+using analysis::ActionKind;
+
+HarnessGenerator::HarnessGenerator(framework::App &app) : _app(app)
+{
+    framework::installFrameworkModel(app.module());
+    ensureNondetClass();
+}
+
+std::string
+HarnessGenerator::harnessClassName(const std::string &activity)
+{
+    return "Harness$" + activity;
+}
+
+void
+HarnessGenerator::ensureNondetClass()
+{
+    air::Module &mod = _app.module();
+    if (mod.getClass(kNondetClass))
+        return;
+    air::Klass *k = mod.addClass(kNondetClass,
+                                 framework::names::object);
+    k->setSynthetic(true);
+    k->addMethod("choose", {}, Type::intTy(), true);
+}
+
+std::vector<HarnessPlan>
+HarnessGenerator::generateAll()
+{
+    std::vector<HarnessPlan> plans;
+    for (const auto &activity : _app.manifest().activities)
+        plans.push_back(generate(activity));
+    return plans;
+}
+
+HarnessPlan
+HarnessGenerator::generate(const std::string &activity_class)
+{
+    air::Module &mod = _app.module();
+    air::Klass *activity = mod.getClass(activity_class);
+    if (!activity)
+        fatal("harness: unknown activity ", activity_class);
+
+    air::Klass *hk = mod.addClass(harnessClassName(activity_class),
+                                  framework::names::object);
+    hk->setSynthetic(true);
+    air::Method *main =
+        hk->addMethod("main", {}, Type::voidTy(), true);
+
+    HarnessPlan plan;
+    plan.activityClass = activity_class;
+    plan.mainMethod = main;
+
+    MethodBuilder b(main);
+
+    auto event = [&](int site_idx, ActionKind kind,
+                     const std::string &callback,
+                     const std::string &target_class, int widget_id,
+                     bool in_loop, int instance) {
+        EventSite s;
+        s.method = main;
+        s.instrIdx = site_idx;
+        s.kind = kind;
+        s.callbackName = callback;
+        s.targetClass = target_class;
+        s.widgetId = widget_id;
+        s.inEventLoop = in_loop;
+        s.lifecycleInstance = instance;
+        plan.eventSites.push_back(std::move(s));
+    };
+
+    // --- prologue: allocate the activity, run the entry sequence -----
+    int ra = b.newReg();
+    b.newObject(ra, activity_class);
+    if (air::Method *init = activity->findMethod("<init>")) {
+        if (!init->isStatic()) {
+            b.invoke(-1, InvokeKind::Special,
+                     {activity_class, "<init>", 0}, {ra});
+        }
+    }
+    auto lifecycle = [&](const std::string &cb, bool in_loop,
+                         int instance) {
+        int idx = b.call(ra, activity_class, cb);
+        event(idx, ActionKind::Lifecycle, cb, activity_class, -1,
+              in_loop, instance);
+    };
+    lifecycle("onCreate", false, 1);
+    lifecycle("onStart", false, 1);
+    lifecycle("onResume", false, 1);
+
+    // Manifest receivers and services live across the activity's
+    // lifetime; instantiate them before the event loop.
+    std::vector<std::pair<std::string, int>> receiver_regs;
+    for (const auto &spec : _app.manifest().receivers) {
+        if (!spec.declaredInManifest)
+            continue;
+        if (!mod.getClass(spec.className)) {
+            warn("harness: unknown receiver class ", spec.className);
+            continue;
+        }
+        int rr = b.newReg();
+        b.newObject(rr, spec.className);
+        if (mod.findMethod(spec.className, "<init>")) {
+            b.invoke(-1, InvokeKind::Special,
+                     {spec.className, "<init>", 0}, {rr});
+        }
+        receiver_regs.emplace_back(spec.className, rr);
+    }
+    std::vector<std::pair<std::string, int>> service_regs;
+    for (const auto &spec : _app.manifest().services) {
+        if (!mod.getClass(spec.className)) {
+            warn("harness: unknown service class ", spec.className);
+            continue;
+        }
+        int rs = b.newReg();
+        b.newObject(rs, spec.className);
+        if (mod.findMethod(spec.className, "<init>")) {
+            b.invoke(-1, InvokeKind::Special,
+                     {spec.className, "<init>", 0}, {rs});
+        }
+        service_regs.emplace_back(spec.className, rs);
+    }
+
+    // --- the nondeterministic event loop ------------------------------
+    // Cases: 0 = pause/resume cycle, 1 = stop/restart cycle, then GUI
+    // callbacks from the layout, then receivers, then services.
+    struct Case {
+        std::function<void()> emit;
+    };
+    std::vector<Case> cases;
+
+    cases.push_back({[&] {
+        lifecycle("onPause", true, 1);
+        lifecycle("onResume", true, 2);
+    }});
+    cases.push_back({[&] {
+        lifecycle("onPause", true, 2);
+        lifecycle("onStop", true, 1);
+        lifecycle("onRestart", true, 1);
+        lifecycle("onStart", true, 2);
+        lifecycle("onResume", true, 3);
+    }});
+
+    const framework::Layout *layout = _app.layoutFor(activity_class);
+    if (layout) {
+        for (const auto &widget : layout->widgets()) {
+            if (widget.xmlOnClick.empty())
+                continue;
+            const framework::Widget *w = &widget;
+            cases.push_back({[&, w] {
+                int rv = b.newReg();
+                int rid = b.newReg();
+                b.constInt(rid, w->id);
+                b.callTo(rv, ra, activity_class, "findViewById", {rid});
+                int idx = b.call(ra, activity_class, w->xmlOnClick, {rv});
+                event(idx, ActionKind::XmlGui, w->xmlOnClick,
+                      activity_class, w->id, true, 1);
+            }});
+        }
+    }
+    for (const auto &[recv_class, rr] : receiver_regs) {
+        const std::string &rc = recv_class;
+        int reg = rr;
+        cases.push_back({[&, rc, reg] {
+            int rin = b.newReg();
+            b.newObject(rin, framework::names::intent);
+            int idx = b.call(reg, rc, "onReceive", {ra, rin});
+            event(idx, ActionKind::Receive, "onReceive", rc, -1, true,
+                  1);
+        }});
+    }
+    for (const auto &[svc_class, rs] : service_regs) {
+        const std::string &sc = svc_class;
+        int reg = rs;
+        cases.push_back({[&, sc, reg] {
+            int idx = b.call(reg, sc, "onCreate");
+            event(idx, ActionKind::ServiceCreate, "onCreate", sc, -1,
+                  true, 1);
+            int rin = b.newReg();
+            b.newObject(rin, framework::names::intent);
+            int idx2 = b.call(reg, sc, "onStartCommand", {rin});
+            event(idx2, ActionKind::ServiceCreate, "onStartCommand", sc,
+                  -1, true, 1);
+        }});
+    }
+
+    Label loop_head = b.newLabel();
+    Label loop_exit = b.newLabel();
+    b.bind(loop_head);
+    int rc = b.newReg();
+    b.callStatic(rc, kNondetClass, "choose");
+    b.ifz(rc, CondKind::Eq, loop_exit);
+
+    int rsel = b.newReg();
+    b.callStatic(rsel, kNondetClass, "choose");
+    std::vector<Label> case_labels;
+    int rk = b.newReg();
+    for (size_t i = 0; i < cases.size(); ++i) {
+        case_labels.push_back(b.newLabel());
+        b.constInt(rk, static_cast<int64_t>(i));
+        b.iff(rsel, CondKind::Eq, rk, case_labels[i]);
+    }
+    b.gotoLabel(loop_head);
+    for (size_t i = 0; i < cases.size(); ++i) {
+        b.bind(case_labels[i]);
+        cases[i].emit();
+        b.gotoLabel(loop_head);
+    }
+
+    // --- epilogue: the exit sequence ----------------------------------
+    b.bind(loop_exit);
+    lifecycle("onPause", false, 3);
+    lifecycle("onStop", false, 2);
+    lifecycle("onDestroy", false, 1);
+    b.retVoid();
+    b.finish();
+
+    return plan;
+}
+
+} // namespace sierra::harness

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Automatic per-activity harness generation (paper Section 3.2, Fig. 4).
+ *
+ * For each Activity the generator synthesizes a `Harness$<Activity>`
+ * class whose static main():
+ *   - instantiates the activity and runs the lifecycle entry sequence
+ *     (onCreate, onStart "1", onResume "1"),
+ *   - loops nondeterministically over: the pause/resume cycle, the
+ *     stop/restart cycle, layout-XML GUI callbacks, manifest broadcast
+ *     receivers and services,
+ *   - runs the lifecycle exit sequence (onPause, onStop, onDestroy).
+ *
+ * Each callback invocation in the harness is an *event site*; the
+ * pointer analysis turns event sites into actions, and the HB rules
+ * order them by harness-CFG dominance (splitting cyclic callbacks into
+ * "1"/"2" instances exactly as in paper Figure 5).
+ *
+ * Callbacks registered dynamically in code (setOnClickListener,
+ * registerReceiver, Handler construction, ...) are not emitted here:
+ * the pointer analysis discovers them on the fly at their registration
+ * sites, which subsumes the paper's harness/call-graph fixpoint
+ * iteration.
+ */
+
+#ifndef SIERRA_HARNESS_HARNESS_HH
+#define SIERRA_HARNESS_HARNESS_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/entry_plan.hh"
+#include "framework/app.hh"
+
+namespace sierra::harness {
+
+/** A generated harness: the analysis entrypoint for one activity. */
+using HarnessPlan = analysis::EntryPlan;
+using EventSite = analysis::EntryEventSite;
+
+/** Name of the synthetic nondeterminism provider class. */
+inline constexpr const char *kNondetClass = "sierra.Nondet";
+
+/**
+ * Generates harnesses into an app's module.
+ *
+ * Also installs the framework model classes and the Nondet provider on
+ * construction, so a freshly built corpus app becomes analyzable.
+ */
+class HarnessGenerator
+{
+  public:
+    explicit HarnessGenerator(framework::App &app);
+
+    /** Generate the harness for one activity. */
+    HarnessPlan generate(const std::string &activity_class);
+
+    /** Generate harnesses for all manifest activities. */
+    std::vector<HarnessPlan> generateAll();
+
+    /** The harness class name for an activity. */
+    static std::string harnessClassName(const std::string &activity);
+
+  private:
+    void ensureNondetClass();
+
+    framework::App &_app;
+};
+
+} // namespace sierra::harness
+
+#endif // SIERRA_HARNESS_HARNESS_HH

@@ -1,0 +1,118 @@
+#include "shbg.hh"
+
+#include <sstream>
+
+#include "air/logging.hh"
+
+namespace sierra::hb {
+
+const char *
+hbRuleName(HbRule r)
+{
+    switch (r) {
+      case HbRule::Invocation: return "invocation";
+      case HbRule::Lifecycle: return "lifecycle";
+      case HbRule::GuiOrder: return "gui-order";
+      case HbRule::IntraProcDom: return "intra-proc-dom";
+      case HbRule::InterProcDom: return "inter-proc-dom";
+      case HbRule::InterActionTrans: return "inter-action-trans";
+      case HbRule::AsyncChain: return "async-chain";
+    }
+    panic("unreachable hb rule");
+}
+
+Shbg::Shbg(int num_actions)
+    : _n(num_actions), _words((num_actions + 63) / 64),
+      _reach(num_actions, std::vector<uint64_t>(_words, 0))
+{
+}
+
+bool
+Shbg::addEdge(int from, int to, HbRule rule)
+{
+    SIERRA_ASSERT(from >= 0 && from < _n && to >= 0 && to < _n,
+                  "edge out of range: ", from, " -> ", to);
+    if (from == to)
+        return false;
+    // A cycle would mean two actions each complete before the other;
+    // rules are designed not to produce this, so flag it loudly.
+    if (bit(_reach[to], from)) {
+        warn("HB cycle suppressed: ", from, " <-> ", to, " via rule ",
+             hbRuleName(rule));
+        return false;
+    }
+    if (bit(_reach[from], to))
+        return false; // already implied: no new direct edge recorded
+    _directEdges.push_back({from, to, rule});
+
+    // Closure update: every x with x->from also reaches to's cone;
+    // from itself reaches to's cone plus to.
+    std::vector<uint64_t> delta = _reach[to];
+    delta[to >> 6] |= uint64_t(1) << (to & 63);
+    bool changed = false;
+    for (int x = 0; x < _n; ++x) {
+        if (x != from && !bit(_reach[x], from))
+            continue;
+        auto &row = _reach[x];
+        for (size_t w = 0; w < _words; ++w) {
+            uint64_t nv = row[w] | delta[w];
+            if (nv != row[w]) {
+                row[w] = nv;
+                changed = true;
+            }
+        }
+    }
+    return changed;
+}
+
+bool
+Shbg::reaches(int a, int b) const
+{
+    if (a == b)
+        return false;
+    return bit(_reach[a], b);
+}
+
+int64_t
+Shbg::numClosurePairs() const
+{
+    int64_t count = 0;
+    for (const auto &row : _reach) {
+        for (uint64_t w : row)
+            count += __builtin_popcountll(w);
+    }
+    return count;
+}
+
+double
+Shbg::orderedFraction() const
+{
+    if (_n < 2)
+        return 0.0;
+    double max_pairs = static_cast<double>(_n) * (_n - 1) / 2.0;
+    return static_cast<double>(numClosurePairs()) / max_pairs;
+}
+
+int
+Shbg::numEdgesByRule(HbRule rule) const
+{
+    int count = 0;
+    for (const auto &e : _directEdges) {
+        if (e.rule == rule)
+            ++count;
+    }
+    return count;
+}
+
+std::string
+Shbg::toString() const
+{
+    std::ostringstream os;
+    for (const auto &e : _directEdges) {
+        os << e.from << " -> " << e.to << " [" << hbRuleName(e.rule)
+           << "]\n";
+    }
+    return os.str();
+}
+
+} // namespace sierra::hb

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The Static Happens-Before Graph (paper Section 4).
+ *
+ * Nodes are actions; an edge a -> b means "a is statically proven to
+ * complete before b starts". The graph maintains its transitive closure
+ * incrementally via bitset rows.
+ */
+
+#ifndef SIERRA_HB_SHBG_HH
+#define SIERRA_HB_SHBG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sierra::hb {
+
+/** Which rule introduced an edge (for reporting and tests). */
+enum class HbRule {
+    Invocation,     //!< rule 1: creator happens-before created
+    Lifecycle,      //!< rule 2: harness-CFG dominance of lifecycle sites
+    GuiOrder,       //!< rule 3: GUI model order
+    IntraProcDom,   //!< rule 4: posting-site domination within a method
+    InterProcDom,   //!< rule 5: ICFG removal-reachability domination
+    InterActionTrans, //!< rule 6: posts of ordered actions stay ordered
+    AsyncChain,     //!< pre < background < post for AsyncTask phases
+};
+
+const char *hbRuleName(HbRule r);
+
+/** One direct (non-closure) edge with provenance. */
+struct HbEdge {
+    int from;
+    int to;
+    HbRule rule;
+};
+
+/**
+ * The SHBG over a fixed number of actions.
+ *
+ * reaches() answers over the transitive closure (rule 7), which is kept
+ * up to date on every insertion.
+ */
+class Shbg
+{
+  public:
+    explicit Shbg(int num_actions);
+
+    int numActions() const { return _n; }
+
+    /** Add a direct edge (and its transitive consequences). Returns true
+     *  if the closure changed. Self-edges are ignored. */
+    bool addEdge(int from, int to, HbRule rule);
+
+    /** a happens-before b (irreflexive, closed). */
+    bool reaches(int a, int b) const;
+
+    /** Neither a<b nor b<a. */
+    bool
+    unordered(int a, int b) const
+    {
+        return a != b && !reaches(a, b) && !reaches(b, a);
+    }
+
+    /** Number of ordered pairs in the closure. */
+    int64_t numClosurePairs() const;
+
+    /** Fraction of ordered pairs out of n*(n-1)/2 (paper Table 3 "%"). */
+    double orderedFraction() const;
+
+    const std::vector<HbEdge> &directEdges() const
+    {
+        return _directEdges;
+    }
+
+    /** Direct edges introduced by one rule. */
+    int numEdgesByRule(HbRule rule) const;
+
+    std::string toString() const;
+
+  private:
+    int _n;
+    size_t _words;
+    std::vector<std::vector<uint64_t>> _reach; //!< closure rows
+    std::vector<HbEdge> _directEdges;
+
+    bool bit(const std::vector<uint64_t> &row, int i) const
+    {
+        return (row[i >> 6] >> (i & 63)) & 1;
+    }
+    void setBit(std::vector<uint64_t> &row, int i)
+    {
+        row[i >> 6] |= uint64_t(1) << (i & 63);
+    }
+};
+
+} // namespace sierra::hb
+
+#endif // SIERRA_HB_SHBG_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Memory-access extraction (paper Section 4.1: accesses are
+ * <variable, access type, action> bundles resolved through points-to).
+ */
+
+#ifndef SIERRA_RACE_ACCESS_HH
+#define SIERRA_RACE_ACCESS_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/points_to.hh"
+
+namespace sierra::race {
+
+/** One abstract memory location. */
+struct MemLoc {
+    bool isStatic{false};
+    analysis::ObjId obj{-1}; //!< base object for instance locations
+    std::string key;         //!< canonical "DeclaringClass.field"
+
+    bool
+    operator==(const MemLoc &o) const
+    {
+        return isStatic == o.isStatic && obj == o.obj && key == o.key;
+    }
+    bool
+    operator<(const MemLoc &o) const
+    {
+        if (isStatic != o.isStatic)
+            return isStatic < o.isStatic;
+        if (obj != o.obj)
+            return obj < o.obj;
+        return key < o.key;
+    }
+    std::string toString(const analysis::PointsToResult &r) const;
+};
+
+/**
+ * May two locations denote the same memory? Equal locations always do;
+ * in addition, an array-element location aliases its array's wildcard
+ * location (an unknown-index access may touch any element).
+ */
+bool locsMayAlias(const MemLoc &a, const MemLoc &b);
+
+/** One static memory access site under a call-graph node. */
+struct Access {
+    analysis::NodeId node{-1};
+    int instrIdx{-1};
+    analysis::SiteId site{analysis::kNoSite};
+    bool isWrite{false};
+    bool isArrayElem{false};
+    std::string fieldName;     //!< bare field name, for reports
+    std::vector<MemLoc> locs;  //!< may be several bases
+    bool inAppCode{true};      //!< accessing method is app code
+    bool refTyped{false};      //!< the field holds a reference (NPE risk)
+
+    std::string toString(const analysis::PointsToResult &r) const;
+};
+
+/**
+ * Walk every call-graph node and collect its field/static/array element
+ * accesses, resolving base registers through the points-to result.
+ * Accesses inside synthetic (harness) code are skipped.
+ */
+std::vector<Access>
+extractAccesses(const analysis::PointsToResult &result);
+
+} // namespace sierra::race
+
+#endif // SIERRA_RACE_ACCESS_HH

@@ -1,0 +1,190 @@
+#include "racy.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "air/logging.hh"
+
+namespace sierra::race {
+
+using analysis::Action;
+using analysis::ObjId;
+using analysis::PointsToResult;
+
+std::string
+RacyPair::toString(const PointsToResult &r,
+                   const std::vector<Access> &accesses) const
+{
+    std::string out = "race on " + loc.toString(r) + ": ";
+    out += accesses[access1].toString(r);
+    out += " vs ";
+    out += accesses[access2].toString(r);
+    if (!actionPairs.empty()) {
+        const Action &a1 = r.actions.get(actionPairs[0].action1);
+        const Action &a2 = r.actions.get(actionPairs[0].action2);
+        out += " [" + a1.label + " || " + a2.label + "]";
+    }
+    if (refuted)
+        out += " (refuted)";
+    return out;
+}
+
+namespace {
+
+/** Shared locations of two accesses (points-to intersection, with
+ *  array element/wildcard aliasing). */
+std::vector<MemLoc>
+sharedLocs(const Access &a1, const Access &a2)
+{
+    std::vector<MemLoc> out;
+    for (const MemLoc &l1 : a1.locs) {
+        for (const MemLoc &l2 : a2.locs) {
+            if (locsMayAlias(l1, l2))
+                out.push_back(l1);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<RacyPair>
+findRacyPairs(const PointsToResult &result, const hb::Shbg &shbg,
+              const std::vector<Access> &accesses,
+              const RacyOptions &options)
+{
+    // Dedup by (min site, max site, key).
+    std::map<std::tuple<int, int, std::string>, RacyPair> dedup;
+
+    for (size_t i = 0; i < accesses.size(); ++i) {
+        for (size_t j = i; j < accesses.size(); ++j) {
+            const Access &x = accesses[i];
+            const Access &y = accesses[j];
+            if (!x.isWrite && !y.isWrite)
+                continue;
+            std::vector<MemLoc> shared = sharedLocs(x, y);
+            if (shared.empty())
+                continue;
+
+            std::vector<ActionPairEntry> qualifying;
+            // Action pairs that differ only in which instance of the
+            // same posting site created them give identical refutation
+            // queries; dedup by that signature.
+            std::set<std::tuple<int, int, int, int>> signatures;
+            for (int a1 : result.cg.actionsOf(x.node)) {
+                for (int a2 : result.cg.actionsOf(y.node)) {
+                    if (a1 == a2)
+                        continue;
+                    if (!shbg.unordered(a1, a2))
+                        continue;
+                    const Action &act1 = result.actions.get(a1);
+                    const Action &act2 = result.actions.get(a2);
+                    if (options.requireSameLooper) {
+                        if (act1.runsOnLooper() &&
+                            act2.runsOnLooper() &&
+                            result.looperOfAction(a1) !=
+                                result.looperOfAction(a2)) {
+                            continue;
+                        }
+                    }
+                    if (!signatures
+                             .insert({act1.creationSite,
+                                      act1.messageWhat,
+                                      act2.creationSite,
+                                      act2.messageWhat})
+                             .second) {
+                        continue;
+                    }
+                    qualifying.push_back({a1, a2,
+                                          static_cast<int>(i),
+                                          static_cast<int>(j)});
+                }
+            }
+            if (qualifying.empty())
+                continue;
+
+            int s1 = std::min(x.site, y.site);
+            int s2 = std::max(x.site, y.site);
+            auto key = std::make_tuple(s1, s2, shared.front().key);
+            auto it = dedup.find(key);
+            if (it == dedup.end()) {
+                RacyPair p;
+                p.access1 = static_cast<int>(i);
+                p.access2 = static_cast<int>(j);
+                p.loc = shared.front();
+                p.actionPairs = std::move(qualifying);
+                dedup.emplace(std::move(key), std::move(p));
+            } else {
+                // The site-level signature dedup above is per access
+                // pair; across access-instance pairs, dedup on the
+                // (creationSite, what) signature again.
+                auto &existing = it->second;
+                for (auto &q : qualifying) {
+                    bool dup = false;
+                    for (const auto &e : existing.actionPairs) {
+                        const Action &ea1 = result.actions.get(e.action1);
+                        const Action &ea2 = result.actions.get(e.action2);
+                        const Action &qa1 = result.actions.get(q.action1);
+                        const Action &qa2 = result.actions.get(q.action2);
+                        if (ea1.creationSite == qa1.creationSite &&
+                            ea1.messageWhat == qa1.messageWhat &&
+                            ea2.creationSite == qa2.creationSite &&
+                            ea2.messageWhat == qa2.messageWhat) {
+                            dup = true;
+                            break;
+                        }
+                    }
+                    if (!dup)
+                        existing.actionPairs.push_back(q);
+                }
+            }
+        }
+    }
+
+    std::vector<RacyPair> out;
+    out.reserve(dedup.size());
+    for (auto &[key, pair] : dedup)
+        out.push_back(std::move(pair));
+    return out;
+}
+
+void
+prioritize(const PointsToResult &result,
+           const std::vector<Access> &accesses,
+           std::vector<RacyPair> &pairs)
+{
+    (void)result;
+    for (RacyPair &p : pairs) {
+        const Access &x = accesses[p.access1];
+        const Access &y = accesses[p.access2];
+        int score = 0;
+        // Paper heuristic 1/2: application code ranks above framework
+        // code reached from the app.
+        if (x.inAppCode && y.inAppCode)
+            score += 100;
+        else if (x.inAppCode || y.inAppCode)
+            score += 50;
+        // Paper heuristic 3: pointer reference reads/writes can turn
+        // into NullPointerExceptions.
+        if (x.refTyped || y.refTyped)
+            score += 25;
+        if (x.isWrite && y.isWrite)
+            score += 5;
+        p.priority = score;
+    }
+    std::sort(pairs.begin(), pairs.end(),
+              [&](const RacyPair &a, const RacyPair &b) {
+                  if (a.priority != b.priority)
+                      return a.priority > b.priority;
+                  const Access &ax = accesses[a.access1];
+                  const Access &bx = accesses[b.access1];
+                  if (ax.site != bx.site)
+                      return ax.site < bx.site;
+                  return accesses[a.access2].site <
+                         accesses[b.access2].site;
+              });
+}
+
+} // namespace sierra::race

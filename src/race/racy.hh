@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Racy-pair detection and prioritization (paper Sections 3.1 and 4.4).
+ */
+
+#ifndef SIERRA_RACE_RACY_HH
+#define SIERRA_RACE_RACY_HH
+
+#include <string>
+#include <vector>
+
+#include "access.hh"
+#include "hb/shbg.hh"
+
+namespace sierra::race {
+
+/** One (action, action) combination a racy pair conflicts under, with
+ *  the concrete access instances (per-context nodes) it arose from. */
+struct ActionPairEntry {
+    int action1{-1};
+    int action2{-1};
+    int access1{-1}; //!< access executed by action1
+    int access2{-1}; //!< access executed by action2
+};
+
+/** A candidate race: two unordered conflicting accesses. */
+struct RacyPair {
+    int access1{-1}; //!< representative access (for display)
+    int access2{-1};
+    MemLoc loc;      //!< a witness shared location
+    //! all (action1, action2) pairs under which the accesses conflict
+    std::vector<ActionPairEntry> actionPairs;
+    int priority{0};     //!< larger = report earlier
+    bool refuted{false}; //!< set by the symbolic refutation stage
+    bool refutationTimedOut{false};
+
+    std::string toString(const analysis::PointsToResult &r,
+                         const std::vector<Access> &accesses) const;
+};
+
+/** Options for racy-pair detection. */
+struct RacyOptions {
+    //! skip pairs where both actions run on different loopers (paper
+    //! Section 4.4: handlers must refer to the same looper)
+    bool requireSameLooper{true};
+};
+
+/**
+ * Intersect points-to sets of accesses from unordered action pairs
+ * (paper Section 4.1 "racy pairs"): at least one write, overlapping
+ * locations, actions unordered in the SHBG, same looper (or at least
+ * one background thread).
+ *
+ * Pairs are deduplicated by (site1, site2, location key).
+ */
+std::vector<RacyPair>
+findRacyPairs(const analysis::PointsToResult &result,
+              const hb::Shbg &shbg, const std::vector<Access> &accesses,
+              const RacyOptions &options = {});
+
+/**
+ * Assign priorities (paper Section 3.1): races in app code rank above
+ * framework races reached from app code; reference-typed locations rank
+ * higher (NullPointerException risk). Sorts the vector in place,
+ * highest priority first; ties broken by site order for determinism.
+ */
+void prioritize(const analysis::PointsToResult &result,
+                const std::vector<Access> &accesses,
+                std::vector<RacyPair> &pairs);
+
+} // namespace sierra::race
+
+#endif // SIERRA_RACE_RACY_HH

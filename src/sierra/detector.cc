@@ -1,0 +1,227 @@
+#include "detector.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <sstream>
+
+#include "air/logging.hh"
+
+namespace sierra {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+int
+HarnessAnalysis::survivingRaceCount() const
+{
+    int n = 0;
+    for (const auto &p : pairs) {
+        if (!p.refuted)
+            ++n;
+    }
+    return n;
+}
+
+SierraDetector::SierraDetector(framework::App &app) : _app(app)
+{
+    harness::HarnessGenerator gen(app);
+    _plans = gen.generateAll();
+}
+
+const harness::HarnessPlan &
+SierraDetector::planFor(const std::string &activity)
+{
+    for (const auto &plan : _plans) {
+        if (plan.activityClass == activity)
+            return plan;
+    }
+    fatal("no harness for activity ", activity);
+}
+
+HarnessAnalysis
+SierraDetector::analyzeActivity(const std::string &activity,
+                                const SierraOptions &options)
+{
+    const harness::HarnessPlan &plan = planFor(activity);
+    HarnessAnalysis out;
+    out.activity = activity;
+
+    analysis::PointsToAnalysis pta(_app, plan, options.pta);
+    out.pta = pta.run();
+
+    hb::HbBuilder hb_builder(*out.pta, plan, _app, options.hb);
+    out.shbg = hb_builder.build();
+
+    out.accesses = race::extractAccesses(*out.pta);
+    out.pairs = race::findRacyPairs(*out.pta, *out.shbg, out.accesses,
+                                    options.racy);
+    if (options.runRefutation) {
+        out.refutation = symbolic::refuteRaces(
+            *out.pta, out.accesses, out.pairs, options.refuter);
+    }
+    race::prioritize(*out.pta, out.accesses, out.pairs);
+    return out;
+}
+
+AppReport
+SierraDetector::analyze(const SierraOptions &options)
+{
+    AppReport report;
+    report.app = _app.name();
+    report.harnesses = static_cast<int>(_plans.size());
+
+    // App-level dedup across harnesses: a race keyed by its two access
+    // sites (method + instruction) and location key.
+    struct Key {
+        const air::Method *m1;
+        int i1;
+        const air::Method *m2;
+        int i2;
+        std::string key;
+        bool
+        operator<(const Key &o) const
+        {
+            if (m1 != o.m1)
+                return m1 < o.m1;
+            if (i1 != o.i1)
+                return i1 < o.i1;
+            if (m2 != o.m2)
+                return m2 < o.m2;
+            if (i2 != o.i2)
+                return i2 < o.i2;
+            return key < o.key;
+        }
+    };
+    struct Agg {
+        AppRace race;
+        bool survivesSomewhere{false};
+    };
+    std::map<Key, Agg> dedup;
+
+    int64_t max_pairs_total = 0;
+    auto t_total = std::chrono::steady_clock::now();
+
+    for (const auto &plan : _plans) {
+        auto t0 = std::chrono::steady_clock::now();
+        HarnessAnalysis ha;
+        ha.activity = plan.activityClass;
+
+        analysis::PointsToAnalysis pta(_app, plan, options.pta);
+        ha.pta = pta.run();
+        report.times.cgPa += secondsSince(t0);
+
+        auto t1 = std::chrono::steady_clock::now();
+        hb::HbBuilder hb_builder(*ha.pta, plan, _app, options.hb);
+        ha.shbg = hb_builder.build();
+        report.times.hbg += secondsSince(t1);
+
+        auto t2 = std::chrono::steady_clock::now();
+        ha.accesses = race::extractAccesses(*ha.pta);
+        ha.pairs = race::findRacyPairs(*ha.pta, *ha.shbg, ha.accesses,
+                                       options.racy);
+        report.times.racy += secondsSince(t2);
+
+        auto t3 = std::chrono::steady_clock::now();
+        if (options.runRefutation) {
+            ha.refutation = symbolic::refuteRaces(
+                *ha.pta, ha.accesses, ha.pairs, options.refuter);
+        }
+        report.times.refutation += secondsSince(t3);
+        race::prioritize(*ha.pta, ha.accesses, ha.pairs);
+
+        report.actions += ha.numActions();
+        report.hbEdges += ha.hbEdges();
+        int n = ha.numActions();
+        max_pairs_total += static_cast<int64_t>(n) * (n - 1) / 2;
+
+        for (const auto &p : ha.pairs) {
+            const race::Access &x = ha.accesses[p.access1];
+            const race::Access &y = ha.accesses[p.access2];
+            const air::Method *mx = ha.pta->cg.node(x.node).method;
+            const air::Method *my = ha.pta->cg.node(y.node).method;
+            Key key{std::min(mx, my),
+                    mx <= my ? x.instrIdx : y.instrIdx,
+                    std::max(mx, my),
+                    mx <= my ? y.instrIdx : x.instrIdx, p.loc.key};
+            // Same method: normalize instruction order too.
+            if (mx == my && x.instrIdx > y.instrIdx)
+                std::swap(key.i1, key.i2);
+            Agg &agg = dedup[key];
+            if (agg.race.description.empty()) {
+                agg.race.description = p.toString(*ha.pta, ha.accesses);
+                agg.race.priority = p.priority;
+                agg.race.fieldKey = p.loc.key;
+            }
+            agg.race.activities.push_back(plan.activityClass);
+            if (!p.refuted)
+                agg.survivesSomewhere = true;
+        }
+        report.perHarness.push_back(std::move(ha));
+    }
+
+    report.racyPairs = static_cast<int>(dedup.size());
+    for (auto &[key, agg] : dedup) {
+        agg.race.refuted = !agg.survivesSomewhere;
+        if (agg.survivesSomewhere)
+            ++report.afterRefutation;
+        report.races.push_back(std::move(agg.race));
+    }
+    std::sort(report.races.begin(), report.races.end(),
+              [](const AppRace &a, const AppRace &b) {
+                  if (a.refuted != b.refuted)
+                      return !a.refuted;
+                  if (a.priority != b.priority)
+                      return a.priority > b.priority;
+                  return a.description < b.description;
+              });
+
+    report.orderedPct =
+        max_pairs_total > 0
+            ? 100.0 * static_cast<double>(report.hbEdges) /
+                  static_cast<double>(max_pairs_total)
+            : 0.0;
+    report.times.total = secondsSince(t_total);
+    return report;
+}
+
+std::string
+formatReport(const AppReport &report, int max_races)
+{
+    std::ostringstream os;
+    os << "=== SIERRA report for " << report.app << " ===\n";
+    os << "harnesses: " << report.harnesses
+       << "  actions: " << report.actions
+       << "  HB edges: " << report.hbEdges << " ("
+       << static_cast<int>(report.orderedPct + 0.5) << "% ordered)\n";
+    os << "racy pairs: " << report.racyPairs
+       << "  after refutation: " << report.afterRefutation << "\n";
+    os << "time: cg+pa " << report.times.cgPa << "s, hbg "
+       << report.times.hbg << "s, refutation "
+       << report.times.refutation << "s, total " << report.times.total
+       << "s\n";
+    int shown = 0;
+    for (const auto &race : report.races) {
+        if (race.refuted)
+            continue;
+        if (shown++ >= max_races) {
+            os << "  ... (" << report.afterRefutation - max_races
+               << " more)\n";
+            break;
+        }
+        os << "  [p" << race.priority << "] " << race.description
+           << "\n";
+    }
+    return os.str();
+}
+
+} // namespace sierra

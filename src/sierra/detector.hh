@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The SIERRA pipeline (paper Fig. 3): harness generation -> call graph +
+ * pointer analysis with action-sensitive contexts -> Static Happens-
+ * Before Graph -> racy pairs -> symbolic refutation -> prioritized race
+ * reports. This is the library's main public entry point.
+ */
+
+#ifndef SIERRA_SIERRA_DETECTOR_HH
+#define SIERRA_SIERRA_DETECTOR_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/points_to.hh"
+#include "framework/app.hh"
+#include "harness/harness.hh"
+#include "hb/rules.hh"
+#include "race/racy.hh"
+#include "symbolic/refuter.hh"
+
+namespace sierra {
+
+/** All pipeline options in one place. */
+struct SierraOptions {
+    analysis::PointsToOptions pta;
+    hb::HbOptions hb;
+    race::RacyOptions racy;
+    symbolic::RefuterOptions refuter;
+    bool runRefutation{true};
+};
+
+/** Wall-clock seconds per stage (paper Table 4 columns). */
+struct StageTimes {
+    double cgPa{0};       //!< call graph + pointer analysis
+    double hbg{0};        //!< SHBG construction
+    double racy{0};       //!< access extraction + racy pairs
+    double refutation{0}; //!< symbolic refutation
+    double total{0};
+};
+
+/** The analysis artifacts of one harness (one activity). */
+struct HarnessAnalysis {
+    std::string activity;
+    std::unique_ptr<analysis::PointsToResult> pta;
+    std::unique_ptr<hb::Shbg> shbg;
+    std::vector<race::Access> accesses;
+    std::vector<race::RacyPair> pairs; //!< prioritized, refuted marked
+    symbolic::RefutationStats refutation;
+
+    int numActions() const { return pta->numRealActions(); }
+    int64_t hbEdges() const { return shbg->numClosurePairs(); }
+    int racyPairCount() const { return static_cast<int>(pairs.size()); }
+    int survivingRaceCount() const;
+};
+
+/** One deduplicated, app-level race report row. */
+struct AppRace {
+    std::string description;
+    int priority{0};
+    bool refuted{false};
+    std::string fieldKey; //!< canonical location key (for scoring)
+    //! which activities' harnesses exposed it
+    std::vector<std::string> activities;
+};
+
+/** The aggregated result for one app (paper Table 3/4 rows). */
+struct AppReport {
+    std::string app;
+    int harnesses{0};
+    int actions{0};       //!< summed over harnesses (paper does too)
+    int64_t hbEdges{0};   //!< summed closure pairs
+    double orderedPct{0}; //!< aggregated ordered-pair percentage
+    int racyPairs{0};     //!< deduplicated across harnesses
+    int afterRefutation{0};
+    StageTimes times;
+    std::vector<AppRace> races; //!< deduplicated, priority-ranked
+    std::vector<HarnessAnalysis> perHarness;
+};
+
+/**
+ * The detector. Construction generates the per-activity harnesses into
+ * the app's module (once); analyze() may be called repeatedly with
+ * different options (e.g. to ablate the context policy).
+ */
+class SierraDetector
+{
+  public:
+    explicit SierraDetector(framework::App &app);
+
+    /** Run the full pipeline over every activity harness. */
+    AppReport analyze(const SierraOptions &options = {});
+
+    /** Analyze a single activity's harness. */
+    HarnessAnalysis analyzeActivity(const std::string &activity,
+                                    const SierraOptions &options = {});
+
+    const std::vector<harness::HarnessPlan> &plans() const
+    {
+        return _plans;
+    }
+
+  private:
+    const harness::HarnessPlan &planFor(const std::string &activity);
+
+    framework::App &_app;
+    std::vector<harness::HarnessPlan> _plans;
+};
+
+/** Render an app report as human-readable text (ranked race list). */
+std::string formatReport(const AppReport &report, int max_races = 50);
+
+} // namespace sierra
+
+#endif // SIERRA_SIERRA_DETECTOR_HH

@@ -1,0 +1,317 @@
+#include "constraint.hh"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "air/logging.hh"
+
+namespace sierra::symbolic {
+
+using air::CondKind;
+
+std::string
+Operand::toString() const
+{
+    switch (kind) {
+      case Kind::Unknown: return "?";
+      case Kind::Const: return std::to_string(value);
+      case Kind::Reg: return "r" + std::to_string(reg);
+      case Kind::Loc:
+        return (loc.isStatic ? "static:" : "") + loc.key + "#" +
+               std::to_string(loc.obj);
+    }
+    panic("unreachable operand kind");
+}
+
+std::string
+Atom::toString() const
+{
+    return lhs.toString() + " " + air::condName(cond) + " " +
+           rhs.toString();
+}
+
+namespace {
+
+bool
+sameLoc(const race::MemLoc &a, const race::MemLoc &b)
+{
+    return a == b;
+}
+
+void
+substOperand(Operand &op, const Operand &pattern, const Operand &value)
+{
+    if (pattern.isReg() && op.isReg() && op.reg == pattern.reg)
+        op = value;
+    else if (pattern.isLoc() && op.isLoc() && sameLoc(op.loc, pattern.loc))
+        op = value;
+}
+
+} // namespace
+
+int
+ConstraintStore::simplify(Atom &atom)
+{
+    if (atom.lhs.isUnknown() || atom.rhs.isUnknown())
+        return 1; // unconstrained: drop (conservatively satisfiable)
+    if (atom.lhs.isConst() && atom.rhs.isConst()) {
+        return air::evalCond(atom.cond, atom.lhs.value, atom.rhs.value)
+                   ? 1
+                   : -1;
+    }
+    // Normalize Const-vs-Loc to Loc-vs-Const.
+    if (atom.lhs.isConst() && atom.rhs.isLoc()) {
+        std::swap(atom.lhs, atom.rhs);
+        switch (atom.cond) {
+          case CondKind::Lt: atom.cond = CondKind::Gt; break;
+          case CondKind::Le: atom.cond = CondKind::Ge; break;
+          case CondKind::Gt: atom.cond = CondKind::Lt; break;
+          case CondKind::Ge: atom.cond = CondKind::Le; break;
+          default: break;
+        }
+    }
+    // Trivially true self-comparisons.
+    if (atom.lhs.isLoc() && atom.rhs.isLoc() &&
+        sameLoc(atom.lhs.loc, atom.rhs.loc)) {
+        bool holds = atom.cond == CondKind::Eq ||
+                     atom.cond == CondKind::Le ||
+                     atom.cond == CondKind::Ge;
+        return holds ? 1 : -1;
+    }
+    return 0;
+}
+
+bool
+ConstraintStore::resimplifyAll()
+{
+    if (_failed)
+        return false;
+    std::vector<Atom> kept;
+    for (Atom &a : _atoms) {
+        int s = simplify(a);
+        if (s == -1) {
+            _failed = true;
+            return false;
+        }
+        if (s == 0)
+            kept.push_back(std::move(a));
+    }
+    _atoms = std::move(kept);
+    if (!solveLocConstSystem(_atoms)) {
+        _failed = true;
+        return false;
+    }
+    return true;
+}
+
+bool
+ConstraintStore::add(Atom atom)
+{
+    if (_failed)
+        return false;
+    int s = simplify(atom);
+    if (s == -1) {
+        _failed = true;
+        return false;
+    }
+    if (s == 0)
+        _atoms.push_back(std::move(atom));
+    return resimplifyAll();
+}
+
+bool
+ConstraintStore::substituteReg(int reg, const Operand &value)
+{
+    if (_failed)
+        return false;
+    Operand pattern = Operand::regOp(reg);
+    for (Atom &a : _atoms) {
+        substOperand(a.lhs, pattern, value);
+        substOperand(a.rhs, pattern, value);
+    }
+    return resimplifyAll();
+}
+
+bool
+ConstraintStore::substituteLoc(const race::MemLoc &loc,
+                               const Operand &value)
+{
+    if (_failed)
+        return false;
+    Operand pattern = Operand::locOp(loc);
+    for (Atom &a : _atoms) {
+        substOperand(a.lhs, pattern, value);
+        substOperand(a.rhs, pattern, value);
+    }
+    return resimplifyAll();
+}
+
+void
+ConstraintStore::dropRegAtoms()
+{
+    std::vector<Atom> kept;
+    for (Atom &a : _atoms) {
+        if (!a.lhs.isReg() && !a.rhs.isReg())
+            kept.push_back(std::move(a));
+    }
+    _atoms = std::move(kept);
+}
+
+void
+ConstraintStore::dropRegsInRange(int lo, int hi)
+{
+    auto mentions = [&](const Operand &op) {
+        return op.isReg() && op.reg >= lo && op.reg < hi;
+    };
+    std::vector<Atom> kept;
+    for (Atom &a : _atoms) {
+        if (!mentions(a.lhs) && !mentions(a.rhs))
+            kept.push_back(std::move(a));
+    }
+    _atoms = std::move(kept);
+}
+
+bool
+ConstraintStore::substituteKeyWithConst(const std::string &key,
+                                        int64_t value,
+                                        const std::set<int> &objs)
+{
+    if (_failed)
+        return false;
+    Operand v = Operand::constant(value);
+    auto matches = [&](const Operand &op) {
+        return op.isLoc() && op.loc.key == key &&
+               (objs.empty() || objs.count(op.loc.obj));
+    };
+    for (Atom &a : _atoms) {
+        if (matches(a.lhs))
+            a.lhs = v;
+        if (matches(a.rhs))
+            a.rhs = v;
+    }
+    return resimplifyAll();
+}
+
+void
+ConstraintStore::dropLocsByKey(const std::vector<std::string> &keys)
+{
+    auto mentions = [&](const Operand &op) {
+        if (!op.isLoc())
+            return false;
+        return std::find(keys.begin(), keys.end(), op.loc.key) !=
+               keys.end();
+    };
+    std::vector<Atom> kept;
+    for (Atom &a : _atoms) {
+        if (!mentions(a.lhs) && !mentions(a.rhs))
+            kept.push_back(std::move(a));
+    }
+    _atoms = std::move(kept);
+}
+
+bool
+ConstraintStore::renameReg(int from, int to)
+{
+    return substituteReg(from, Operand::regOp(to));
+}
+
+bool
+ConstraintStore::consistent() const
+{
+    if (_failed)
+        return false;
+    return solveLocConstSystem(_atoms);
+}
+
+std::string
+ConstraintStore::toString() const
+{
+    std::ostringstream os;
+    if (_failed)
+        os << "<unsat> ";
+    for (size_t i = 0; i < _atoms.size(); ++i) {
+        if (i)
+            os << " && ";
+        os << _atoms[i].toString();
+    }
+    return os.str();
+}
+
+bool
+solveLocConstSystem(const std::vector<Atom> &atoms)
+{
+    // Group loc-vs-const atoms per location; other atoms (loc-vs-loc,
+    // reg atoms) are treated as satisfiable.
+    struct Domain {
+        int64_t lo{std::numeric_limits<int64_t>::min()};
+        int64_t hi{std::numeric_limits<int64_t>::max()};
+        bool hasEq{false};
+        int64_t eq{0};
+        std::set<int64_t> ne;
+    };
+    std::map<std::pair<int, std::string>, Domain> domains;
+
+    for (const Atom &a : atoms) {
+        if (!a.lhs.isLoc() || !a.rhs.isConst())
+            continue;
+        auto key = std::make_pair(a.lhs.loc.obj,
+                                  (a.lhs.loc.isStatic ? "s:" : "i:") +
+                                      a.lhs.loc.key);
+        Domain &d = domains[key];
+        int64_t v = a.rhs.value;
+        switch (a.cond) {
+          case CondKind::Eq:
+            if (d.hasEq && d.eq != v)
+                return false;
+            d.hasEq = true;
+            d.eq = v;
+            break;
+          case CondKind::Ne:
+            d.ne.insert(v);
+            break;
+          case CondKind::Lt:
+            d.hi = std::min(d.hi, v - 1);
+            break;
+          case CondKind::Le:
+            d.hi = std::min(d.hi, v);
+            break;
+          case CondKind::Gt:
+            d.lo = std::max(d.lo, v + 1);
+            break;
+          case CondKind::Ge:
+            d.lo = std::max(d.lo, v);
+            break;
+        }
+    }
+    for (const auto &[key, d] : domains) {
+        if (d.lo > d.hi)
+            return false;
+        if (d.hasEq) {
+            if (d.eq < d.lo || d.eq > d.hi || d.ne.count(d.eq))
+                return false;
+            continue;
+        }
+        // Interval minus excluded points must be non-empty. Width is
+        // computed in unsigned arithmetic: hi - lo would overflow for
+        // the unbounded interval (and an unbounded interval can never
+        // be fully excluded by a finite ne-set anyway).
+        uint64_t width = static_cast<uint64_t>(d.hi) -
+                         static_cast<uint64_t>(d.lo);
+        if (width != std::numeric_limits<uint64_t>::max() &&
+            width + 1 <= d.ne.size()) {
+            uint64_t count = 0;
+            for (int64_t v : d.ne) {
+                if (v >= d.lo && v <= d.hi)
+                    ++count;
+            }
+            if (count >= width + 1)
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace sierra::symbolic

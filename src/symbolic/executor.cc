@@ -1,0 +1,517 @@
+#include "executor.hh"
+
+#include "air/logging.hh"
+
+namespace sierra::symbolic {
+
+using air::CondKind;
+using air::Instruction;
+using air::Opcode;
+using analysis::NodeId;
+using race::MemLoc;
+
+const char *
+queryVerdictName(QueryVerdict v)
+{
+    switch (v) {
+      case QueryVerdict::Feasible: return "feasible";
+      case QueryVerdict::Infeasible: return "infeasible";
+      case QueryVerdict::Budget: return "budget";
+    }
+    panic("unreachable verdict");
+}
+
+BackwardExecutor::BackwardExecutor(const analysis::PointsToResult &result,
+                                   ExecutorOptions options)
+    : _r(result), _opts(options)
+{
+}
+
+const analysis::Cfg &
+BackwardExecutor::cfgOf(const air::Method *m)
+{
+    auto it = _cfgs.find(m);
+    if (it != _cfgs.end())
+        return *it->second;
+    auto cfg = std::make_unique<analysis::Cfg>(*m);
+    const analysis::Cfg &ref = *cfg;
+    _cfgs.emplace(m, std::move(cfg));
+    return ref;
+}
+
+const std::vector<std::string> &
+BackwardExecutor::mayWriteKeys(NodeId n)
+{
+    auto it = _mayWrite.find(n);
+    if (it != _mayWrite.end())
+        return it->second;
+    static const std::vector<std::string> empty;
+    if (!_mayWriteInProgress.insert(n).second)
+        return empty;
+
+    std::set<std::string> keys;
+    const air::Method *m = _r.cg.node(n).method;
+    if (m->hasBody()) {
+        for (int i = 0; i < m->numInstrs(); ++i) {
+            const Instruction &instr = m->instr(i);
+            switch (instr.op) {
+              case Opcode::PutField:
+                for (analysis::ObjId o :
+                     _r.pointsTo(n, instr.srcs[0])) {
+                    keys.insert(_r.fieldKey(o, instr.field));
+                }
+                keys.insert(instr.field.className + "." +
+                            instr.field.fieldName);
+                break;
+              case Opcode::PutStatic:
+                keys.insert(_r.staticKey(instr.field));
+                break;
+              case Opcode::ArrayPut:
+                for (analysis::ObjId o :
+                     _r.pointsTo(n, instr.srcs[0])) {
+                    keys.insert(_r.objects.get(o).klassName + ".$elems");
+                }
+                break;
+              default:
+                break;
+            }
+        }
+        for (const auto &edge : _r.cg.edgesOf(n)) {
+            for (const std::string &k : mayWriteKeys(edge.callee))
+                keys.insert(k);
+        }
+    }
+    _mayWriteInProgress.erase(n);
+    auto [ins, inserted] = _mayWrite.emplace(
+        n, std::vector<std::string>(keys.begin(), keys.end()));
+    (void)inserted;
+    return ins->second;
+}
+
+bool
+BackwardExecutor::resolveLoc(NodeId n, int reg,
+                             const air::FieldRef &field,
+                             MemLoc &out) const
+{
+    const auto &pts = _r.pointsTo(n, reg);
+    if (pts.size() != 1)
+        return false;
+    out.isStatic = false;
+    out.obj = *pts.begin();
+    out.key = _r.fieldKey(out.obj, field);
+    return true;
+}
+
+bool
+BackwardExecutor::transfer(PathState &st, const Instruction &instr)
+{
+    ConstraintStore &store = st.store;
+    const int f = st.frame;
+    switch (instr.op) {
+      case Opcode::ConstInt:
+        return store.substituteReg(regKey(f, instr.dst),
+                                   Operand::constant(instr.intValue));
+      case Opcode::ConstNull:
+        return store.substituteReg(regKey(f, instr.dst),
+                                   Operand::constant(0));
+      case Opcode::ConstStr:
+      case Opcode::BinOp:
+      case Opcode::UnOp:
+        return store.substituteReg(regKey(f, instr.dst),
+                                   Operand::unknown());
+      case Opcode::New:
+      case Opcode::NewArray:
+        // Fresh allocations are non-null; 1 satisfies != null checks
+        // and conflicts with == null checks.
+        return store.substituteReg(regKey(f, instr.dst),
+                                   Operand::constant(1));
+      case Opcode::Move:
+        return store.substituteReg(
+            regKey(f, instr.dst),
+            Operand::regOp(regKey(f, instr.srcs[0])));
+      case Opcode::GetField: {
+        MemLoc loc;
+        if (resolveLoc(st.node, instr.srcs[0], instr.field, loc)) {
+            return store.substituteReg(regKey(f, instr.dst),
+                                       Operand::locOp(loc));
+        }
+        return store.substituteReg(regKey(f, instr.dst),
+                                   Operand::unknown());
+      }
+      case Opcode::PutField: {
+        MemLoc loc;
+        if (resolveLoc(st.node, instr.srcs[0], instr.field, loc)) {
+            // Strong update.
+            return store.substituteLoc(
+                loc, Operand::regOp(regKey(f, instr.srcs[1])));
+        }
+        // Ambiguous base: weak update, havoc by key.
+        store.dropLocsByKey({instr.field.className + "." +
+                             instr.field.fieldName});
+        for (analysis::ObjId o : _r.pointsTo(st.node, instr.srcs[0]))
+            store.dropLocsByKey({_r.fieldKey(o, instr.field)});
+        return !store.failed();
+      }
+      case Opcode::GetStatic: {
+        MemLoc loc;
+        loc.isStatic = true;
+        loc.key = _r.staticKey(instr.field);
+        return store.substituteReg(regKey(f, instr.dst),
+                                   Operand::locOp(loc));
+      }
+      case Opcode::PutStatic: {
+        MemLoc loc;
+        loc.isStatic = true;
+        loc.key = _r.staticKey(instr.field);
+        return store.substituteLoc(
+            loc, Operand::regOp(regKey(f, instr.srcs[0])));
+      }
+      case Opcode::ArrayGet:
+        return store.substituteReg(regKey(f, instr.dst),
+                                   Operand::unknown());
+      case Opcode::ArrayPut:
+        for (analysis::ObjId o : _r.pointsTo(st.node, instr.srcs[0])) {
+            store.dropLocsByKey(
+                {_r.objects.get(o).klassName + ".$elems"});
+        }
+        return !store.failed();
+      default:
+        return !store.failed();
+    }
+}
+
+bool
+BackwardExecutor::bindFrame(ConstraintStore &store,
+                            const air::Method *callee, int callee_frame,
+                            const Instruction &call, int caller_frame)
+{
+    // Frame-distinct register keys make the renames collision-free.
+    int frame_regs = callee->firstTempReg();
+    store.dropRegsInRange(regKey(callee_frame, frame_regs),
+                          regKey(callee_frame + 1, 0));
+    for (int r = 0; r < frame_regs; ++r) {
+        Operand value =
+            static_cast<size_t>(r) < call.srcs.size()
+                ? Operand::regOp(regKey(caller_frame, call.srcs[r]))
+                : Operand::unknown();
+        if (!store.substituteReg(regKey(callee_frame, r), value))
+            return false;
+    }
+    return !store.failed();
+}
+
+bool
+BackwardExecutor::handleInvoke(PathState &st, const Instruction &instr,
+                               std::vector<PathState> &stack)
+{
+    // Callees of this site within the current phase's walk.
+    analysis::SiteId site =
+        _r.sites.find(_r.cg.node(st.node).method, st.instr);
+    std::vector<NodeId> callees;
+    for (const auto &edge : _r.cg.edgesOf(st.node)) {
+        if (edge.site == site &&
+            _r.cg.node(edge.callee).method->hasBody()) {
+            callees.push_back(edge.callee);
+        }
+    }
+
+    if (callees.empty() ||
+        static_cast<int>(st.callStack.size()) >= _opts.maxCallDepth) {
+        // Havoc: unknown return value, drop what callees may write.
+        if (instr.dst >= 0 &&
+            !st.store.substituteReg(regKey(st.frame, instr.dst),
+                                    Operand::unknown())) {
+            return false;
+        }
+        for (NodeId c : callees)
+            st.store.dropLocsByKey(mayWriteKeys(c));
+        return !st.store.failed();
+    }
+
+    // Descend: continue backward from each callee exit; resume at this
+    // call site when the callee's entry is reached.
+    for (NodeId c : callees) {
+        const air::Method *cm = _r.cg.node(c).method;
+        for (int e = 0; e < cm->numInstrs(); ++e) {
+            const Instruction &exit_instr = cm->instr(e);
+            if (exit_instr.op != Opcode::Return &&
+                exit_instr.op != Opcode::ReturnVoid &&
+                exit_instr.op != Opcode::Throw) {
+                continue;
+            }
+            PathState next = st;
+            next.node = c;
+            next.instr = e;
+            next.skipEffect = true;
+            next.depth = st.depth + 1;
+            next.frame = st.nextFrame++;
+            next.nextFrame = st.nextFrame;
+            next.callStack.push_back({st.node, st.instr, st.frame});
+            // The call's destination register holds the return value.
+            if (instr.dst >= 0) {
+                Operand ret =
+                    exit_instr.op == Opcode::Return
+                        ? Operand::regOp(
+                              regKey(next.frame, exit_instr.srcs[0]))
+                        : Operand::unknown();
+                if (!next.store.substituteReg(
+                        regKey(st.frame, instr.dst), ret)) {
+                    continue;
+                }
+            }
+            stack.push_back(std::move(next));
+        }
+    }
+    return false; // state replaced by descent states
+}
+
+bool
+BackwardExecutor::startPhaseB(const PathState &st, int action_b,
+                              std::vector<PathState> &stack)
+{
+    const analysis::Action &b = _r.actions.get(action_b);
+    if (b.entryNode < 0) {
+        // B has no analyzable body: it cannot conflict with the
+        // constraints, so the ordering is feasible if the store is.
+        return st.store.consistent();
+    }
+    const air::Method *bm = _r.cg.node(b.entryNode).method;
+    for (int i = 0; i < bm->numInstrs(); ++i) {
+        const Instruction &instr = bm->instr(i);
+        if (instr.op == Opcode::Return ||
+            instr.op == Opcode::ReturnVoid ||
+            instr.op == Opcode::Throw) {
+            PathState next;
+            next.phase = 1;
+            next.node = b.entryNode;
+            next.instr = i;
+            next.skipEffect = true;
+            next.depth = st.depth + 1;
+            next.frame = 0;
+            next.nextFrame = 1;
+            next.store = st.store;
+            stack.push_back(std::move(next));
+        }
+    }
+    return false;
+}
+
+bool
+BackwardExecutor::atEntry(PathState st, int action_a, int action_b,
+                          std::vector<PathState> &stack)
+{
+    const air::Method *m = _r.cg.node(st.node).method;
+
+    // Returning from a descended call: resume in the caller.
+    if (!st.callStack.empty()) {
+        Frame caller = st.callStack.back();
+        st.callStack.pop_back();
+        const air::Method *cm = _r.cg.node(caller.node).method;
+        const Instruction &call = cm->instr(caller.instr);
+        if (!bindFrame(st.store, m, st.frame, call, caller.frame))
+            return false;
+        st.node = caller.node;
+        st.instr = caller.instr;
+        st.frame = caller.frame;
+        st.skipEffect = true;
+        st.depth += 1;
+        stack.push_back(std::move(st));
+        return false;
+    }
+
+    const analysis::Action &phase_action =
+        _r.actions.get(st.phase == 0 ? action_a : action_b);
+
+    if (st.node != phase_action.entryNode) {
+        // Cross upward to callers within the same action.
+        for (NodeId caller : _r.cg.callersOf(st.node)) {
+            if (!_r.cg.actionsOf(caller).count(phase_action.id))
+                continue;
+            const air::Method *cm = _r.cg.node(caller).method;
+            for (const auto &edge : _r.cg.edgesOf(caller)) {
+                if (edge.callee != st.node)
+                    continue;
+                int call_instr = _r.sites.instrOf(edge.site);
+                const Instruction &call = cm->instr(call_instr);
+                PathState next = st;
+                next.node = caller;
+                next.instr = call_instr;
+                next.skipEffect = true;
+                next.depth = st.depth + 1;
+                next.frame = st.nextFrame++;
+                next.nextFrame = st.nextFrame;
+                // Callee frame regs become caller argument regs; note
+                // the roles: st.frame is the callee frame here.
+                if (!bindFrame(next.store, m, st.frame, call,
+                               next.frame)) {
+                    continue;
+                }
+                stack.push_back(std::move(next));
+            }
+        }
+        return false;
+    }
+
+    // Reached the action's entry: apply message-what facts and drop the
+    // remaining register atoms (parameters are unconstrained inputs).
+    if (phase_action.messageWhat >= 0) {
+        // Restrict the substitution to the handled message's abstract
+        // objects (the handleMessage parameter); other Message objects
+        // in scope keep their symbolic `what`.
+        std::set<int> msg_objs;
+        if (phase_action.entryNode >= 0) {
+            const air::Method *em =
+                _r.cg.node(phase_action.entryNode).method;
+            if (em->numParams() >= 1) {
+                for (analysis::ObjId o : _r.pointsTo(
+                         phase_action.entryNode, em->paramReg(0))) {
+                    msg_objs.insert(o);
+                }
+            }
+        }
+        if (!st.store.substituteKeyWithConst("android.os.Message.what",
+                                             phase_action.messageWhat,
+                                             msg_objs)) {
+            return false;
+        }
+    }
+    st.store.dropRegAtoms();
+    if (!st.store.consistent())
+        return false;
+
+    if (st.phase == 0)
+        return startPhaseB(st, action_b, stack);
+    return true; // phase B entry with a consistent store: feasible
+}
+
+QueryVerdict
+BackwardExecutor::orderFeasible(const race::Access &access, int action_a,
+                                int action_b)
+{
+    ++_stats.queries;
+    _queryVisited.clear();
+
+    const analysis::Action &a = _r.actions.get(action_a);
+    if (a.entryNode < 0)
+        return QueryVerdict::Feasible;
+
+    auto memo_key = std::make_tuple(access.site, action_a, action_b);
+    if (auto it = _queryMemo.find(memo_key); it != _queryMemo.end()) {
+        ++_stats.cacheHits;
+        return it->second;
+    }
+
+    std::vector<PathState> stack;
+    {
+        PathState init;
+        init.phase = 0;
+        init.node = access.node;
+        init.instr = access.instrIdx;
+        init.skipEffect = true;
+        stack.push_back(std::move(init));
+    }
+
+    int paths = 0;
+    int steps = 0;
+    while (!stack.empty()) {
+        if (++steps > _opts.maxSteps || paths > _opts.maxPaths) {
+            ++_stats.budgetExhausted;
+            _queryMemo[memo_key] = QueryVerdict::Budget;
+            return QueryVerdict::Budget;
+        }
+        PathState st = std::move(stack.back());
+        stack.pop_back();
+        ++_stats.statesExpanded;
+
+        if (st.depth > _opts.maxDepth) {
+            ++paths;
+            continue;
+        }
+        if (_opts.useNodeCache && st.phase == 0 &&
+            _refutedCache.count(st.node)) {
+            ++_stats.cacheHits;
+            ++paths;
+            continue;
+        }
+        if (st.phase == 0)
+            _queryVisited.insert(st.node);
+
+        const air::Method *m = _r.cg.node(st.node).method;
+        const Instruction &instr = m->instr(st.instr);
+
+        if (!st.skipEffect) {
+            if (instr.op == Opcode::Invoke) {
+                if (!handleInvoke(st, instr, stack)) {
+                    ++paths;
+                    continue;
+                }
+            } else if (!transfer(st, instr)) {
+                ++paths;
+                continue;
+            }
+        }
+        st.skipEffect = false;
+
+        if (st.instr == 0) {
+            // The method entry is one continuation; a back edge into
+            // instruction 0 is another, so also fall through to the
+            // predecessor exploration below.
+            if (atEntry(st, action_a, action_b, stack)) {
+                ++_stats.pathsExplored;
+                _queryMemo[memo_key] = QueryVerdict::Feasible;
+                return QueryVerdict::Feasible;
+            }
+        }
+
+        const analysis::Cfg &cfg = cfgOf(m);
+        std::vector<int> preds = cfg.instrPreds(st.instr);
+        if (preds.empty()) {
+            ++paths;
+            continue;
+        }
+        for (int q : preds) {
+            const Instruction &pred = m->instr(q);
+            PathState next = st;
+            next.instr = q;
+            next.depth = st.depth + 1;
+
+            if (pred.isConditionalBranch()) {
+                bool via_target = pred.target == st.instr;
+                bool via_fall = q + 1 == st.instr;
+                CondKind cond = pred.cond;
+                bool add = true;
+                if (via_target && via_fall) {
+                    add = false; // both edges reach here: no constraint
+                } else if (!via_target && via_fall) {
+                    cond = air::negateCond(cond);
+                }
+                if (add) {
+                    Atom atom;
+                    atom.lhs = Operand::regOp(
+                        regKey(st.frame, pred.srcs[0]));
+                    atom.cond = cond;
+                    atom.rhs =
+                        pred.op == Opcode::IfZ
+                            ? Operand::constant(0)
+                            : Operand::regOp(
+                                  regKey(st.frame, pred.srcs[1]));
+                    if (!next.store.add(atom)) {
+                        ++paths;
+                        continue;
+                    }
+                }
+            }
+            stack.push_back(std::move(next));
+        }
+    }
+
+    // Every path pruned: the ordering is infeasible.
+    if (_opts.useNodeCache) {
+        for (NodeId n : _queryVisited)
+            _refutedCache.insert(n);
+    }
+    _queryMemo[memo_key] = QueryVerdict::Infeasible;
+    return QueryVerdict::Infeasible;
+}
+
+} // namespace sierra::symbolic

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Goal-directed backward symbolic execution (paper Section 5).
+ *
+ * A query asks: can action B run to completion and then action A run up
+ * to the access alpha_A, along some feasible pair of paths? The executor
+ * walks backward from alpha_A to A's entry -- descending into callees
+ * (with frame-tagged registers and an explicit call stack) and crossing
+ * from callee entries to callers within the action -- then backward
+ * through B's body from its exits, applying weakest-precondition
+ * substitutions. Strong updates to guard fields (e.g. "mIsRunning =
+ * false") conflict with collected path constraints and prune paths; if
+ * every path is pruned the ordering is infeasible.
+ */
+
+#ifndef SIERRA_SYMBOLIC_EXECUTOR_HH
+#define SIERRA_SYMBOLIC_EXECUTOR_HH
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "analysis/points_to.hh"
+#include "constraint.hh"
+#include "race/access.hh"
+
+namespace sierra::symbolic {
+
+/** Result of one ordering query. */
+enum class QueryVerdict {
+    Feasible,   //!< a consistent path witnesses the ordering
+    Infeasible, //!< all paths pruned: the ordering cannot happen
+    Budget,     //!< path/step budget exhausted (treated as feasible)
+};
+
+const char *queryVerdictName(QueryVerdict v);
+
+/** Executor tuning knobs. */
+struct ExecutorOptions {
+    int maxPaths{5000};   //!< terminated-path budget per query (paper's)
+    int maxDepth{512};    //!< per-path backward step limit
+    int maxSteps{200000}; //!< total state-expansion budget per query
+    int maxCallDepth{8};  //!< descend limit; deeper calls are havocked
+    /**
+     * The paper's aggressive refuted-node cache (Section 5): nodes
+     * visited by a refuted query prune later paths. It is unsound (it
+     * ignores the constraint context), so it is off by default here and
+     * measured by the cache ablation bench. A sound query-level memo is
+     * always on.
+     */
+    bool useNodeCache{false};
+};
+
+/** Counters for the evaluation tables. */
+struct ExecutorStats {
+    int64_t queries{0};
+    int64_t pathsExplored{0};
+    int64_t statesExpanded{0};
+    int64_t cacheHits{0};
+    int64_t budgetExhausted{0};
+};
+
+/**
+ * Backward symbolic executor over one pointer-analysis result. The
+ * refuted-node cache persists across queries (by design, see paper).
+ */
+class BackwardExecutor
+{
+  public:
+    BackwardExecutor(const analysis::PointsToResult &result,
+                     ExecutorOptions options = {});
+
+    /**
+     * Is the ordering "B completes, then A runs and reaches `access`"
+     * feasible? `access` must be executable under action_a.
+     */
+    QueryVerdict orderFeasible(const race::Access &access, int action_a,
+                               int action_b);
+
+    const ExecutorStats &stats() const { return _stats; }
+
+  private:
+    //! frame-tagged register keys: frame f, register r -> f*stride + r
+    static constexpr int kFrameStride = 1 << 16;
+
+    struct Frame {
+        analysis::NodeId node{-1};
+        int instr{0}; //!< caller position to resume at
+        int frame{0}; //!< caller's register-frame id
+    };
+
+    struct PathState {
+        int phase{0}; //!< 0 = inside A, 1 = inside B
+        analysis::NodeId node{-1};
+        int instr{0};
+        bool skipEffect{false};
+        int depth{0};
+        int frame{0};
+        int nextFrame{1};
+        std::vector<Frame> callStack;
+        ConstraintStore store;
+    };
+
+    static int
+    regKey(int frame, int reg)
+    {
+        return frame * kFrameStride + reg;
+    }
+
+    const analysis::Cfg &cfgOf(const air::Method *m);
+
+    /** Keys of fields possibly written by a node (transitively); used
+     *  to havoc calls beyond the descend limit. */
+    const std::vector<std::string> &mayWriteKeys(analysis::NodeId n);
+
+    /** Apply instruction backward transfer (non-invoke); false=prune. */
+    bool transfer(PathState &st, const air::Instruction &instr);
+
+    /** Handle an invoke backward: descend into callees or havoc. Pushes
+     *  successor states; returns false when the state was fully handled
+     *  by descent (so the caller must not continue this state). */
+    bool handleInvoke(PathState &st, const air::Instruction &instr,
+                      std::vector<PathState> &stack);
+
+    /** Handle reaching instruction 0 of a method. Returns true when the
+     *  whole query is feasible. */
+    bool atEntry(PathState st, int action_a, int action_b,
+                 std::vector<PathState> &stack);
+
+    /** Rename callee frame registers to the caller's argument registers
+     *  at a frame boundary. */
+    bool bindFrame(ConstraintStore &store, const air::Method *callee,
+                   int callee_frame, const air::Instruction &call,
+                   int caller_frame);
+
+    bool startPhaseB(const PathState &st, int action_b,
+                     std::vector<PathState> &stack);
+
+    bool resolveLoc(analysis::NodeId n, int reg,
+                    const air::FieldRef &field, race::MemLoc &out) const;
+
+    const analysis::PointsToResult &_r;
+    ExecutorOptions _opts;
+    ExecutorStats _stats;
+
+    std::unordered_map<const air::Method *,
+                       std::unique_ptr<analysis::Cfg>>
+        _cfgs;
+    std::unordered_map<analysis::NodeId, std::vector<std::string>>
+        _mayWrite;
+    std::set<analysis::NodeId> _mayWriteInProgress;
+    //! refuted-query node cache (paper Section 5 "Caching")
+    std::set<analysis::NodeId> _refutedCache;
+    //! nodes visited by the current query's phase-A walk
+    std::set<analysis::NodeId> _queryVisited;
+    //! sound memoization of whole queries
+    std::map<std::tuple<analysis::SiteId, int, int>, QueryVerdict>
+        _queryMemo;
+};
+
+} // namespace sierra::symbolic
+
+#endif // SIERRA_SYMBOLIC_EXECUTOR_HH

@@ -1,0 +1,52 @@
+#include "refuter.hh"
+
+namespace sierra::symbolic {
+
+RefutationStats
+refuteRaces(const analysis::PointsToResult &result,
+            const std::vector<race::Access> &accesses,
+            std::vector<race::RacyPair> &pairs,
+            const RefuterOptions &options)
+{
+    RefutationStats stats;
+    BackwardExecutor exec(result, options.exec);
+
+    for (race::RacyPair &pair : pairs) {
+        bool any_survives = false;
+        bool any_budget = false;
+        int tried = 0;
+        for (const auto &entry : pair.actionPairs) {
+            if (tried++ >= options.maxActionPairsPerRace) {
+                // Untried pairs are conservatively assumed to survive.
+                any_survives = true;
+                break;
+            }
+            QueryVerdict d1 = exec.orderFeasible(
+                accesses[entry.access1], entry.action1, entry.action2);
+            if (d1 == QueryVerdict::Infeasible)
+                continue;
+            QueryVerdict d2 = exec.orderFeasible(
+                accesses[entry.access2], entry.action2, entry.action1);
+            if (d2 == QueryVerdict::Infeasible)
+                continue;
+            any_survives = true;
+            if (d1 == QueryVerdict::Budget ||
+                d2 == QueryVerdict::Budget) {
+                any_budget = true;
+            }
+            break; // one surviving ordering pair keeps the report
+        }
+        pair.refuted = !any_survives;
+        pair.refutationTimedOut = any_budget;
+        if (pair.refuted)
+            ++stats.refuted;
+        else
+            ++stats.survived;
+        if (any_budget)
+            ++stats.timedOut;
+    }
+    stats.exec = exec.stats();
+    return stats;
+}
+
+} // namespace sierra::symbolic

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Refutation driver: runs the backward executor over candidate racy
+ * pairs in both orders (paper Section 5).
+ *
+ * A candidate race <alpha_A, alpha_B> is a true positive iff both
+ * orderings are feasible; if either ordering is infeasible the pair is
+ * refuted. Budget exhaustion conservatively keeps the report (paper:
+ * "in line with our approach to over-approximate actual races").
+ */
+
+#ifndef SIERRA_SYMBOLIC_REFUTER_HH
+#define SIERRA_SYMBOLIC_REFUTER_HH
+
+#include <vector>
+
+#include "executor.hh"
+#include "race/racy.hh"
+
+namespace sierra::symbolic {
+
+/** Refuter options. */
+struct RefuterOptions {
+    ExecutorOptions exec;
+    //! how many (action1, action2) pairs to try per racy pair; a pair is
+    //! refuted only if every tried pair is refuted
+    int maxActionPairsPerRace{16};
+};
+
+/** Aggregate statistics for the evaluation tables. */
+struct RefutationStats {
+    int refuted{0};
+    int survived{0};
+    int timedOut{0};
+    ExecutorStats exec;
+};
+
+/**
+ * Mark refuted pairs in place. Returns statistics; the executor's
+ * refuted-node cache is shared across all pairs of one call.
+ */
+RefutationStats
+refuteRaces(const analysis::PointsToResult &result,
+            const std::vector<race::Access> &accesses,
+            std::vector<race::RacyPair> &pairs,
+            const RefuterOptions &options = {});
+
+} // namespace sierra::symbolic
+
+#endif // SIERRA_SYMBOLIC_REFUTER_HH

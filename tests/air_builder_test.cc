@@ -1,0 +1,189 @@
+/** @file Tests for MethodBuilder and the instruction model. */
+
+#include <gtest/gtest.h>
+
+#include "air/builder.hh"
+#include "air/klass.hh"
+#include "air/module.hh"
+
+namespace sierra::air {
+namespace {
+
+class BuilderTest : public ::testing::Test
+{
+  protected:
+    Module mod;
+    Klass *klass{nullptr};
+
+    void
+    SetUp() override
+    {
+        klass = mod.addClass("Foo", "");
+    }
+};
+
+TEST_F(BuilderTest, RegisterConvention)
+{
+    Method *m = klass->addMethod("bar", {Type::intTy(), Type::intTy()},
+                                 Type::voidTy(), false);
+    EXPECT_EQ(m->thisReg(), 0);
+    EXPECT_EQ(m->paramReg(0), 1);
+    EXPECT_EQ(m->paramReg(1), 2);
+    EXPECT_EQ(m->firstTempReg(), 3);
+
+    Method *s = klass->addMethod("baz", {Type::intTy()},
+                                 Type::voidTy(), true);
+    EXPECT_EQ(s->paramReg(0), 0);
+    EXPECT_EQ(s->firstTempReg(), 1);
+}
+
+TEST_F(BuilderTest, EmitsAndFinishes)
+{
+    Method *m = klass->addMethod("f", {}, Type::voidTy(), false);
+    MethodBuilder b(m);
+    int r = b.newReg();
+    EXPECT_EQ(r, m->firstTempReg());
+    b.constInt(r, 42);
+    b.finish();
+    ASSERT_EQ(m->numInstrs(), 2);
+    EXPECT_EQ(m->instr(0).op, Opcode::ConstInt);
+    EXPECT_EQ(m->instr(0).intValue, 42);
+    // finish() appends the missing terminator.
+    EXPECT_EQ(m->instr(1).op, Opcode::ReturnVoid);
+    EXPECT_EQ(m->numRegisters(), r + 1);
+}
+
+TEST_F(BuilderTest, NoDoubleTerminator)
+{
+    Method *m = klass->addMethod("f", {}, Type::voidTy(), false);
+    MethodBuilder b(m);
+    b.retVoid();
+    b.finish();
+    EXPECT_EQ(m->numInstrs(), 1);
+}
+
+TEST_F(BuilderTest, LabelPatching)
+{
+    Method *m = klass->addMethod("f", {}, Type::voidTy(), false);
+    MethodBuilder b(m);
+    int r = b.newReg();
+    b.constInt(r, 0);
+    Label skip = b.newLabel();
+    b.ifz(r, CondKind::Eq, skip);
+    b.constInt(r, 1);
+    b.bind(skip);
+    b.retVoid();
+    b.finish();
+    // @0 const, @1 ifz -> @3, @2 const, @3 return.
+    EXPECT_EQ(m->instr(1).op, Opcode::IfZ);
+    EXPECT_EQ(m->instr(1).target, 3);
+}
+
+TEST_F(BuilderTest, BackwardLabel)
+{
+    Method *m = klass->addMethod("loop", {}, Type::voidTy(), false);
+    MethodBuilder b(m);
+    int r = b.newReg();
+    Label head = b.newLabel();
+    b.bind(head);
+    b.constInt(r, 1);
+    b.ifz(r, CondKind::Ne, head);
+    b.retVoid();
+    b.finish();
+    EXPECT_EQ(m->instr(1).target, 0);
+}
+
+TEST_F(BuilderTest, InvokeShapes)
+{
+    Method *m = klass->addMethod("f", {}, Type::voidTy(), false);
+    MethodBuilder b(m);
+    int r = b.newReg();
+    int site = b.call(b.thisReg(), "Foo", "g", {r});
+    EXPECT_EQ(site, 0);
+    const Instruction &call = m->instr(0);
+    EXPECT_EQ(call.op, Opcode::Invoke);
+    EXPECT_EQ(call.invokeKind, InvokeKind::Virtual);
+    EXPECT_EQ(call.method.className, "Foo");
+    EXPECT_EQ(call.method.methodName, "g");
+    ASSERT_EQ(call.srcs.size(), 2u); // receiver + arg
+    EXPECT_EQ(call.srcs[0], 0);
+    EXPECT_EQ(call.method.numArgs, 2);
+
+    int site2 = b.callStatic(r, "Foo", "h");
+    const Instruction &scall = m->instr(site2);
+    EXPECT_EQ(scall.invokeKind, InvokeKind::Static);
+    EXPECT_EQ(scall.dst, r);
+    b.finish();
+}
+
+TEST_F(BuilderTest, AllocationSiteIndices)
+{
+    Method *m = klass->addMethod("f", {}, Type::voidTy(), false);
+    MethodBuilder b(m);
+    int r = b.newReg();
+    int s1 = b.newObject(r, "A");
+    int s2 = b.newObject(r, "B");
+    EXPECT_EQ(s1, 0);
+    EXPECT_EQ(s2, 1);
+    b.finish();
+}
+
+TEST_F(BuilderTest, InstructionPredicates)
+{
+    Instruction gi;
+    gi.op = Opcode::Goto;
+    EXPECT_TRUE(gi.isBranch());
+    EXPECT_TRUE(gi.isTerminator());
+    EXPECT_FALSE(gi.isConditionalBranch());
+
+    Instruction ii;
+    ii.op = Opcode::If;
+    EXPECT_TRUE(ii.isConditionalBranch());
+    EXPECT_FALSE(ii.isTerminator());
+
+    Instruction ret;
+    ret.op = Opcode::Return;
+    EXPECT_TRUE(ret.isTerminator());
+}
+
+TEST(AirInstruction, CondHelpers)
+{
+    EXPECT_EQ(negateCond(CondKind::Eq), CondKind::Ne);
+    EXPECT_EQ(negateCond(CondKind::Lt), CondKind::Ge);
+    EXPECT_EQ(negateCond(CondKind::Gt), CondKind::Le);
+    EXPECT_TRUE(evalCond(CondKind::Le, 3, 3));
+    EXPECT_FALSE(evalCond(CondKind::Lt, 3, 3));
+    EXPECT_TRUE(evalCond(CondKind::Ne, 1, 2));
+}
+
+TEST(AirInstruction, BinOpEval)
+{
+    EXPECT_EQ(evalBinOp(BinOpKind::Add, 2, 3), 5);
+    EXPECT_EQ(evalBinOp(BinOpKind::Sub, 2, 3), -1);
+    EXPECT_EQ(evalBinOp(BinOpKind::Mul, 4, 3), 12);
+    EXPECT_EQ(evalBinOp(BinOpKind::Div, 7, 2), 3);
+    EXPECT_EQ(evalBinOp(BinOpKind::Div, 7, 0), 0) << "div-by-zero guard";
+    EXPECT_EQ(evalBinOp(BinOpKind::Rem, 7, 0), 0);
+    EXPECT_EQ(evalBinOp(BinOpKind::And, 6, 3), 2);
+    EXPECT_EQ(evalBinOp(BinOpKind::Or, 4, 1), 5);
+    EXPECT_EQ(evalBinOp(BinOpKind::Xor, 5, 3), 6);
+}
+
+TEST(AirInstruction, NameTables)
+{
+    CondKind c;
+    EXPECT_TRUE(condFromName("le", c));
+    EXPECT_EQ(c, CondKind::Le);
+    EXPECT_FALSE(condFromName("bogus", c));
+
+    BinOpKind bk;
+    EXPECT_TRUE(binopFromName("xor", bk));
+    EXPECT_EQ(bk, BinOpKind::Xor);
+
+    InvokeKind ik;
+    EXPECT_TRUE(invokeKindFromName("interface", ik));
+    EXPECT_EQ(ik, InvokeKind::Interface);
+}
+
+} // namespace
+} // namespace sierra::air

@@ -1,0 +1,139 @@
+/** @file Tests for Module/Klass bookkeeping, including fatal paths. */
+
+#include <gtest/gtest.h>
+
+#include "air/builder.hh"
+#include "air/module.hh"
+#include "air/printer.hh"
+
+namespace sierra::air {
+namespace {
+
+TEST(Module, ClassRegistryAndOrder)
+{
+    Module mod;
+    Klass *a = mod.addClass("A");
+    Klass *b = mod.addClass("B", "A");
+    EXPECT_EQ(mod.numClasses(), 2u);
+    EXPECT_EQ(mod.getClass("A"), a);
+    EXPECT_EQ(mod.getClass("Missing"), nullptr);
+    EXPECT_EQ(mod.requireClass("B"), b);
+    // Insertion order is preserved (determinism contract).
+    EXPECT_EQ(mod.classes()[0], a);
+    EXPECT_EQ(mod.classes()[1], b);
+}
+
+TEST(Module, FindMethod)
+{
+    Module mod;
+    Klass *a = mod.addClass("A");
+    Method *m = a->addMethod("f", {}, Type::voidTy(), false);
+    EXPECT_EQ(mod.findMethod("A", "f"), m);
+    EXPECT_EQ(mod.findMethod("A", "g"), nullptr);
+    EXPECT_EQ(mod.findMethod("Z", "f"), nullptr);
+}
+
+TEST(Module, CodeSizeTracksContent)
+{
+    Module mod;
+    size_t empty = mod.codeSize();
+    Klass *a = mod.addClass("A");
+    a->addField({"x", Type::intTy(), false});
+    EXPECT_GT(mod.codeSize(), empty);
+}
+
+TEST(ModuleDeath, DuplicateClassIsFatal)
+{
+    Module mod;
+    mod.addClass("A");
+    EXPECT_EXIT(mod.addClass("A"), ::testing::ExitedWithCode(1),
+                "duplicate class");
+}
+
+TEST(ModuleDeath, RequireMissingClassIsFatal)
+{
+    Module mod;
+    EXPECT_EXIT(mod.requireClass("Nope"),
+                ::testing::ExitedWithCode(1), "unknown class");
+}
+
+TEST(ModuleDeath, DuplicateMethodIsFatal)
+{
+    Module mod;
+    Klass *a = mod.addClass("A");
+    a->addMethod("f", {}, Type::voidTy(), false);
+    EXPECT_EXIT(a->addMethod("f", {}, Type::voidTy(), false),
+                ::testing::ExitedWithCode(1), "duplicate method");
+}
+
+TEST(BuilderDeath, UnboundLabelPanics)
+{
+    Module mod;
+    Klass *a = mod.addClass("A");
+    Method *m = a->addMethod("f", {}, Type::voidTy(), false);
+    MethodBuilder b(m);
+    Label never = b.newLabel();
+    b.gotoLabel(never);
+    EXPECT_DEATH(b.finish(), "unbound label");
+}
+
+TEST(BuilderDeath, DoubleBindPanics)
+{
+    Module mod;
+    Klass *a = mod.addClass("A");
+    Method *m = a->addMethod("f", {}, Type::voidTy(), false);
+    MethodBuilder b(m);
+    Label l = b.newLabel();
+    b.bind(l);
+    EXPECT_DEATH(b.bind(l), "label bound twice");
+}
+
+TEST(BuilderDeath, EmitAfterFinishPanics)
+{
+    Module mod;
+    Klass *a = mod.addClass("A");
+    Method *m = a->addMethod("f", {}, Type::voidTy(), false);
+    MethodBuilder b(m);
+    b.finish();
+    EXPECT_DEATH(b.retVoid(), "emit after finish");
+}
+
+TEST(Klass, FieldLookupAndFrameworkFlag)
+{
+    Module mod;
+    Klass *a = mod.addClass("android.app.Thing");
+    Klass *u = mod.addClass("com.example.Thing");
+    a->addField({"f", Type::intTy(), false});
+    EXPECT_NE(a->findField("f"), nullptr);
+    EXPECT_EQ(a->findField("g"), nullptr);
+    EXPECT_TRUE(a->isFramework());
+    EXPECT_FALSE(u->isFramework());
+    Klass *j = mod.addClass("java.lang.Thing");
+    EXPECT_TRUE(j->isFramework());
+}
+
+TEST(Printer, MethodRendering)
+{
+    Module mod;
+    Klass *a = mod.addClass("A", "Base");
+    a->addInterface("I");
+    Method *m = a->addMethod("f", {Type::intTy()}, Type::intTy(),
+                             false);
+    MethodBuilder b(m);
+    b.ret(b.paramReg(0));
+    b.finish();
+    Method *abs = a->addMethod("g", {}, Type::voidTy(), false);
+    abs->setAbstract(true);
+
+    std::string text = printKlass(*a);
+    EXPECT_NE(text.find("class A extends Base implements I"),
+              std::string::npos);
+    EXPECT_NE(text.find("method f(p0: int) : int regs=2"),
+              std::string::npos);
+    EXPECT_NE(text.find("abstract method g() : void;"),
+              std::string::npos);
+    EXPECT_NE(text.find("@0: return r1"), std::string::npos);
+}
+
+} // namespace
+} // namespace sierra::air

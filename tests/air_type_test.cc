@@ -1,0 +1,76 @@
+/** @file Tests for the AIR type system. */
+
+#include <gtest/gtest.h>
+
+#include "air/type.hh"
+
+namespace sierra::air {
+namespace {
+
+TEST(AirType, PrimitiveFactories)
+{
+    EXPECT_EQ(Type::voidTy().kind(), TypeKind::Void);
+    EXPECT_EQ(Type::intTy().kind(), TypeKind::Int);
+    EXPECT_EQ(Type::boolTy().kind(), TypeKind::Bool);
+    EXPECT_EQ(Type::strTy().kind(), TypeKind::Str);
+    EXPECT_TRUE(Type::intTy().isPrimitive());
+    EXPECT_TRUE(Type::boolTy().isPrimitive());
+    EXPECT_FALSE(Type::voidTy().isPrimitive());
+    EXPECT_TRUE(Type::voidTy().isVoid());
+}
+
+TEST(AirType, ObjectAndArray)
+{
+    Type obj = Type::object("com.example.Foo");
+    EXPECT_EQ(obj.kind(), TypeKind::Object);
+    EXPECT_EQ(obj.name(), "com.example.Foo");
+    EXPECT_TRUE(obj.isReference());
+    EXPECT_FALSE(obj.isPrimitive());
+
+    Type arr = Type::array("Foo");
+    EXPECT_EQ(arr.kind(), TypeKind::Array);
+    EXPECT_TRUE(arr.isReference());
+    EXPECT_EQ(arr.toString(), "Foo[]");
+}
+
+TEST(AirType, StringsAreReferences)
+{
+    EXPECT_TRUE(Type::strTy().isReference());
+}
+
+TEST(AirType, ToStringForms)
+{
+    EXPECT_EQ(Type::voidTy().toString(), "void");
+    EXPECT_EQ(Type::intTy().toString(), "int");
+    EXPECT_EQ(Type::boolTy().toString(), "bool");
+    EXPECT_EQ(Type::strTy().toString(), "str");
+    EXPECT_EQ(Type::object("A.B").toString(), "A.B");
+    EXPECT_EQ(Type::array("").toString(), "int[]");
+}
+
+TEST(AirType, ParseRoundTrip)
+{
+    const char *cases[] = {"void", "int",  "bool",   "str",
+                           "Foo",  "a.b.C", "Foo[]", "int[]"};
+    for (const char *text : cases) {
+        Type t = Type::parse(text);
+        EXPECT_EQ(t.toString(), text) << text;
+    }
+}
+
+TEST(AirType, ParseIntArrayUsesEmptyElem)
+{
+    Type t = Type::parse("int[]");
+    EXPECT_EQ(t.kind(), TypeKind::Array);
+    EXPECT_EQ(t.name(), "");
+}
+
+TEST(AirType, Equality)
+{
+    EXPECT_EQ(Type::object("A"), Type::object("A"));
+    EXPECT_NE(Type::object("A"), Type::object("B"));
+    EXPECT_NE(Type::intTy(), Type::boolTy());
+}
+
+} // namespace
+} // namespace sierra::air

@@ -1,0 +1,150 @@
+/** @file Tests for the AIR module verifier. */
+
+#include <gtest/gtest.h>
+
+#include "air/builder.hh"
+#include "air/parser.hh"
+#include "air/verifier.hh"
+
+namespace sierra::air {
+namespace {
+
+std::unique_ptr<Module>
+parseOk(const std::string &text)
+{
+    ParseResult r = parseModule(text);
+    EXPECT_TRUE(r.ok()) << r.status.error;
+    return std::move(r.module);
+}
+
+TEST(AirVerifier, CleanModulePasses)
+{
+    auto mod = parseOk(R"(
+class A {
+    field f: int
+    method m(): void regs=2 {
+        @0: r1 = const 1
+        @1: putfield r0.A.f = r1
+        @2: return-void
+    }
+}
+)");
+    EXPECT_TRUE(verifyModule(*mod).empty());
+}
+
+TEST(AirVerifier, RegisterOutOfRange)
+{
+    auto mod = parseOk(R"(
+class A {
+    method m(): void regs=1 {
+        @0: r5 = const 1
+        @1: return-void
+    }
+}
+)");
+    auto issues = verifyModule(*mod);
+    ASSERT_FALSE(issues.empty());
+    EXPECT_NE(issues[0].message.find("out of range"), std::string::npos);
+}
+
+TEST(AirVerifier, BranchTargetOutOfRange)
+{
+    auto mod = parseOk(R"(
+class A {
+    method m(): void regs=2 {
+        @0: r1 = const 0
+        @1: ifz r1 eq goto @9
+        @2: return-void
+    }
+}
+)");
+    auto issues = verifyModule(*mod);
+    ASSERT_FALSE(issues.empty());
+    EXPECT_NE(issues[0].message.find("branch target"),
+              std::string::npos);
+}
+
+TEST(AirVerifier, MissingTerminator)
+{
+    auto mod = parseOk(R"(
+class A {
+    method m(): void regs=2 {
+        @0: r1 = const 0
+    }
+}
+)");
+    auto issues = verifyModule(*mod);
+    ASSERT_FALSE(issues.empty());
+    EXPECT_NE(issues[0].message.find("terminator"), std::string::npos);
+}
+
+TEST(AirVerifier, SuperClassCycle)
+{
+    auto mod = parseOk("class A extends B {} class B extends A {}");
+    auto issues = verifyModule(*mod);
+    bool found_cycle = false;
+    for (const auto &issue : issues)
+        found_cycle |= issue.message.find("cycle") != std::string::npos;
+    EXPECT_TRUE(found_cycle);
+}
+
+TEST(AirVerifier, UnresolvedSuperReported)
+{
+    auto mod = parseOk("class A extends DoesNotExist {}");
+    auto issues = verifyModule(*mod);
+    ASSERT_FALSE(issues.empty());
+    EXPECT_NE(issues[0].message.find("unresolved super"),
+              std::string::npos);
+}
+
+TEST(AirVerifier, RegisterFrameSmallerThanParams)
+{
+    auto mod = parseOk(R"(
+class A {
+    method m(p0: int, p1: int): void regs=1 {
+        @0: return-void
+    }
+}
+)");
+    auto issues = verifyModule(*mod);
+    ASSERT_FALSE(issues.empty());
+    EXPECT_NE(issues[0].message.find("register count"),
+              std::string::npos);
+}
+
+TEST(AirVerifier, NonStaticInvokeNeedsReceiver)
+{
+    Module mod;
+    Klass *k = mod.addClass("A", "");
+    Method *m = k->addMethod("m", {}, Type::voidTy(), false);
+    Instruction call;
+    call.op = Opcode::Invoke;
+    call.invokeKind = InvokeKind::Virtual;
+    call.method = {"A", "g", 0};
+    m->instrs().push_back(call);
+    Instruction ret;
+    ret.op = Opcode::ReturnVoid;
+    m->instrs().push_back(ret);
+    m->setNumRegisters(1);
+    auto issues = verifyModule(mod);
+    ASSERT_FALSE(issues.empty());
+    EXPECT_NE(issues[0].message.find("receiver"), std::string::npos);
+}
+
+TEST(AirVerifier, AbstractWithBodyRejected)
+{
+    Module mod;
+    Klass *k = mod.addClass("A", "");
+    Method *m = k->addMethod("m", {}, Type::voidTy(), false);
+    m->setAbstract(true);
+    Instruction ret;
+    ret.op = Opcode::ReturnVoid;
+    m->instrs().push_back(ret);
+    m->setNumRegisters(1);
+    auto issues = verifyModule(mod);
+    ASSERT_FALSE(issues.empty());
+    EXPECT_NE(issues[0].message.find("abstract"), std::string::npos);
+}
+
+} // namespace
+} // namespace sierra::air

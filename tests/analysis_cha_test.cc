@@ -1,0 +1,97 @@
+/** @file Tests for class hierarchy analysis. */
+
+#include <gtest/gtest.h>
+
+#include "air/parser.hh"
+#include "analysis/class_hierarchy.hh"
+
+namespace sierra::analysis {
+namespace {
+
+const char *kHierarchy = R"(
+interface Runner {
+    abstract method run(): void;
+}
+class Base implements Runner {
+    field shared: int
+    method run(): void regs=1 { @0: return-void }
+    method only(): void regs=1 { @0: return-void }
+}
+class Mid extends Base {
+    field own: int
+    method run(): void regs=1 { @0: return-void }
+}
+class Leaf extends Mid {
+}
+class Other {
+}
+)";
+
+class ChaTest : public ::testing::Test
+{
+  protected:
+    std::unique_ptr<air::Module> mod;
+    std::unique_ptr<ClassHierarchy> cha;
+
+    void
+    SetUp() override
+    {
+        auto r = air::parseModule(kHierarchy);
+        ASSERT_TRUE(r.ok()) << r.status.error;
+        mod = std::move(r.module);
+        cha = std::make_unique<ClassHierarchy>(*mod);
+    }
+};
+
+TEST_F(ChaTest, Subtyping)
+{
+    EXPECT_TRUE(cha->isSubtypeOf("Leaf", "Mid"));
+    EXPECT_TRUE(cha->isSubtypeOf("Leaf", "Base"));
+    EXPECT_TRUE(cha->isSubtypeOf("Leaf", "Runner"));
+    EXPECT_TRUE(cha->isSubtypeOf("Base", "Runner"));
+    EXPECT_TRUE(cha->isSubtypeOf("Base", "Base"));
+    EXPECT_FALSE(cha->isSubtypeOf("Base", "Mid"));
+    EXPECT_FALSE(cha->isSubtypeOf("Other", "Runner"));
+    EXPECT_FALSE(cha->isSubtypeOf("Unknown", "Base"));
+    EXPECT_TRUE(cha->isSubtypeOf("Unknown", "Unknown"));
+}
+
+TEST_F(ChaTest, VirtualDispatch)
+{
+    air::Method *leaf_run = cha->resolveVirtual("Leaf", "run");
+    ASSERT_NE(leaf_run, nullptr);
+    EXPECT_EQ(leaf_run->owner()->name(), "Mid")
+        << "Leaf inherits Mid's override";
+    air::Method *base_run = cha->resolveVirtual("Base", "run");
+    ASSERT_NE(base_run, nullptr);
+    EXPECT_EQ(base_run->owner()->name(), "Base");
+    air::Method *only = cha->resolveVirtual("Leaf", "only");
+    ASSERT_NE(only, nullptr);
+    EXPECT_EQ(only->owner()->name(), "Base");
+    EXPECT_EQ(cha->resolveVirtual("Leaf", "nope"), nullptr);
+    EXPECT_EQ(cha->resolveVirtual("Unknown", "run"), nullptr);
+}
+
+TEST_F(ChaTest, ConcreteSubtypes)
+{
+    auto runners = cha->concreteSubtypes("Runner");
+    // Base, Mid, Leaf (Runner itself is an interface).
+    EXPECT_EQ(runners.size(), 3u);
+    auto mids = cha->concreteSubtypes("Mid");
+    EXPECT_EQ(mids.size(), 2u);
+    EXPECT_TRUE(cha->concreteSubtypes("Unknown").empty());
+}
+
+TEST_F(ChaTest, FieldResolution)
+{
+    const air::Field *f = cha->resolveField("Leaf", "shared");
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->type.kind(), air::TypeKind::Int);
+    EXPECT_EQ(cha->declaringClassOfField("Leaf", "shared"), "Base");
+    EXPECT_EQ(cha->declaringClassOfField("Leaf", "own"), "Mid");
+    EXPECT_EQ(cha->declaringClassOfField("Leaf", "nope"), "");
+    EXPECT_EQ(cha->resolveField("Other", "shared"), nullptr);
+}
+
+} // namespace
+} // namespace sierra::analysis

@@ -1,0 +1,269 @@
+/** @file Tests for the pointer analysis, call graph and action discovery. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "corpus/patterns.hh"
+#include "framework/known_api.hh"
+#include "test_helpers.hh"
+
+namespace sierra::analysis {
+namespace {
+
+using air::InvokeKind;
+using air::MethodBuilder;
+using air::Type;
+using corpus::fieldRef;
+namespace names = framework::names;
+using test::countActions;
+using test::findAction;
+using test::makePipeline;
+
+/** Run the PA for the first (only) activity of a pipeline. */
+std::unique_ptr<PointsToResult>
+runPta(test::Pipeline &p,
+       ContextPolicy policy = ContextPolicy::ActionSensitive)
+{
+    PointsToOptions opts;
+    opts.ctx.policy = policy;
+    PointsToAnalysis pta(p.app(), p.detector->plans()[0], opts);
+    return pta.run();
+}
+
+TEST(PointsTo, FieldFlowAndThisBinding)
+{
+    auto p = makePipeline("pta-flow", [](corpus::AppFactory &f) {
+        auto &act = f.addActivity("FlowActivity");
+        act.addField("holder", Type::object(names::object));
+        act.on("onCreate", [&](MethodBuilder &b) {
+            int r = b.newReg();
+            b.newObject(r, names::object);
+            b.putField(b.thisReg(), fieldRef("FlowActivity", "holder"),
+                       r);
+        });
+        act.on("onResume", [&](MethodBuilder &b) {
+            int r = b.newReg();
+            b.getField(r, b.thisReg(),
+                       fieldRef("FlowActivity", "holder"));
+        });
+    });
+    auto r = runPta(p);
+
+    // The onResume read sees the object allocated in onCreate.
+    int resume = findAction(*r, "onResume");
+    ASSERT_GE(resume, 0);
+    NodeId node = r->actions.get(resume).entryNode;
+    ASSERT_GE(node, 0);
+    const air::Method *m = r->cg.node(node).method;
+    // onResume body: @0 getfield into the first temp register.
+    const auto &pts = r->pointsTo(node, m->firstTempReg());
+    ASSERT_EQ(pts.size(), 1u);
+    EXPECT_EQ(r->objects.get(*pts.begin()).klassName, names::object);
+}
+
+TEST(PointsTo, LifecycleActionsCreatedPerHarnessSite)
+{
+    auto p = makePipeline("pta-actions", [](corpus::AppFactory &f) {
+        f.addActivity("EmptyActivity");
+    });
+    auto r = runPta(p);
+    // Harness invokes onPause at 3 distinct sites (2 loop cycles + the
+    // exit sequence); each is its own action even though the activity
+    // inherits the framework's bodyless callbacks.
+    int pauses = 0;
+    for (const auto &a : r->actions.all()) {
+        if (a.callbackName == "onPause")
+            ++pauses;
+    }
+    EXPECT_EQ(pauses, 3);
+    EXPECT_EQ(countActions(*r, ActionKind::HarnessRoot), 1);
+}
+
+TEST(PointsTo, AsyncTaskPhasesBecomeActions)
+{
+    auto p = makePipeline("pta-async", [](corpus::AppFactory &f) {
+        auto &act = f.addActivity("AsyncActivity");
+        corpus::addAsyncNewsRace(f, act);
+    });
+    auto r = runPta(p);
+    EXPECT_EQ(countActions(*r, ActionKind::AsyncBackground), 1);
+    EXPECT_EQ(countActions(*r, ActionKind::AsyncPost), 1);
+    EXPECT_EQ(countActions(*r, ActionKind::Gui), 2)
+        << "click + scroll listeners";
+
+    int bg = findAction(*r, "doInBackground");
+    int post = findAction(*r, "onPostExecute");
+    ASSERT_GE(bg, 0);
+    ASSERT_GE(post, 0);
+    EXPECT_EQ(r->actions.get(bg).affinity, ThreadAffinity::Background);
+    EXPECT_EQ(r->actions.get(post).affinity,
+              ThreadAffinity::MainLooper);
+    // Both phases are created by the click listener's execute() call.
+    int click = findAction(*r, "onClick");
+    EXPECT_EQ(r->actions.get(bg).creator, click);
+}
+
+TEST(PointsTo, ThreadRunnableTarget)
+{
+    auto p = makePipeline("pta-thread", [](corpus::AppFactory &f) {
+        auto &act = f.addActivity("ThreadActivity");
+        corpus::addThreadRace(f, act);
+    });
+    auto r = runPta(p);
+    int run = findAction(*r, "Worker");
+    ASSERT_GE(run, 0);
+    EXPECT_EQ(r->actions.get(run).kind, ActionKind::ThreadRun);
+    EXPECT_EQ(r->actions.get(run).affinity, ThreadAffinity::Background);
+    EXPECT_EQ(r->looperOfAction(run), -1);
+}
+
+TEST(PointsTo, MessageWhatConstantPropagation)
+{
+    auto p = makePipeline("pta-msg", [](corpus::AppFactory &f) {
+        auto &act = f.addActivity("MsgActivity");
+        corpus::addMessageGuard(f, act);
+    });
+    auto r = runPta(p);
+    std::set<int> whats;
+    for (const auto &a : r->actions.all()) {
+        if (a.kind == ActionKind::PostedMessage)
+            whats.insert(a.messageWhat);
+    }
+    EXPECT_EQ(whats, (std::set<int>{1, 2}))
+        << "each sender's constant what is recorded on its action";
+}
+
+TEST(PointsTo, InflatedViewContextAliasing)
+{
+    auto p = makePipeline("pta-view", [](corpus::AppFactory &f) {
+        auto &act = f.addActivity("ViewActivity");
+        framework::Widget w;
+        w.id = 777;
+        w.name = "btn";
+        w.widgetClass = names::button;
+        act.layout().addWidget(w);
+        act.addField("v1", Type::object(names::view));
+        act.addField("v2", Type::object(names::view));
+        act.on("onCreate", [&](MethodBuilder &b) {
+            int rid = b.newReg();
+            int rv = b.newReg();
+            b.constInt(rid, 777);
+            b.callTo(rv, b.thisReg(), "ViewActivity", "findViewById",
+                     {rid});
+            b.putField(b.thisReg(), fieldRef("ViewActivity", "v1"), rv);
+        });
+        act.on("onResume", [&](MethodBuilder &b) {
+            int rid = b.newReg();
+            int rv = b.newReg();
+            b.constInt(rid, 777);
+            b.callTo(rv, b.thisReg(), "ViewActivity", "findViewById",
+                     {rid});
+            b.putField(b.thisReg(), fieldRef("ViewActivity", "v2"), rv);
+        });
+    });
+    auto r = runPta(p);
+    // Both lookups with the same id resolve to the same abstract view.
+    std::set<ObjId> views;
+    for (const auto &[key, pts] : r->fieldPts) {
+        if (key.second == "ViewActivity.v1" ||
+            key.second == "ViewActivity.v2") {
+            for (ObjId o : pts)
+                views.insert(o);
+        }
+    }
+    ASSERT_EQ(views.size(), 1u);
+    EXPECT_EQ(r->objects.get(*views.begin()).kind,
+              ObjKind::InflatedView);
+    EXPECT_EQ(r->objects.get(*views.begin()).klassName, names::button);
+}
+
+TEST(PointsTo, ActionSensitivitySeparatesAllocations)
+{
+    auto build = [](corpus::AppFactory &f) {
+        auto &act = f.addActivity("AliasActivity");
+        corpus::addActionAliasTrap(f, act);
+    };
+    auto p1 = makePipeline("pta-as", build);
+    auto r_as = runPta(p1, ContextPolicy::ActionSensitive);
+    auto p2 = makePipeline("pta-hybrid", build);
+    auto r_hy = runPta(p2, ContextPolicy::Hybrid);
+
+    // Count distinct abstract Buffer objects.
+    auto count_buffers = [](const PointsToResult &r) {
+        int n = 0;
+        for (size_t i = 0; i < r.objects.size(); ++i) {
+            if (r.objects.get(static_cast<ObjId>(i))
+                    .klassName.rfind("Buffer$", 0) == 0) {
+                ++n;
+            }
+        }
+        return n;
+    };
+    EXPECT_GE(count_buffers(*r_as), 2)
+        << "action-sensitive contexts separate per-action buffers";
+    EXPECT_EQ(count_buffers(*r_hy), 1)
+        << "hybrid k=1 merges the allocation (paper Section 3.3)";
+}
+
+TEST(PointsTo, HandlerLooperAssociation)
+{
+    auto p = makePipeline("pta-handler", [](corpus::AppFactory &f) {
+        auto &act = f.addActivity("HandlerActivity");
+        corpus::addGuardedTimer(f, act);
+    });
+    auto r = runPta(p);
+    int run = findAction(*r, "Timer");
+    ASSERT_GE(run, 0);
+    EXPECT_EQ(r->actions.get(run).kind, ActionKind::PostedRunnable);
+    EXPECT_TRUE(r->actions.get(run).runsOnLooper());
+    EXPECT_EQ(r->looperOfAction(run), r->mainLooperObj);
+}
+
+TEST(PointsTo, SelfRepostFoldsIntoBoundedActions)
+{
+    auto p = makePipeline("pta-repost", [](corpus::AppFactory &f) {
+        auto &act = f.addActivity("RepostActivity");
+        corpus::addGuardedTimer(f, act);
+    });
+    auto r = runPta(p);
+    // The timer posts itself via postDelayed; folding must keep the
+    // action count finite and small.
+    EXPECT_LE(countActions(*r, ActionKind::PostedRunnable), 3);
+}
+
+TEST(PointsTo, ReceiverActionBindsSystemIntent)
+{
+    auto p = makePipeline("pta-recv", [](corpus::AppFactory &f) {
+        auto &act = f.addActivity("RecvActivity");
+        corpus::addReceiverDbRace(f, act);
+    });
+    auto r = runPta(p);
+    int recv = findAction(*r, "onReceive");
+    ASSERT_GE(recv, 0);
+    EXPECT_EQ(r->actions.get(recv).kind, ActionKind::Receive);
+    // The registering action is onCreate.
+    int creator = r->actions.get(recv).creator;
+    EXPECT_EQ(r->actions.get(creator).callbackName, "onCreate");
+}
+
+TEST(PointsTo, ContextPolicySweepRuns)
+{
+    for (ContextPolicy policy :
+         {ContextPolicy::Insensitive, ContextPolicy::KCfa,
+          ContextPolicy::KObj, ContextPolicy::Hybrid,
+          ContextPolicy::ActionSensitive}) {
+        auto p = makePipeline("pta-sweep", [](corpus::AppFactory &f) {
+            auto &act = f.addActivity("SweepActivity");
+            corpus::addOrderedPosts(f, act);
+            corpus::addThreadRace(f, act);
+        });
+        auto r = runPta(p, policy);
+        EXPECT_GT(r->numRealActions(), 0)
+            << contextPolicyName(policy);
+        EXPECT_GT(r->cg.numNodes(), 0) << contextPolicyName(policy);
+    }
+}
+
+} // namespace
+} // namespace sierra::analysis

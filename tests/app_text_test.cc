@@ -1,0 +1,131 @@
+/** @file Tests for the on-disk app bundle format. */
+
+#include <gtest/gtest.h>
+
+#include "corpus/named_apps.hh"
+#include "framework/app_text.hh"
+#include "framework/known_api.hh"
+#include "sierra/detector.hh"
+
+namespace sierra::framework {
+namespace {
+
+const char *kBundle = R"(
+# A tiny bundle.
+app "tiny" {
+    package org.example.tiny
+    activity Main main
+    activity Settings
+    service Sync
+    receiver Recv action "org.example.PING" action "org.example.PONG"
+    layout Main {
+        widget 100 "btnGo" android.widget.Button onclick onGo
+        widget 101 "btnNext" android.widget.Button onclick onNext after 100
+    }
+}
+class Main extends android.app.Activity {
+    method <init>(): void regs=1 { @0: return-void }
+    method onGo(p0: android.view.View): void regs=2 { @0: return-void }
+    method onNext(p0: android.view.View): void regs=2 { @0: return-void }
+}
+class Settings extends android.app.Activity {
+    method <init>(): void regs=1 { @0: return-void }
+}
+class Sync extends android.app.Service {
+    method <init>(): void regs=1 { @0: return-void }
+}
+class Recv extends android.content.BroadcastReceiver {
+    method onReceive(p0: java.lang.Object, p1: android.content.Intent): void regs=3 {
+        @0: return-void
+    }
+}
+)";
+
+TEST(AppText, ParsesHeaderAndClasses)
+{
+    AppTextResult result = parseAppText(kBundle);
+    ASSERT_TRUE(result.ok()) << result.error << " at line "
+                             << result.errorLine;
+    App &app = *result.app;
+    EXPECT_EQ(app.name(), "tiny");
+    EXPECT_EQ(app.manifest().packageName, "org.example.tiny");
+    ASSERT_EQ(app.manifest().activities.size(), 2u);
+    EXPECT_EQ(app.manifest().mainActivity, "Main");
+    ASSERT_EQ(app.manifest().services.size(), 1u);
+    ASSERT_EQ(app.manifest().receivers.size(), 1u);
+    EXPECT_EQ(app.manifest().receivers[0].actions.size(), 2u);
+
+    const Layout *layout = app.layoutFor("Main");
+    ASSERT_NE(layout, nullptr);
+    ASSERT_EQ(layout->widgets().size(), 2u);
+    EXPECT_EQ(layout->byId(100)->xmlOnClick, "onGo");
+    EXPECT_EQ(layout->byId(101)->enabledAfter,
+              std::vector<int>{100});
+
+    // Classes parsed and framework model installed.
+    EXPECT_NE(app.module().getClass("Main"), nullptr);
+    EXPECT_NE(app.module().getClass(names::activity), nullptr);
+}
+
+TEST(AppText, RejectsBadHeaders)
+{
+    EXPECT_FALSE(parseAppText("nope {}").ok());
+    EXPECT_FALSE(parseAppText("app \"x\" { bogus Y }").ok());
+    EXPECT_FALSE(parseAppText("app \"x\" {").ok());
+    EXPECT_FALSE(
+        parseAppText("app \"x\" { layout A { widget q } }").ok());
+}
+
+TEST(AppText, RejectsDanglingManifestEntries)
+{
+    AppTextResult result =
+        parseAppText("app \"x\" { activity Ghost }\n");
+    EXPECT_FALSE(result.ok());
+    EXPECT_NE(result.error.find("Ghost"), std::string::npos);
+}
+
+TEST(AppText, ReportsAirErrorsWithOffsetLines)
+{
+    AppTextResult result = parseAppText(
+        "app \"x\" { activity A }\nclass A extends android.app.Activity "
+        "{ method m(): void regs=1 { @0: r9 = wat } }");
+    EXPECT_FALSE(result.ok());
+    EXPECT_FALSE(result.error.empty());
+}
+
+TEST(AppText, RoundTripsCorpusApps)
+{
+    for (const auto &spec : corpus::namedAppSpecs()) {
+        const std::string &name = spec.name;
+        corpus::BuiltApp built = corpus::buildNamedApp(spec);
+        std::string text = printAppText(*built.app);
+        AppTextResult reparsed = parseAppText(text);
+        ASSERT_TRUE(reparsed.ok())
+            << name << ": " << reparsed.error << " at line "
+            << reparsed.errorLine;
+        EXPECT_EQ(printAppText(*reparsed.app), text)
+            << name << ": second print differs";
+        EXPECT_EQ(reparsed.app->manifest().activities,
+                  built.app->manifest().activities);
+    }
+}
+
+TEST(AppText, ReparsedAppAnalyzesIdentically)
+{
+    corpus::BuiltApp built = corpus::buildNamedApp("OpenSudoku");
+    AppTextResult reparsed =
+        parseAppText(printAppText(*built.app));
+    ASSERT_TRUE(reparsed.ok()) << reparsed.error;
+
+    SierraDetector d1(*built.app);
+    SierraDetector d2(*reparsed.app);
+    AppReport r1 = d1.analyze({});
+    AppReport r2 = d2.analyze({});
+    EXPECT_EQ(r1.actions, r2.actions);
+    EXPECT_EQ(r1.hbEdges, r2.hbEdges);
+    EXPECT_EQ(r1.racyPairs, r2.racyPairs);
+    EXPECT_EQ(r1.afterRefutation, r2.afterRefutation);
+}
+
+} // namespace
+} // namespace sierra::framework

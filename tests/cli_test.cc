@@ -1,0 +1,174 @@
+/** @file Tests for the sierra command-line tool. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cli.hh"
+
+namespace sierra::cli {
+namespace {
+
+struct CliRun {
+    int code;
+    std::string out;
+    std::string err;
+};
+
+CliRun
+run(std::vector<std::string> args)
+{
+    std::ostringstream out;
+    std::ostringstream err;
+    int code = runCli(args, out, err);
+    return {code, out.str(), err.str()};
+}
+
+/** A temp file path that cleans itself up. */
+class TempFile
+{
+  public:
+    explicit TempFile(const std::string &suffix)
+    {
+        _path = std::string(std::tmpnam(nullptr)) + suffix;
+    }
+    ~TempFile() { std::remove(_path.c_str()); }
+    const std::string &path() const { return _path; }
+
+  private:
+    std::string _path;
+};
+
+TEST(Cli, HelpAndUnknownCommand)
+{
+    EXPECT_EQ(run({"help"}).code, 0);
+    EXPECT_NE(run({"help"}).out.find("usage:"), std::string::npos);
+    EXPECT_EQ(run({}).code, 2);
+    CliRun bad = run({"frobnicate"});
+    EXPECT_EQ(bad.code, 2);
+    EXPECT_NE(bad.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, ListShowsAppsAndPatterns)
+{
+    CliRun r = run({"list"});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_NE(r.out.find("OpenSudoku"), std::string::npos);
+    EXPECT_NE(r.out.find("guardedTimer"), std::string::npos);
+    EXPECT_NE(r.out.find("fdroid-173"), std::string::npos);
+}
+
+TEST(Cli, DumpAnalyzeRoundTrip)
+{
+    TempFile file(".air");
+    CliRun dump = run({"dump", "OpenSudoku", "-o", file.path()});
+    ASSERT_EQ(dump.code, 0) << dump.err;
+
+    CliRun analyze = run({"analyze", file.path()});
+    ASSERT_EQ(analyze.code, 0) << analyze.err;
+    EXPECT_NE(analyze.out.find("SIERRA report"), std::string::npos);
+    EXPECT_NE(analyze.out.find("racy pairs"), std::string::npos);
+}
+
+TEST(Cli, DumpFdroidApp)
+{
+    CliRun r = run({"dump", "fdroid-3"});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_NE(r.out.find("app \"fdroid-003\""), std::string::npos);
+    EXPECT_EQ(run({"dump", "fdroid-999"}).code, 1);
+    EXPECT_EQ(run({"dump", "NoSuchApp"}).code, 1);
+}
+
+TEST(Cli, AnalyzeFlags)
+{
+    TempFile file(".air");
+    ASSERT_EQ(run({"dump", "TippyTipper", "-o", file.path()}).code, 0);
+
+    CliRun hybrid = run({"analyze", file.path(), "--policy", "hybrid",
+                         "--no-refute"});
+    EXPECT_EQ(hybrid.code, 0) << hybrid.err;
+
+    CliRun bad_policy =
+        run({"analyze", file.path(), "--policy", "quantum"});
+    EXPECT_EQ(bad_policy.code, 2);
+    EXPECT_NE(bad_policy.err.find("unknown policy"),
+              std::string::npos);
+
+    CliRun missing_value = run({"analyze", file.path(), "--policy"});
+    EXPECT_EQ(missing_value.code, 2);
+}
+
+TEST(Cli, AnalyzeJson)
+{
+    TempFile file(".air");
+    ASSERT_EQ(run({"dump", "VuDroid", "-o", file.path()}).code, 0);
+    CliRun r = run({"analyze", file.path(), "--json"});
+    ASSERT_EQ(r.code, 0) << r.err;
+    EXPECT_NE(r.out.find("\"app\": \"VuDroid\""), std::string::npos);
+    EXPECT_NE(r.out.find("\"races\": ["), std::string::npos);
+    EXPECT_NE(r.out.find("\"racyPairs\":"), std::string::npos);
+}
+
+TEST(Cli, DynamicCommand)
+{
+    TempFile file(".air");
+    ASSERT_EQ(run({"dump", "VuDroid", "-o", file.path()}).code, 0);
+    CliRun r =
+        run({"dynamic", file.path(), "--schedules", "2", "--seed", "9"});
+    ASSERT_EQ(r.code, 0) << r.err;
+    EXPECT_NE(r.out.find("schedules: 2"), std::string::npos);
+}
+
+TEST(Cli, HarnessCommand)
+{
+    TempFile file(".air");
+    ASSERT_EQ(run({"dump", "VuDroid", "-o", file.path()}).code, 0);
+
+    // Recover the activity name from the dump.
+    std::ifstream in(file.path());
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    size_t pos = text.find("activity ");
+    ASSERT_NE(pos, std::string::npos);
+    std::string activity =
+        text.substr(pos + 9, text.find(' ', pos + 9) - pos - 9);
+
+    CliRun r = run({"harness", file.path(), activity});
+    ASSERT_EQ(r.code, 0) << r.err;
+    EXPECT_NE(r.out.find("Harness$" + activity), std::string::npos);
+    EXPECT_NE(r.out.find("invoke-virtual"), std::string::npos);
+
+    EXPECT_EQ(run({"harness", file.path(), "NoSuchActivity"}).code, 1);
+}
+
+TEST(Cli, ActionsCommand)
+{
+    TempFile file(".air");
+    ASSERT_EQ(run({"dump", "OpenSudoku", "-o", file.path()}).code, 0);
+    std::ifstream in(file.path());
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    size_t pos = text.find("activity ");
+    std::string activity =
+        text.substr(pos + 9, text.find(' ', pos + 9) - pos - 9);
+
+    CliRun r = run({"actions", file.path(), activity});
+    ASSERT_EQ(r.code, 0) << r.err;
+    EXPECT_NE(r.out.find("lifecycle"), std::string::npos);
+    EXPECT_NE(r.out.find("HB edges by rule:"), std::string::npos);
+    EXPECT_NE(r.out.find("closure:"), std::string::npos);
+    EXPECT_EQ(run({"actions", file.path(), "Nope"}).code, 1);
+    EXPECT_EQ(run({"actions", file.path()}).code, 2);
+}
+
+TEST(Cli, MissingFileFailsCleanly)
+{
+    CliRun r = run({"analyze", "/definitely/not/here.air"});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.err.find("cannot open"), std::string::npos);
+}
+
+} // namespace
+} // namespace sierra::cli

@@ -1,0 +1,152 @@
+/** @file Tests for the corpus: named apps, generator, ground truth. */
+
+#include <gtest/gtest.h>
+
+#include "air/verifier.hh"
+#include "corpus/generator.hh"
+#include "corpus/named_apps.hh"
+#include "corpus/patterns.hh"
+
+namespace sierra::corpus {
+namespace {
+
+TEST(NamedApps, TwentySpecs)
+{
+    EXPECT_EQ(namedAppSpecs().size(), 20u);
+    for (const auto &spec : namedAppSpecs()) {
+        EXPECT_FALSE(spec.name.empty());
+        EXPECT_GT(spec.bytecodeKb, 0);
+        EXPECT_GE(spec.activities, 1);
+        EXPECT_FALSE(spec.signaturePatterns.empty());
+    }
+    EXPECT_EQ(namedAppSpec("OpenSudoku").signaturePatterns[0],
+              "guardedTimer")
+        << "OpenSudoku carries the paper's Fig. 8 pattern";
+}
+
+/** Every named app builds, verifies, and seeds ground truth. */
+class NamedAppBuild : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(NamedAppBuild, BuildsAndVerifies)
+{
+    const NamedAppSpec &spec = namedAppSpecs()[GetParam()];
+    BuiltApp built = buildNamedApp(spec);
+    EXPECT_EQ(built.app->name(), spec.name);
+    EXPECT_EQ(
+        static_cast<int>(built.app->manifest().activities.size()),
+        spec.activities);
+    EXPECT_TRUE(air::verifyModule(built.app->module()).empty())
+        << spec.name;
+    EXPECT_FALSE(built.truth.seeded.empty()) << spec.name;
+    EXPECT_GT(built.app->codeSize(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, NamedAppBuild, ::testing::Range(0, 20),
+    [](const ::testing::TestParamInfo<int> &info) {
+        std::string n = namedAppSpecs()[info.param].name;
+        for (char &c : n) {
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return n;
+    });
+
+TEST(NamedApps, DeterministicBuilds)
+{
+    BuiltApp a = buildNamedApp("Beem");
+    BuiltApp b = buildNamedApp("Beem");
+    EXPECT_EQ(a.app->codeSize(), b.app->codeSize());
+    EXPECT_EQ(a.truth.seeded.size(), b.truth.seeded.size());
+}
+
+TEST(NamedApps, SizesScaleWithSpec)
+{
+    // Astrid (5.4MB real) must model bigger than VuDroid (63KB real).
+    BuiltApp big = buildNamedApp("Astrid");
+    BuiltApp small = buildNamedApp("VuDroid");
+    EXPECT_GT(big.app->codeSize(), small.app->codeSize());
+}
+
+TEST(Generator, FdroidAppsAreDeterministic)
+{
+    BuiltApp a = buildFdroidApp(17);
+    BuiltApp b = buildFdroidApp(17);
+    EXPECT_EQ(a.app->codeSize(), b.app->codeSize());
+    EXPECT_EQ(a.app->name(), "fdroid-017");
+}
+
+/** A sample of the 174 synthetic apps builds and verifies. */
+class FdroidBuild : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FdroidBuild, BuildsAndVerifies)
+{
+    BuiltApp built = buildFdroidApp(GetParam());
+    EXPECT_TRUE(air::verifyModule(built.app->module()).empty());
+    EXPECT_FALSE(built.app->manifest().activities.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sample, FdroidBuild,
+                         ::testing::Values(0, 1, 13, 42, 99, 150, 173));
+
+TEST(Patterns, CatalogShape)
+{
+    const auto &catalog = patternCatalog();
+    EXPECT_EQ(catalog.size(), 16u);
+    int true_races = 0;
+    int traps = 0;
+    for (const auto &entry : catalog) {
+        EXPECT_NE(entry.fn, nullptr);
+        true_races += entry.seededTrueRaces;
+        traps += entry.seededTraps;
+    }
+    EXPECT_GT(true_races, 0);
+    EXPECT_GT(traps, 0);
+}
+
+TEST(Patterns, SeedCountsMatchCatalog)
+{
+    for (const auto &entry : patternCatalog()) {
+        AppFactory factory(std::string("probe-") + entry.name);
+        auto &act = factory.addActivity("ProbeActivity");
+        entry.fn(factory, act);
+        BuiltApp built = factory.finish();
+        int true_races = 0;
+        int traps = 0;
+        for (const auto &seed : built.truth.seeded) {
+            if (seed.cls == SeedClass::TrueRace)
+                ++true_races;
+            else
+                ++traps;
+        }
+        EXPECT_EQ(true_races, entry.seededTrueRaces) << entry.name;
+        EXPECT_EQ(traps, entry.seededTraps) << entry.name;
+        EXPECT_TRUE(air::verifyModule(built.app->module()).empty())
+            << entry.name;
+    }
+}
+
+TEST(GroundTruth, Scoring)
+{
+    GroundTruth truth;
+    truth.add("A.x", SeedClass::TrueRace, "t1");
+    truth.add("A.y", SeedClass::TrueRace, "t2");
+    truth.add("A.z", SeedClass::FpTrap, "trap");
+
+    Score s = scoreKeys({"A.x", "A.z", "A.unknown"}, truth);
+    EXPECT_EQ(s.truePositives, 1);
+    EXPECT_EQ(s.falsePositives, 2) << "trap + unseeded key";
+    EXPECT_EQ(s.missedTrueKeys, 1) << "A.y not reported";
+
+    EXPECT_TRUE(truth.isTrueRaceKey("A.x"));
+    EXPECT_FALSE(truth.isTrueRaceKey("A.z"));
+    EXPECT_TRUE(truth.isSeededKey("A.z"));
+    EXPECT_FALSE(truth.isSeededKey("A.q"));
+}
+
+} // namespace
+} // namespace sierra::corpus

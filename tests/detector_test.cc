@@ -1,0 +1,170 @@
+/** @file End-to-end pipeline tests (integration). */
+
+#include <gtest/gtest.h>
+
+#include "corpus/generator.hh"
+#include "corpus/named_apps.hh"
+#include "corpus/patterns.hh"
+#include "test_helpers.hh"
+
+namespace sierra {
+namespace {
+
+using corpus::buildNamedApp;
+using corpus::Score;
+using corpus::scoreReport;
+
+TEST(Detector, QuickstartShape)
+{
+    corpus::BuiltApp built = buildNamedApp("OpenSudoku");
+    SierraDetector detector(*built.app);
+    AppReport report = detector.analyze({});
+
+    EXPECT_EQ(report.harnesses, 2);
+    EXPECT_GT(report.actions, 0);
+    EXPECT_GT(report.hbEdges, 0);
+    EXPECT_GT(report.orderedPct, 0.0);
+    EXPECT_LE(report.orderedPct, 100.0);
+    EXPECT_GT(report.racyPairs, 0);
+    EXPECT_LE(report.afterRefutation, report.racyPairs);
+    EXPECT_GT(report.times.total, 0.0);
+
+    std::string text = formatReport(report);
+    EXPECT_NE(text.find("OpenSudoku"), std::string::npos);
+    EXPECT_NE(text.find("racy pairs"), std::string::npos);
+}
+
+/** Ground truth is perfectly reproduced on every named app. */
+class NamedAppDetection : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(NamedAppDetection, PerfectGroundTruth)
+{
+    const auto &spec = corpus::namedAppSpecs()[GetParam()];
+    corpus::BuiltApp built = buildNamedApp(spec);
+    SierraDetector detector(*built.app);
+    AppReport report = detector.analyze({});
+    Score score = scoreReport(report, built.truth);
+    EXPECT_EQ(score.unexpectedFalsePositives, 0) << spec.name;
+    EXPECT_EQ(score.missedTrueKeys, 0) << spec.name;
+    EXPECT_GT(score.truePositives, 0) << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, NamedAppDetection, ::testing::Range(0, 20),
+    [](const ::testing::TestParamInfo<int> &info) {
+        std::string n = corpus::namedAppSpecs()[info.param].name;
+        for (char &c : n) {
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return n;
+    });
+
+TEST(Detector, RefutationReducesReports)
+{
+    corpus::BuiltApp built = buildNamedApp("OpenSudoku");
+    SierraDetector detector(*built.app);
+
+    SierraOptions no_refute;
+    no_refute.runRefutation = false;
+    AppReport before = detector.analyze(no_refute);
+    AppReport after = detector.analyze({});
+
+    EXPECT_EQ(before.racyPairs, after.racyPairs);
+    EXPECT_EQ(before.afterRefutation, before.racyPairs)
+        << "without refutation every candidate survives";
+    EXPECT_LT(after.afterRefutation, after.racyPairs);
+}
+
+TEST(Detector, ActionSensitivityAblation)
+{
+    // Paper Table 3 columns 6-7: racy pairs without action-sensitive
+    // contexts vs with. The alias trap only reports without AS.
+    auto build = [] {
+        corpus::AppFactory factory("ablation");
+        auto &act = factory.addActivity("AblationActivity");
+        corpus::addActionAliasTrap(factory, act);
+        corpus::addThreadRace(factory, act);
+        return factory.finish();
+    };
+
+    corpus::BuiltApp with_as = build();
+    SierraDetector d1(*with_as.app);
+    SierraOptions as_opts;
+    as_opts.runRefutation = false;
+    AppReport as_report = d1.analyze(as_opts);
+
+    corpus::BuiltApp without_as = build();
+    SierraDetector d2(*without_as.app);
+    SierraOptions hy_opts;
+    hy_opts.runRefutation = false;
+    hy_opts.pta.ctx.policy = analysis::ContextPolicy::Hybrid;
+    AppReport hy_report = d2.analyze(hy_opts);
+
+    EXPECT_GT(hy_report.racyPairs, as_report.racyPairs)
+        << "action-sensitivity reduces racy pairs (paper ~5x)";
+
+    bool as_trap = false;
+    for (const auto &race : as_report.races)
+        as_trap |= race.fieldKey.find("Buffer$") != std::string::npos;
+    bool hy_trap = false;
+    for (const auto &race : hy_report.races)
+        hy_trap |= race.fieldKey.find("Buffer$") != std::string::npos;
+    EXPECT_FALSE(as_trap) << "AS separates the per-action buffers";
+    EXPECT_TRUE(hy_trap) << "hybrid merges them into a false racy pair";
+}
+
+TEST(Detector, PerHarnessAnalysisAvailable)
+{
+    corpus::BuiltApp built = buildNamedApp("Beem");
+    SierraDetector detector(*built.app);
+    HarnessAnalysis ha = detector.analyzeActivity(
+        built.app->manifest().activities[0], {});
+    EXPECT_GT(ha.numActions(), 0);
+    EXPECT_GT(ha.hbEdges(), 0);
+    EXPECT_GE(ha.racyPairCount(), ha.survivingRaceCount());
+    ASSERT_NE(ha.shbg, nullptr);
+    ASSERT_NE(ha.pta, nullptr);
+}
+
+TEST(Detector, ReportAggregatesAcrossHarnesses)
+{
+    corpus::BuiltApp built = buildNamedApp("K-9 Mail");
+    SierraDetector detector(*built.app);
+    AppReport report = detector.analyze({});
+    EXPECT_EQ(report.perHarness.size(),
+              built.app->manifest().activities.size());
+    int total_actions = 0;
+    for (const auto &ha : report.perHarness)
+        total_actions += ha.numActions();
+    EXPECT_EQ(report.actions, total_actions);
+}
+
+/** Pipeline invariants over a sample of the synthetic corpus. */
+class FdroidDetection : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FdroidDetection, Invariants)
+{
+    corpus::BuiltApp built = corpus::buildFdroidApp(GetParam());
+    SierraDetector detector(*built.app);
+    AppReport report = detector.analyze({});
+
+    EXPECT_LE(report.afterRefutation, report.racyPairs);
+    EXPECT_GE(report.orderedPct, 0.0);
+    EXPECT_LE(report.orderedPct, 100.0);
+    Score score = scoreReport(report, built.truth);
+    EXPECT_EQ(score.missedTrueKeys, 0)
+        << "every seeded true race is reported";
+    EXPECT_EQ(score.unexpectedFalsePositives, 0)
+        << "surviving FPs are only the seeded known-FP classes";
+}
+
+INSTANTIATE_TEST_SUITE_P(Sample, FdroidDetection,
+                         ::testing::Values(0, 7, 23, 55, 101, 144, 173));
+
+} // namespace
+} // namespace sierra

@@ -1,0 +1,203 @@
+/** @file Tests for the interpreter and the dynamic race detector. */
+
+#include <gtest/gtest.h>
+
+#include "corpus/patterns.hh"
+#include "dynamic/event_racer.hh"
+#include "test_helpers.hh"
+
+namespace sierra::dynamic {
+namespace {
+
+using test::makePipeline;
+
+template <typename Fill>
+corpus::BuiltApp
+buildApp(const std::string &name, Fill fill)
+{
+    corpus::AppFactory factory(name);
+    fill(factory);
+    corpus::BuiltApp built = factory.finish();
+    // Install the framework + Nondet like the detector would.
+    harness::HarnessGenerator gen(*built.app);
+    return built;
+}
+
+TEST(Interpreter, ExecutesLifecycleChain)
+{
+    auto built = buildApp("dyn-lifecycle", [](corpus::AppFactory &f) {
+        f.addActivity("LcActivity");
+    });
+    RunOptions opts;
+    opts.seed = 7;
+    Interpreter interp(*built.app, opts);
+    Trace trace = interp.run();
+
+    ASSERT_GE(trace.events.size(), 6u);
+    EXPECT_EQ(trace.events[0].label, "LcActivity.onCreate");
+    EXPECT_EQ(trace.events[1].label, "LcActivity.onStart");
+    EXPECT_EQ(trace.events[2].label, "LcActivity.onResume");
+    EXPECT_EQ(trace.events.back().label, "LcActivity.onDestroy");
+    // Lifecycle chain edges order consecutive callbacks.
+    EXPECT_EQ(trace.events[1].hbPreds, std::vector<int>{0});
+}
+
+TEST(Interpreter, HeapEffectsAreReal)
+{
+    auto built = buildApp("dyn-heap", [](corpus::AppFactory &f) {
+        auto &act = f.addActivity("HeapActivity");
+        corpus::addReceiverDbRace(f, act);
+    });
+    RunOptions opts;
+    opts.seed = 3;
+    Interpreter interp(*built.app, opts);
+    Trace trace = interp.run();
+
+    // onCreate wrote the DataBase into the activity field; accesses on
+    // DataBase.conn from open/close must appear.
+    bool conn_access = false;
+    for (const auto &a : trace.accesses)
+        conn_access |= a.key.find("conn") != std::string::npos;
+    EXPECT_TRUE(conn_access);
+}
+
+TEST(Interpreter, AsyncTaskContinuation)
+{
+    auto built = buildApp("dyn-async", [](corpus::AppFactory &f) {
+        auto &act = f.addActivity("AsyncActivity");
+        corpus::addAsyncNewsRace(f, act);
+    });
+    // Try several seeds: at least one schedule clicks the button and
+    // completes the doInBackground -> onPostExecute chain.
+    bool saw_chain = false;
+    for (uint32_t seed = 1; seed < 12 && !saw_chain; ++seed) {
+        RunOptions opts;
+        opts.seed = seed;
+        Interpreter interp(*built.app, opts);
+        Trace trace = interp.run();
+        for (const auto &ev : trace.events) {
+            if (ev.kind == "async-post") {
+                saw_chain = true;
+                ASSERT_GE(ev.creator, 0);
+                EXPECT_EQ(trace.events[ev.creator].kind, "async-bg")
+                    << "onPostExecute is posted by the background body";
+            }
+        }
+    }
+    EXPECT_TRUE(saw_chain);
+}
+
+TEST(Interpreter, GuardProvenanceRecorded)
+{
+    auto built = buildApp("dyn-guard", [](corpus::AppFactory &f) {
+        auto &act = f.addActivity("GuardActivity");
+        corpus::addGuardedTimer(f, act);
+    });
+    bool guard_seen = false;
+    for (uint32_t seed = 1; seed < 10 && !guard_seen; ++seed) {
+        RunOptions opts;
+        opts.seed = seed;
+        Interpreter interp(*built.app, opts);
+        Trace trace = interp.run();
+        for (const auto &[obj, key] : trace.primitiveGuards)
+            guard_seen |= key.find("mIsRunning") != std::string::npos;
+    }
+    EXPECT_TRUE(guard_seen) << "the timer guard is observed as primitive";
+}
+
+TEST(EventRacer, DetectsThreadRace)
+{
+    auto built = buildApp("dyn-thread", [](corpus::AppFactory &f) {
+        auto &act = f.addActivity("TrActivity");
+        corpus::addThreadRace(f, act);
+    });
+    EventRacerOptions opts;
+    opts.numSchedules = 8;
+    EventRacerReport report = runEventRacer(*built.app, opts);
+    bool found = false;
+    for (const auto &key : report.raceKeys())
+        found |= key.find("result$") != std::string::npos ||
+                 key.find("done$") != std::string::npos;
+    EXPECT_TRUE(found);
+}
+
+TEST(EventRacer, FifoOrderedPostsAreNotRaces)
+{
+    auto built = buildApp("dyn-fifo", [](corpus::AppFactory &f) {
+        auto &act = f.addActivity("FifoActivity");
+        corpus::addOrderedPosts(f, act);
+    });
+    EventRacerOptions opts;
+    opts.numSchedules = 8;
+    EventRacerReport report = runEventRacer(*built.app, opts);
+    for (const auto &key : report.raceKeys())
+        EXPECT_EQ(key.find("cfg$"), std::string::npos)
+            << "same-creator FIFO posts are ordered: " << key;
+}
+
+TEST(EventRacer, CoverageFilterDropsPrimitiveGuards)
+{
+    auto built = buildApp("dyn-coverage", [](corpus::AppFactory &f) {
+        auto &act = f.addActivity("CovActivity");
+        corpus::addGuardedTimer(f, act);
+    });
+    EventRacerOptions opts;
+    opts.numSchedules = 10;
+    EventRacerReport report = runEventRacer(*built.app, opts);
+    for (const auto &key : report.raceKeys()) {
+        EXPECT_EQ(key.find("mIsRunning"), std::string::npos)
+            << "primitive guard races are coverage-filtered";
+    }
+
+    EventRacerOptions raw = opts;
+    raw.raceCoverageFilter = false;
+    EventRacerReport unfiltered = runEventRacer(*built.app, raw);
+    EXPECT_GE(unfiltered.raceKeys().size(),
+              report.raceKeys().size());
+}
+
+TEST(EventRacer, DeterministicForFixedSeed)
+{
+    auto built = buildApp("dyn-deterministic", [](corpus::AppFactory &f) {
+        auto &act = f.addActivity("DetActivity");
+        corpus::addMessageGuard(f, act);
+        corpus::addThreadRace(f, act);
+    });
+    EventRacerOptions opts;
+    opts.numSchedules = 3;
+    auto r1 = runEventRacer(*built.app, opts);
+    auto r2 = runEventRacer(*built.app, opts);
+    EXPECT_EQ(r1.raceKeys(), r2.raceKeys());
+    EXPECT_EQ(r1.eventsExecuted, r2.eventsExecuted);
+}
+
+TEST(EventRacer, DetectRacesOnHandMadeTrace)
+{
+    Trace trace;
+    TraceEvent e0;
+    e0.id = 0;
+    e0.label = "a";
+    trace.events.push_back(e0);
+    TraceEvent e1;
+    e1.id = 1;
+    e1.label = "b";
+    trace.events.push_back(e1);
+    TraceEvent e2;
+    e2.id = 2;
+    e2.label = "c";
+    e2.creator = 0;
+    e2.hbPreds = {0};
+    trace.events.push_back(e2);
+
+    trace.accesses.push_back({0, 5, "X.f", true, "X.w@0"});
+    trace.accesses.push_back({1, 5, "X.f", false, "X.r@0"});
+    trace.accesses.push_back({2, 5, "X.f", false, "X.r2@0"});
+
+    auto races = detectRaces(trace, true);
+    // 0 vs 1 race (unordered, w/r); 0 vs 2 ordered; 1 vs 2 read/read.
+    ASSERT_EQ(races.size(), 1u);
+    EXPECT_EQ(races[0].fieldKey, "X.f");
+}
+
+} // namespace
+} // namespace sierra::dynamic

@@ -1,0 +1,133 @@
+/** @file Tests for harness generation (paper Section 3.2 / Fig. 4). */
+
+#include <gtest/gtest.h>
+
+#include "air/verifier.hh"
+#include "corpus/patterns.hh"
+#include "test_helpers.hh"
+
+namespace sierra::harness {
+namespace {
+
+using analysis::ActionKind;
+using test::makePipeline;
+
+TEST(Harness, GeneratesVerifiableCode)
+{
+    auto p = makePipeline("harness-verify", [](corpus::AppFactory &f) {
+        auto &act = f.addActivity("MainActivity");
+        corpus::addReceiverDbRace(f, act);
+        corpus::addMessageGuard(f, act);
+    });
+    EXPECT_TRUE(air::verifyModule(p.app().module()).empty());
+}
+
+TEST(Harness, OnePlanPerActivity)
+{
+    auto p = makePipeline("harness-plans", [](corpus::AppFactory &f) {
+        f.addActivity("A1");
+        f.addActivity("A2");
+        f.addActivity("A3");
+    });
+    EXPECT_EQ(p.detector->plans().size(), 3u);
+    for (const auto &plan : p.detector->plans()) {
+        ASSERT_NE(plan.mainMethod, nullptr);
+        EXPECT_TRUE(plan.mainMethod->isStatic());
+        EXPECT_TRUE(plan.mainMethod->owner()->isSynthetic());
+    }
+}
+
+TEST(Harness, LifecycleEventSites)
+{
+    auto p = makePipeline("harness-lifecycle", [](corpus::AppFactory &f) {
+        f.addActivity("SoloActivity");
+    });
+    const HarnessPlan &plan = p.detector->plans()[0];
+
+    std::map<std::string, int> counts;
+    for (const auto &ev : plan.eventSites) {
+        if (ev.kind == ActionKind::Lifecycle)
+            ++counts[ev.callbackName];
+    }
+    // Entry sequence + pause/resume cycle + stop/restart cycle + exit.
+    EXPECT_EQ(counts["onCreate"], 1);
+    EXPECT_EQ(counts["onStart"], 2);  // "1" and "2" instances (Fig. 5)
+    EXPECT_EQ(counts["onResume"], 3);
+    EXPECT_EQ(counts["onPause"], 3);
+    EXPECT_EQ(counts["onStop"], 2);
+    EXPECT_EQ(counts["onRestart"], 1);
+    EXPECT_EQ(counts["onDestroy"], 1);
+
+    // The entry sequence is outside the loop, cycles are inside.
+    int in_loop = 0;
+    int outside = 0;
+    for (const auto &ev : plan.eventSites) {
+        if (ev.kind != ActionKind::Lifecycle)
+            continue;
+        (ev.inEventLoop ? in_loop : outside)++;
+    }
+    EXPECT_EQ(outside, 6) << "onCreate/onStart/onResume + exit sequence";
+    EXPECT_EQ(in_loop, 7);
+}
+
+TEST(Harness, XmlGuiCallbacksBecomeEventSites)
+{
+    auto p = makePipeline("harness-gui", [](corpus::AppFactory &f) {
+        auto &act = f.addActivity("GuiActivity");
+        corpus::addMessageGuard(f, act); // two xmlOnClick buttons
+    });
+    const HarnessPlan &plan = p.detector->plans()[0];
+    int gui = 0;
+    for (const auto &ev : plan.eventSites) {
+        if (ev.kind == ActionKind::XmlGui) {
+            ++gui;
+            EXPECT_TRUE(ev.inEventLoop);
+            EXPECT_GT(ev.widgetId, 0);
+        }
+    }
+    EXPECT_EQ(gui, 2);
+}
+
+TEST(Harness, ManifestReceiversAndServices)
+{
+    auto p = makePipeline("harness-recv", [](corpus::AppFactory &f) {
+        auto &act = f.addActivity("HostActivity");
+        corpus::addServiceStaticRace(f, act); // manifest service
+    });
+    const HarnessPlan &plan = p.detector->plans()[0];
+    int service_sites = 0;
+    for (const auto &ev : plan.eventSites) {
+        if (ev.kind == ActionKind::ServiceCreate)
+            ++service_sites;
+    }
+    EXPECT_EQ(service_sites, 2)
+        << "onCreate + onStartCommand sites are emitted; only those "
+           "with bodies become call-graph nodes later";
+}
+
+TEST(Harness, SiteLookup)
+{
+    auto p = makePipeline("harness-lookup", [](corpus::AppFactory &f) {
+        f.addActivity("LookupActivity");
+    });
+    const HarnessPlan &plan = p.detector->plans()[0];
+    ASSERT_FALSE(plan.eventSites.empty());
+    const EventSite &first = plan.eventSites[0];
+    EXPECT_EQ(plan.siteAt(first.method, first.instrIdx), &first);
+    EXPECT_EQ(plan.siteAt(first.method, 99999), nullptr);
+}
+
+TEST(Harness, NondetProviderInstalled)
+{
+    auto p = makePipeline("harness-nondet", [](corpus::AppFactory &f) {
+        f.addActivity("NdActivity");
+    });
+    air::Klass *nd = p.app().module().getClass(kNondetClass);
+    ASSERT_NE(nd, nullptr);
+    EXPECT_TRUE(nd->isSynthetic());
+    ASSERT_NE(nd->findMethod("choose"), nullptr);
+    EXPECT_TRUE(nd->findMethod("choose")->isStatic());
+}
+
+} // namespace
+} // namespace sierra::harness

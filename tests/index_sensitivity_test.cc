@@ -1,0 +1,175 @@
+/** @file Tests for the optional index-sensitive array analysis. */
+
+#include <gtest/gtest.h>
+
+#include "analysis/array_keys.hh"
+#include "corpus/named_apps.hh"
+#include "corpus/patterns.hh"
+#include "framework/known_api.hh"
+#include "race/access.hh"
+#include "test_helpers.hh"
+
+namespace sierra {
+namespace {
+
+using test::makePipeline;
+
+TEST(ArrayKeys, Shapes)
+{
+    EXPECT_EQ(analysis::arrayWildcardKey("Slot[]"), "Slot[].$elems");
+    EXPECT_EQ(analysis::arrayElementKey("Slot[]", 3),
+              "Slot[].$elem#3");
+    EXPECT_TRUE(analysis::isArrayKey("Slot[].$elems"));
+    EXPECT_TRUE(analysis::isArrayKey("Slot[].$elem#0"));
+    EXPECT_FALSE(analysis::isArrayKey("Slot.field"));
+    EXPECT_TRUE(analysis::isArrayWildcardKey("Slot[].$elems"));
+    EXPECT_FALSE(analysis::isArrayWildcardKey("Slot[].$elem#0"));
+}
+
+TEST(ArrayKeys, AliasRules)
+{
+    race::MemLoc elem0{false, 7, "S[].$elem#0"};
+    race::MemLoc elem1{false, 7, "S[].$elem#1"};
+    race::MemLoc wild{false, 7, "S[].$elems"};
+    race::MemLoc other_obj{false, 8, "S[].$elem#0"};
+    race::MemLoc field{false, 7, "S.f"};
+
+    EXPECT_TRUE(race::locsMayAlias(elem0, elem0));
+    EXPECT_FALSE(race::locsMayAlias(elem0, elem1))
+        << "distinct constant indices do not alias";
+    EXPECT_TRUE(race::locsMayAlias(elem0, wild));
+    EXPECT_TRUE(race::locsMayAlias(wild, elem1));
+    EXPECT_FALSE(race::locsMayAlias(elem0, other_obj));
+    EXPECT_FALSE(race::locsMayAlias(field, wild));
+}
+
+/** The arrayIndexTrap app under both array models. */
+struct TrapRun {
+    AppReport report;
+    corpus::Score score;
+};
+
+TrapRun
+runTrap(bool index_sensitive)
+{
+    corpus::AppFactory factory(index_sensitive ? "trap-is" : "trap-ii");
+    auto &act = factory.addActivity("TrapActivity");
+    corpus::addArrayIndexTrap(factory, act);
+    corpus::BuiltApp built = factory.finish();
+    SierraDetector detector(*built.app);
+    SierraOptions options;
+    options.pta.indexSensitiveArrays = index_sensitive;
+    TrapRun out{detector.analyze(options), {}};
+    out.score = corpus::scoreReport(out.report, built.truth);
+    return out;
+}
+
+TEST(IndexSensitivity, RemovesTheKnownFpClass)
+{
+    TrapRun insensitive = runTrap(false);
+    EXPECT_EQ(insensitive.score.knownFalsePositives, 1)
+        << "default model reports the disjoint-slot race (paper 6.5)";
+
+    TrapRun sensitive = runTrap(true);
+    EXPECT_EQ(sensitive.score.falsePositives, 0)
+        << "per-element locations prove the slots disjoint";
+    EXPECT_LT(sensitive.report.racyPairs, insensitive.report.racyPairs);
+}
+
+TEST(IndexSensitivity, UnknownIndexStillAliases)
+{
+    // A writer with a non-constant index must still race against a
+    // constant-index reader.
+    corpus::AppFactory factory("trap-unknown");
+    auto &act = factory.addActivity("UnkActivity");
+    std::string act_cls = act.name();
+    air::Module &mod = factory.app().module();
+    mod.addClass("Cell$u", framework::names::object);
+    act.addField("cells", air::Type::array("Cell$u"));
+    int w1 = factory.nextViewId();
+    int w2 = factory.nextViewId();
+
+    framework::Widget wa;
+    wa.id = w1;
+    wa.name = "a";
+    wa.widgetClass = framework::names::button;
+    wa.xmlOnClick = "onFixed";
+    act.layout().addWidget(wa);
+    framework::Widget wb;
+    wb.id = w2;
+    wb.name = "b";
+    wb.widgetClass = framework::names::button;
+    wb.xmlOnClick = "onAny";
+    act.layout().addWidget(wb);
+
+    act.on("onCreate", [&](air::MethodBuilder &b) {
+        int rlen = b.newReg();
+        int rarr = b.newReg();
+        b.constInt(rlen, 4);
+        b.newArray(rarr, "Cell$u", rlen);
+        b.putField(b.thisReg(), {act_cls, "cells"}, rarr);
+    });
+    // Fixed index 0 write.
+    act.klass()->addMethod("onFixed",
+                           {air::Type::object(framework::names::view)},
+                           air::Type::voidTy(), false);
+    {
+        air::MethodBuilder b(act.klass()->findMethod("onFixed"));
+        int rarr = b.newReg();
+        int ri = b.newReg();
+        int rv = b.newReg();
+        b.getField(rarr, b.thisReg(), {act_cls, "cells"});
+        b.constInt(ri, 0);
+        b.newObject(rv, "Cell$u");
+        b.arrayPut(rarr, ri, rv);
+        b.finish();
+    }
+    // Unknown index write (index from Nondet).
+    act.klass()->addMethod("onAny",
+                           {air::Type::object(framework::names::view)},
+                           air::Type::voidTy(), false);
+    {
+        air::MethodBuilder b(act.klass()->findMethod("onAny"));
+        int rarr = b.newReg();
+        int ri = b.newReg();
+        int rv = b.newReg();
+        b.getField(rarr, b.thisReg(), {act_cls, "cells"});
+        b.callStatic(ri, "sierra.Nondet", "choose");
+        b.newObject(rv, "Cell$u");
+        b.arrayPut(rarr, ri, rv);
+        b.finish();
+    }
+
+    corpus::BuiltApp built = factory.finish();
+    SierraDetector detector(*built.app);
+    SierraOptions options;
+    options.pta.indexSensitiveArrays = true;
+    AppReport report = detector.analyze(options);
+
+    bool elems_race = false;
+    for (const auto &race : report.races) {
+        if (!race.refuted && analysis::isArrayKey(race.fieldKey))
+            elems_race = true;
+    }
+    EXPECT_TRUE(elems_race)
+        << "wildcard writer vs fixed-index writer must still race";
+}
+
+TEST(IndexSensitivity, OtherResultsUnchanged)
+{
+    // The option must not disturb non-array analyses.
+    auto run = [](bool sensitive) {
+        corpus::BuiltApp built = corpus::buildNamedApp("OpenSudoku");
+        SierraDetector detector(*built.app);
+        SierraOptions options;
+        options.pta.indexSensitiveArrays = sensitive;
+        return detector.analyze(options);
+    };
+    AppReport a = run(false);
+    AppReport b = run(true);
+    EXPECT_EQ(a.actions, b.actions);
+    EXPECT_EQ(a.hbEdges, b.hbEdges);
+}
+
+} // namespace
+} // namespace sierra

@@ -1,0 +1,177 @@
+/** @file Opcode-level interpreter tests via the evalStatic hook and
+ *  hand-written AIR modules. */
+
+#include <gtest/gtest.h>
+
+#include "dynamic/interpreter.hh"
+#include "framework/app_text.hh"
+
+namespace sierra::dynamic {
+namespace {
+
+/** Parse an app bundle with one Calc class and return the app. */
+std::unique_ptr<framework::App>
+calcApp(const std::string &methods)
+{
+    std::string text = R"(
+app "calc" {
+    activity CalcActivity main
+}
+class CalcActivity extends android.app.Activity {
+    method <init>(): void regs=1 { @0: return-void }
+}
+class Calc extends java.lang.Object {
+    static field out: java.lang.Object
+)" + methods + "\n}\n";
+    framework::AppTextResult r = framework::parseAppText(text);
+    EXPECT_TRUE(r.ok()) << r.error << " line " << r.errorLine;
+    return std::move(r.app);
+}
+
+int64_t
+evalInt(framework::App &app, const std::string &method)
+{
+    Interpreter interp(app, {});
+    Value v = interp.evalStatic("Calc", method);
+    EXPECT_EQ(v.kind, Value::Kind::Int) << method;
+    return v.i;
+}
+
+TEST(InterpreterOpcodes, Arithmetic)
+{
+    auto app = calcApp(R"(
+    static method arith(): int regs=3 {
+        @0: r0 = const 10
+        @1: r1 = const 3
+        @2: r2 = mul r0, r1
+        @3: r2 = add r2, r1
+        @4: r2 = sub r2, r0
+        @5: return r2
+    }
+    static method divrem(): int regs=3 {
+        @0: r0 = const 17
+        @1: r1 = const 5
+        @2: r2 = div r0, r1
+        @3: r1 = rem r0, r1
+        @4: r2 = mul r2, r1
+        @5: return r2
+    }
+    static method bits(): int regs=3 {
+        @0: r0 = const 12
+        @1: r1 = const 10
+        @2: r2 = xor r0, r1
+        @3: r0 = and r0, r1
+        @4: r2 = or r2, r0
+        @5: return r2
+    })");
+    EXPECT_EQ(evalInt(*app, "arith"), 10 * 3 + 3 - 10);
+    EXPECT_EQ(evalInt(*app, "divrem"), (17 / 5) * (17 % 5));
+    EXPECT_EQ(evalInt(*app, "bits"), ((12 ^ 10) | (12 & 10)));
+}
+
+TEST(InterpreterOpcodes, BranchesAndLoops)
+{
+    auto app2 = calcApp(R"(
+    static method sumTo(p0: int): int regs=4 {
+        @0: r1 = const 0
+        @1: r2 = const 1
+        @2: r3 = const 1
+        @3: if r2 gt r0 goto @7
+        @4: r1 = add r1, r2
+        @5: r2 = add r2, r3
+        @6: goto @3
+        @7: return r1
+    }
+    static method max(p0: int, p1: int): int regs=2 {
+        @0: if r0 ge r1 goto @2
+        @1: return r1
+        @2: return r0
+    })");
+    Interpreter interp(*app2, {});
+    Value v = interp.evalStatic("Calc", "sumTo", {Value::ofInt(10)});
+    EXPECT_EQ(v.i, 55);
+    Interpreter interp2(*app2, {});
+    EXPECT_EQ(
+        interp2.evalStatic("Calc", "max",
+                           {Value::ofInt(3), Value::ofInt(9)})
+            .i,
+        9);
+}
+
+TEST(InterpreterOpcodes, ArraysAndStatics)
+{
+    auto app = calcApp(R"(
+    static method arrays(): int regs=6 {
+        @0: r0 = const 3
+        @1: r1 = new-array java.lang.Object[r0]
+        @2: r2 = const 1
+        @3: r3 = new java.lang.Object
+        @4: aput r1[r2] = r3
+        @5: r4 = aget r1[r2]
+        @6: putstatic Calc.out = r4
+        @7: r5 = const 7
+        @8: return r5
+    })");
+    Interpreter interp(*app, {});
+    EXPECT_EQ(interp.evalStatic("Calc", "arrays").i, 7);
+    EXPECT_TRUE(interp.staticField("Calc.out").isRef())
+        << "the element written at [1] is read back";
+}
+
+TEST(InterpreterOpcodes, NullDerefAbortsMethod)
+{
+    auto app = calcApp(R"(
+    static method crash(): int regs=3 {
+        @0: r0 = null
+        @1: r1 = getfield r0.Calc.out
+        @2: r2 = const 5
+        @3: return r2
+    })");
+    Interpreter interp(*app, {});
+    Value v = interp.evalStatic("Calc", "crash");
+    EXPECT_TRUE(v.isNull())
+        << "a null dereference aborts the method (NPE model)";
+}
+
+TEST(InterpreterOpcodes, UnaryAndConversion)
+{
+    auto app = calcApp(R"(
+    static method unary(): int regs=3 {
+        @0: r0 = const 0
+        @1: r1 = not r0
+        @2: r2 = neg r1
+        @3: r2 = add r1, r2
+        @4: return r2
+    })");
+    // not 0 = 1, neg 1 = -1, 1 + -1 = 0.
+    EXPECT_EQ(evalInt(*app, "unary"), 0);
+}
+
+TEST(InterpreterOpcodes, RecursionDepthCapped)
+{
+    auto app = calcApp(R"(
+    static method forever(): int regs=2 {
+        @0: r1 = invoke-static Calc.forever()
+        @1: return r1
+    })");
+    Interpreter interp(*app, {});
+    Value v = interp.evalStatic("Calc", "forever");
+    EXPECT_TRUE(v.isNull()) << "call-depth cap returns null";
+}
+
+TEST(InterpreterOpcodes, StringsAndTruthiness)
+{
+    auto app = calcApp(R"(
+    static method strTruthy(): int regs=3 {
+        @0: r0 = const "nonempty"
+        @1: ifz r0 eq goto @4
+        @2: r1 = const 1
+        @3: return r1
+        @4: r1 = const 0
+        @5: return r1
+    })");
+    EXPECT_EQ(evalInt(*app, "strTruthy"), 1);
+}
+
+} // namespace
+} // namespace sierra::dynamic

@@ -1,0 +1,162 @@
+/** @file Cross-cutting property tests relating the static analyses,
+ *  the dynamic detector, and the corpus (parameterized sweeps). */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "corpus/generator.hh"
+#include "corpus/named_apps.hh"
+#include "dynamic/event_racer.hh"
+#include "dynamic/race_verifier.hh"
+#include "sierra/detector.hh"
+
+namespace sierra {
+namespace {
+
+/** Static candidate keys (pre-refutation) and surviving keys. */
+struct StaticKeys {
+    std::set<std::string> candidates;
+    std::set<std::string> surviving;
+};
+
+StaticKeys
+staticKeysOf(framework::App &app)
+{
+    SierraDetector detector(app);
+    AppReport report = detector.analyze({});
+    StaticKeys out;
+    for (const auto &race : report.races) {
+        out.candidates.insert(race.fieldKey);
+        if (!race.refuted)
+            out.surviving.insert(race.fieldKey);
+    }
+    return out;
+}
+
+class CorpusProperty : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(CorpusProperty, DynamicallyConfirmedRacesAreStaticCandidates)
+{
+    // Soundness-flavored property: any location whose conflicting
+    // accesses the interpreter observes in BOTH orders is a real
+    // nondeterminism, so the static detector must have produced a
+    // candidate for it (before refutation).
+    corpus::BuiltApp built = corpus::buildNamedApp(GetParam());
+    StaticKeys statics = staticKeysOf(*built.app);
+
+    // Collect every key the dynamic detector conflicts on, then ask
+    // the verifier which of those have both orders.
+    dynamic::EventRacerOptions er_opts;
+    er_opts.numSchedules = 4;
+    er_opts.raceCoverageFilter = false;
+    dynamic::EventRacerReport er = runEventRacer(*built.app, er_opts);
+    std::set<std::string> dynamic_keys;
+    for (const auto &race : er.races)
+        dynamic_keys.insert(race.fieldKey);
+
+    dynamic::RaceVerifierOptions vo;
+    vo.numSchedules = 8;
+    dynamic::RaceVerificationReport verification =
+        verifyRacesDynamically(
+            *built.app,
+            {dynamic_keys.begin(), dynamic_keys.end()}, vo);
+
+    for (const auto &race : verification.races) {
+        if (!race.bothOrdersObserved)
+            continue;
+        // Array element keys are finer-grained dynamically; compare on
+        // field keys only.
+        if (race.fieldKey.find(".$elem") != std::string::npos)
+            continue;
+        EXPECT_TRUE(statics.candidates.count(race.fieldKey))
+            << GetParam() << ": dynamically order-nondeterministic "
+            << race.fieldKey << " missing from static candidates";
+    }
+}
+
+TEST_P(CorpusProperty, DynamicAccessSitesAreStaticallyReachable)
+{
+    // Call-graph coverage: every field-access site the interpreter
+    // executes must belong to a method the static call graph reached.
+    corpus::BuiltApp built = corpus::buildNamedApp(GetParam());
+    SierraDetector detector(*built.app);
+
+    std::set<std::string> static_sites;
+    for (const auto &plan : detector.plans()) {
+        analysis::PointsToAnalysis pta(*built.app, plan, {});
+        auto result = pta.run();
+        for (analysis::NodeId n = 0; n < result->cg.numNodes(); ++n) {
+            const air::Method *m = result->cg.node(n).method;
+            static_sites.insert(m->qualifiedName());
+        }
+    }
+
+    dynamic::RunOptions run;
+    run.seed = 11;
+    dynamic::Interpreter interp(*built.app, run);
+    dynamic::Trace trace = interp.run();
+    for (const auto &access : trace.accesses) {
+        std::string method =
+            access.site.substr(0, access.site.find('@'));
+        EXPECT_TRUE(static_sites.count(method))
+            << GetParam() << ": dynamic access in " << method
+            << " not covered by the static call graph";
+    }
+}
+
+TEST_P(CorpusProperty, ShbgIsAntisymmetric)
+{
+    corpus::BuiltApp built = corpus::buildNamedApp(GetParam());
+    SierraDetector detector(*built.app);
+    for (const auto &plan : detector.plans()) {
+        HarnessAnalysis ha =
+            detector.analyzeActivity(plan.activityClass, [] {
+                SierraOptions o;
+                o.runRefutation = false;
+                return o;
+            }());
+        int n = ha.pta->actions.size();
+        for (int a = 0; a < n; ++a) {
+            for (int b = 0; b < n; ++b) {
+                EXPECT_FALSE(ha.shbg->reaches(a, b) &&
+                             ha.shbg->reaches(b, a))
+                    << "cycle " << a << "<->" << b;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, CorpusProperty,
+                         ::testing::Values("OpenSudoku", "VuDroid",
+                                           "NotePad", "TippyTipper",
+                                           "KeePassDroid"));
+
+class FdroidProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FdroidProperty, RefutationNeverDropsSeededTrueRaces)
+{
+    corpus::BuiltApp built = corpus::buildFdroidApp(GetParam());
+    SierraDetector detector(*built.app);
+
+    SierraOptions no_refute;
+    no_refute.runRefutation = false;
+    AppReport before = detector.analyze(no_refute);
+    AppReport after = detector.analyze({});
+
+    // Refutation is monotone: it only removes reports.
+    EXPECT_LE(after.afterRefutation, before.afterRefutation);
+    // And never removes a seeded true race.
+    corpus::Score score = corpus::scoreReport(after, built.truth);
+    EXPECT_EQ(score.missedTrueKeys, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sample, FdroidProperty,
+                         ::testing::Values(2, 31, 64, 97, 130, 163));
+
+} // namespace
+} // namespace sierra

@@ -1,0 +1,103 @@
+/** @file Tests for dynamic verification of static race reports. */
+
+#include <gtest/gtest.h>
+
+#include "corpus/patterns.hh"
+#include "dynamic/race_verifier.hh"
+#include "harness/harness.hh"
+#include "test_helpers.hh"
+
+namespace sierra::dynamic {
+namespace {
+
+template <typename Fill>
+corpus::BuiltApp
+buildApp(const std::string &name, Fill fill)
+{
+    corpus::AppFactory factory(name);
+    fill(factory);
+    corpus::BuiltApp built = factory.finish();
+    harness::HarnessGenerator gen(*built.app); // installs Nondet
+    return built;
+}
+
+TEST(RaceVerifier, ConfirmsARealRace)
+{
+    auto built = buildApp("rv-thread", [](corpus::AppFactory &f) {
+        auto &act = f.addActivity("RvActivity");
+        corpus::addThreadRace(f, act);
+    });
+    // The seeded true race key.
+    std::string key;
+    for (const auto &seed : built.truth.seeded) {
+        if (seed.fieldKey.find("done$") != std::string::npos)
+            key = seed.fieldKey;
+    }
+    ASSERT_FALSE(key.empty());
+
+    RaceVerifierOptions options;
+    options.numSchedules = 24;
+    RaceVerificationReport report =
+        verifyRacesDynamically(*built.app, {key}, options);
+    const VerifiedRace *v = report.find(key);
+    ASSERT_NE(v, nullptr);
+    EXPECT_TRUE(v->conflictObserved);
+    EXPECT_TRUE(v->bothOrdersObserved)
+        << "thread write vs gui read happens in both orders across "
+           "24 schedules";
+    EXPECT_EQ(report.confirmed, 1);
+}
+
+TEST(RaceVerifier, UnseenLocationIsUnobserved)
+{
+    auto built = buildApp("rv-unseen", [](corpus::AppFactory &f) {
+        auto &act = f.addActivity("UnActivity");
+        corpus::addLifecycleSafe(f, act);
+    });
+    RaceVerifierOptions options;
+    options.numSchedules = 4;
+    RaceVerificationReport report = verifyRacesDynamically(
+        *built.app, {"Ghost.field"}, options);
+    ASSERT_EQ(report.races.size(), 1u);
+    EXPECT_FALSE(report.races[0].conflictObserved);
+    EXPECT_EQ(report.unobserved, 1);
+}
+
+TEST(RaceVerifier, OrderedAccessesAreNotConfirmed)
+{
+    // lifecycleSafe's field is accessed in onCreate and onDestroy --
+    // a conflict exists in the trace, but always in one order.
+    auto built = buildApp("rv-ordered", [](corpus::AppFactory &f) {
+        auto &act = f.addActivity("OrdActivity");
+        corpus::addLifecycleSafe(f, act);
+    });
+    std::string key = built.truth.seeded[0].fieldKey;
+    RaceVerifierOptions options;
+    options.numSchedules = 12;
+    RaceVerificationReport report =
+        verifyRacesDynamically(*built.app, {key}, options);
+    const VerifiedRace *v = report.find(key);
+    ASSERT_NE(v, nullptr);
+    EXPECT_TRUE(v->conflictObserved);
+    EXPECT_FALSE(v->bothOrdersObserved)
+        << "onCreate always precedes onDestroy dynamically";
+}
+
+TEST(RaceVerifier, DeterministicForFixedSeed)
+{
+    auto built = buildApp("rv-det", [](corpus::AppFactory &f) {
+        auto &act = f.addActivity("DetActivity");
+        corpus::addGuardedTimer(f, act);
+    });
+    std::string key = built.truth.seeded[0].fieldKey;
+    RaceVerifierOptions options;
+    options.numSchedules = 6;
+    auto r1 = verifyRacesDynamically(*built.app, {key}, options);
+    auto r2 = verifyRacesDynamically(*built.app, {key}, options);
+    EXPECT_EQ(r1.confirmed, r2.confirmed);
+    EXPECT_EQ(r1.races[0].schedulesWithConflict,
+              r2.races[0].schedulesWithConflict);
+}
+
+} // namespace
+} // namespace sierra::dynamic

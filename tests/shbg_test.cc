@@ -1,0 +1,86 @@
+/** @file Tests for the SHBG data structure (closure maintenance). */
+
+#include <gtest/gtest.h>
+
+#include "hb/shbg.hh"
+
+namespace sierra::hb {
+namespace {
+
+TEST(Shbg, BasicEdges)
+{
+    Shbg g(4);
+    EXPECT_TRUE(g.unordered(0, 1));
+    g.addEdge(0, 1, HbRule::Invocation);
+    EXPECT_TRUE(g.reaches(0, 1));
+    EXPECT_FALSE(g.reaches(1, 0));
+    EXPECT_FALSE(g.unordered(0, 1));
+    EXPECT_EQ(g.numClosurePairs(), 1);
+}
+
+TEST(Shbg, TransitiveClosureOnInsert)
+{
+    Shbg g(5);
+    g.addEdge(0, 1, HbRule::Invocation);
+    g.addEdge(1, 2, HbRule::Invocation);
+    EXPECT_TRUE(g.reaches(0, 2)) << "closure through 1";
+    g.addEdge(3, 0, HbRule::Lifecycle);
+    EXPECT_TRUE(g.reaches(3, 2)) << "prefix extended through the cone";
+    EXPECT_EQ(g.numClosurePairs(), 3 + 3); // 0<1,0<2,1<2,3<0,3<1,3<2
+}
+
+TEST(Shbg, ReflexivityExcluded)
+{
+    Shbg g(3);
+    g.addEdge(0, 0, HbRule::Invocation);
+    EXPECT_FALSE(g.reaches(0, 0));
+    EXPECT_EQ(g.numClosurePairs(), 0);
+}
+
+TEST(Shbg, CycleSuppressed)
+{
+    Shbg g(3);
+    g.addEdge(0, 1, HbRule::Invocation);
+    g.addEdge(1, 2, HbRule::Invocation);
+    // 2 -> 0 would close a cycle; the edge is dropped with a warning.
+    g.addEdge(2, 0, HbRule::GuiOrder);
+    EXPECT_FALSE(g.reaches(2, 0));
+    EXPECT_TRUE(g.reaches(0, 2));
+}
+
+TEST(Shbg, OrderedFraction)
+{
+    Shbg g(4); // max pairs = 6
+    g.addEdge(0, 1, HbRule::Invocation);
+    g.addEdge(2, 3, HbRule::Invocation);
+    EXPECT_DOUBLE_EQ(g.orderedFraction(), 2.0 / 6.0);
+}
+
+TEST(Shbg, EdgeProvenance)
+{
+    Shbg g(4);
+    g.addEdge(0, 1, HbRule::Invocation);
+    g.addEdge(1, 2, HbRule::AsyncChain);
+    g.addEdge(0, 3, HbRule::GuiOrder);
+    EXPECT_EQ(g.numEdgesByRule(HbRule::Invocation), 1);
+    EXPECT_EQ(g.numEdgesByRule(HbRule::AsyncChain), 1);
+    EXPECT_EQ(g.numEdgesByRule(HbRule::GuiOrder), 1);
+    EXPECT_EQ(g.numEdgesByRule(HbRule::InterProcDom), 0);
+    EXPECT_EQ(g.directEdges().size(), 3u);
+    EXPECT_NE(g.toString().find("async-chain"), std::string::npos);
+}
+
+TEST(Shbg, DenseClosureStress)
+{
+    const int n = 130; // exercises multi-word bitset rows
+    Shbg g(n);
+    for (int i = 0; i + 1 < n; ++i)
+        g.addEdge(i, i + 1, HbRule::Invocation);
+    EXPECT_TRUE(g.reaches(0, n - 1));
+    EXPECT_EQ(g.numClosurePairs(),
+              static_cast<int64_t>(n) * (n - 1) / 2);
+    EXPECT_DOUBLE_EQ(g.orderedFraction(), 1.0);
+}
+
+} // namespace
+} // namespace sierra::hb

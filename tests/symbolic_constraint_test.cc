@@ -1,0 +1,226 @@
+/** @file Tests for the constraint store and the built-in solver. */
+
+#include <gtest/gtest.h>
+
+#include "symbolic/constraint.hh"
+
+namespace sierra::symbolic {
+namespace {
+
+using air::CondKind;
+
+race::MemLoc
+loc(const std::string &key, int obj = 1)
+{
+    race::MemLoc l;
+    l.obj = obj;
+    l.key = key;
+    return l;
+}
+
+Atom
+atom(Operand lhs, CondKind c, Operand rhs)
+{
+    Atom a;
+    a.lhs = std::move(lhs);
+    a.cond = c;
+    a.rhs = std::move(rhs);
+    return a;
+}
+
+TEST(Solver, SingleNeIsSatisfiable)
+{
+    // Regression: the unbounded interval must not be "fully excluded"
+    // by one point (a signed-overflow bug found during bring-up).
+    std::vector<Atom> atoms{atom(Operand::locOp(loc("A.f")), CondKind::Ne,
+                                 Operand::constant(0))};
+    EXPECT_TRUE(solveLocConstSystem(atoms));
+}
+
+TEST(Solver, EqNeContradiction)
+{
+    std::vector<Atom> atoms{
+        atom(Operand::locOp(loc("A.f")), CondKind::Eq,
+             Operand::constant(1)),
+        atom(Operand::locOp(loc("A.f")), CondKind::Ne,
+             Operand::constant(1))};
+    EXPECT_FALSE(solveLocConstSystem(atoms));
+}
+
+TEST(Solver, TwoDifferentEqsContradict)
+{
+    std::vector<Atom> atoms{
+        atom(Operand::locOp(loc("A.f")), CondKind::Eq,
+             Operand::constant(1)),
+        atom(Operand::locOp(loc("A.f")), CondKind::Eq,
+             Operand::constant(2))};
+    EXPECT_FALSE(solveLocConstSystem(atoms));
+}
+
+TEST(Solver, DistinctObjectsDoNotConflict)
+{
+    std::vector<Atom> atoms{
+        atom(Operand::locOp(loc("A.f", 1)), CondKind::Eq,
+             Operand::constant(1)),
+        atom(Operand::locOp(loc("A.f", 2)), CondKind::Eq,
+             Operand::constant(2))};
+    EXPECT_TRUE(solveLocConstSystem(atoms))
+        << "same field on different objects";
+}
+
+TEST(Solver, IntervalEmptiness)
+{
+    std::vector<Atom> atoms{
+        atom(Operand::locOp(loc("A.f")), CondKind::Gt,
+             Operand::constant(5)),
+        atom(Operand::locOp(loc("A.f")), CondKind::Lt,
+             Operand::constant(6))};
+    EXPECT_FALSE(solveLocConstSystem(atoms)) << "5 < x < 6 is empty";
+
+    std::vector<Atom> ok{
+        atom(Operand::locOp(loc("A.f")), CondKind::Ge,
+             Operand::constant(5)),
+        atom(Operand::locOp(loc("A.f")), CondKind::Le,
+             Operand::constant(5))};
+    EXPECT_TRUE(solveLocConstSystem(ok));
+}
+
+TEST(Solver, FiniteIntervalFullyExcluded)
+{
+    std::vector<Atom> atoms{
+        atom(Operand::locOp(loc("A.f")), CondKind::Ge,
+             Operand::constant(3)),
+        atom(Operand::locOp(loc("A.f")), CondKind::Le,
+             Operand::constant(4)),
+        atom(Operand::locOp(loc("A.f")), CondKind::Ne,
+             Operand::constant(3)),
+        atom(Operand::locOp(loc("A.f")), CondKind::Ne,
+             Operand::constant(4))};
+    EXPECT_FALSE(solveLocConstSystem(atoms));
+}
+
+TEST(Solver, EqOutsideInterval)
+{
+    std::vector<Atom> atoms{
+        atom(Operand::locOp(loc("A.f")), CondKind::Eq,
+             Operand::constant(10)),
+        atom(Operand::locOp(loc("A.f")), CondKind::Lt,
+             Operand::constant(5))};
+    EXPECT_FALSE(solveLocConstSystem(atoms));
+}
+
+TEST(Store, AddConstConstEvaluates)
+{
+    ConstraintStore s;
+    EXPECT_TRUE(s.add(atom(Operand::constant(1), CondKind::Eq,
+                           Operand::constant(1))));
+    EXPECT_EQ(s.size(), 0u) << "trivially true atoms are dropped";
+    EXPECT_FALSE(s.add(atom(Operand::constant(1), CondKind::Eq,
+                            Operand::constant(2))));
+    EXPECT_TRUE(s.failed());
+}
+
+TEST(Store, UnknownOperandsDrop)
+{
+    ConstraintStore s;
+    EXPECT_TRUE(s.add(atom(Operand::unknown(), CondKind::Eq,
+                           Operand::constant(2))));
+    EXPECT_EQ(s.size(), 0u);
+    EXPECT_TRUE(s.consistent());
+}
+
+TEST(Store, RegSubstitutionResolvesAtoms)
+{
+    ConstraintStore s;
+    // r5 != 0, then (backward) r5 := loc, then loc := 0 -> contradiction.
+    ASSERT_TRUE(s.add(atom(Operand::regOp(5), CondKind::Ne,
+                           Operand::constant(0))));
+    ASSERT_TRUE(s.substituteReg(5, Operand::locOp(loc("T.flag"))));
+    EXPECT_EQ(s.size(), 1u);
+    EXPECT_FALSE(
+        s.substituteLoc(loc("T.flag"), Operand::constant(0)))
+        << "strong update to 0 conflicts with != 0";
+    EXPECT_TRUE(s.failed());
+}
+
+TEST(Store, StrongUpdateThroughRegister)
+{
+    ConstraintStore s;
+    ASSERT_TRUE(s.add(atom(Operand::locOp(loc("T.flag")), CondKind::Eq,
+                           Operand::constant(1))));
+    // loc := r7 (backward over "putfield flag = r7")...
+    ASSERT_TRUE(s.substituteLoc(loc("T.flag"), Operand::regOp(7)));
+    // ...then r7 := 1 (backward over "const r7 = 1"): consistent.
+    EXPECT_TRUE(s.substituteReg(7, Operand::constant(1)));
+    EXPECT_TRUE(s.consistent());
+}
+
+TEST(Store, NormalizationSwapsConstLeft)
+{
+    ConstraintStore s;
+    ASSERT_TRUE(s.add(atom(Operand::constant(3), CondKind::Lt,
+                           Operand::locOp(loc("T.x")))));
+    // 3 < x normalizes to x > 3; adding x < 2 contradicts.
+    EXPECT_FALSE(s.add(atom(Operand::locOp(loc("T.x")), CondKind::Lt,
+                            Operand::constant(2))));
+}
+
+TEST(Store, DropHelpers)
+{
+    ConstraintStore s;
+    ASSERT_TRUE(s.add(atom(Operand::regOp(3), CondKind::Eq,
+                           Operand::constant(1))));
+    ASSERT_TRUE(s.add(atom(Operand::locOp(loc("T.a")), CondKind::Eq,
+                           Operand::constant(1))));
+    ASSERT_TRUE(s.add(atom(Operand::locOp(loc("T.b")), CondKind::Eq,
+                           Operand::constant(2))));
+    s.dropRegAtoms();
+    EXPECT_EQ(s.size(), 2u);
+    s.dropLocsByKey({"T.a"});
+    EXPECT_EQ(s.size(), 1u);
+    s.dropRegsInRange(0, 10); // no reg atoms left: no-op
+    EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(Store, DropRegsInRange)
+{
+    ConstraintStore s;
+    ASSERT_TRUE(s.add(atom(Operand::regOp(65536 + 2), CondKind::Eq,
+                           Operand::constant(1))));
+    ASSERT_TRUE(s.add(atom(Operand::regOp(3), CondKind::Eq,
+                           Operand::constant(1))));
+    s.dropRegsInRange(65536, 2 * 65536);
+    EXPECT_EQ(s.size(), 1u) << "only the second frame's atom dropped";
+}
+
+TEST(Store, SubstituteKeyWithConst)
+{
+    ConstraintStore s;
+    race::MemLoc what = loc("android.os.Message.what", 42);
+    ASSERT_TRUE(s.add(atom(Operand::locOp(what), CondKind::Eq,
+                           Operand::constant(2))));
+    EXPECT_FALSE(s.substituteKeyWithConst("android.os.Message.what", 1))
+        << "a what==2 guard cannot hold for a what=1 message";
+}
+
+TEST(Store, SelfComparisonSimplifies)
+{
+    ConstraintStore s;
+    EXPECT_TRUE(s.add(atom(Operand::locOp(loc("T.x")), CondKind::Eq,
+                           Operand::locOp(loc("T.x")))));
+    EXPECT_EQ(s.size(), 0u);
+    EXPECT_FALSE(s.add(atom(Operand::locOp(loc("T.x")), CondKind::Ne,
+                            Operand::locOp(loc("T.x")))));
+}
+
+TEST(Store, ToStringShowsAtoms)
+{
+    ConstraintStore s;
+    ASSERT_TRUE(s.add(atom(Operand::locOp(loc("T.flag")), CondKind::Ne,
+                           Operand::constant(0))));
+    EXPECT_NE(s.toString().find("T.flag"), std::string::npos);
+    EXPECT_NE(s.toString().find("ne"), std::string::npos);
+}
+
+} // namespace
+} // namespace sierra::symbolic

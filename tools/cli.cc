@@ -1,0 +1,511 @@
+#include "cli.hh"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "air/printer.hh"
+#include "corpus/generator.hh"
+#include "corpus/named_apps.hh"
+#include "corpus/patterns.hh"
+#include "dynamic/event_racer.hh"
+#include "dynamic/race_verifier.hh"
+#include "framework/app_text.hh"
+#include "sierra/detector.hh"
+
+namespace sierra::cli {
+
+namespace {
+
+const char *kUsage = R"(usage: sierra <command> [options]
+
+commands:
+  analyze <file.air> [options]   run the static detector on an app bundle
+  dynamic <file.air> [options]   run the dynamic (EventRacer-style) detector
+  verify <file.air> [options]    statically detect, then verify the surviving
+                                 races by hunting both orders dynamically
+  dump <app> [-o FILE]           write a corpus app as an app bundle
+                                 (<app> is a Table 2 name or fdroid-N)
+  harness <file.air> <activity>  print the generated harness for one activity
+  actions <file.air> <activity>  print the actions and HB relations of one
+                                 activity's harness (SHBG introspection)
+  list                           list corpus apps and race patterns
+  help                           this message
+
+analyze options:
+  --policy P        insensitive | k-cfa | k-obj | hybrid | action-sensitive
+                    (default: action-sensitive)
+  --k N             context depth (default 1)
+  --no-refute       skip symbolic refutation
+  --no-inflated-view  disable the InflatedViewContext abstraction
+  --index-sensitive   per-element array locations (removes the
+                      index-insensitivity FP class)
+  --node-cache      enable the paper's refuted-node cache
+  --max-races N     cap the printed race list (default 50)
+  --show-refuted    also print refuted candidates
+  --json            machine-readable output
+
+dynamic options:
+  --schedules N     randomized schedules to run (default 3)
+  --seed N          base RNG seed (default 1)
+  --no-coverage-filter  disable the race-coverage filter
+)";
+
+struct ParsedFlags {
+    std::map<std::string, std::string> values;
+    std::vector<std::string> positional;
+    std::string error;
+
+    bool has(const std::string &flag) const { return values.count(flag); }
+    std::string
+    get(const std::string &flag, const std::string &fallback = "") const
+    {
+        auto it = values.find(flag);
+        return it == values.end() ? fallback : it->second;
+    }
+    int
+    getInt(const std::string &flag, int fallback) const
+    {
+        auto it = values.find(flag);
+        if (it == values.end())
+            return fallback;
+        try {
+            return std::stoi(it->second);
+        } catch (...) {
+            return fallback;
+        }
+    }
+};
+
+/** Flags that take a value; all others are booleans. */
+bool
+flagTakesValue(const std::string &flag)
+{
+    static const char *valued[] = {"--policy", "--k", "--max-races",
+                                   "--schedules", "--seed", "-o"};
+    for (const char *v : valued) {
+        if (flag == v)
+            return true;
+    }
+    return false;
+}
+
+ParsedFlags
+parseFlags(const std::vector<std::string> &args, size_t start)
+{
+    ParsedFlags out;
+    for (size_t i = start; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        if (a.rfind("-", 0) != 0) {
+            out.positional.push_back(a);
+            continue;
+        }
+        if (flagTakesValue(a)) {
+            if (i + 1 >= args.size()) {
+                out.error = a + " requires a value";
+                return out;
+            }
+            out.values[a] = args[++i];
+        } else {
+            out.values[a] = "1";
+        }
+    }
+    return out;
+}
+
+bool
+policyFromName(const std::string &name, analysis::ContextPolicy &out)
+{
+    using analysis::ContextPolicy;
+    static const struct {
+        const char *n;
+        ContextPolicy p;
+    } table[] = {
+        {"insensitive", ContextPolicy::Insensitive},
+        {"k-cfa", ContextPolicy::KCfa},
+        {"k-obj", ContextPolicy::KObj},
+        {"hybrid", ContextPolicy::Hybrid},
+        {"action-sensitive", ContextPolicy::ActionSensitive},
+    };
+    for (const auto &e : table) {
+        if (name == e.n) {
+            out = e.p;
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Load an app bundle or a corpus app named on the command line. */
+std::unique_ptr<framework::App>
+loadApp(const std::string &spec, std::ostream &err)
+{
+    std::ifstream in(spec);
+    if (!in) {
+        err << "error: cannot open '" << spec << "'\n";
+        return nullptr;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    framework::AppTextResult result =
+        framework::parseAppText(buffer.str());
+    if (!result.ok()) {
+        err << "error: " << spec << ":" << result.errorLine << ": "
+            << result.error << "\n";
+        return nullptr;
+    }
+    return std::move(result.app);
+}
+
+/** Build a corpus app by name ("OpenSudoku" or "fdroid-17"). */
+corpus::BuiltApp
+buildCorpusApp(const std::string &name, bool &ok, std::ostream &err)
+{
+    ok = true;
+    if (name.rfind("fdroid-", 0) == 0) {
+        int index = -1;
+        try {
+            index = std::stoi(name.substr(7));
+        } catch (...) {
+        }
+        if (index < 0 || index >= corpus::kFdroidAppCount) {
+            err << "error: fdroid index out of range (0-"
+                << corpus::kFdroidAppCount - 1 << ")\n";
+            ok = false;
+            return {};
+        }
+        return corpus::buildFdroidApp(index);
+    }
+    for (const auto &spec : corpus::namedAppSpecs()) {
+        if (spec.name == name)
+            return corpus::buildNamedApp(spec);
+    }
+    err << "error: unknown corpus app '" << name
+        << "' (try 'sierra list')\n";
+    ok = false;
+    return {};
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+void
+printReportJson(const AppReport &report, std::ostream &out)
+{
+    out << "{\n";
+    out << "  \"app\": \"" << jsonEscape(report.app) << "\",\n";
+    out << "  \"harnesses\": " << report.harnesses << ",\n";
+    out << "  \"actions\": " << report.actions << ",\n";
+    out << "  \"hbEdges\": " << report.hbEdges << ",\n";
+    out << "  \"orderedPct\": " << report.orderedPct << ",\n";
+    out << "  \"racyPairs\": " << report.racyPairs << ",\n";
+    out << "  \"afterRefutation\": " << report.afterRefutation << ",\n";
+    out << "  \"timesMs\": {\"cgPa\": " << report.times.cgPa * 1e3
+        << ", \"hbg\": " << report.times.hbg * 1e3
+        << ", \"refutation\": " << report.times.refutation * 1e3
+        << ", \"total\": " << report.times.total * 1e3 << "},\n";
+    out << "  \"races\": [\n";
+    bool first = true;
+    for (const auto &race : report.races) {
+        if (!first)
+            out << ",\n";
+        first = false;
+        out << "    {\"location\": \"" << jsonEscape(race.fieldKey)
+            << "\", \"priority\": " << race.priority
+            << ", \"refuted\": " << (race.refuted ? "true" : "false")
+            << ", \"description\": \""
+            << jsonEscape(race.description) << "\"}";
+    }
+    out << "\n  ]\n}\n";
+}
+
+int
+cmdAnalyze(const ParsedFlags &flags, std::ostream &out,
+           std::ostream &err)
+{
+    if (flags.positional.empty()) {
+        err << "error: analyze needs an app bundle file\n";
+        return 2;
+    }
+    auto app = loadApp(flags.positional[0], err);
+    if (!app)
+        return 1;
+
+    SierraOptions options;
+    if (flags.has("--policy")) {
+        if (!policyFromName(flags.get("--policy"),
+                            options.pta.ctx.policy)) {
+            err << "error: unknown policy '" << flags.get("--policy")
+                << "'\n";
+            return 2;
+        }
+    }
+    options.pta.ctx.k = flags.getInt("--k", 1);
+    options.pta.ctx.heapK = options.pta.ctx.k;
+    options.runRefutation = !flags.has("--no-refute");
+    options.pta.ctx.inflatedViewContext =
+        !flags.has("--no-inflated-view");
+    options.refuter.exec.useNodeCache = flags.has("--node-cache");
+    options.pta.indexSensitiveArrays = flags.has("--index-sensitive");
+
+    SierraDetector detector(*app);
+    AppReport report = detector.analyze(options);
+
+    if (flags.has("--json")) {
+        printReportJson(report, out);
+        return 0;
+    }
+    out << formatReport(report, flags.getInt("--max-races", 50));
+    if (flags.has("--show-refuted")) {
+        out << "refuted candidates:\n";
+        for (const auto &race : report.races) {
+            if (race.refuted)
+                out << "  " << race.description << "\n";
+        }
+    }
+    return 0;
+}
+
+int
+cmdDynamic(const ParsedFlags &flags, std::ostream &out,
+           std::ostream &err)
+{
+    if (flags.positional.empty()) {
+        err << "error: dynamic needs an app bundle file\n";
+        return 2;
+    }
+    auto app = loadApp(flags.positional[0], err);
+    if (!app)
+        return 1;
+
+    dynamic::EventRacerOptions options;
+    options.numSchedules = flags.getInt("--schedules", 3);
+    options.run.seed =
+        static_cast<uint32_t>(flags.getInt("--seed", 1));
+    options.raceCoverageFilter = !flags.has("--no-coverage-filter");
+
+    dynamic::EventRacerReport report = runEventRacer(*app, options);
+    out << "schedules: " << report.schedulesRun
+        << "  events: " << report.eventsExecuted
+        << "  raw races: " << report.rawRaceCount << "\n";
+    for (const auto &race : report.races) {
+        out << "  " << (race.filteredByCoverage ? "(filtered) " : "")
+            << race.fieldKey << ": " << race.event1 << " || "
+            << race.event2 << "\n";
+    }
+    return 0;
+}
+
+int
+cmdVerify(const ParsedFlags &flags, std::ostream &out,
+          std::ostream &err)
+{
+    if (flags.positional.empty()) {
+        err << "error: verify needs an app bundle file\n";
+        return 2;
+    }
+    auto app = loadApp(flags.positional[0], err);
+    if (!app)
+        return 1;
+
+    SierraDetector detector(*app);
+    AppReport report = detector.analyze({});
+    std::set<std::string> key_set;
+    for (const auto &race : report.races) {
+        if (!race.refuted)
+            key_set.insert(race.fieldKey);
+    }
+    std::vector<std::string> keys(key_set.begin(), key_set.end());
+
+    dynamic::RaceVerifierOptions options;
+    options.numSchedules = flags.getInt("--schedules", 8);
+    options.run.seed = static_cast<uint32_t>(flags.getInt("--seed", 1));
+    dynamic::RaceVerificationReport verification =
+        verifyRacesDynamically(*app, keys, options);
+
+    out << "static reports: " << keys.size() << "\n";
+    out << "  confirmed (both orders observed): "
+        << verification.confirmed << "\n";
+    out << "  conflict observed (single order): "
+        << verification.observed << "\n";
+    out << "  never observed (schedules missed them): "
+        << verification.unobserved << "\n";
+    for (const auto &race : verification.races) {
+        const char *tag = race.bothOrdersObserved ? "CONFIRMED "
+                          : race.conflictObserved ? "observed  "
+                                                  : "unobserved";
+        out << "  " << tag << " " << race.fieldKey << " ("
+            << race.schedulesWithConflict << " schedules)\n";
+    }
+    return 0;
+}
+
+int
+cmdDump(const ParsedFlags &flags, std::ostream &out, std::ostream &err)
+{
+    if (flags.positional.empty()) {
+        err << "error: dump needs a corpus app name\n";
+        return 2;
+    }
+    bool ok = false;
+    corpus::BuiltApp built =
+        buildCorpusApp(flags.positional[0], ok, err);
+    if (!ok)
+        return 1;
+    std::string text = framework::printAppText(*built.app);
+    if (flags.has("-o")) {
+        std::ofstream file(flags.get("-o"));
+        if (!file) {
+            err << "error: cannot write '" << flags.get("-o") << "'\n";
+            return 1;
+        }
+        file << text;
+        out << "wrote " << text.size() << " bytes to "
+            << flags.get("-o") << "\n";
+    } else {
+        out << text;
+    }
+    return 0;
+}
+
+int
+cmdActions(const ParsedFlags &flags, std::ostream &out,
+           std::ostream &err)
+{
+    if (flags.positional.size() < 2) {
+        err << "error: actions needs <file.air> <activity>\n";
+        return 2;
+    }
+    auto app = loadApp(flags.positional[0], err);
+    if (!app)
+        return 1;
+    if (!app->manifest().hasActivity(flags.positional[1])) {
+        err << "error: no such activity '" << flags.positional[1]
+            << "'\n";
+        return 1;
+    }
+    SierraDetector detector(*app);
+    SierraOptions options;
+    options.runRefutation = false;
+    HarnessAnalysis ha =
+        detector.analyzeActivity(flags.positional[1], options);
+
+    out << "actions (" << ha.numActions() << "):\n";
+    for (const auto &action : ha.pta->actions.all()) {
+        if (action.kind == analysis::ActionKind::HarnessRoot)
+            continue;
+        out << "  [" << action.id << "] "
+            << analysis::actionKindName(action.kind) << " "
+            << action.label << " ("
+            << analysis::threadAffinityName(action.affinity);
+        if (action.messageWhat >= 0)
+            out << ", what=" << action.messageWhat;
+        if (action.creator > 0)
+            out << ", creator=" << action.creator;
+        out << ")\n";
+    }
+    out << "\nHB edges by rule:\n";
+    for (auto rule :
+         {hb::HbRule::Invocation, hb::HbRule::Lifecycle,
+          hb::HbRule::GuiOrder, hb::HbRule::AsyncChain,
+          hb::HbRule::IntraProcDom, hb::HbRule::InterProcDom,
+          hb::HbRule::InterActionTrans}) {
+        out << "  " << hb::hbRuleName(rule) << ": "
+            << ha.shbg->numEdgesByRule(rule) << "\n";
+    }
+    out << "closure: " << ha.shbg->numClosurePairs()
+        << " ordered pairs ("
+        << static_cast<int>(100 * ha.shbg->orderedFraction() + 0.5)
+        << "%)\n";
+    return 0;
+}
+
+int
+cmdHarness(const ParsedFlags &flags, std::ostream &out,
+           std::ostream &err)
+{
+    if (flags.positional.size() < 2) {
+        err << "error: harness needs <file.air> <activity>\n";
+        return 2;
+    }
+    auto app = loadApp(flags.positional[0], err);
+    if (!app)
+        return 1;
+    if (!app->manifest().hasActivity(flags.positional[1])) {
+        err << "error: no such activity '" << flags.positional[1]
+            << "'\n";
+        return 1;
+    }
+    SierraDetector detector(*app);
+    const air::Klass *harness_cls = app->module().getClass(
+        "Harness$" + flags.positional[1]);
+    out << air::printKlass(*harness_cls);
+    return 0;
+}
+
+int
+cmdList(std::ostream &out)
+{
+    out << "corpus apps (paper Table 2):\n";
+    for (const auto &spec : corpus::namedAppSpecs()) {
+        out << "  " << spec.name << " (" << spec.activities
+            << " activities)\n";
+    }
+    out << "synthetic apps: fdroid-0 .. fdroid-"
+        << corpus::kFdroidAppCount - 1 << "\n";
+    out << "race patterns:\n";
+    for (const auto &entry : corpus::patternCatalog()) {
+        out << "  " << entry.name << " (" << entry.seededTrueRaces
+            << " true races, " << entry.seededTraps << " traps)\n";
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+runCli(const std::vector<std::string> &args, std::ostream &out,
+       std::ostream &err)
+{
+    if (args.empty() || args[0] == "help" || args[0] == "--help") {
+        out << kUsage;
+        return args.empty() ? 2 : 0;
+    }
+    const std::string &command = args[0];
+    ParsedFlags flags = parseFlags(args, 1);
+    if (!flags.error.empty()) {
+        err << "error: " << flags.error << "\n";
+        return 2;
+    }
+    if (command == "analyze")
+        return cmdAnalyze(flags, out, err);
+    if (command == "dynamic")
+        return cmdDynamic(flags, out, err);
+    if (command == "verify")
+        return cmdVerify(flags, out, err);
+    if (command == "dump")
+        return cmdDump(flags, out, err);
+    if (command == "harness")
+        return cmdHarness(flags, out, err);
+    if (command == "actions")
+        return cmdActions(flags, out, err);
+    if (command == "list")
+        return cmdList(out);
+    err << "error: unknown command '" << command
+        << "' (try 'sierra help')\n";
+    return 2;
+}
+
+} // namespace sierra::cli

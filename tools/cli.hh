@@ -1,0 +1,29 @@
+/**
+ * @file
+ * The sierra command-line tool, as a library so tests can drive it.
+ *
+ * Commands:
+ *   analyze <file.air> [options]   run the detector on an app bundle
+ *   dynamic <file.air> [options]   run the dynamic detector instead
+ *   dump <app> [-o file]           write a corpus app as an app bundle
+ *   harness <file.air> <activity>  print the generated harness
+ *   list                           list corpus apps and patterns
+ *   help                           usage
+ */
+
+#ifndef SIERRA_TOOLS_CLI_HH
+#define SIERRA_TOOLS_CLI_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace sierra::cli {
+
+/** Run one CLI invocation; returns the process exit code. */
+int runCli(const std::vector<std::string> &args, std::ostream &out,
+           std::ostream &err);
+
+} // namespace sierra::cli
+
+#endif // SIERRA_TOOLS_CLI_HH

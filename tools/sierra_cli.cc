@@ -1,0 +1,10 @@
+/** @file Entry point for the sierra command-line tool. */
+
+#include "cli.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    return sierra::cli::runCli(args, std::cout, std::cerr);
+}
