@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Parallel-scaling bench: wall-clock time of the full static pipeline
+ * over the 20-app named corpus at 1/2/4/8 jobs.
+ *
+ * Parallelism comes from the engine itself (per-harness tasks plus
+ * sharded refutation, see docs/INTERNALS.md "Threading model"); apps
+ * are analyzed one after another, so the measured speedup is the
+ * engine's, not an embarrassingly-parallel corpus sweep. The report
+ * contents are asserted identical across jobs counts while timing.
+ *
+ * Emits one machine-readable `BENCH {...}` JSON line mapping jobs to
+ * seconds. Meaningful speedup needs real cores: hw_threads is included
+ * in the line so a 1-core CI box is not mistaken for a regression.
+ */
+
+#include <chrono>
+#include <thread>
+
+#include "bench_util.hh"
+
+namespace {
+
+double
+runCorpus(std::vector<sierra::SierraDetector *> &detectors, int jobs,
+          std::string *fingerprint)
+{
+    using clock = std::chrono::steady_clock;
+    std::string combined;
+    auto t0 = clock::now();
+    for (sierra::SierraDetector *detector : detectors) {
+        sierra::SierraOptions options;
+        options.jobs = jobs;
+        sierra::AppReport report = detector->analyze(options);
+        combined += formatReport(report, 1000, /*with_times=*/false);
+    }
+    double seconds = std::chrono::duration<double>(clock::now() - t0)
+                         .count();
+    *fingerprint = std::move(combined);
+    return seconds;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace sierra;
+    bench::header("Parallel scaling: full pipeline, 20-app corpus");
+
+    // Build every app (and its harnesses) once, outside the timed
+    // region; analyze() is re-runnable.
+    std::vector<corpus::BuiltApp> apps;
+    std::vector<std::unique_ptr<SierraDetector>> detectors;
+    for (const auto &spec : corpus::namedAppSpecs()) {
+        apps.push_back(corpus::buildNamedApp(spec));
+        detectors.push_back(
+            std::make_unique<SierraDetector>(*apps.back().app));
+    }
+    std::vector<SierraDetector *> ptrs;
+    for (auto &d : detectors)
+        ptrs.push_back(d.get());
+
+    const int job_counts[] = {1, 2, 4, 8};
+    std::vector<double> seconds;
+    std::string reference;
+    std::printf("%-8s %12s %10s\n", "jobs", "seconds", "speedup");
+    for (int jobs : job_counts) {
+        std::string fingerprint;
+        // Warm-up pass so first-touch costs don't bias jobs=1.
+        if (jobs == 1)
+            runCorpus(ptrs, 1, &fingerprint);
+        double s = runCorpus(ptrs, jobs, &fingerprint);
+        if (jobs == 1) {
+            reference = fingerprint;
+        } else if (fingerprint != reference) {
+            std::printf("ERROR: report at jobs=%d differs from "
+                        "jobs=1\n",
+                        jobs);
+            return 1;
+        }
+        seconds.push_back(s);
+        std::printf("%-8d %12.3f %9.2fx\n", jobs, s,
+                    seconds.front() / s);
+    }
+
+    double speedup4 = seconds[0] / seconds[2];
+    unsigned hw = std::thread::hardware_concurrency();
+    std::printf("\nspeedup at 4 jobs over 1 job: %.2fx "
+                "(%u hardware thread%s)\n",
+                speedup4, hw, hw == 1 ? "" : "s");
+
+    std::printf("BENCH {\"bench\":\"parallel_scaling\",\"corpus\":20,"
+                "\"hw_threads\":%u,\"runs\":[",
+                hw);
+    for (size_t i = 0; i < seconds.size(); ++i) {
+        std::printf("%s{\"jobs\":%d,\"seconds\":%.6f}",
+                    i ? "," : "", job_counts[i], seconds[i]);
+    }
+    std::printf("],\"speedup_4v1\":%.3f}\n", speedup4);
+    return 0;
+}

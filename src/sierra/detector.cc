@@ -4,8 +4,10 @@
 #include <chrono>
 #include <map>
 #include <sstream>
+#include <tuple>
 
 #include "air/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace sierra {
 
@@ -49,28 +51,52 @@ SierraDetector::planFor(const std::string &activity)
 }
 
 HarnessAnalysis
+SierraDetector::runHarness(const harness::HarnessPlan &plan,
+                           const SierraOptions &options,
+                           StageTimes *times)
+{
+    HarnessAnalysis ha;
+    ha.activity = plan.activityClass;
+
+    auto t0 = std::chrono::steady_clock::now();
+    analysis::PointsToAnalysis pta(_app, plan, options.pta);
+    ha.pta = pta.run();
+    double cg_pa = secondsSince(t0);
+
+    auto t1 = std::chrono::steady_clock::now();
+    hb::HbBuilder hb_builder(*ha.pta, plan, _app, options.hb);
+    ha.shbg = hb_builder.build();
+    double hbg = secondsSince(t1);
+
+    auto t2 = std::chrono::steady_clock::now();
+    ha.accesses = race::extractAccesses(*ha.pta);
+    ha.pairs = race::findRacyPairs(*ha.pta, *ha.shbg, ha.accesses,
+                                   options.racy);
+    double racy = secondsSince(t2);
+
+    auto t3 = std::chrono::steady_clock::now();
+    if (options.runRefutation) {
+        ha.refutation = symbolic::refuteRaces(
+            *ha.pta, ha.accesses, ha.pairs, options.refuter);
+    }
+    double refutation = secondsSince(t3);
+    race::prioritize(*ha.pta, ha.accesses, ha.pairs);
+
+    if (times) {
+        times->cgPa += cg_pa;
+        times->hbg += hbg;
+        times->racy += racy;
+        times->refutation += refutation;
+        times->totalCpu += cg_pa + hbg + racy + refutation;
+    }
+    return ha;
+}
+
+HarnessAnalysis
 SierraDetector::analyzeActivity(const std::string &activity,
                                 const SierraOptions &options)
 {
-    const harness::HarnessPlan &plan = planFor(activity);
-    HarnessAnalysis out;
-    out.activity = activity;
-
-    analysis::PointsToAnalysis pta(_app, plan, options.pta);
-    out.pta = pta.run();
-
-    hb::HbBuilder hb_builder(*out.pta, plan, _app, options.hb);
-    out.shbg = hb_builder.build();
-
-    out.accesses = race::extractAccesses(*out.pta);
-    out.pairs = race::findRacyPairs(*out.pta, *out.shbg, out.accesses,
-                                    options.racy);
-    if (options.runRefutation) {
-        out.refutation = symbolic::refuteRaces(
-            *out.pta, out.accesses, out.pairs, options.refuter);
-    }
-    race::prioritize(*out.pta, out.accesses, out.pairs);
-    return out;
+    return runHarness(planFor(activity), options, nullptr);
 }
 
 AppReport
@@ -80,26 +106,49 @@ SierraDetector::analyze(const SierraOptions &options)
     report.app = _app.name();
     report.harnesses = static_cast<int>(_plans.size());
 
+    const int num_plans = static_cast<int>(_plans.size());
+    const int jobs = util::resolveJobs(options.jobs);
+    const int plan_jobs = std::min(jobs, std::max(num_plans, 1));
+
+    // Parallelism left over after the plan-level fan-out goes to each
+    // task's sharded refutation (unless the caller pinned it).
+    SierraOptions task_options = options;
+    if (task_options.refuter.jobs <= 0)
+        task_options.refuter.jobs = std::max(1, jobs / plan_jobs);
+
+    auto t_total = std::chrono::steady_clock::now();
+
+    // One task per harness plan. Each task reads only shared-immutable
+    // state and owns everything it produces, so tasks are independent;
+    // results land in plan order regardless of completion order.
+    std::vector<StageTimes> task_times(
+        static_cast<size_t>(std::max(num_plans, 1)));
+    std::vector<HarnessAnalysis> analyses =
+        util::parallelMap<HarnessAnalysis>(
+            plan_jobs, num_plans, [&](int i) {
+                return runHarness(_plans[i], task_options,
+                                  &task_times[i]);
+            });
+
+    // Everything below is the deterministic merge, done serially in
+    // plan order so the dedup map, aggregate counters and timing sums
+    // are byte-identical at every jobs count.
+
     // App-level dedup across harnesses: a race keyed by its two access
-    // sites (method + instruction) and location key.
+    // sites (method + instruction) and location key. Keyed on stable
+    // method names — never on air::Method pointers, whose run-to-run
+    // values would make the iteration order nondeterministic.
     struct Key {
-        const air::Method *m1;
+        std::string m1;
         int i1;
-        const air::Method *m2;
+        std::string m2;
         int i2;
         std::string key;
         bool
         operator<(const Key &o) const
         {
-            if (m1 != o.m1)
-                return m1 < o.m1;
-            if (i1 != o.i1)
-                return i1 < o.i1;
-            if (m2 != o.m2)
-                return m2 < o.m2;
-            if (i2 != o.i2)
-                return i2 < o.i2;
-            return key < o.key;
+            return std::tie(m1, i1, m2, i2, key) <
+                   std::tie(o.m1, o.i1, o.m2, o.i2, o.key);
         }
     };
     struct Agg {
@@ -109,35 +158,16 @@ SierraDetector::analyze(const SierraOptions &options)
     std::map<Key, Agg> dedup;
 
     int64_t max_pairs_total = 0;
-    auto t_total = std::chrono::steady_clock::now();
 
-    for (const auto &plan : _plans) {
-        auto t0 = std::chrono::steady_clock::now();
-        HarnessAnalysis ha;
-        ha.activity = plan.activityClass;
+    for (int i = 0; i < num_plans; ++i) {
+        HarnessAnalysis &ha = analyses[i];
+        const harness::HarnessPlan &plan = _plans[i];
 
-        analysis::PointsToAnalysis pta(_app, plan, options.pta);
-        ha.pta = pta.run();
-        report.times.cgPa += secondsSince(t0);
-
-        auto t1 = std::chrono::steady_clock::now();
-        hb::HbBuilder hb_builder(*ha.pta, plan, _app, options.hb);
-        ha.shbg = hb_builder.build();
-        report.times.hbg += secondsSince(t1);
-
-        auto t2 = std::chrono::steady_clock::now();
-        ha.accesses = race::extractAccesses(*ha.pta);
-        ha.pairs = race::findRacyPairs(*ha.pta, *ha.shbg, ha.accesses,
-                                       options.racy);
-        report.times.racy += secondsSince(t2);
-
-        auto t3 = std::chrono::steady_clock::now();
-        if (options.runRefutation) {
-            ha.refutation = symbolic::refuteRaces(
-                *ha.pta, ha.accesses, ha.pairs, options.refuter);
-        }
-        report.times.refutation += secondsSince(t3);
-        race::prioritize(*ha.pta, ha.accesses, ha.pairs);
+        report.times.cgPa += task_times[i].cgPa;
+        report.times.hbg += task_times[i].hbg;
+        report.times.racy += task_times[i].racy;
+        report.times.refutation += task_times[i].refutation;
+        report.times.totalCpu += task_times[i].totalCpu;
 
         report.actions += ha.numActions();
         report.hbEdges += ha.hbEdges();
@@ -147,15 +177,15 @@ SierraDetector::analyze(const SierraOptions &options)
         for (const auto &p : ha.pairs) {
             const race::Access &x = ha.accesses[p.access1];
             const race::Access &y = ha.accesses[p.access2];
-            const air::Method *mx = ha.pta->cg.node(x.node).method;
-            const air::Method *my = ha.pta->cg.node(y.node).method;
-            Key key{std::min(mx, my),
-                    mx <= my ? x.instrIdx : y.instrIdx,
-                    std::max(mx, my),
-                    mx <= my ? y.instrIdx : x.instrIdx, p.loc.key};
-            // Same method: normalize instruction order too.
-            if (mx == my && x.instrIdx > y.instrIdx)
+            std::string mx =
+                ha.pta->cg.node(x.node).method->qualifiedName();
+            std::string my =
+                ha.pta->cg.node(y.node).method->qualifiedName();
+            Key key{mx, x.instrIdx, my, y.instrIdx, p.loc.key};
+            if (std::tie(key.m2, key.i2) < std::tie(key.m1, key.i1)) {
+                std::swap(key.m1, key.m2);
                 std::swap(key.i1, key.i2);
+            }
             Agg &agg = dedup[key];
             if (agg.race.description.empty()) {
                 agg.race.description = p.toString(*ha.pta, ha.accesses);
@@ -195,7 +225,7 @@ SierraDetector::analyze(const SierraOptions &options)
 }
 
 std::string
-formatReport(const AppReport &report, int max_races)
+formatReport(const AppReport &report, int max_races, bool with_times)
 {
     std::ostringstream os;
     os << "=== SIERRA report for " << report.app << " ===\n";
@@ -205,10 +235,13 @@ formatReport(const AppReport &report, int max_races)
        << static_cast<int>(report.orderedPct + 0.5) << "% ordered)\n";
     os << "racy pairs: " << report.racyPairs
        << "  after refutation: " << report.afterRefutation << "\n";
-    os << "time: cg+pa " << report.times.cgPa << "s, hbg "
-       << report.times.hbg << "s, refutation "
-       << report.times.refutation << "s, total " << report.times.total
-       << "s\n";
+    if (with_times) {
+        os << "time: cg+pa " << report.times.cgPa << "s, hbg "
+           << report.times.hbg << "s, refutation "
+           << report.times.refutation << "s, total "
+           << report.times.total << "s (cpu "
+           << report.times.totalCpu << "s)\n";
+    }
     int shown = 0;
     for (const auto &race : report.races) {
         if (race.refuted)

@@ -4,6 +4,12 @@
  * pointer analysis with action-sensitive contexts -> Static Happens-
  * Before Graph -> racy pairs -> symbolic refutation -> prioritized race
  * reports. This is the library's main public entry point.
+ *
+ * Harnesses are analyzed in parallel (one task per harness plan, see
+ * the threading-model section of docs/INTERNALS.md): every task
+ * produces a complete HarnessAnalysis from read-only shared state, and
+ * the tasks are merged in plan order afterwards, so the report is
+ * byte-identical at every jobs count.
  */
 
 #ifndef SIERRA_SIERRA_DETECTOR_HH
@@ -29,15 +35,31 @@ struct SierraOptions {
     race::RacyOptions racy;
     symbolic::RefuterOptions refuter;
     bool runRefutation{true};
+    /**
+     * Worker threads for the whole pipeline: harness plans run as
+     * parallel tasks, and leftover parallelism (jobs / plans) is
+     * handed to each task's sharded refutation. 0 = the SIERRA_JOBS
+     * environment variable, else hardware_concurrency; 1 = fully
+     * serial. The report is identical at every value.
+     */
+    int jobs{0};
 };
 
-/** Wall-clock seconds per stage (paper Table 4 columns). */
+/**
+ * Per-stage timers (paper Table 4 columns), split into cpu-seconds and
+ * wall-seconds so the numbers stay meaningful under parallelism: the
+ * per-stage fields sum each task's own stage time, so they approximate
+ * the serial (single-job) cost and are comparable across jobs counts;
+ * `total` is the real elapsed wall time of the run, which is what
+ * shrinks as jobs grow.
+ */
 struct StageTimes {
-    double cgPa{0};       //!< call graph + pointer analysis
-    double hbg{0};        //!< SHBG construction
-    double racy{0};       //!< access extraction + racy pairs
-    double refutation{0}; //!< symbolic refutation
-    double total{0};
+    double cgPa{0};       //!< call graph + pointer analysis (cpu-s)
+    double hbg{0};        //!< SHBG construction (cpu-s)
+    double racy{0};       //!< access extraction + racy pairs (cpu-s)
+    double refutation{0}; //!< symbolic refutation (cpu-s)
+    double totalCpu{0};   //!< sum of all per-task stage times (cpu-s)
+    double total{0};      //!< elapsed wall-clock of the whole run
 };
 
 /** The analysis artifacts of one harness (one activity). */
@@ -104,12 +126,29 @@ class SierraDetector
   private:
     const harness::HarnessPlan &planFor(const std::string &activity);
 
+    /**
+     * The five pipeline stages for one harness plan — the single body
+     * both analyzeActivity and (possibly many threads of) analyze run.
+     * Reads only shared-immutable state (_app, the plan); everything
+     * it produces is owned by the returned HarnessAnalysis. Stage
+     * times accumulate into *times when non-null.
+     */
+    HarnessAnalysis runHarness(const harness::HarnessPlan &plan,
+                               const SierraOptions &options,
+                               StageTimes *times);
+
     framework::App &_app;
     std::vector<harness::HarnessPlan> _plans;
 };
 
-/** Render an app report as human-readable text (ranked race list). */
-std::string formatReport(const AppReport &report, int max_races = 50);
+/**
+ * Render an app report as human-readable text (ranked race list).
+ * `with_times` includes the timing line; pass false to get output that
+ * is reproducible across runs and jobs counts (the determinism tests
+ * compare this form).
+ */
+std::string formatReport(const AppReport &report, int max_races = 50,
+                         bool with_times = true);
 
 } // namespace sierra
 

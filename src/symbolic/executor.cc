@@ -22,9 +22,14 @@ queryVerdictName(QueryVerdict v)
 }
 
 BackwardExecutor::BackwardExecutor(const analysis::PointsToResult &result,
-                                   ExecutorOptions options)
-    : _r(result), _opts(options)
+                                   ExecutorOptions options,
+                                   RefutedNodeCache *shared_cache)
+    : _r(result), _opts(options), _nodeCache(shared_cache)
 {
+    if (!_nodeCache) {
+        _ownedCache = std::make_unique<RefutedNodeCache>();
+        _nodeCache = _ownedCache.get();
+    }
 }
 
 const analysis::Cfg &
@@ -428,7 +433,7 @@ BackwardExecutor::orderFeasible(const race::Access &access, int action_a,
             continue;
         }
         if (_opts.useNodeCache && st.phase == 0 &&
-            _refutedCache.count(st.node)) {
+            _nodeCache->contains(st.node)) {
             ++_stats.cacheHits;
             ++paths;
             continue;
@@ -506,10 +511,8 @@ BackwardExecutor::orderFeasible(const race::Access &access, int action_a,
     }
 
     // Every path pruned: the ordering is infeasible.
-    if (_opts.useNodeCache) {
-        for (NodeId n : _queryVisited)
-            _refutedCache.insert(n);
-    }
+    if (_opts.useNodeCache)
+        _nodeCache->insertAll(_queryVisited);
     _queryMemo[memo_key] = QueryVerdict::Infeasible;
     return QueryVerdict::Infeasible;
 }

@@ -1,6 +1,55 @@
 #include "refuter.hh"
 
+#include <algorithm>
+
+#include "util/thread_pool.hh"
+
 namespace sierra::symbolic {
+
+namespace {
+
+/** Decide one racy pair with the given executor; updates the verdict
+ *  counters. This is the whole per-pair refutation, shared by the
+ *  serial and the sharded path. */
+void
+refutePair(BackwardExecutor &exec,
+           const std::vector<race::Access> &accesses,
+           race::RacyPair &pair, const RefuterOptions &options,
+           RefutationStats &stats)
+{
+    bool any_survives = false;
+    bool any_budget = false;
+    int tried = 0;
+    for (const auto &entry : pair.actionPairs) {
+        if (tried++ >= options.maxActionPairsPerRace) {
+            // Untried pairs are conservatively assumed to survive.
+            any_survives = true;
+            break;
+        }
+        QueryVerdict d1 = exec.orderFeasible(
+            accesses[entry.access1], entry.action1, entry.action2);
+        if (d1 == QueryVerdict::Infeasible)
+            continue;
+        QueryVerdict d2 = exec.orderFeasible(
+            accesses[entry.access2], entry.action2, entry.action1);
+        if (d2 == QueryVerdict::Infeasible)
+            continue;
+        any_survives = true;
+        if (d1 == QueryVerdict::Budget || d2 == QueryVerdict::Budget)
+            any_budget = true;
+        break; // one surviving ordering pair keeps the report
+    }
+    pair.refuted = !any_survives;
+    pair.refutationTimedOut = any_budget;
+    if (pair.refuted)
+        ++stats.refuted;
+    else
+        ++stats.survived;
+    if (any_budget)
+        ++stats.timedOut;
+}
+
+} // namespace
 
 RefutationStats
 refuteRaces(const analysis::PointsToResult &result,
@@ -8,44 +57,39 @@ refuteRaces(const analysis::PointsToResult &result,
             std::vector<race::RacyPair> &pairs,
             const RefuterOptions &options)
 {
-    RefutationStats stats;
-    BackwardExecutor exec(result, options.exec);
+    int jobs = util::resolveJobs(options.jobs);
+    jobs = std::min<int>(jobs, static_cast<int>(pairs.size()));
 
-    for (race::RacyPair &pair : pairs) {
-        bool any_survives = false;
-        bool any_budget = false;
-        int tried = 0;
-        for (const auto &entry : pair.actionPairs) {
-            if (tried++ >= options.maxActionPairsPerRace) {
-                // Untried pairs are conservatively assumed to survive.
-                any_survives = true;
-                break;
-            }
-            QueryVerdict d1 = exec.orderFeasible(
-                accesses[entry.access1], entry.action1, entry.action2);
-            if (d1 == QueryVerdict::Infeasible)
-                continue;
-            QueryVerdict d2 = exec.orderFeasible(
-                accesses[entry.access2], entry.action2, entry.action1);
-            if (d2 == QueryVerdict::Infeasible)
-                continue;
-            any_survives = true;
-            if (d1 == QueryVerdict::Budget ||
-                d2 == QueryVerdict::Budget) {
-                any_budget = true;
-            }
-            break; // one surviving ordering pair keeps the report
-        }
-        pair.refuted = !any_survives;
-        pair.refutationTimedOut = any_budget;
-        if (pair.refuted)
-            ++stats.refuted;
-        else
-            ++stats.survived;
-        if (any_budget)
-            ++stats.timedOut;
+    if (jobs <= 1) {
+        RefutationStats stats;
+        BackwardExecutor exec(result, options.exec);
+        for (race::RacyPair &pair : pairs)
+            refutePair(exec, accesses, pair, options, stats);
+        stats.exec = exec.stats();
+        return stats;
     }
-    stats.exec = exec.stats();
+
+    // Shard pairs round-robin over per-worker executors. Workers write
+    // disjoint pairs; the shared node cache is the only cross-worker
+    // state (and only when enabled).
+    RefutedNodeCache shared_cache;
+    std::vector<RefutationStats> worker_stats(
+        static_cast<size_t>(jobs));
+    util::parallelFor(jobs, jobs, [&](int w) {
+        BackwardExecutor exec(result, options.exec, &shared_cache);
+        RefutationStats &stats = worker_stats[w];
+        for (size_t i = static_cast<size_t>(w); i < pairs.size();
+             i += static_cast<size_t>(jobs)) {
+            refutePair(exec, accesses, pairs[i], options, stats);
+        }
+        stats.exec = exec.stats();
+    });
+
+    // Deterministic merge in worker order (associative sums, so any
+    // order would do; worker order keeps it obviously reproducible).
+    RefutationStats stats;
+    for (const RefutationStats &ws : worker_stats)
+        stats.merge(ws);
     return stats;
 }
 

@@ -7,6 +7,19 @@
  * orderings are feasible; if either ordering is infeasible the pair is
  * refuted. Budget exhaustion conservatively keeps the report (paper:
  * "in line with our approach to over-approximate actual races").
+ *
+ * Refutation is query-parallel: with jobs > 1 the racy pairs are
+ * sharded (round-robin) across per-worker BackwardExecutor instances.
+ * Each pair's verdict is a deterministic function of the pointer-
+ * analysis result alone, so verdicts (and therefore the
+ * refuted/survived/timedOut counts) are identical at every jobs
+ * count. Work counters (statesExpanded, cacheHits, ...) depend on
+ * which queries shared an executor's memo, so only their merge is
+ * deterministic, not their value across jobs counts. With
+ * `exec.useNodeCache` the workers share one lock-striped
+ * RefutedNodeCache; that cache is verdict-affecting and
+ * timing-dependent, so node-cache runs are not jobs-deterministic
+ * (the cache is off by default, see ExecutorOptions).
  */
 
 #ifndef SIERRA_SYMBOLIC_REFUTER_HH
@@ -25,6 +38,9 @@ struct RefuterOptions {
     //! how many (action1, action2) pairs to try per racy pair; a pair is
     //! refuted only if every tried pair is refuted
     int maxActionPairsPerRace{16};
+    //! worker count for sharded refutation; 0 = SIERRA_JOBS env var,
+    //! else hardware_concurrency (see util::resolveJobs)
+    int jobs{1};
 };
 
 /** Aggregate statistics for the evaluation tables. */
@@ -33,11 +49,23 @@ struct RefutationStats {
     int survived{0};
     int timedOut{0};
     ExecutorStats exec;
+
+    /** Component-wise sum; associative (see ExecutorStats::merge). */
+    void
+    merge(const RefutationStats &o)
+    {
+        refuted += o.refuted;
+        survived += o.survived;
+        timedOut += o.timedOut;
+        exec.merge(o.exec);
+    }
 };
 
 /**
- * Mark refuted pairs in place. Returns statistics; the executor's
- * refuted-node cache is shared across all pairs of one call.
+ * Mark refuted pairs in place, sharding across `options.jobs` workers.
+ * Returns statistics merged in worker order; each worker's executor
+ * keeps its own refuted-node cache unless they share one (see file
+ * comment).
  */
 RefutationStats
 refuteRaces(const analysis::PointsToResult &result,

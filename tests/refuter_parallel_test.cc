@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Sharded refutation: verdict parity with the serial path, associative
+ * stats merging, and the shared refuted-node cache.
+ *
+ * Contract (see refuter.hh): per-pair verdicts and therefore the
+ * refuted/survived/timedOut counts are identical at every jobs count.
+ * Work counters (statesExpanded, cacheHits, ...) depend on how queries
+ * were grouped into executors, so across jobs counts only the verdict
+ * counts are asserted.
+ */
+
+#include <gtest/gtest.h>
+
+#include "corpus/named_apps.hh"
+#include "test_helpers.hh"
+
+namespace sierra {
+namespace {
+
+/** A harness analysis with unrefuted pairs, ready for refuteRaces. */
+HarnessAnalysis
+unrefutedAnalysis(const std::string &app_name)
+{
+    corpus::BuiltApp built = corpus::buildNamedApp(app_name);
+    SierraDetector detector(*built.app);
+    SierraOptions options;
+    options.runRefutation = false;
+    HarnessAnalysis ha = detector.analyzeActivity(
+        built.app->manifest().activities[0], options);
+    // The result's class hierarchy references the app's module, which
+    // refuteRaces walks again; keep the app alive for the test run.
+    static std::vector<corpus::BuiltApp> keep_alive;
+    keep_alive.push_back(std::move(built));
+    return ha;
+}
+
+TEST(RefuterParallel, ShardedVerdictsMatchSerial)
+{
+    HarnessAnalysis ha = unrefutedAnalysis("OpenSudoku");
+    ASSERT_GT(ha.pairs.size(), 1u);
+
+    std::vector<race::RacyPair> serial_pairs = ha.pairs;
+    std::vector<race::RacyPair> sharded_pairs = ha.pairs;
+
+    symbolic::RefuterOptions serial_opts;
+    serial_opts.jobs = 1;
+    symbolic::RefutationStats serial = symbolic::refuteRaces(
+        *ha.pta, ha.accesses, serial_pairs, serial_opts);
+
+    symbolic::RefuterOptions sharded_opts;
+    sharded_opts.jobs = 4;
+    symbolic::RefutationStats sharded = symbolic::refuteRaces(
+        *ha.pta, ha.accesses, sharded_pairs, sharded_opts);
+
+    EXPECT_EQ(serial.refuted, sharded.refuted);
+    EXPECT_EQ(serial.survived, sharded.survived);
+    EXPECT_EQ(serial.timedOut, sharded.timedOut);
+    for (size_t i = 0; i < serial_pairs.size(); ++i) {
+        EXPECT_EQ(serial_pairs[i].refuted, sharded_pairs[i].refuted)
+            << "pair " << i;
+        EXPECT_EQ(serial_pairs[i].refutationTimedOut,
+                  sharded_pairs[i].refutationTimedOut)
+            << "pair " << i;
+    }
+    EXPECT_GT(serial.refuted, 0) << "test app should refute something";
+    EXPECT_EQ(serial.refuted + serial.survived,
+              static_cast<int>(serial_pairs.size()));
+    EXPECT_EQ(sharded.refuted + sharded.survived,
+              static_cast<int>(sharded_pairs.size()));
+}
+
+TEST(RefuterParallel, MoreWorkersThanPairs)
+{
+    HarnessAnalysis ha = unrefutedAnalysis("Beem");
+    std::vector<race::RacyPair> a = ha.pairs;
+    std::vector<race::RacyPair> b = ha.pairs;
+
+    symbolic::RefuterOptions one;
+    one.jobs = 1;
+    symbolic::RefutationStats sa =
+        symbolic::refuteRaces(*ha.pta, ha.accesses, a, one);
+
+    symbolic::RefuterOptions many;
+    many.jobs = 64; // clamped to the pair count internally
+    symbolic::RefutationStats sb =
+        symbolic::refuteRaces(*ha.pta, ha.accesses, b, many);
+
+    EXPECT_EQ(sa.refuted, sb.refuted);
+    EXPECT_EQ(sa.survived, sb.survived);
+    EXPECT_EQ(sa.timedOut, sb.timedOut);
+}
+
+TEST(RefuterParallel, ExecutorStatsMergeIsAssociative)
+{
+    auto make = [](int64_t q, int64_t p, int64_t s, int64_t c,
+                   int64_t b) {
+        symbolic::ExecutorStats st;
+        st.queries = q;
+        st.pathsExplored = p;
+        st.statesExpanded = s;
+        st.cacheHits = c;
+        st.budgetExhausted = b;
+        return st;
+    };
+    symbolic::ExecutorStats a = make(1, 10, 100, 3, 0);
+    symbolic::ExecutorStats b = make(7, 20, 250, 0, 2);
+    symbolic::ExecutorStats c = make(2, 0, 77, 5, 1);
+
+    // (a + b) + c
+    symbolic::ExecutorStats left = a;
+    left.merge(b);
+    left.merge(c);
+    // a + (b + c)
+    symbolic::ExecutorStats bc = b;
+    bc.merge(c);
+    symbolic::ExecutorStats right = a;
+    right.merge(bc);
+
+    EXPECT_EQ(left.queries, right.queries);
+    EXPECT_EQ(left.pathsExplored, right.pathsExplored);
+    EXPECT_EQ(left.statesExpanded, right.statesExpanded);
+    EXPECT_EQ(left.cacheHits, right.cacheHits);
+    EXPECT_EQ(left.budgetExhausted, right.budgetExhausted);
+    EXPECT_EQ(left.queries, 10);
+    EXPECT_EQ(left.statesExpanded, 427);
+}
+
+TEST(RefuterParallel, RefutationStatsMergeSumsComponents)
+{
+    symbolic::RefutationStats a;
+    a.refuted = 3;
+    a.survived = 2;
+    a.timedOut = 1;
+    a.exec.queries = 9;
+    symbolic::RefutationStats b;
+    b.refuted = 4;
+    b.survived = 0;
+    b.timedOut = 0;
+    b.exec.queries = 5;
+    a.merge(b);
+    EXPECT_EQ(a.refuted, 7);
+    EXPECT_EQ(a.survived, 2);
+    EXPECT_EQ(a.timedOut, 1);
+    EXPECT_EQ(a.exec.queries, 14);
+}
+
+TEST(RefuterParallel, SharedNodeCacheInvariants)
+{
+    // The unsound node cache is verdict-affecting, so sharded runs
+    // with it enabled are not asserted equal to serial ones — only
+    // that the run completes with coherent counts and never "loses"
+    // a pair.
+    HarnessAnalysis ha = unrefutedAnalysis("OpenSudoku");
+    std::vector<race::RacyPair> pairs = ha.pairs;
+
+    symbolic::RefuterOptions opts;
+    opts.jobs = 4;
+    opts.exec.useNodeCache = true;
+    symbolic::RefutationStats stats =
+        symbolic::refuteRaces(*ha.pta, ha.accesses, pairs, opts);
+
+    EXPECT_EQ(stats.refuted + stats.survived,
+              static_cast<int>(pairs.size()));
+    EXPECT_GE(stats.timedOut, 0);
+    EXPECT_GT(stats.exec.queries, 0);
+}
+
+TEST(RefuterParallel, SharedCacheStructure)
+{
+    symbolic::RefutedNodeCache cache;
+    EXPECT_FALSE(cache.contains(3));
+    std::vector<analysis::NodeId> nodes{3, 17, 3, 42};
+    cache.insertAll(nodes);
+    EXPECT_TRUE(cache.contains(3));
+    EXPECT_TRUE(cache.contains(17));
+    EXPECT_TRUE(cache.contains(42));
+    EXPECT_FALSE(cache.contains(4));
+    EXPECT_EQ(cache.size(), 3u);
+}
+
+} // namespace
+} // namespace sierra

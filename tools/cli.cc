@@ -41,6 +41,10 @@ analyze options:
   --index-sensitive   per-element array locations (removes the
                       index-insensitivity FP class)
   --node-cache      enable the paper's refuted-node cache
+  --jobs N          worker threads for harness analysis and sharded
+                    refutation (default: SIERRA_JOBS env var, else
+                    hardware concurrency; reports are identical at
+                    every N)
   --max-races N     cap the printed race list (default 50)
   --show-refuted    also print refuted candidates
   --json            machine-readable output
@@ -82,7 +86,8 @@ bool
 flagTakesValue(const std::string &flag)
 {
     static const char *valued[] = {"--policy", "--k", "--max-races",
-                                   "--schedules", "--seed", "-o"};
+                                   "--jobs", "--schedules", "--seed",
+                                   "-o"};
     for (const char *v : valued) {
         if (flag == v)
             return true;
@@ -215,6 +220,7 @@ printReportJson(const AppReport &report, std::ostream &out)
     out << "  \"timesMs\": {\"cgPa\": " << report.times.cgPa * 1e3
         << ", \"hbg\": " << report.times.hbg * 1e3
         << ", \"refutation\": " << report.times.refutation * 1e3
+        << ", \"totalCpu\": " << report.times.totalCpu * 1e3
         << ", \"total\": " << report.times.total * 1e3 << "},\n";
     out << "  \"races\": [\n";
     bool first = true;
@@ -259,6 +265,7 @@ cmdAnalyze(const ParsedFlags &flags, std::ostream &out,
         !flags.has("--no-inflated-view");
     options.refuter.exec.useNodeCache = flags.has("--node-cache");
     options.pta.indexSensitiveArrays = flags.has("--index-sensitive");
+    options.jobs = flags.getInt("--jobs", 0);
 
     SierraDetector detector(*app);
     AppReport report = detector.analyze(options);
@@ -321,7 +328,9 @@ cmdVerify(const ParsedFlags &flags, std::ostream &out,
         return 1;
 
     SierraDetector detector(*app);
-    AppReport report = detector.analyze({});
+    SierraOptions static_options;
+    static_options.jobs = flags.getInt("--jobs", 0);
+    AppReport report = detector.analyze(static_options);
     std::set<std::string> key_set;
     for (const auto &race : report.races) {
         if (!race.refuted)
