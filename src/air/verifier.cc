@@ -1,10 +1,51 @@
 #include "verifier.hh"
 
+#include <map>
 #include <unordered_set>
 
 #include "logging.hh"
 
 namespace sierra::air {
+
+const char *
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::Error: return "error";
+      case Severity::Warning: return "warning";
+    }
+    return "?";
+}
+
+std::vector<VerifyIssue>
+dedupeIssues(std::vector<VerifyIssue> issues)
+{
+    // Scope = `where` with any "@idx" instruction suffix stripped, so
+    // the same complaint at many instructions of one method collapses.
+    auto scopeOf = [](const std::string &where) {
+        size_t at = where.rfind('@');
+        return at == std::string::npos ? where : where.substr(0, at);
+    };
+
+    std::map<std::pair<std::string, std::string>, size_t> first;
+    std::vector<VerifyIssue> out;
+    std::vector<int> counts;
+    for (VerifyIssue &issue : issues) {
+        auto key = std::make_pair(scopeOf(issue.where), issue.message);
+        auto [it, inserted] = first.try_emplace(key, out.size());
+        if (inserted) {
+            out.push_back(std::move(issue));
+            counts.push_back(1);
+        } else {
+            ++counts[it->second];
+        }
+    }
+    for (size_t i = 0; i < out.size(); ++i) {
+        if (counts[i] > 1)
+            out[i].message += strCat(" (x", counts[i], ")");
+    }
+    return out;
+}
 
 namespace {
 
@@ -188,7 +229,7 @@ Verifier::run()
 std::vector<VerifyIssue>
 verifyModule(const Module &module)
 {
-    return Verifier(module).run();
+    return dedupeIssues(Verifier(module).run());
 }
 
 void

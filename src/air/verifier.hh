@@ -6,6 +6,7 @@
 #ifndef SIERRA_AIR_VERIFIER_HH
 #define SIERRA_AIR_VERIFIER_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -13,13 +14,35 @@
 
 namespace sierra::air {
 
-/** One verification diagnostic. */
+/** How serious a diagnostic is. */
+enum class Severity : uint8_t {
+    Error,   //!< the module is malformed / the code is certainly wrong
+    Warning, //!< suspicious but executable (lint findings)
+};
+
+const char *severityName(Severity s);
+
+/** One verification or lint diagnostic. */
 struct VerifyIssue {
     std::string where; //!< "Class.method@idx" or "Class"
     std::string message;
+    Severity severity{Severity::Error};
 
-    std::string toString() const { return where + ": " + message; }
+    std::string toString() const
+    {
+        return std::string(severityName(severity)) + ": " + where + ": " +
+               message;
+    }
 };
+
+/**
+ * Collapse repeated per-method diagnostics: issues in the same method
+ * (same `where` up to the "@idx" suffix) with the same message are
+ * merged into the first occurrence, annotated with "(xN)". Keeps output
+ * stable and greppable when one structural defect repeats per
+ * instruction. Relative order of surviving issues is preserved.
+ */
+std::vector<VerifyIssue> dedupeIssues(std::vector<VerifyIssue> issues);
 
 /**
  * Check a module for structural problems.

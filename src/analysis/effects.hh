@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Method purity / field-effect summaries.
+ *
+ * For every method with a body, computes the set of fields the method
+ * *and its CHA-resolvable callees* may read or write, plus coarse flags
+ * for array-element effects and calls whose targets cannot be resolved.
+ * Summaries are a fixpoint over the CHA call graph, so recursion and
+ * virtual dispatch through subclasses are covered.
+ *
+ * The race stage uses summaries as a cheap report-preserving prefilter:
+ * two accesses can only race on memory both enclosing methods may
+ * touch, and each access's own field is in its method's summary by
+ * construction, so dropping pairs with disjoint summaries never drops a
+ * reportable pair (see race/racy.cc).
+ *
+ * Soundness notes on the key spaces:
+ *  - static fields use the same canonical "DeclaringClass.field" key as
+ *    PointsToResult::staticKey (declaring class found via CHA, falling
+ *    back to the referenced class name);
+ *  - instance fields are keyed by *bare field name* only. The canonical
+ *    instance key depends on the receiver's dynamic class, which a
+ *    points-to-free summary cannot know (a subclass may shadow a
+ *    super's field); the bare name over-approximates every possible
+ *    canonical key.
+ */
+
+#ifndef SIERRA_ANALYSIS_EFFECTS_HH
+#define SIERRA_ANALYSIS_EFFECTS_HH
+
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "air/module.hh"
+#include "class_hierarchy.hh"
+
+namespace sierra::analysis {
+
+/** Whole-module field-effect summaries, one per method with a body. */
+class FieldEffects
+{
+  public:
+    /** May-effects of one method including its transitive callees. */
+    struct Summary {
+        std::set<std::string> instanceWrites; //!< bare field names
+        std::set<std::string> instanceReads;  //!< bare field names
+        std::set<std::string> staticWrites;   //!< canonical Class.field
+        std::set<std::string> staticReads;    //!< canonical Class.field
+        bool writesArrays{false};
+        bool readsArrays{false};
+        /** An invoke resolved to no analyzable body: effects unknown. */
+        bool callsUnknown{false};
+
+        /** Provably writes no field or array element. */
+        bool isPure() const
+        {
+            return !callsUnknown && !writesArrays &&
+                   instanceWrites.empty() && staticWrites.empty();
+        }
+    };
+
+    FieldEffects(const air::Module &module, const ClassHierarchy &cha);
+
+    /** Summary of one method; methods without bodies (or from another
+     *  module) get the all-unknown summary. */
+    const Summary &of(const air::Method *method) const;
+
+    /** Can accesses inside `a` (and callees) conflict with accesses
+     *  inside `b`: one side may write memory the other may touch? */
+    static bool mayConflict(const Summary &a, const Summary &b);
+
+    bool isPure(const air::Method *method) const
+    {
+        return of(method).isPure();
+    }
+
+    /** Number of summarized methods proved pure (for stats/bench). */
+    int numPure() const;
+    int numSummaries() const
+    {
+        return static_cast<int>(_summaries.size());
+    }
+
+  private:
+    std::unordered_map<const air::Method *, Summary> _summaries;
+    Summary _unknown;
+};
+
+} // namespace sierra::analysis
+
+#endif // SIERRA_ANALYSIS_EFFECTS_HH

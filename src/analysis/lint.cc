@@ -1,0 +1,188 @@
+#include "lint.hh"
+
+#include "air/logging.hh"
+#include "cfg.hh"
+#include "dataflow.hh"
+
+namespace sierra::analysis {
+
+using air::Instruction;
+using air::Method;
+using air::Opcode;
+using air::Severity;
+using air::VerifyIssue;
+
+namespace {
+
+/** Forward must-analysis: registers definitely assigned on every path
+ *  from method entry. Meet is set intersection. */
+struct DefiniteAssignment {
+    using Domain = std::vector<char>;
+    static constexpr DataflowDirection kDirection =
+        DataflowDirection::Forward;
+
+    int numRegisters;
+    int firstTempReg;
+
+    Domain
+    boundary() const
+    {
+        Domain d(static_cast<size_t>(numRegisters), 0);
+        for (int r = 0; r < firstTempReg; ++r)
+            d[r] = 1; // `this` and parameters
+        return d;
+    }
+
+    bool
+    merge(Domain &into, const Domain &from) const
+    {
+        bool changed = false;
+        for (size_t r = 0; r < into.size(); ++r) {
+            if (into[r] && !from[r]) {
+                into[r] = 0;
+                changed = true;
+            }
+        }
+        return changed;
+    }
+
+    void
+    transfer(int, const Instruction &instr, Domain &d) const
+    {
+        if (instr.dst >= 0)
+            d[instr.dst] = 1;
+    }
+};
+
+/** Value-producing instructions with no side effect: eliding one only
+ *  loses the register value, so an unread destination is a dead store.
+ *  Loads, calls and allocations are excluded (effects / site identity),
+ *  as are bodies where the value may escape some other way. */
+bool
+isPureValueOp(Opcode op)
+{
+    switch (op) {
+      case Opcode::ConstInt:
+      case Opcode::ConstStr:
+      case Opcode::ConstNull:
+      case Opcode::Move:
+      case Opcode::BinOp:
+      case Opcode::UnOp:
+        return true;
+      default:
+        return false;
+    }
+}
+
+void
+lintInto(const Method &method, const LintOptions &opts,
+         std::vector<VerifyIssue> &out)
+{
+    if (!method.hasBody())
+        return;
+    const Cfg cfg(method);
+
+    auto at = [&](int idx) {
+        return strCat(method.qualifiedName(), "@", idx);
+    };
+
+    // Entry-reachability of blocks (instruction-level, via the CFG).
+    std::vector<char> block_reachable(cfg.numBlocks(), 0);
+    {
+        std::vector<int> stack{cfg.entryBlock()};
+        block_reachable[cfg.entryBlock()] = 1;
+        while (!stack.empty()) {
+            int b = stack.back();
+            stack.pop_back();
+            for (int s : cfg.blocks()[b].succs) {
+                if (!block_reachable[s]) {
+                    block_reachable[s] = 1;
+                    stack.push_back(s);
+                }
+            }
+        }
+    }
+
+    if (opts.useBeforeDef) {
+        DefiniteAssignment problem{method.numRegisters(),
+                                   method.firstTempReg()};
+        DataflowResult<DefiniteAssignment::Domain> r =
+            solveDataflow(cfg, problem);
+        for (const BasicBlock &block : cfg.blocks()) {
+            if (block.first > block.last || !r.reached[block.id])
+                continue;
+            DefiniteAssignment::Domain env = r.atEntry[block.id];
+            for (int i = block.first; i <= block.last; ++i) {
+                const Instruction &instr = method.instr(i);
+                for (int src : instr.srcs) {
+                    if (!env[src]) {
+                        out.push_back(
+                            {at(i),
+                             strCat("register r", src,
+                                         " may be used before "
+                                         "assignment"),
+                             Severity::Error});
+                    }
+                }
+                problem.transfer(i, instr, env);
+            }
+        }
+    }
+
+    if (opts.unreachableBlocks) {
+        for (const BasicBlock &block : cfg.blocks()) {
+            if (block.first > block.last)
+                continue; // synthetic exit
+            if (block_reachable[block.id])
+                continue;
+            out.push_back(
+                {at(block.first),
+                 strCat("unreachable basic block (instructions ",
+                             block.first, "..", block.last, ")"),
+                 Severity::Warning});
+        }
+    }
+
+    if (opts.deadStores) {
+        const Liveness live(cfg);
+        for (const BasicBlock &block : cfg.blocks()) {
+            if (block.first > block.last ||
+                !block_reachable[block.id])
+                continue; // dead code is flagged above, not here
+            for (int i = block.first; i <= block.last; ++i) {
+                const Instruction &instr = method.instr(i);
+                if (instr.dst < 0 || !isPureValueOp(instr.op))
+                    continue;
+                if (!live.liveAfter(i, instr.dst)) {
+                    out.push_back(
+                        {at(i),
+                         strCat("dead store to r", instr.dst),
+                         Severity::Warning});
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+std::vector<VerifyIssue>
+lintMethod(const Method &method, const LintOptions &opts)
+{
+    std::vector<VerifyIssue> out;
+    lintInto(method, opts, out);
+    return air::dedupeIssues(std::move(out));
+}
+
+std::vector<VerifyIssue>
+lintModule(const air::Module &module, const LintOptions &opts)
+{
+    std::vector<VerifyIssue> out;
+    for (const air::Klass *k : module.classes()) {
+        for (const auto &m : k->methods())
+            lintInto(*m, opts, out);
+    }
+    return air::dedupeIssues(std::move(out));
+}
+
+} // namespace sierra::analysis

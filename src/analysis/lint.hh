@@ -1,0 +1,46 @@
+/**
+ * @file
+ * AIR lint: flow-sensitive diagnostics on top of the structural
+ * verifier, built on the dataflow framework (analysis/dataflow.hh).
+ *
+ * Three checks:
+ *  - use-before-def (Error): an instruction reads a register that is
+ *    not definitely assigned on every path from method entry
+ *    (parameters and `this` count as assigned);
+ *  - unreachable-block (Warning): a basic block no path from entry
+ *    reaches;
+ *  - dead-store (Warning): a side-effect-free value-producing
+ *    instruction (const/move/arith) whose destination is never read
+ *    before being overwritten.
+ *
+ * Diagnostics reuse air::VerifyIssue so verifier and lint output can be
+ * merged, deduplicated, and printed uniformly.
+ */
+
+#ifndef SIERRA_ANALYSIS_LINT_HH
+#define SIERRA_ANALYSIS_LINT_HH
+
+#include <vector>
+
+#include "air/verifier.hh"
+
+namespace sierra::analysis {
+
+struct LintOptions {
+    bool useBeforeDef{true};
+    bool unreachableBlocks{true};
+    bool deadStores{true};
+};
+
+/** Lint one method body; no-op for bodyless methods. */
+std::vector<air::VerifyIssue>
+lintMethod(const air::Method &method, const LintOptions &opts = {});
+
+/** Lint every method body in the module; issues are de-duplicated and
+ *  ordered by module class/method declaration order. */
+std::vector<air::VerifyIssue>
+lintModule(const air::Module &module, const LintOptions &opts = {});
+
+} // namespace sierra::analysis
+
+#endif // SIERRA_ANALYSIS_LINT_HH

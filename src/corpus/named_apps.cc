@@ -67,7 +67,7 @@ namedAppSpecs()
         {"OpenManager", "N/A", 77, 1,
          {"implicitDepTrap", "threadRace"}},
         {"OpenSudoku", "1,000,000-5,000,000", 170, 2,
-         {"guardedTimer", "messageGuard"}},
+         {"guardedTimer", "messageGuard", "computedGuard"}},
         {"SipDroid", "1,000,000-5,000,000", 539, 3,
          {"receiverDbRace", "messageGuard", "arrayIndexTrap"}},
         {"SuperGenPass", "10,000-50,000", 137, 1,

@@ -417,6 +417,99 @@ addGuardedTimer(AppFactory &f, ActivityBuilder &act)
 }
 
 // --------------------------------------------------------------------
+// Pattern: Fig. 8 variant whose guard is cleared with a *computed*
+// zero (1 - 1). Weakest-precondition refutation alone treats the
+// arithmetic as opaque and keeps the report; the intraprocedural
+// constant fixpoint folds it and refutes, mirroring the paper's
+// on-demand constant propagation (Section 5).
+// --------------------------------------------------------------------
+void
+addComputedGuard(AppFactory &f, ActivityBuilder &act)
+{
+    int n = f.nextUnique();
+    std::string timer_cls = "CGuard$" + std::to_string(n);
+    std::string act_cls = act.name();
+    std::string timer_field = "cguard$" + std::to_string(n);
+
+    air::Module &mod = f.app().module();
+
+    Klass *timer = mod.addClass(timer_cls, names::object);
+    timer->addInterface(names::runnable);
+    timer->addField({"mActive", Type::intTy(), false});
+    timer->addField({"mTicks", Type::intTy(), false});
+    timer->addField({"handler", Type::object(names::handler), false});
+    emptyCtor(timer);
+    defineMethod(timer, "run", {}, Type::voidTy(), false,
+                 [&](MethodBuilder &b) {
+                     Label l_end = b.newLabel();
+                     int r = b.newReg();
+                     b.getField(r, b.thisReg(),
+                                fieldRef(timer_cls, "mActive"));
+                     b.ifz(r, CondKind::Eq, l_end);
+                     int rt = b.newReg();
+                     int rc = b.newReg();
+                     int rt2 = b.newReg();
+                     b.getField(rt, b.thisReg(),
+                                fieldRef(timer_cls, "mTicks"));
+                     b.constInt(rc, 1);
+                     b.binOp(rt2, air::BinOpKind::Add, rt, rc);
+                     b.putField(b.thisReg(),
+                                fieldRef(timer_cls, "mTicks"), rt2);
+                     b.bind(l_end);
+                     b.retVoid();
+                 });
+    defineMethod(timer, "stop", {}, Type::voidTy(), false,
+                 [&](MethodBuilder &b) {
+                     Label l_end = b.newLabel();
+                     int r = b.newReg();
+                     b.getField(r, b.thisReg(),
+                                fieldRef(timer_cls, "mActive"));
+                     b.ifz(r, CondKind::Eq, l_end);
+                     // The crux: the cleared guard value is computed.
+                     int r1 = b.newReg();
+                     int rz = b.newReg();
+                     b.constInt(r1, 1);
+                     b.binOp(rz, air::BinOpKind::Sub, r1, r1);
+                     b.putField(b.thisReg(),
+                                fieldRef(timer_cls, "mActive"), rz);
+                     b.putField(b.thisReg(),
+                                fieldRef(timer_cls, "mTicks"), rz);
+                     b.bind(l_end);
+                     b.retVoid();
+                 });
+
+    act.addField(timer_field, Type::object(timer_cls));
+
+    act.on("onCreate", [=](MethodBuilder &b) {
+        int rt = b.newReg();
+        int rh = b.newReg();
+        int r1 = b.newReg();
+        b.newObject(rt, timer_cls);
+        b.invoke(-1, InvokeKind::Special, {timer_cls, "<init>", 0}, {rt});
+        b.newObject(rh, names::handler);
+        b.invoke(-1, InvokeKind::Special,
+                 {names::handler, "<init>", 0}, {rh});
+        b.putField(rt, fieldRef(timer_cls, "handler"), rh);
+        b.putField(b.thisReg(), fieldRef(act_cls, timer_field), rt);
+        b.constInt(r1, 1);
+        b.putField(rt, fieldRef(timer_cls, "mActive"), r1);
+        b.getField(rh, rt, fieldRef(timer_cls, "handler"));
+        b.call(rh, names::handler, "post", {rt});
+    });
+    act.on("onPause", [=](MethodBuilder &b) {
+        int rt = b.newReg();
+        b.getField(rt, b.thisReg(), fieldRef(act_cls, timer_field));
+        b.call(rt, timer_cls, "stop");
+    });
+
+    f.truth().add(timer_cls + ".mActive", SeedClass::TrueRace,
+                  "computedGuard: guard variable race (benign)");
+    f.truth().add(timer_cls + ".mTicks", SeedClass::FpTrap,
+                  "computedGuard: cleared guard is 1-1; refutable "
+                  "only with constant facts");
+}
+
+// --------------------------------------------------------------------
 // Pattern: Message.what guard (on-demand constant propagation).
 // --------------------------------------------------------------------
 void
@@ -1277,6 +1370,7 @@ patternCatalog()
         {"asyncNewsRace", &addAsyncNewsRace, 3, 0},
         {"receiverDbRace", &addReceiverDbRace, 3, 0},
         {"guardedTimer", &addGuardedTimer, 1, 1},
+        {"computedGuard", &addComputedGuard, 1, 1},
         {"messageGuard", &addMessageGuard, 1, 1},
         {"orderedPosts", &addOrderedPosts, 0, 1},
         {"threadRace", &addThreadRace, 2, 0},

@@ -8,6 +8,8 @@
  *  - asyncNewsRace      Fig. 1: AsyncTask vs. scroll on an adapter
  *  - receiverDbRace     Fig. 2: BroadcastReceiver vs. lifecycle DB
  *  - guardedTimer       Fig. 8: ad-hoc sync refutable by symbolic exec
+ *  - computedGuard      Fig. 8 with a computed guard value: refutable
+ *                       only with intraprocedural constant facts
  *  - messageGuard       Section 5: Message.what constant propagation
  *  - orderedPosts       HB rule 4 negative (posting order)
  *  - threadRace         background thread vs. GUI read
@@ -35,6 +37,7 @@ namespace sierra::corpus {
 void addAsyncNewsRace(AppFactory &f, ActivityBuilder &act);
 void addReceiverDbRace(AppFactory &f, ActivityBuilder &act);
 void addGuardedTimer(AppFactory &f, ActivityBuilder &act);
+void addComputedGuard(AppFactory &f, ActivityBuilder &act);
 void addMessageGuard(AppFactory &f, ActivityBuilder &act);
 void addOrderedPosts(AppFactory &f, ActivityBuilder &act);
 void addThreadRace(AppFactory &f, ActivityBuilder &act);

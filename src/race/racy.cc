@@ -58,12 +58,28 @@ findRacyPairs(const PointsToResult &result, const hb::Shbg &shbg,
     // Dedup by (min site, max site, key).
     std::map<std::tuple<int, int, std::string>, RacyPair> dedup;
 
+    // Per-access method summaries for the effect prefilter, fetched
+    // once instead of per pair.
+    std::vector<const analysis::FieldEffects::Summary *> summaries;
+    if (options.effects) {
+        summaries.reserve(accesses.size());
+        for (const Access &a : accesses) {
+            summaries.push_back(
+                &options.effects->of(result.cg.node(a.node).method));
+        }
+    }
+
     for (size_t i = 0; i < accesses.size(); ++i) {
         for (size_t j = i; j < accesses.size(); ++j) {
             const Access &x = accesses[i];
             const Access &y = accesses[j];
             if (!x.isWrite && !y.isWrite)
                 continue;
+            if (options.effects &&
+                !analysis::FieldEffects::mayConflict(*summaries[i],
+                                                     *summaries[j])) {
+                continue;
+            }
             std::vector<MemLoc> shared = sharedLocs(x, y);
             if (shared.empty())
                 continue;

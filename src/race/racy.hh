@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "access.hh"
+#include "analysis/effects.hh"
 #include "hb/shbg.hh"
 
 namespace sierra::race {
@@ -43,6 +44,16 @@ struct RacyOptions {
     //! skip pairs where both actions run on different loopers (paper
     //! Section 4.4: handlers must refer to the same looper)
     bool requireSameLooper{true};
+    /**
+     * Optional field-effect summaries (analysis::FieldEffects) used as
+     * a cheap prefilter: an access pair whose enclosing methods have
+     * provably disjoint effects is dropped before the points-to
+     * intersection and action-pair enumeration. Report-preserving:
+     * each access's own field is in its method's summary, so any pair
+     * that could alias also conflicts at the summary level. Not owned;
+     * must outlive the call. Null disables the prefilter.
+     */
+    const analysis::FieldEffects *effects{nullptr};
 };
 
 /**

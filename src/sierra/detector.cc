@@ -68,10 +68,23 @@ SierraDetector::runHarness(const harness::HarnessPlan &plan,
     ha.shbg = hb_builder.build();
     double hbg = secondsSince(t1);
 
+    // Dataflow stage: field-effect summaries feeding the racy-pair
+    // prefilter. Per-task (each task owns its result), so the stage
+    // parallelizes with the rest of the harness work.
+    auto t_df = std::chrono::steady_clock::now();
+    std::unique_ptr<analysis::FieldEffects> effects;
+    race::RacyOptions racy_options = options.racy;
+    if (options.effectPrefilter && !racy_options.effects) {
+        effects = std::make_unique<analysis::FieldEffects>(
+            _app.module(), ha.pta->cha);
+        racy_options.effects = effects.get();
+    }
+    double dataflow = secondsSince(t_df);
+
     auto t2 = std::chrono::steady_clock::now();
     ha.accesses = race::extractAccesses(*ha.pta);
     ha.pairs = race::findRacyPairs(*ha.pta, *ha.shbg, ha.accesses,
-                                   options.racy);
+                                   racy_options);
     double racy = secondsSince(t2);
 
     auto t3 = std::chrono::steady_clock::now();
@@ -85,9 +98,10 @@ SierraDetector::runHarness(const harness::HarnessPlan &plan,
     if (times) {
         times->cgPa += cg_pa;
         times->hbg += hbg;
+        times->dataflow += dataflow;
         times->racy += racy;
         times->refutation += refutation;
-        times->totalCpu += cg_pa + hbg + racy + refutation;
+        times->totalCpu += cg_pa + hbg + dataflow + racy + refutation;
     }
     return ha;
 }
@@ -165,6 +179,7 @@ SierraDetector::analyze(const SierraOptions &options)
 
         report.times.cgPa += task_times[i].cgPa;
         report.times.hbg += task_times[i].hbg;
+        report.times.dataflow += task_times[i].dataflow;
         report.times.racy += task_times[i].racy;
         report.times.refutation += task_times[i].refutation;
         report.times.totalCpu += task_times[i].totalCpu;
@@ -237,7 +252,8 @@ formatReport(const AppReport &report, int max_races, bool with_times)
        << "  after refutation: " << report.afterRefutation << "\n";
     if (with_times) {
         os << "time: cg+pa " << report.times.cgPa << "s, hbg "
-           << report.times.hbg << "s, refutation "
+           << report.times.hbg << "s, dataflow "
+           << report.times.dataflow << "s, refutation "
            << report.times.refutation << "s, total "
            << report.times.total << "s (cpu "
            << report.times.totalCpu << "s)\n";

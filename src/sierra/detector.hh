@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/effects.hh"
 #include "analysis/points_to.hh"
 #include "framework/app.hh"
 #include "harness/harness.hh"
@@ -35,6 +36,15 @@ struct SierraOptions {
     race::RacyOptions racy;
     symbolic::RefuterOptions refuter;
     bool runRefutation{true};
+    /**
+     * The dataflow stage: compute method field-effect summaries
+     * (analysis::FieldEffects) per harness and hand them to racy-pair
+     * detection as a report-preserving conflict prefilter. Constant
+     * facts inside the refuter are controlled separately by
+     * `refuter.exec.useConstFacts`. Both default on; the ablation bench
+     * measures their effect.
+     */
+    bool effectPrefilter{true};
     /**
      * Worker threads for the whole pipeline: harness plans run as
      * parallel tasks, and leftover parallelism (jobs / plans) is
@@ -56,6 +66,7 @@ struct SierraOptions {
 struct StageTimes {
     double cgPa{0};       //!< call graph + pointer analysis (cpu-s)
     double hbg{0};        //!< SHBG construction (cpu-s)
+    double dataflow{0};   //!< field-effect summaries (cpu-s)
     double racy{0};       //!< access extraction + racy pairs (cpu-s)
     double refutation{0}; //!< symbolic refutation (cpu-s)
     double totalCpu{0};   //!< sum of all per-task stage times (cpu-s)

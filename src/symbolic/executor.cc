@@ -44,6 +44,18 @@ BackwardExecutor::cfgOf(const air::Method *m)
     return ref;
 }
 
+const analysis::MethodConstants &
+BackwardExecutor::factsOf(const air::Method *m)
+{
+    auto it = _constFacts.find(m);
+    if (it != _constFacts.end())
+        return *it->second;
+    auto facts = std::make_unique<analysis::MethodConstants>(cfgOf(m));
+    const analysis::MethodConstants &ref = *facts;
+    _constFacts.emplace(m, std::move(facts));
+    return ref;
+}
+
 const std::vector<std::string> &
 BackwardExecutor::mayWriteKeys(NodeId n)
 {
@@ -121,9 +133,21 @@ BackwardExecutor::transfer(PathState &st, const Instruction &instr)
                                    Operand::constant(0));
       case Opcode::ConstStr:
       case Opcode::BinOp:
-      case Opcode::UnOp:
+      case Opcode::UnOp: {
+        // Arithmetic results are opaque to the WP transfer, but the
+        // constant fixpoint may know the value holds on every run.
+        if (_opts.useConstFacts) {
+            const air::Method *m = _r.cg.node(st.node).method;
+            analysis::ConstVal v =
+                factsOf(m).after(st.instr, instr.dst);
+            if (v.isConst()) {
+                return store.substituteReg(regKey(f, instr.dst),
+                                           Operand::constant(v.value));
+            }
+        }
         return store.substituteReg(regKey(f, instr.dst),
                                    Operand::unknown());
+      }
       case Opcode::New:
       case Opcode::NewArray:
         // Fresh allocations are non-null; 1 satisfies != null checks
@@ -474,8 +498,19 @@ BackwardExecutor::orderFeasible(const race::Access &access, int action_a,
             ++paths;
             continue;
         }
+        const analysis::MethodConstants *facts =
+            _opts.useConstFacts ? &factsOf(m) : nullptr;
         for (int q : preds) {
             const Instruction &pred = m->instr(q);
+            if (facts &&
+                (!facts->reachable(q) ||
+                 !facts->edgeFeasible(q, st.instr))) {
+                // The constant fixpoint proved no execution flows
+                // along this edge: don't walk it.
+                ++_stats.constPruned;
+                ++paths;
+                continue;
+            }
             PathState next = st;
             next.instr = q;
             next.depth = st.depth + 1;

@@ -131,6 +131,63 @@ TEST(AirVerifier, NonStaticInvokeNeedsReceiver)
     EXPECT_NE(issues[0].message.find("receiver"), std::string::npos);
 }
 
+TEST(AirVerifier, IssuesCarryErrorSeverity)
+{
+    auto mod = parseOk(R"(
+class A {
+    method m(): void regs=1 {
+        @0: r5 = const 1
+        @1: return-void
+    }
+}
+)");
+    auto issues = verifyModule(*mod);
+    ASSERT_FALSE(issues.empty());
+    EXPECT_EQ(issues[0].severity, Severity::Error);
+    // toString leads with the severity so output greps by level.
+    EXPECT_EQ(issues[0].toString().rfind("error: ", 0), 0u)
+        << issues[0].toString();
+}
+
+TEST(AirVerifier, RepeatedPerMethodIssuesAreDeduplicated)
+{
+    // The same complaint at three instructions of one method collapses
+    // to one issue with a repeat count.
+    auto mod = parseOk(R"(
+class A {
+    method m(): void regs=1 {
+        @0: r5 = const 1
+        @1: r5 = const 2
+        @2: r5 = const 3
+        @3: return-void
+    }
+}
+)");
+    auto issues = verifyModule(*mod);
+    ASSERT_EQ(issues.size(), 1u);
+    EXPECT_NE(issues[0].message.find("out of range"), std::string::npos);
+    EXPECT_NE(issues[0].message.find("(x3)"), std::string::npos)
+        << issues[0].message;
+    // The first occurrence's location is kept.
+    EXPECT_EQ(issues[0].where, "A.m@0");
+}
+
+TEST(AirVerifier, DedupKeepsDistinctMethodsSeparate)
+{
+    std::vector<VerifyIssue> issues;
+    issues.push_back({"A.m@0", "bad thing", Severity::Error});
+    issues.push_back({"A.n@0", "bad thing", Severity::Error});
+    issues.push_back({"A.m@4", "bad thing", Severity::Error});
+    issues.push_back({"A.m@5", "other thing", Severity::Warning});
+    auto deduped = dedupeIssues(std::move(issues));
+    ASSERT_EQ(deduped.size(), 3u);
+    EXPECT_EQ(deduped[0].where, "A.m@0");
+    EXPECT_NE(deduped[0].message.find("(x2)"), std::string::npos);
+    EXPECT_EQ(deduped[1].where, "A.n@0");
+    EXPECT_EQ(deduped[1].message, "bad thing");
+    EXPECT_EQ(deduped[2].message, "other thing");
+}
+
 TEST(AirVerifier, AbstractWithBodyRejected)
 {
     Module mod;

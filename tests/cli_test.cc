@@ -163,6 +163,72 @@ TEST(Cli, ActionsCommand)
     EXPECT_EQ(run({"actions", file.path()}).code, 2);
 }
 
+TEST(Cli, LintFlagsSeededDefects)
+{
+    // A bundle that verifies but trips all three lint checks.
+    const char *linty = R"(
+app "linty" {
+    package org.example.linty
+    activity Main main
+}
+class Main extends android.app.Activity {
+    method <init>(): void regs=1 { @0: return-void }
+    method useBeforeDef(): int regs=4 {
+        @0: r2 = add r1, r1
+        @1: return r2
+    }
+    method deadCode(): void regs=2 {
+        @0: return-void
+        @1: goto @1
+    }
+    method deadStore(): int regs=4 {
+        @0: r1 = const 1
+        @1: r1 = const 2
+        @2: return r1
+    }
+}
+)";
+    TempFile file(".air");
+    {
+        std::ofstream out(file.path());
+        out << linty;
+    }
+
+    CliRun r = run({"lint", file.path()});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.out.find("may be used before assignment"),
+              std::string::npos);
+    EXPECT_NE(r.out.find("unreachable basic block"), std::string::npos);
+    EXPECT_NE(r.out.find("dead store"), std::string::npos);
+    EXPECT_NE(r.out.find("3 issue(s)"), std::string::npos) << r.out;
+
+    CliRun errs = run({"lint", file.path(), "--errors-only"});
+    EXPECT_EQ(errs.code, 1);
+    EXPECT_NE(errs.out.find("may be used before assignment"),
+              std::string::npos);
+    EXPECT_EQ(errs.out.find("dead store"), std::string::npos);
+    EXPECT_EQ(errs.out.find("unreachable"), std::string::npos);
+}
+
+TEST(Cli, LintCleanAppExitsZero)
+{
+    TempFile file(".air");
+    ASSERT_EQ(run({"dump", "OpenSudoku", "-o", file.path()}).code, 0);
+    CliRun r = run({"lint", file.path()});
+    EXPECT_EQ(r.code, 0) << r.out;
+    EXPECT_NE(r.out.find("no issues"), std::string::npos);
+    EXPECT_EQ(run({"lint"}).code, 2);
+}
+
+TEST(Cli, AnalyzeNoDataflowFlag)
+{
+    TempFile file(".air");
+    ASSERT_EQ(run({"dump", "VuDroid", "-o", file.path()}).code, 0);
+    CliRun r = run({"analyze", file.path(), "--no-dataflow"});
+    EXPECT_EQ(r.code, 0) << r.err;
+    EXPECT_NE(r.out.find("SIERRA report"), std::string::npos);
+}
+
 TEST(Cli, MissingFileFailsCleanly)
 {
     CliRun r = run({"analyze", "/definitely/not/here.air"});

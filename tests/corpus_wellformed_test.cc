@@ -1,0 +1,72 @@
+/** @file Every generated corpus app must verify *and* lint clean:
+ *  no use-before-def, no unreachable blocks, no dead stores. This
+ *  keeps the generators honest -- lint findings in synthetic apps are
+ *  generator bugs, not app bugs. */
+
+#include <gtest/gtest.h>
+
+#include "air/verifier.hh"
+#include "analysis/lint.hh"
+#include "corpus/generator.hh"
+#include "corpus/named_apps.hh"
+
+namespace sierra::corpus {
+namespace {
+
+std::string
+render(const std::vector<air::VerifyIssue> &issues, size_t max = 10)
+{
+    std::string out;
+    for (size_t i = 0; i < issues.size() && i < max; ++i)
+        out += issues[i].toString() + "\n";
+    if (issues.size() > max)
+        out += "... (" + std::to_string(issues.size()) + " total)\n";
+    return out;
+}
+
+void
+expectWellformed(const framework::App &app)
+{
+    auto verify = air::verifyModule(app.module());
+    EXPECT_TRUE(verify.empty())
+        << app.name() << " verifier:\n" << render(verify);
+    auto lint = analysis::lintModule(app.module());
+    EXPECT_TRUE(lint.empty())
+        << app.name() << " lint:\n" << render(lint);
+}
+
+/** All 20 named apps, by corpus index. */
+class NamedAppWellformed : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(NamedAppWellformed, VerifiesAndLintsClean)
+{
+    const NamedAppSpec &spec = namedAppSpecs()[GetParam()];
+    BuiltApp built = buildNamedApp(spec);
+    expectWellformed(*built.app);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, NamedAppWellformed, ::testing::Range(0, 20),
+    [](const ::testing::TestParamInfo<int> &info) {
+        std::string n = namedAppSpecs()[info.param].name;
+        for (char &c : n) {
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return n;
+    });
+
+TEST(CorpusWellformed, AllFdroidAppsVerifyAndLintClean)
+{
+    for (int i = 0; i < kFdroidAppCount; ++i) {
+        BuiltApp built = buildFdroidApp(i);
+        expectWellformed(*built.app);
+        if (::testing::Test::HasFailure())
+            FAIL() << "first failing app index " << i;
+    }
+}
+
+} // namespace
+} // namespace sierra::corpus

@@ -1,0 +1,301 @@
+/** @file Tests for the intraprocedural dataflow framework and its
+ *  three shipped clients (constants, reaching defs, liveness). */
+
+#include <gtest/gtest.h>
+
+#include "air/parser.hh"
+#include "analysis/cfg.hh"
+#include "analysis/dataflow.hh"
+#include "analysis/effects.hh"
+
+namespace sierra::analysis {
+namespace {
+
+air::Method *
+parseMethod(std::unique_ptr<air::Module> &hold, const std::string &body)
+{
+    auto r = air::parseModule("class T { " + body + " }");
+    EXPECT_TRUE(r.ok()) << r.status.error;
+    hold = std::move(r.module);
+    return hold->getClass("T")->methods().front().get();
+}
+
+TEST(DataflowConstants, StraightLineFolding)
+{
+    std::unique_ptr<air::Module> hold;
+    air::Method *m = parseMethod(hold, R"(
+    method f(): void regs=4 {
+        @0: r1 = const 6
+        @1: r2 = const 7
+        @2: r3 = mul r1, r2
+        @3: return-void
+    })");
+    Cfg cfg(*m);
+    MethodConstants facts(cfg);
+    EXPECT_TRUE(facts.before(2, 1).isConst());
+    EXPECT_EQ(facts.before(2, 1).value, 6);
+    ASSERT_TRUE(facts.after(2, 3).isConst());
+    EXPECT_EQ(facts.after(2, 3).value, 42);
+    EXPECT_EQ(facts.numInfeasibleEdges(), 0);
+}
+
+TEST(DataflowConstants, MergeOfDifferentValuesIsTop)
+{
+    std::unique_ptr<air::Module> hold;
+    // r2 is 1 on one arm and 2 on the other; at the join it is Top,
+    // but on each arm it stays constant.
+    air::Method *m = parseMethod(hold, R"(
+    method f(p0: int): void regs=4 {
+        @0: r2 = const 1
+        @1: ifz r1 eq goto @3
+        @2: r2 = const 2
+        @3: return-void
+    })");
+    Cfg cfg(*m);
+    MethodConstants facts(cfg);
+    EXPECT_TRUE(facts.after(2, 2).isConst());
+    EXPECT_EQ(facts.after(2, 2).value, 2);
+    EXPECT_FALSE(facts.before(3, 2).isConst());
+    // The parameter is never constant.
+    EXPECT_FALSE(facts.before(1, 1).isConst());
+}
+
+TEST(DataflowConstants, ConstantGuardKillsEdgeAndCode)
+{
+    std::unique_ptr<air::Module> hold;
+    // r1 is always 0, so "ifz r1 eq" always jumps: the fallthrough
+    // edge is infeasible and @2 is unreachable.
+    air::Method *m = parseMethod(hold, R"(
+    method f(): void regs=4 {
+        @0: r1 = const 0
+        @1: ifz r1 eq goto @3
+        @2: r2 = const 5
+        @3: return-void
+    })");
+    Cfg cfg(*m);
+    MethodConstants facts(cfg);
+    EXPECT_EQ(facts.numInfeasibleEdges(), 1);
+    EXPECT_FALSE(facts.edgeFeasible(1, 2));
+    EXPECT_TRUE(facts.edgeFeasible(1, 3));
+    EXPECT_FALSE(facts.reachable(2));
+    EXPECT_TRUE(facts.reachable(3));
+    // Values in dead code are Bottom, not Const.
+    EXPECT_FALSE(facts.after(2, 2).isConst());
+}
+
+TEST(DataflowConstants, ConditionalPropagationThroughKilledEdge)
+{
+    std::unique_ptr<air::Module> hold;
+    // The loop-free chain: r1 = 1; if r1 != 0 skip the r2 = 99
+    // assignment. Conditional propagation must see r2 = 7 at the join
+    // (the killed edge's state is never merged).
+    air::Method *m = parseMethod(hold, R"(
+    method f(): void regs=4 {
+        @0: r1 = const 1
+        @1: r2 = const 7
+        @2: ifz r1 ne goto @4
+        @3: r2 = const 99
+        @4: return-void
+    })");
+    Cfg cfg(*m);
+    MethodConstants facts(cfg);
+    ASSERT_TRUE(facts.before(4, 2).isConst());
+    EXPECT_EQ(facts.before(4, 2).value, 7);
+    EXPECT_FALSE(facts.reachable(3));
+}
+
+TEST(DataflowConstants, EqEdgeRefinement)
+{
+    std::unique_ptr<air::Module> hold;
+    // Nothing is known about the parameter, but on the taken edge of
+    // "ifz p eq" the register is known to be 0.
+    air::Method *m = parseMethod(hold, R"(
+    method f(p0: int): void regs=4 {
+        @0: ifz r1 eq goto @2
+        @1: return-void
+        @2: r2 = r1
+        @3: return-void
+    })");
+    Cfg cfg(*m);
+    MethodConstants facts(cfg);
+    ASSERT_TRUE(facts.before(3, 2).isConst());
+    EXPECT_EQ(facts.before(3, 2).value, 0);
+}
+
+TEST(DataflowConstants, LoopReachesFixpoint)
+{
+    std::unique_ptr<air::Module> hold;
+    // r1 counts down from an unknown start: must converge to Top
+    // without spinning (widening guards unbounded lattices; the const
+    // lattice has height 2 so plain iteration terminates).
+    air::Method *m = parseMethod(hold, R"(
+    method f(p0: int): void regs=4 {
+        @0: r2 = const 1
+        @1: r1 = sub r1, r2
+        @2: ifz r1 gt goto @1
+        @3: return-void
+    })");
+    Cfg cfg(*m);
+    MethodConstants facts(cfg);
+    EXPECT_FALSE(facts.before(3, 1).isConst());
+    // The decrement is constant though.
+    EXPECT_TRUE(facts.before(1, 2).isConst());
+}
+
+TEST(DataflowReachingDefs, EntryAndLocalDefs)
+{
+    std::unique_ptr<air::Module> hold;
+    air::Method *m = parseMethod(hold, R"(
+    method f(p0: int): void regs=4 {
+        @0: r2 = const 1
+        @1: ifz r1 eq goto @3
+        @2: r2 = const 2
+        @3: return-void
+    })");
+    Cfg cfg(*m);
+    ReachingDefs rd(cfg);
+    // The parameter's entry def reaches everywhere.
+    EXPECT_EQ(rd.reaching(3, 1),
+              std::vector<int>{ReachingDefs::kEntryDef});
+    // Both stores to r2 reach the join.
+    EXPECT_EQ(rd.reaching(3, 2), (std::vector<int>{0, 2}));
+    // Inside the branch arm only def @0 has happened.
+    EXPECT_EQ(rd.reaching(2, 2), std::vector<int>{0});
+    // r3 is never defined.
+    EXPECT_TRUE(rd.reaching(3, 3).empty());
+    EXPECT_FALSE(rd.anyDefReaches(3, 3));
+}
+
+TEST(DataflowLiveness, StraightLineAndBranch)
+{
+    std::unique_ptr<air::Module> hold;
+    air::Method *m = parseMethod(hold, R"(
+    method f(): int regs=4 {
+        @0: r1 = const 1
+        @1: r2 = const 2
+        @2: r1 = const 3
+        @3: return r1
+    })");
+    Cfg cfg(*m);
+    Liveness live(cfg);
+    // The first store to r1 is overwritten before any read.
+    EXPECT_FALSE(live.liveAfter(0, 1));
+    // r2 is never read.
+    EXPECT_FALSE(live.liveAfter(1, 2));
+    // The final r1 flows into the return.
+    EXPECT_TRUE(live.liveAfter(2, 1));
+}
+
+TEST(DataflowLiveness, LoopCarriedRegisterStaysLive)
+{
+    std::unique_ptr<air::Module> hold;
+    air::Method *m = parseMethod(hold, R"(
+    method f(p0: int): void regs=4 {
+        @0: r2 = const 1
+        @1: r1 = sub r1, r2
+        @2: ifz r1 gt goto @1
+        @3: return-void
+    })");
+    Cfg cfg(*m);
+    Liveness live(cfg);
+    // r1 feeds the next iteration through the back edge.
+    EXPECT_TRUE(live.liveAfter(1, 1));
+    // r2 is re-read by the loop body via the back edge too.
+    EXPECT_TRUE(live.liveAfter(0, 2));
+}
+
+TEST(DataflowSolver, BackwardOrderCoversInfiniteLoop)
+{
+    std::unique_ptr<air::Module> hold;
+    // A method whose loop never exits: the backward solve from the
+    // synthetic exit cannot reach the loop, and liveness falls back to
+    // the conservative all-live default rather than claiming facts.
+    air::Method *m = parseMethod(hold, R"(
+    method f(): void regs=4 {
+        @0: r1 = const 1
+        @1: goto @1
+    })");
+    Cfg cfg(*m);
+    Liveness live(cfg);
+    EXPECT_TRUE(live.liveAfter(0, 1)); // conservative, not "dead"
+}
+
+TEST(FieldEffects, DirectAndTransitive)
+{
+    auto r = air::parseModule(R"(
+    class T {
+        field g: int
+        static field s: int
+        method writer(): void regs=4 {
+            @0: putfield r0.T.g = r1
+            @1: return-void
+        }
+        method caller(): void regs=4 {
+            @0: invoke-virtual T.writer(r0)
+            @1: return-void
+        }
+        method reader(): int regs=4 {
+            @0: r1 = getfield r0.T.g
+            @1: return r1
+        }
+        method pure(): int regs=4 {
+            @0: r1 = const 5
+            @1: return r1
+        }
+        method staticToucher(): void regs=4 {
+            @0: putstatic T.s = r1
+            @1: return-void
+        }
+    })");
+    ASSERT_TRUE(r.ok()) << r.status.error;
+    ClassHierarchy cha(*r.module);
+    FieldEffects fx(*r.module, cha);
+
+    const air::Klass *t = r.module->getClass("T");
+    const air::Method *writer = t->findMethod("writer");
+    const air::Method *caller = t->findMethod("caller");
+    const air::Method *reader = t->findMethod("reader");
+    const air::Method *pure = t->findMethod("pure");
+    const air::Method *st = t->findMethod("staticToucher");
+
+    EXPECT_TRUE(fx.of(writer).instanceWrites.count("g"));
+    // Transitive: caller inherits writer's effects via CHA.
+    EXPECT_TRUE(fx.of(caller).instanceWrites.count("g"));
+    EXPECT_FALSE(fx.of(caller).callsUnknown);
+    EXPECT_TRUE(fx.of(reader).instanceReads.count("g"));
+    EXPECT_TRUE(fx.of(reader).isPure());
+    EXPECT_TRUE(fx.isPure(pure));
+    EXPECT_FALSE(fx.isPure(writer));
+    EXPECT_TRUE(fx.of(st).staticWrites.count("T.s"));
+
+    // Conflicts: writer vs reader share g; pure conflicts with nothing.
+    EXPECT_TRUE(FieldEffects::mayConflict(fx.of(writer), fx.of(reader)));
+    EXPECT_TRUE(FieldEffects::mayConflict(fx.of(caller), fx.of(reader)));
+    EXPECT_FALSE(FieldEffects::mayConflict(fx.of(pure), fx.of(writer)));
+    EXPECT_FALSE(
+        FieldEffects::mayConflict(fx.of(reader), fx.of(reader)));
+    EXPECT_TRUE(FieldEffects::mayConflict(fx.of(st), fx.of(st)));
+}
+
+TEST(FieldEffects, UnresolvedCallIsUnknown)
+{
+    auto r = air::parseModule(R"(
+    class T {
+        method f(): void regs=4 {
+            @0: invoke-virtual Missing.g(r0)
+            @1: return-void
+        }
+    })");
+    ASSERT_TRUE(r.ok()) << r.status.error;
+    ClassHierarchy cha(*r.module);
+    FieldEffects fx(*r.module, cha);
+    const air::Method *f = r.module->getClass("T")->findMethod("f");
+    EXPECT_TRUE(fx.of(f).callsUnknown);
+    EXPECT_FALSE(fx.of(f).isPure());
+    // Unknown conflicts with everything, including a pure method.
+    FieldEffects::Summary pure;
+    EXPECT_TRUE(FieldEffects::mayConflict(fx.of(f), pure));
+}
+
+} // namespace
+} // namespace sierra::analysis

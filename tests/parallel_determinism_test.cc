@@ -135,6 +135,32 @@ TEST(ParallelDeterminism, ManyJobsAndRepeatedRuns)
     expectIdenticalReports(serial, second, "jobs=8 run 2");
 }
 
+TEST(ParallelDeterminism, DataflowStageIsJobsDeterministic)
+{
+    // The dataflow stage (per-task FieldEffects prefilter + lazy
+    // constant facts inside each worker's executor) must not perturb
+    // the report at any jobs count -- with the stage on or off.
+    corpus::BuiltApp built = corpus::buildNamedApp("OpenSudoku");
+    SierraDetector detector(*built.app);
+    for (bool dataflow : {true, false}) {
+        SierraOptions one, four, eight;
+        one.jobs = 1;
+        four.jobs = 4;
+        eight.jobs = 8;
+        for (SierraOptions *o : {&one, &four, &eight}) {
+            o->effectPrefilter = dataflow;
+            o->refuter.exec.useConstFacts = dataflow;
+        }
+        AppReport serial = detector.analyze(one);
+        AppReport j4 = detector.analyze(four);
+        AppReport j8 = detector.analyze(eight);
+        std::string label =
+            dataflow ? "dataflow on" : "dataflow off";
+        expectIdenticalReports(serial, j4, label + " jobs=4");
+        expectIdenticalReports(serial, j8, label + " jobs=8");
+    }
+}
+
 TEST(ParallelDeterminism, DedupKeysAreStableAcrossDetectors)
 {
     // The dedup key is built from qualified method names, not Method

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# CI entry point: configure, build, and run the test suite in three
+# flavors -- plain, AddressSanitizer, and ThreadSanitizer. Each flavor
+# uses its own build directory so the configurations never clobber each
+# other; pass extra ctest args after "--" (e.g. tools/check.sh -- -R Lint).
+#
+# Usage: tools/check.sh [plain|asan|tsan|all] [-- <ctest args...>]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+flavor="${1:-all}"
+shift || true
+if [ "${1:-}" = "--" ]; then shift; fi
+ctest_args=("$@")
+
+jobs="${SIERRA_BUILD_JOBS:-$(nproc 2>/dev/null || echo 2)}"
+
+run_flavor() {
+    local name="$1" dir="$2" sanitize="$3"
+    echo "=== ${name}: configure + build (${dir}) ==="
+    cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DSIERRA_SANITIZE="${sanitize}" >/dev/null
+    cmake --build "${dir}" -j "${jobs}"
+    echo "=== ${name}: ctest ==="
+    (cd "${dir}" && ctest --output-on-failure -j "${jobs}" "${ctest_args[@]+"${ctest_args[@]}"}")
+}
+
+case "${flavor}" in
+  plain) run_flavor plain build "" ;;
+  asan)  run_flavor asan build-asan address ;;
+  tsan)  run_flavor tsan build-tsan thread ;;
+  all)
+    run_flavor plain build ""
+    run_flavor asan build-asan address
+    run_flavor tsan build-tsan thread
+    ;;
+  *)
+    echo "usage: tools/check.sh [plain|asan|tsan|all] [-- <ctest args>]" >&2
+    exit 2
+    ;;
+esac
+echo "=== all requested flavors passed ==="

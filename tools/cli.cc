@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "air/printer.hh"
+#include "air/verifier.hh"
+#include "analysis/lint.hh"
 #include "corpus/generator.hh"
 #include "corpus/named_apps.hh"
 #include "corpus/patterns.hh"
@@ -24,6 +26,10 @@ commands:
   dynamic <file.air> [options]   run the dynamic (EventRacer-style) detector
   verify <file.air> [options]    statically detect, then verify the surviving
                                  races by hunting both orders dynamically
+  lint <file.air> [options]      structural verification plus dataflow
+                                 lint (use-before-def, unreachable
+                                 blocks, dead stores); non-zero exit on
+                                 any finding
   dump <app> [-o FILE]           write a corpus app as an app bundle
                                  (<app> is a Table 2 name or fdroid-N)
   harness <file.air> <activity>  print the generated harness for one activity
@@ -45,9 +51,14 @@ analyze options:
                     refutation (default: SIERRA_JOBS env var, else
                     hardware concurrency; reports are identical at
                     every N)
+  --no-dataflow     disable the dataflow stage (effect prefilter and
+                    constant facts in the refuter)
   --max-races N     cap the printed race list (default 50)
   --show-refuted    also print refuted candidates
   --json            machine-readable output
+
+lint options:
+  --errors-only     report only errors (skip warnings)
 
 dynamic options:
   --schedules N     randomized schedules to run (default 3)
@@ -266,6 +277,10 @@ cmdAnalyze(const ParsedFlags &flags, std::ostream &out,
     options.refuter.exec.useNodeCache = flags.has("--node-cache");
     options.pta.indexSensitiveArrays = flags.has("--index-sensitive");
     options.jobs = flags.getInt("--jobs", 0);
+    if (flags.has("--no-dataflow")) {
+        options.effectPrefilter = false;
+        options.refuter.exec.useConstFacts = false;
+    }
 
     SierraDetector detector(*app);
     AppReport report = detector.analyze(options);
@@ -359,6 +374,40 @@ cmdVerify(const ParsedFlags &flags, std::ostream &out,
             << race.schedulesWithConflict << " schedules)\n";
     }
     return 0;
+}
+
+int
+cmdLint(const ParsedFlags &flags, std::ostream &out, std::ostream &err)
+{
+    if (flags.positional.empty()) {
+        err << "error: lint needs an app bundle file\n";
+        return 2;
+    }
+    auto app = loadApp(flags.positional[0], err);
+    if (!app)
+        return 1;
+
+    std::vector<air::VerifyIssue> issues =
+        air::verifyModule(app->module());
+    for (air::VerifyIssue &issue :
+         analysis::lintModule(app->module())) {
+        issues.push_back(std::move(issue));
+    }
+
+    const bool errors_only = flags.has("--errors-only");
+    int shown = 0;
+    for (const air::VerifyIssue &issue : issues) {
+        if (errors_only && issue.severity != air::Severity::Error)
+            continue;
+        out << issue.toString() << "\n";
+        ++shown;
+    }
+    if (shown == 0) {
+        out << "no issues\n";
+        return 0;
+    }
+    out << shown << " issue(s)\n";
+    return 1;
 }
 
 int
@@ -504,6 +553,8 @@ runCli(const std::vector<std::string> &args, std::ostream &out,
         return cmdDynamic(flags, out, err);
     if (command == "verify")
         return cmdVerify(flags, out, err);
+    if (command == "lint")
+        return cmdLint(flags, out, err);
     if (command == "dump")
         return cmdDump(flags, out, err);
     if (command == "harness")
