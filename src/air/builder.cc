@@ -298,6 +298,24 @@ MethodBuilder::nop()
 }
 
 void
+MethodBuilder::monitorEnter(int obj)
+{
+    Instruction i;
+    i.op = Opcode::MonitorEnter;
+    i.srcs = {obj};
+    emit(std::move(i));
+}
+
+void
+MethodBuilder::monitorExit(int obj)
+{
+    Instruction i;
+    i.op = Opcode::MonitorExit;
+    i.srcs = {obj};
+    emit(std::move(i));
+}
+
+void
 MethodBuilder::finish()
 {
     SIERRA_ASSERT(!_finished, "finish() called twice");

@@ -100,6 +100,10 @@ class MethodBuilder
     void throwReg(int src);
     void nop();
 
+    // --- synchronization ----------------------------------------------
+    void monitorEnter(int obj);
+    void monitorExit(int obj);
+
     /** Current next-instruction index (useful for site bookkeeping). */
     int nextIndex() const
     {

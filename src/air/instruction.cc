@@ -32,6 +32,8 @@ opcodeName(Opcode op)
       case Opcode::IfZ: return "ifz";
       case Opcode::Goto: return "goto";
       case Opcode::Throw: return "throw";
+      case Opcode::MonitorEnter: return "monitor-enter";
+      case Opcode::MonitorExit: return "monitor-exit";
     }
     panic("unreachable opcode");
 }
@@ -311,6 +313,12 @@ Instruction::toString() const
         break;
       case Opcode::Throw:
         os << "throw " << reg(srcs[0]);
+        break;
+      case Opcode::MonitorEnter:
+        os << "monitor-enter " << reg(srcs[0]);
+        break;
+      case Opcode::MonitorExit:
+        os << "monitor-exit " << reg(srcs[0]);
         break;
     }
     return os.str();

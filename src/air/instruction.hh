@@ -42,6 +42,8 @@ enum class Opcode : uint8_t {
     IfZ,       //!< if (srcs[0] cond 0/null) goto target
     Goto,      //!< goto target
     Throw,     //!< throw srcs[0]
+    MonitorEnter, //!< acquire the monitor of srcs[0]
+    MonitorExit,  //!< release the monitor of srcs[0]
 };
 
 /** Dispatch flavor of an Invoke instruction. */

@@ -480,6 +480,18 @@ Parser::parseInstruction()
         i.srcs = {parseReg()};
         return i;
     }
+    if (w == "monitor-enter") {
+        next();
+        i.op = Opcode::MonitorEnter;
+        i.srcs = {parseReg()};
+        return i;
+    }
+    if (w == "monitor-exit") {
+        next();
+        i.op = Opcode::MonitorExit;
+        i.srcs = {parseReg()};
+        return i;
+    }
     if (w == "aput") {
         next();
         i.op = Opcode::ArrayPut;

@@ -1,5 +1,6 @@
 #include "verifier.hh"
 
+#include <algorithm>
 #include <map>
 #include <unordered_set>
 
@@ -82,6 +83,8 @@ shapeFor(Opcode op, Shape &out)
       case Opcode::IfZ: out = {1, false, true}; return true;
       case Opcode::Goto: out = {0, false, true}; return true;
       case Opcode::Throw: out = {1, false, false}; return true;
+      case Opcode::MonitorEnter: out = {1, false, false}; return true;
+      case Opcode::MonitorExit: out = {1, false, false}; return true;
     }
     return false;
 }
@@ -102,6 +105,7 @@ class Verifier
     void checkHierarchy(const Klass &klass);
     void checkMethod(const Method &method);
     void checkInstr(const Method &method, int idx);
+    void checkMonitors(const Method &method);
 
     const Module &_module;
     std::vector<VerifyIssue> _issues;
@@ -154,6 +158,154 @@ Verifier::checkMethod(const Method &method)
     }
     for (int i = 0; i < method.numInstrs(); ++i)
         checkInstr(method, i);
+    checkMonitors(method);
+}
+
+/**
+ * Structural monitor balance.
+ *
+ * A small instruction-level fixpoint tracks, per lock register, the
+ * interval [min, max] of possible monitor depths at each program point.
+ * Two classes of defects are errors:
+ *
+ *  - monitor-exit reachable with depth 0 on some path ("exit without a
+ *    dominating enter");
+ *  - return reachable with depth > 0 on some path ("enter with no exit
+ *    on some path to return").
+ *
+ * Depths are clamped at a small cap so enters inside loops converge.
+ */
+void
+Verifier::checkMonitors(const Method &method)
+{
+    constexpr int kDepthCap = 8;
+    const auto &instrs = method.instrs();
+    const int n = method.numInstrs();
+    bool any = false;
+    for (const Instruction &instr : instrs) {
+        if (instr.op == Opcode::MonitorEnter ||
+            instr.op == Opcode::MonitorExit) {
+            any = true;
+            break;
+        }
+    }
+    if (!any)
+        return;
+
+    // reg -> [min, max] depth; absent means [0, 0].
+    using State = std::map<int, std::pair<int, int>>;
+    std::vector<State> in(n);
+    std::vector<bool> reached(n, false);
+
+    auto succsOf = [&](int idx, std::vector<int> &out) {
+        out.clear();
+        const Instruction &instr = instrs[idx];
+        if (instr.op == Opcode::Goto) {
+            out.push_back(instr.target);
+            return;
+        }
+        if (instr.isConditionalBranch()) {
+            out.push_back(instr.target);
+            if (idx + 1 < n)
+                out.push_back(idx + 1);
+            return;
+        }
+        if (instr.isTerminator())
+            return;
+        if (idx + 1 < n)
+            out.push_back(idx + 1);
+    };
+
+    auto mergeInto = [](State &dst, const State &src) {
+        bool changed = false;
+        // Keys absent on one side mean depth [0, 0] there.
+        for (const auto &[r, range] : src) {
+            auto it = dst.find(r);
+            if (it == dst.end()) {
+                auto widened = std::make_pair(0, range.second);
+                if (widened != std::make_pair(0, 0)) {
+                    dst.emplace(r, widened);
+                    changed = true;
+                }
+            } else {
+                int lo = std::min(it->second.first, range.first);
+                int hi = std::max(it->second.second, range.second);
+                if (std::make_pair(lo, hi) != it->second) {
+                    it->second = {lo, hi};
+                    changed = true;
+                }
+            }
+        }
+        for (auto &[r, range] : dst) {
+            if (src.find(r) == src.end() && range.first != 0) {
+                range.first = 0;
+                changed = true;
+            }
+        }
+        return changed;
+    };
+
+    std::vector<int> work{0};
+    std::vector<int> succs;
+    if (n > 0)
+        reached[0] = true;
+    while (!work.empty()) {
+        int idx = work.back();
+        work.pop_back();
+        if (idx < 0 || idx >= n)
+            continue;
+        State out = in[idx];
+        const Instruction &instr = instrs[idx];
+        if (instr.op == Opcode::MonitorEnter && !instr.srcs.empty()) {
+            auto &range = out[instr.srcs[0]];
+            range.first = std::min(range.first + 1, kDepthCap);
+            range.second = std::min(range.second + 1, kDepthCap);
+        } else if (instr.op == Opcode::MonitorExit &&
+                   !instr.srcs.empty()) {
+            auto &range = out[instr.srcs[0]];
+            range.first = std::max(range.first - 1, 0);
+            range.second = std::max(range.second - 1, 0);
+            if (range == std::make_pair(0, 0))
+                out.erase(instr.srcs[0]);
+        }
+        succsOf(idx, succs);
+        for (int s : succs) {
+            if (s < 0 || s >= n)
+                continue; // reported by the shape check
+            if (!reached[s]) {
+                reached[s] = true;
+                in[s] = out;
+                work.push_back(s);
+            } else if (mergeInto(in[s], out)) {
+                work.push_back(s);
+            }
+        }
+    }
+
+    for (int idx = 0; idx < n; ++idx) {
+        if (!reached[idx])
+            continue;
+        const Instruction &instr = instrs[idx];
+        std::string where = strCat(method.qualifiedName(), "@", idx);
+        if (instr.op == Opcode::MonitorExit && !instr.srcs.empty()) {
+            auto it = in[idx].find(instr.srcs[0]);
+            if (it == in[idx].end() || it->second.first == 0) {
+                report(where,
+                       strCat("monitor-exit r", instr.srcs[0],
+                              " without a dominating monitor-enter"));
+            }
+        }
+        if (instr.op == Opcode::Return || instr.op == Opcode::ReturnVoid) {
+            for (const auto &[r, range] : in[idx]) {
+                if (range.second > 0) {
+                    report(where,
+                           strCat("monitor-enter r", r,
+                                  " with no monitor-exit on some path "
+                                  "to return"));
+                }
+            }
+        }
+    }
 }
 
 void

@@ -50,7 +50,9 @@ std::vector<VerifyIssue> dedupeIssues(std::vector<VerifyIssue> issues);
  * Verifies: register indices within bounds, branch targets within method
  * bodies, operand counts per opcode, referenced classes/fields/methods
  * resolvable (unless the class is outside the module, which is reported),
- * bodies ending in terminators, and super-class links being acyclic.
+ * bodies ending in terminators, super-class links being acyclic, and
+ * monitor-enter/monitor-exit being structurally balanced (no exit
+ * without a dominating enter, no enter left open on a path to return).
  *
  * @return all issues found; empty means the module is well formed.
  */

@@ -1,0 +1,97 @@
+#include "escape.hh"
+
+#include <deque>
+
+namespace sierra::analysis {
+
+const char *
+escapeReasonName(EscapeReason r)
+{
+    switch (r) {
+      case EscapeReason::None: return "none";
+      case EscapeReason::StaticField: return "static-field";
+      case EscapeReason::SyntheticPayload: return "synthetic-payload";
+      case EscapeReason::MultiAction: return "multi-action";
+    }
+    return "?";
+}
+
+EscapeAnalysis::EscapeAnalysis(const PointsToResult &pts)
+{
+    const int num_objects = static_cast<int>(pts.objects.size());
+    _reasons.assign(static_cast<size_t>(num_objects),
+                    EscapeReason::None);
+
+    std::deque<ObjId> work;
+    auto mark = [&](ObjId obj, EscapeReason reason) {
+        if (obj < 0 || obj >= num_objects)
+            return;
+        if (_reasons[static_cast<size_t>(obj)] != EscapeReason::None)
+            return;
+        _reasons[static_cast<size_t>(obj)] = reason;
+        ++_numEscaping;
+        work.push_back(obj);
+    };
+
+    // Root 1: static-field points-to sets.
+    for (const auto &[key, objs] : pts.staticPts) {
+        for (ObjId obj : objs)
+            mark(obj, EscapeReason::StaticField);
+    }
+
+    // Root 2: framework payloads crossing the action boundary.
+    for (ObjId obj = 0; obj < num_objects; ++obj) {
+        if (pts.objects.get(obj).kind == ObjKind::Synthetic)
+            mark(obj, EscapeReason::SyntheticPayload);
+    }
+
+    // Root 3: objects visible to two or more actions' code. Attribute
+    // each object to the actions of every node whose registers may
+    // hold it; the ObjId order of the outer structures keeps the
+    // attribution deterministic.
+    std::vector<std::set<int>> touched_by(
+        static_cast<size_t>(num_objects));
+    const int num_nodes = static_cast<int>(pts.regPts.size());
+    for (NodeId node = 0; node < num_nodes; ++node) {
+        const std::set<int> &actions = pts.cg.actionsOf(node);
+        if (actions.empty())
+            continue;
+        for (const std::set<ObjId> &objs :
+             pts.regPts[static_cast<size_t>(node)]) {
+            for (ObjId obj : objs) {
+                if (obj < 0 || obj >= num_objects)
+                    continue;
+                auto &set = touched_by[static_cast<size_t>(obj)];
+                set.insert(actions.begin(), actions.end());
+            }
+        }
+    }
+    for (ObjId obj = 0; obj < num_objects; ++obj) {
+        if (touched_by[static_cast<size_t>(obj)].size() >= 2)
+            mark(obj, EscapeReason::MultiAction);
+    }
+
+    // Close under field reachability: a shared object's fields are
+    // shared too (a second action holding the root can walk to them).
+    while (!work.empty()) {
+        ObjId obj = work.front();
+        work.pop_front();
+        EscapeReason reason = _reasons[static_cast<size_t>(obj)];
+        auto it = pts.fieldPts.lower_bound({obj, std::string()});
+        for (; it != pts.fieldPts.end() && it->first.first == obj;
+             ++it) {
+            for (ObjId target : it->second)
+                mark(target, reason);
+        }
+    }
+}
+
+EscapeReason
+EscapeAnalysis::reasonOf(ObjId obj) const
+{
+    if (obj < 0 || obj >= static_cast<ObjId>(_reasons.size()))
+        return EscapeReason::MultiAction; // unknown: stay conservative
+    return _reasons[static_cast<size_t>(obj)];
+}
+
+} // namespace sierra::analysis

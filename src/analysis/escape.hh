@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Thread-escape analysis over the points-to heap.
+ *
+ * An abstract object is *thread-shared* (it "escapes" its creating
+ * action) when some second concurrency action can reach it:
+ *
+ *  - StaticField: it is reachable from a static field (any action can
+ *    load the root and walk to it);
+ *  - SyntheticPayload: it is a per-action payload object (Message /
+ *    Intent / interned string) handed across the action boundary by
+ *    the framework;
+ *  - MultiAction: it sits in a register of some call-graph node that
+ *    two or more distinct actions can execute (posted Runnable and
+ *    AsyncTask captures, listener fields read from callbacks, a second
+ *    action's locals all surface here).
+ *
+ * Escaping-ness is closed under field reachability: everything a
+ * shared object's fields point to is shared too.
+ *
+ * The race stage uses this to drop accesses whose every base object is
+ * thread-local *before* the quadratic pair loop. The filter is
+ * report-preserving: a non-escaping base is touched by at most one
+ * action, so every action pair on it has action1 == action2 — exactly
+ * the pairs findRacyPairs already discards.
+ */
+
+#ifndef SIERRA_ANALYSIS_ESCAPE_HH
+#define SIERRA_ANALYSIS_ESCAPE_HH
+
+#include <vector>
+
+#include "points_to.hh"
+
+namespace sierra::analysis {
+
+/** Why an object is considered thread-shared. */
+enum class EscapeReason : uint8_t {
+    None,             //!< does not escape
+    StaticField,      //!< reachable from a static field
+    SyntheticPayload, //!< framework payload crossing actions
+    MultiAction,      //!< reachable from two or more actions' code
+};
+
+const char *escapeReasonName(EscapeReason r);
+
+/** Escape classification of every abstract object. */
+class EscapeAnalysis
+{
+  public:
+    explicit EscapeAnalysis(const PointsToResult &pts);
+
+    bool escapes(ObjId obj) const
+    {
+        return reasonOf(obj) != EscapeReason::None;
+    }
+    /** First reason that marked the object (root order: static,
+     *  payload, multi-action; closure inherits the root's reason). */
+    EscapeReason reasonOf(ObjId obj) const;
+
+    int numObjects() const
+    {
+        return static_cast<int>(_reasons.size());
+    }
+    int numEscaping() const { return _numEscaping; }
+
+  private:
+    std::vector<EscapeReason> _reasons;
+    int _numEscaping{0};
+};
+
+} // namespace sierra::analysis
+
+#endif // SIERRA_ANALYSIS_ESCAPE_HH

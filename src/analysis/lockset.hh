@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Must-held lock sets per instruction (lock-set race refutation).
+ *
+ * A forward dataflow client of the generic framework (dataflow.hh)
+ * computes, for every call-graph node and instruction, the set of
+ * abstract lock objects that are held on *every* path reaching the
+ * instruction. Lock objects are resolved through the points-to result:
+ * `monitor-enter r` acquires the single abstract object r must-aliases
+ * (a points-to set of size one); an ambiguous enter (|pts| != 1)
+ * acquires nothing, because the held lock cannot be named — the
+ * analysis under-approximates held locks, which is the sound direction
+ * for refutation. Monitor reentrancy is tracked with a per-lock depth,
+ * clamped at kDepthCap so enters inside loops converge.
+ *
+ * Lock sets are interprocedural in the entry state: the locks held at
+ * a node's entry are the intersection, over every call edge reaching
+ * the node, of the locks held at the call site (Java monitors are
+ * block-scoped, so a callee can never release a caller's lock — the
+ * verifier's monitor-balance check enforces the AIR analogue). Action
+ * entry nodes and the harness root are invoked by the framework with
+ * no app locks held, so their entry set is empty.
+ */
+
+#ifndef SIERRA_ANALYSIS_LOCKSET_HH
+#define SIERRA_ANALYSIS_LOCKSET_HH
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "points_to.hh"
+
+namespace sierra::analysis {
+
+/** One must-lock state: lock object -> acquisition depth (>= 1). */
+using LockState = std::map<ObjId, int>;
+
+/** Must-held lock sets for every node of one points-to result. */
+class LockSetAnalysis
+{
+  public:
+    /** Reentrancy depths are clamped here so loops converge. */
+    static constexpr int kDepthCap = 8;
+
+    explicit LockSetAnalysis(const PointsToResult &pts);
+
+    /**
+     * Lock objects held on every path when instruction `instr_idx` of
+     * `node` starts executing. Empty for nodes the interprocedural
+     * fixpoint never reached (never refutes anything).
+     */
+    std::set<ObjId> locksHeldAt(NodeId node, int instr_idx) const;
+
+    /** Full state (with depths) at an instruction, for tests. */
+    LockState stateAt(NodeId node, int instr_idx) const;
+
+    /** Locks held at a node's entry (the interprocedural component). */
+    const LockState &entryLocks(NodeId node) const;
+
+    /** Number of nodes whose bodies contain monitor instructions. */
+    int numMonitoredNodes() const { return _monitoredNodes; }
+
+  private:
+    /** Per node: per instruction, the must-lock state at its start.
+     *  Nodes without monitor instructions and empty entry locks are
+     *  left empty (their state is empty everywhere). */
+    std::vector<std::vector<LockState>> _atInstr;
+    std::vector<LockState> _entry;
+    int _monitoredNodes{0};
+    static const LockState _emptyState;
+};
+
+} // namespace sierra::analysis
+
+#endif // SIERRA_ANALYSIS_LOCKSET_HH

@@ -516,6 +516,8 @@ PointsToAnalysis::Engine::processInstr(NodeId n, const Method *m,
       case Opcode::If:
       case Opcode::IfZ:
       case Opcode::ReturnVoid:
+      case Opcode::MonitorEnter:
+      case Opcode::MonitorExit:
         return false;
       case Opcode::Move: {
         bool c = addObjs(n, instr.dst, pts(instr.srcs[0]));

@@ -49,7 +49,7 @@ namedAppSpecs()
         {"Beem", "50,000-100,000", 1700, 5,
          {"receiverDbRace", "orderedPosts", "arrayIndexTrap"}},
         {"ConnectBot", "1,000,000-5,000,000", 700, 3,
-         {"threadRace", "receiverDbRace"}},
+         {"threadRace", "receiverDbRace", "lockGuarded"}},
         {"FBReader", "10,000,000-50,000,000", 1013, 4,
          {"asyncNewsRace", "actionAliasTrap", "workSession"}},
         {"K-9 Mail", "5,000,000-10,000,000", 2800, 6,
@@ -77,7 +77,7 @@ namedAppSpecs()
         {"VLC", "100,000,000-500,000,000", 1100, 4,
          {"serviceStaticRace", "asyncNewsRace"}},
         {"VuDroid", "100,000-500,000", 63, 1,
-         {"threadRace"}},
+         {"threadRace", "localScratch"}},
         {"XBMC remote", "100,000-500,000", 1100, 4,
          {"messageGuard", "receiverDbRace", "workSession"}},
     };

@@ -1363,6 +1363,139 @@ addHandlerThreadRace(AppFactory &f, ActivityBuilder &act)
                   "handlerThreadRace: FIFO-ordered posts (rule 4)");
 }
 
+// --------------------------------------------------------------------
+// Pattern: background thread and GUI callback guarded by the same
+// field monitor (false positive unless lock sets are on).
+// --------------------------------------------------------------------
+void
+addLockGuarded(AppFactory &f, ActivityBuilder &act)
+{
+    int n = f.nextUnique();
+    std::string worker_cls = "Locker$" + std::to_string(n);
+    std::string act_cls = act.name();
+    std::string lock_field = "lock$" + std::to_string(n);
+    std::string shared_field = "guardedVal$" + std::to_string(n);
+    int wid = f.nextViewId();
+    std::string show = "onGuarded$" + std::to_string(n);
+
+    air::Module &mod = f.app().module();
+
+    // The worker writes the shared field under the activity's lock.
+    Klass *worker = mod.addClass(worker_cls, names::thread);
+    worker->addField({"act", Type::object(act_cls), false});
+    storingCtor(worker, worker_cls, "act", Type::object(act_cls));
+    defineMethod(worker, "run", {}, Type::voidTy(), false,
+                 [&](MethodBuilder &b) {
+                     int ra = b.newReg();
+                     int rl = b.newReg();
+                     int rv = b.newReg();
+                     b.getField(ra, b.thisReg(),
+                                fieldRef(worker_cls, "act"));
+                     b.getField(rl, ra, fieldRef(act_cls, lock_field));
+                     b.monitorEnter(rl);
+                     b.newObject(rv, names::object);
+                     b.putField(ra, fieldRef(act_cls, shared_field),
+                                rv);
+                     b.monitorExit(rl);
+                 });
+
+    act.addField(lock_field, Type::object(names::object));
+    act.addField(shared_field, Type::object(names::object));
+    framework::Widget w;
+    w.id = wid;
+    w.name = "btnGuarded$" + std::to_string(n);
+    w.widgetClass = names::button;
+    w.xmlOnClick = show;
+    act.layout().addWidget(w);
+
+    act.on("onCreate", [=](MethodBuilder &b) {
+        int rl = b.newReg();
+        int rw = b.newReg();
+        b.newObject(rl, names::object);
+        b.putField(b.thisReg(), fieldRef(act_cls, lock_field), rl);
+        b.newObject(rw, worker_cls);
+        b.invoke(-1, InvokeKind::Special, {worker_cls, "<init>", 0},
+                 {rw, b.thisReg()});
+        b.call(rw, worker_cls, "start");
+    });
+    // The GUI read holds the same monitor: the pair has a common
+    // must-held lock and one background side, so the lock-set stage
+    // refutes it; symbolic execution alone cannot (no guards).
+    defineMethod(act.klass(), show, {Type::object(names::view)},
+                 Type::voidTy(), false, [&](MethodBuilder &b) {
+                     int rl = b.newReg();
+                     int rv = b.newReg();
+                     b.getField(rl, b.thisReg(),
+                                fieldRef(act_cls, lock_field));
+                     b.monitorEnter(rl);
+                     b.getField(rv, b.thisReg(),
+                                fieldRef(act_cls, shared_field));
+                     b.monitorExit(rl);
+                 });
+
+    f.truth().add(act_cls + "." + shared_field, SeedClass::FpTrap,
+                  "lockGuarded: both sides hold the same field "
+                  "monitor");
+}
+
+// --------------------------------------------------------------------
+// Pattern: method-local scratch buffers (pruned by escape analysis).
+// --------------------------------------------------------------------
+void
+addLocalScratch(AppFactory &f, ActivityBuilder &act)
+{
+    int n = f.nextUnique();
+    std::string scratch_cls = "Scratch$" + std::to_string(n);
+    std::string worker_cls = "Cruncher$" + std::to_string(n);
+    std::string act_cls = act.name();
+
+    air::Module &mod = f.app().module();
+
+    Klass *scratch = mod.addClass(scratch_cls, names::object);
+    scratch->addField({"val", Type::intTy(), false});
+    scratch->addField({"sum", Type::intTy(), false});
+    emptyCtor(scratch);
+
+    // A background thread that only touches a buffer it allocates
+    // itself: the accesses never pair with another action, and the
+    // escape stage drops them before the quadratic loop.
+    Klass *worker = mod.addClass(worker_cls, names::thread);
+    emptyCtor(worker);
+    defineMethod(worker, "run", {}, Type::voidTy(), false,
+                 [&](MethodBuilder &b) {
+                     int rs = b.newReg();
+                     int r1 = b.newReg();
+                     int r2 = b.newReg();
+                     b.newObject(rs, scratch_cls);
+                     b.invoke(-1, InvokeKind::Special,
+                              {scratch_cls, "<init>", 0}, {rs});
+                     b.constInt(r1, 7);
+                     b.putField(rs, fieldRef(scratch_cls, "val"), r1);
+                     b.getField(r2, rs, fieldRef(scratch_cls, "val"));
+                     b.putField(rs, fieldRef(scratch_cls, "sum"), r2);
+                 });
+
+    act.on("onCreate", [=](MethodBuilder &b) {
+        // A second local scratch in the lifecycle action: same class,
+        // different allocation site; neither object escapes.
+        int rs = b.newReg();
+        int r1 = b.newReg();
+        int rw = b.newReg();
+        b.newObject(rs, scratch_cls);
+        b.invoke(-1, InvokeKind::Special, {scratch_cls, "<init>", 0},
+                 {rs});
+        b.constInt(r1, 1);
+        b.putField(rs, fieldRef(scratch_cls, "val"), r1);
+        b.newObject(rw, worker_cls);
+        b.invoke(-1, InvokeKind::Special, {worker_cls, "<init>", 0},
+                 {rw});
+        b.call(rw, worker_cls, "start");
+    });
+
+    f.truth().add(scratch_cls + ".val", SeedClass::FpTrap,
+                  "localScratch: thread-local buffers never pair");
+}
+
 const std::vector<PatternEntry> &
 patternCatalog()
 {
@@ -1384,6 +1517,8 @@ patternCatalog()
         {"executorRace", &addExecutorRace, 1, 0},
         {"arrayIndexTrap", &addArrayIndexTrap, 0, 1},
         {"workSession", &addWorkSession, 0, 2},
+        {"lockGuarded", &addLockGuarded, 0, 1},
+        {"localScratch", &addLocalScratch, 0, 1},
     };
     return catalog;
 }

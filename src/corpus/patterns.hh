@@ -25,6 +25,10 @@
  *  - arrayIndexTrap     Section 6.5: index-insensitive array (known FP)
  *  - workSession        Section 3.3 ablation amplifier (per-action
  *                       sessions falsely alias without AS contexts)
+ *  - lockGuarded        background thread and GUI callback hold the
+ *                       same field monitor (FP without lock sets)
+ *  - localScratch       method-local buffers (pruned by escape
+ *                       analysis; never a race)
  */
 
 #ifndef SIERRA_CORPUS_PATTERNS_HH
@@ -51,6 +55,8 @@ void addHandlerThreadRace(AppFactory &f, ActivityBuilder &act);
 void addExecutorRace(AppFactory &f, ActivityBuilder &act);
 void addArrayIndexTrap(AppFactory &f, ActivityBuilder &act);
 void addWorkSession(AppFactory &f, ActivityBuilder &act);
+void addLockGuarded(AppFactory &f, ActivityBuilder &act);
+void addLocalScratch(AppFactory &f, ActivityBuilder &act);
 
 /** All pattern functions, for sweep-style corpus generation. */
 using PatternFn = void (*)(AppFactory &, ActivityBuilder &);

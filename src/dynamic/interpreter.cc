@@ -621,6 +621,12 @@ Interpreter::invoke(const Method *method, std::vector<Value> args,
           case Opcode::Goto:
             pc = instr.target;
             continue;
+          case Opcode::MonitorEnter:
+          case Opcode::MonitorExit:
+            // Within one trace, events run to completion on their
+            // thread, so monitors never block; acquire/release is a
+            // no-op with (vacuous) HB semantics here.
+            break;
         }
         ++pc;
     }

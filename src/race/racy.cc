@@ -13,6 +13,17 @@ using analysis::Action;
 using analysis::ObjId;
 using analysis::PointsToResult;
 
+const char *
+refutedByName(RefutedBy r)
+{
+    switch (r) {
+      case RefutedBy::None: return "none";
+      case RefutedBy::Lockset: return "lockset";
+      case RefutedBy::Symbolic: return "symbolic";
+    }
+    return "?";
+}
+
 std::string
 RacyPair::toString(const PointsToResult &r,
                    const std::vector<Access> &accesses) const
@@ -26,8 +37,12 @@ RacyPair::toString(const PointsToResult &r,
         const Action &a2 = r.actions.get(actionPairs[0].action2);
         out += " [" + a1.label + " || " + a2.label + "]";
     }
-    if (refuted)
-        out += " (refuted)";
+    if (refuted) {
+        out += " (refuted";
+        if (refutedBy != RefutedBy::None)
+            out += std::string(": ") + refutedByName(refutedBy);
+        out += ")";
+    }
     return out;
 }
 
@@ -69,8 +84,13 @@ findRacyPairs(const PointsToResult &result, const hb::Shbg &shbg,
         }
     }
 
+    const std::vector<char> *live = options.liveAccess;
     for (size_t i = 0; i < accesses.size(); ++i) {
+        if (live && !(*live)[i])
+            continue;
         for (size_t j = i; j < accesses.size(); ++j) {
+            if (live && !(*live)[j])
+                continue;
             const Access &x = accesses[i];
             const Access &y = accesses[j];
             if (!x.isWrite && !y.isWrite)
@@ -164,6 +184,75 @@ findRacyPairs(const PointsToResult &result, const hb::Shbg &shbg,
     for (auto &[key, pair] : dedup)
         out.push_back(std::move(pair));
     return out;
+}
+
+std::vector<char>
+escapeLiveMask(const analysis::EscapeAnalysis &escape,
+               const std::vector<Access> &accesses)
+{
+    std::vector<char> live(accesses.size(), 0);
+    for (size_t i = 0; i < accesses.size(); ++i) {
+        for (const MemLoc &loc : accesses[i].locs) {
+            if (loc.isStatic || escape.escapes(loc.obj)) {
+                live[i] = 1;
+                break;
+            }
+        }
+    }
+    return live;
+}
+
+int
+refuteWithLockSets(const PointsToResult &result,
+                   const analysis::LockSetAnalysis &locks,
+                   const std::vector<Access> &accesses,
+                   std::vector<RacyPair> &pairs)
+{
+    int refuted = 0;
+    for (RacyPair &pair : pairs) {
+        if (pair.refuted || pair.actionPairs.empty())
+            continue;
+        bool all_protected = true;
+        for (const ActionPairEntry &entry : pair.actionPairs) {
+            const Action &a1 = result.actions.get(entry.action1);
+            const Action &a2 = result.actions.get(entry.action2);
+            // Monitors only order truly concurrent accesses. Two
+            // same-looper events serialize anyway; their race is
+            // event-order nondeterminism, which a lock held inside
+            // each event cannot remove.
+            if (a1.runsOnLooper() && a2.runsOnLooper()) {
+                all_protected = false;
+                break;
+            }
+            const Access &x = accesses[entry.access1];
+            const Access &y = accesses[entry.access2];
+            std::set<analysis::ObjId> l1 =
+                locks.locksHeldAt(x.node, x.instrIdx);
+            if (l1.empty()) {
+                all_protected = false;
+                break;
+            }
+            std::set<analysis::ObjId> l2 =
+                locks.locksHeldAt(y.node, y.instrIdx);
+            bool common = false;
+            for (analysis::ObjId obj : l1) {
+                if (l2.count(obj)) {
+                    common = true;
+                    break;
+                }
+            }
+            if (!common) {
+                all_protected = false;
+                break;
+            }
+        }
+        if (all_protected) {
+            pair.refuted = true;
+            pair.refutedBy = RefutedBy::Lockset;
+            ++refuted;
+        }
+    }
+    return refuted;
 }
 
 void

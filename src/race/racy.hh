@@ -11,9 +11,20 @@
 
 #include "access.hh"
 #include "analysis/effects.hh"
+#include "analysis/escape.hh"
+#include "analysis/lockset.hh"
 #include "hb/shbg.hh"
 
 namespace sierra::race {
+
+/** Which stage refuted a racy pair (per-pair provenance). */
+enum class RefutedBy : uint8_t {
+    None,     //!< the pair survives
+    Lockset,  //!< a common must-held lock on every action pair
+    Symbolic, //!< the backward symbolic executor
+};
+
+const char *refutedByName(RefutedBy r);
 
 /** One (action, action) combination a racy pair conflicts under, with
  *  the concrete access instances (per-context nodes) it arose from. */
@@ -32,7 +43,8 @@ struct RacyPair {
     //! all (action1, action2) pairs under which the accesses conflict
     std::vector<ActionPairEntry> actionPairs;
     int priority{0};     //!< larger = report earlier
-    bool refuted{false}; //!< set by the symbolic refutation stage
+    bool refuted{false}; //!< set by a refutation stage
+    RefutedBy refutedBy{RefutedBy::None};
     bool refutationTimedOut{false};
 
     std::string toString(const analysis::PointsToResult &r,
@@ -54,6 +66,14 @@ struct RacyOptions {
      * must outlive the call. Null disables the prefilter.
      */
     const analysis::FieldEffects *effects{nullptr};
+    /**
+     * Optional per-access keep mask from the escape analysis (same
+     * indexing as the accesses vector; 0 = every base object of the
+     * access is thread-local, skip it). Access indices are never
+     * rewritten, so RacyPair access ids stay valid. Not owned; null
+     * disables the filter.
+     */
+    const std::vector<char> *liveAccess{nullptr};
 };
 
 /**
@@ -78,6 +98,31 @@ findRacyPairs(const analysis::PointsToResult &result,
 void prioritize(const analysis::PointsToResult &result,
                 const std::vector<Access> &accesses,
                 std::vector<RacyPair> &pairs);
+
+/**
+ * Per-access keep mask for RacyOptions::liveAccess: an access is kept
+ * when it touches a static location or any escaping base object
+ * (see analysis::EscapeAnalysis for why dropping the rest preserves
+ * reports).
+ */
+std::vector<char>
+escapeLiveMask(const analysis::EscapeAnalysis &escape,
+               const std::vector<Access> &accesses);
+
+/**
+ * Lock-set refutation (runs before the symbolic refuter): mark a pair
+ * `refutedBy: Lockset` when EVERY action pair of the race (a) involves
+ * at least one background-thread action and (b) has a common must-held
+ * lock over its two access instances. Same-looper action pairs are
+ * exempt: their accesses never interleave at instruction granularity —
+ * the race is event-order nondeterminism, which monitors do not order —
+ * so any pair with a same-looper entry survives this stage. Returns
+ * the number of pairs newly refuted.
+ */
+int refuteWithLockSets(const analysis::PointsToResult &result,
+                       const analysis::LockSetAnalysis &locks,
+                       const std::vector<Access> &accesses,
+                       std::vector<RacyPair> &pairs);
 
 } // namespace sierra::race
 

@@ -83,9 +83,40 @@ SierraDetector::runHarness(const harness::HarnessPlan &plan,
 
     auto t2 = std::chrono::steady_clock::now();
     ha.accesses = race::extractAccesses(*ha.pta);
+    ha.accessesTotal = static_cast<int>(ha.accesses.size());
+    double racy = secondsSince(t2);
+
+    // Escape stage: drop accesses whose every base object is
+    // thread-local before the quadratic pair loop (report-preserving,
+    // see analysis/escape.hh).
+    auto t_esc = std::chrono::steady_clock::now();
+    std::vector<char> live;
+    if (options.escapeFilter) {
+        analysis::EscapeAnalysis esc(*ha.pta);
+        live = race::escapeLiveMask(esc, ha.accesses);
+        racy_options.liveAccess = &live;
+        for (char kept : live) {
+            if (!kept)
+                ++ha.accessesDropped;
+        }
+    }
+    double escape = secondsSince(t_esc);
+
+    auto t2b = std::chrono::steady_clock::now();
     ha.pairs = race::findRacyPairs(*ha.pta, *ha.shbg, ha.accesses,
                                    racy_options);
-    double racy = secondsSince(t2);
+    racy += secondsSince(t2b);
+
+    // Lock-set stage: refute pairs protected by a common must-held
+    // monitor on every (background-involving) action pair, so they
+    // never reach the expensive symbolic refuter.
+    auto t_ls = std::chrono::steady_clock::now();
+    if (options.locksetRefutation) {
+        analysis::LockSetAnalysis locks(*ha.pta);
+        ha.locksetRefuted = race::refuteWithLockSets(
+            *ha.pta, locks, ha.accesses, ha.pairs);
+    }
+    double lockset = secondsSince(t_ls);
 
     auto t3 = std::chrono::steady_clock::now();
     if (options.runRefutation) {
@@ -99,9 +130,12 @@ SierraDetector::runHarness(const harness::HarnessPlan &plan,
         times->cgPa += cg_pa;
         times->hbg += hbg;
         times->dataflow += dataflow;
+        times->escape += escape;
         times->racy += racy;
+        times->lockset += lockset;
         times->refutation += refutation;
-        times->totalCpu += cg_pa + hbg + dataflow + racy + refutation;
+        times->totalCpu += cg_pa + hbg + dataflow + escape + racy +
+                           lockset + refutation;
     }
     return ha;
 }
@@ -180,9 +214,14 @@ SierraDetector::analyze(const SierraOptions &options)
         report.times.cgPa += task_times[i].cgPa;
         report.times.hbg += task_times[i].hbg;
         report.times.dataflow += task_times[i].dataflow;
+        report.times.escape += task_times[i].escape;
         report.times.racy += task_times[i].racy;
+        report.times.lockset += task_times[i].lockset;
         report.times.refutation += task_times[i].refutation;
         report.times.totalCpu += task_times[i].totalCpu;
+
+        report.accessesDropped += ha.accessesDropped;
+        report.locksetRefuted += ha.locksetRefuted;
 
         report.actions += ha.numActions();
         report.hbEdges += ha.hbEdges();
@@ -249,11 +288,16 @@ formatReport(const AppReport &report, int max_races, bool with_times)
        << "  HB edges: " << report.hbEdges << " ("
        << static_cast<int>(report.orderedPct + 0.5) << "% ordered)\n";
     os << "racy pairs: " << report.racyPairs
-       << "  after refutation: " << report.afterRefutation << "\n";
+       << "  lockset-refuted: " << report.locksetRefuted
+       << "  after refutation: " << report.afterRefutation
+       << "  (thread-local accesses dropped: "
+       << report.accessesDropped << ")\n";
     if (with_times) {
         os << "time: cg+pa " << report.times.cgPa << "s, hbg "
            << report.times.hbg << "s, dataflow "
-           << report.times.dataflow << "s, refutation "
+           << report.times.dataflow << "s, escape "
+           << report.times.escape << "s, lockset "
+           << report.times.lockset << "s, refutation "
            << report.times.refutation << "s, total "
            << report.times.total << "s (cpu "
            << report.times.totalCpu << "s)\n";

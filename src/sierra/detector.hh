@@ -46,6 +46,20 @@ struct SierraOptions {
      */
     bool effectPrefilter{true};
     /**
+     * The escape stage: classify abstract objects as thread-shared
+     * (analysis::EscapeAnalysis) and drop accesses whose every base is
+     * thread-local before the quadratic racy-pair loop. Time-only and
+     * report-preserving (`--no-escape` ablates it).
+     */
+    bool escapeFilter{true};
+    /**
+     * The lock-set stage: compute must-held lock sets
+     * (analysis::LockSetAnalysis) and refute pairs whose every action
+     * pair involves a background thread and shares a common must-alias
+     * lock, before symbolic refutation (`--no-lockset` ablates it).
+     */
+    bool locksetRefutation{true};
+    /**
      * Worker threads for the whole pipeline: harness plans run as
      * parallel tasks, and leftover parallelism (jobs / plans) is
      * handed to each task's sharded refutation. 0 = the SIERRA_JOBS
@@ -67,7 +81,9 @@ struct StageTimes {
     double cgPa{0};       //!< call graph + pointer analysis (cpu-s)
     double hbg{0};        //!< SHBG construction (cpu-s)
     double dataflow{0};   //!< field-effect summaries (cpu-s)
+    double escape{0};     //!< escape analysis + access filter (cpu-s)
     double racy{0};       //!< access extraction + racy pairs (cpu-s)
+    double lockset{0};    //!< lock-set analysis + refutation (cpu-s)
     double refutation{0}; //!< symbolic refutation (cpu-s)
     double totalCpu{0};   //!< sum of all per-task stage times (cpu-s)
     double total{0};      //!< elapsed wall-clock of the whole run
@@ -81,6 +97,9 @@ struct HarnessAnalysis {
     std::vector<race::Access> accesses;
     std::vector<race::RacyPair> pairs; //!< prioritized, refuted marked
     symbolic::RefutationStats refutation;
+    int accessesTotal{0};     //!< extracted accesses before filtering
+    int accessesDropped{0};   //!< thread-local accesses escape removed
+    int locksetRefuted{0};    //!< pairs refuted by the lock-set stage
 
     int numActions() const { return pta->numRealActions(); }
     int64_t hbEdges() const { return shbg->numClosurePairs(); }
@@ -107,6 +126,8 @@ struct AppReport {
     double orderedPct{0}; //!< aggregated ordered-pair percentage
     int racyPairs{0};     //!< deduplicated across harnesses
     int afterRefutation{0};
+    int accessesDropped{0}; //!< summed thread-local accesses removed
+    int locksetRefuted{0};  //!< summed pairs refuted by lock sets
     StageTimes times;
     std::vector<AppRace> races; //!< deduplicated, priority-ranked
     std::vector<HarnessAnalysis> perHarness;
@@ -138,7 +159,7 @@ class SierraDetector
     const harness::HarnessPlan &planFor(const std::string &activity);
 
     /**
-     * The five pipeline stages for one harness plan — the single body
+     * The pipeline stages for one harness plan — the single body
      * both analyzeActivity and (possibly many threads of) analyze run.
      * Reads only shared-immutable state (_app, the plan); everything
      * it produces is owned by the returned HarnessAnalysis. Stage

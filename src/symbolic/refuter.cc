@@ -17,6 +17,8 @@ refutePair(BackwardExecutor &exec,
            race::RacyPair &pair, const RefuterOptions &options,
            RefutationStats &stats)
 {
+    if (pair.refuted)
+        return; // already refuted by an earlier (lock-set) stage
     bool any_survives = false;
     bool any_budget = false;
     int tried = 0;
@@ -40,6 +42,8 @@ refutePair(BackwardExecutor &exec,
         break; // one surviving ordering pair keeps the report
     }
     pair.refuted = !any_survives;
+    if (pair.refuted)
+        pair.refutedBy = race::RefutedBy::Symbolic;
     pair.refutationTimedOut = any_budget;
     if (pair.refuted)
         ++stats.refuted;

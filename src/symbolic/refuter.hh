@@ -63,6 +63,8 @@ struct RefutationStats {
 
 /**
  * Mark refuted pairs in place, sharding across `options.jobs` workers.
+ * Pairs already refuted by an earlier stage (lock sets) are skipped
+ * and excluded from the statistics.
  * Returns statistics merged in worker order; each worker's executor
  * keeps its own refuted-node cache unless they share one (see file
  * comment).

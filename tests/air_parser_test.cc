@@ -84,6 +84,37 @@ TEST(AirParser, RoundTripIsStable)
     EXPECT_EQ(printed, printModule(*second.module));
 }
 
+TEST(AirParser, MonitorRoundTrip)
+{
+    const char *text = R"(
+class M {
+    field f: int
+    method m(): void regs=3 {
+        @0: r1 = const 1
+        @1: monitor-enter r1
+        @2: putfield r0.M.f = r1
+        @3: monitor-exit r1
+        @4: return-void
+    }
+}
+)";
+    ParseResult r = parseModule(text);
+    ASSERT_TRUE(r.ok()) << r.status.error;
+    Method *m = r.module->getClass("M")->findMethod("m");
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->instr(1).op, Opcode::MonitorEnter);
+    EXPECT_EQ(m->instr(3).op, Opcode::MonitorExit);
+    ASSERT_EQ(m->instr(1).srcs.size(), 1u);
+    EXPECT_EQ(m->instr(1).srcs[0], 1);
+
+    std::string printed = printModule(*r.module);
+    EXPECT_NE(printed.find("monitor-enter r1"), std::string::npos);
+    EXPECT_NE(printed.find("monitor-exit r1"), std::string::npos);
+    ParseResult again = parseModule(printed);
+    ASSERT_TRUE(again.ok()) << again.status.error;
+    EXPECT_EQ(printModule(*again.module), printed);
+}
+
 TEST(AirParser, StringEscapes)
 {
     ParseResult r = parseModule(R"(

@@ -203,5 +203,89 @@ TEST(AirVerifier, AbstractWithBodyRejected)
     EXPECT_NE(issues[0].message.find("abstract"), std::string::npos);
 }
 
+TEST(AirVerifier, BalancedMonitorsPass)
+{
+    // Reentrant (nested) enters with matching exits are fine, as are
+    // regions balanced independently on both sides of a branch.
+    auto mod = parseOk(R"(
+class B {
+    field f: int
+    method m(p0: int): void regs=4 {
+        @0: r2 = const 1
+        @1: monitor-enter r2
+        @2: monitor-enter r2
+        @3: putfield r0.B.f = r1
+        @4: monitor-exit r2
+        @5: monitor-exit r2
+        @6: ifz r1 eq goto @10
+        @7: monitor-enter r2
+        @8: putfield r0.B.f = r1
+        @9: monitor-exit r2
+        @10: return-void
+    }
+}
+)");
+    EXPECT_TRUE(verifyModule(*mod).empty());
+}
+
+TEST(AirVerifier, MonitorExitWithoutEnterRejected)
+{
+    auto mod = parseOk(R"(
+class A {
+    method m(): void regs=2 {
+        @0: r1 = const 1
+        @1: monitor-exit r1
+        @2: return-void
+    }
+}
+)");
+    auto issues = verifyModule(*mod);
+    ASSERT_FALSE(issues.empty());
+    EXPECT_EQ(issues[0].severity, Severity::Error);
+    EXPECT_NE(issues[0].message.find("without a dominating"),
+              std::string::npos)
+        << issues[0].message;
+}
+
+TEST(AirVerifier, MonitorEnterWithoutExitRejected)
+{
+    auto mod = parseOk(R"(
+class A {
+    method m(): void regs=2 {
+        @0: r1 = const 1
+        @1: monitor-enter r1
+        @2: return-void
+    }
+}
+)");
+    auto issues = verifyModule(*mod);
+    ASSERT_FALSE(issues.empty());
+    EXPECT_EQ(issues[0].severity, Severity::Error);
+    EXPECT_NE(issues[0].message.find("no monitor-exit"),
+              std::string::npos)
+        << issues[0].message;
+}
+
+TEST(AirVerifier, MonitorUnbalancedOnOnePathRejected)
+{
+    // The then-path skips the exit: held on some path to return.
+    auto mod = parseOk(R"(
+class A {
+    method m(p0: int): void regs=3 {
+        @0: r2 = const 1
+        @1: monitor-enter r2
+        @2: ifz r1 eq goto @4
+        @3: monitor-exit r2
+        @4: return-void
+    }
+}
+)");
+    auto issues = verifyModule(*mod);
+    ASSERT_FALSE(issues.empty());
+    EXPECT_NE(issues[0].message.find("no monitor-exit"),
+              std::string::npos)
+        << issues[0].message;
+}
+
 } // namespace
 } // namespace sierra::air

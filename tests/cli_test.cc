@@ -210,6 +210,37 @@ class Main extends android.app.Activity {
     EXPECT_EQ(errs.out.find("unreachable"), std::string::npos);
 }
 
+TEST(Cli, LintReportsUnbalancedMonitors)
+{
+    const char *unbalanced = R"(
+app "locky" {
+    package org.example.locky
+    activity Main main
+}
+class Main extends android.app.Activity {
+    method <init>(): void regs=1 { @0: return-void }
+    method leaky(): void regs=2 {
+        @0: r1 = const 1
+        @1: monitor-enter r1
+        @2: return-void
+    }
+}
+)";
+    TempFile file(".air");
+    {
+        std::ofstream out(file.path());
+        out << unbalanced;
+    }
+    CliRun r = run({"lint", file.path()});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.out.find("no monitor-exit"), std::string::npos)
+        << r.out;
+    // Balance violations are verifier errors, not lint warnings.
+    CliRun errs = run({"lint", file.path(), "--errors-only"});
+    EXPECT_EQ(errs.code, 1);
+    EXPECT_NE(errs.out.find("no monitor-exit"), std::string::npos);
+}
+
 TEST(Cli, LintCleanAppExitsZero)
 {
     TempFile file(".air");
@@ -227,6 +258,36 @@ TEST(Cli, AnalyzeNoDataflowFlag)
     CliRun r = run({"analyze", file.path(), "--no-dataflow"});
     EXPECT_EQ(r.code, 0) << r.err;
     EXPECT_NE(r.out.find("SIERRA report"), std::string::npos);
+}
+
+TEST(Cli, AnalyzeLockFlags)
+{
+    // ConnectBot's signature carries lockGuarded: the monitor-guarded
+    // field is refuted by default and only surfaces with --no-lockset.
+    TempFile file(".air");
+    ASSERT_EQ(run({"dump", "ConnectBot", "-o", file.path()}).code, 0);
+
+    CliRun with = run({"analyze", file.path()});
+    ASSERT_EQ(with.code, 0) << with.err;
+    EXPECT_EQ(with.out.find("lockset-refuted: 0"), std::string::npos)
+        << "the stage refutes at least one pair by default";
+    EXPECT_EQ(with.out.find("guardedVal"), std::string::npos);
+
+    CliRun without = run({"analyze", file.path(), "--no-lockset",
+                          "--no-escape"});
+    ASSERT_EQ(without.code, 0) << without.err;
+    EXPECT_NE(without.out.find("lockset-refuted: 0"),
+              std::string::npos);
+    EXPECT_NE(without.out.find("accesses dropped: 0"),
+              std::string::npos);
+    EXPECT_NE(without.out.find("guardedVal"), std::string::npos)
+        << "without lock sets the guarded pair is reported";
+
+    CliRun json = run({"analyze", file.path(), "--json"});
+    ASSERT_EQ(json.code, 0) << json.err;
+    EXPECT_NE(json.out.find("\"locksetRefuted\":"), std::string::npos);
+    EXPECT_NE(json.out.find("\"accessesDropped\":"),
+              std::string::npos);
 }
 
 TEST(Cli, MissingFileFailsCleanly)

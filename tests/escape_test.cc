@@ -1,0 +1,149 @@
+/** @file Tests for the thread-escape analysis. */
+
+#include <gtest/gtest.h>
+
+#include "analysis/escape.hh"
+#include "analysis/points_to.hh"
+#include "corpus/patterns.hh"
+#include "framework/known_api.hh"
+#include "test_helpers.hh"
+
+namespace sierra::analysis {
+namespace {
+
+using air::MethodBuilder;
+using air::Type;
+using corpus::fieldRef;
+namespace names = framework::names;
+using test::makePipeline;
+
+/** Run the PA for the first (only) activity of a pipeline. */
+std::unique_ptr<PointsToResult>
+runPta(test::Pipeline &p)
+{
+    PointsToAnalysis pta(p.app(), p.detector->plans()[0], {});
+    return pta.run();
+}
+
+/** Objects of a class-name substring, for locating test allocations. */
+std::vector<ObjId>
+objectsOfClass(const PointsToResult &r, const std::string &needle)
+{
+    std::vector<ObjId> out;
+    for (ObjId o = 0; o < static_cast<ObjId>(r.objects.size()); ++o) {
+        if (r.objects.get(o).klassName.find(needle) !=
+            std::string::npos) {
+            out.push_back(o);
+        }
+    }
+    return out;
+}
+
+TEST(Escape, StaticFieldRootAndClosure)
+{
+    auto p = makePipeline("esc-static", [](corpus::AppFactory &f) {
+        auto &act = f.addActivity("StaticActivity");
+        act.on("onCreate", [&](MethodBuilder &b) {
+            int rh = b.newReg();
+            int rv = b.newReg();
+            // Holder$E reaches a static field; Inner$E only through
+            // the holder's field (escape closes over field edges).
+            b.newObject(rh, "Holder$E");
+            b.putStatic(fieldRef("Registry$E", "shared"), rh);
+            b.newObject(rv, "Inner$E");
+            b.putField(rh, fieldRef("Holder$E", "inner"), rv);
+        });
+    });
+    auto r = runPta(p);
+    EscapeAnalysis esc(*r);
+
+    auto holders = objectsOfClass(*r, "Holder$E");
+    auto inners = objectsOfClass(*r, "Inner$E");
+    ASSERT_EQ(holders.size(), 1u);
+    ASSERT_EQ(inners.size(), 1u);
+    EXPECT_EQ(esc.reasonOf(holders[0]), EscapeReason::StaticField);
+    EXPECT_TRUE(esc.escapes(inners[0]))
+        << "field-reachable from a static root";
+    EXPECT_EQ(esc.reasonOf(inners[0]), EscapeReason::StaticField)
+        << "closure inherits the root's reason";
+}
+
+TEST(Escape, SyntheticPayloadRoot)
+{
+    // messageGuard routes a Message payload through a Handler: the
+    // payload is a Synthetic object and escapes as such.
+    auto p = makePipeline("esc-payload", [](corpus::AppFactory &f) {
+        auto &act = f.addActivity("PayloadActivity");
+        corpus::addMessageGuard(f, act);
+    });
+    auto r = runPta(p);
+    EscapeAnalysis esc(*r);
+
+    int synthetic = 0;
+    for (ObjId o = 0; o < static_cast<ObjId>(r->objects.size()); ++o) {
+        if (r->objects.get(o).kind != ObjKind::Synthetic)
+            continue;
+        ++synthetic;
+        EXPECT_TRUE(esc.escapes(o));
+        EXPECT_EQ(esc.reasonOf(o), EscapeReason::SyntheticPayload);
+    }
+    EXPECT_GT(synthetic, 0) << "the pattern creates Message payloads";
+}
+
+TEST(Escape, MultiActionRoot)
+{
+    // threadRace: the activity object is reached by both the
+    // background thread's run() and the GUI callback.
+    auto p = makePipeline("esc-multi", [](corpus::AppFactory &f) {
+        auto &act = f.addActivity("MultiActivity");
+        corpus::addThreadRace(f, act);
+    });
+    auto r = runPta(p);
+    EscapeAnalysis esc(*r);
+
+    auto activities = objectsOfClass(*r, "MultiActivity");
+    ASSERT_FALSE(activities.empty());
+    EXPECT_TRUE(esc.escapes(activities[0]));
+    EXPECT_EQ(esc.reasonOf(activities[0]), EscapeReason::MultiAction);
+    EXPECT_GT(esc.numEscaping(), 0);
+    EXPECT_LE(esc.numEscaping(), esc.numObjects());
+}
+
+TEST(Escape, LocalScratchDoesNotEscape)
+{
+    // A buffer allocated, written and read by a single action stays
+    // thread-local even though it flows through heap fields.
+    auto p = makePipeline("esc-local", [](corpus::AppFactory &f) {
+        auto &act = f.addActivity("LocalActivity");
+        act.on("onCreate", [&](MethodBuilder &b) {
+            int rs = b.newReg();
+            int rv = b.newReg();
+            b.newObject(rs, "Scratch$L");
+            b.newObject(rv, names::object);
+            b.putField(rs, fieldRef("Scratch$L", "buf"), rv);
+            b.getField(rv, rs, fieldRef("Scratch$L", "buf"));
+        });
+    });
+    auto r = runPta(p);
+    EscapeAnalysis esc(*r);
+
+    auto scratch = objectsOfClass(*r, "Scratch$L");
+    ASSERT_EQ(scratch.size(), 1u);
+    EXPECT_FALSE(esc.escapes(scratch[0]));
+    EXPECT_EQ(esc.reasonOf(scratch[0]), EscapeReason::None);
+    EXPECT_STREQ(escapeReasonName(esc.reasonOf(scratch[0])), "none");
+}
+
+TEST(Escape, ReasonNamesAreStable)
+{
+    EXPECT_STREQ(escapeReasonName(EscapeReason::None), "none");
+    EXPECT_STREQ(escapeReasonName(EscapeReason::StaticField),
+                 "static-field");
+    EXPECT_STREQ(escapeReasonName(EscapeReason::SyntheticPayload),
+                 "synthetic-payload");
+    EXPECT_STREQ(escapeReasonName(EscapeReason::MultiAction),
+                 "multi-action");
+}
+
+} // namespace
+} // namespace sierra::analysis

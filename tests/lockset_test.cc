@@ -1,0 +1,353 @@
+/** @file Tests for the must-held lock-set analysis. */
+
+#include <gtest/gtest.h>
+
+#include "analysis/lockset.hh"
+#include "analysis/points_to.hh"
+#include "corpus/patterns.hh"
+#include "framework/known_api.hh"
+#include "test_helpers.hh"
+
+namespace sierra::analysis {
+namespace {
+
+using air::CondKind;
+using air::Label;
+using air::Method;
+using air::MethodBuilder;
+using air::Opcode;
+using air::Type;
+using corpus::fieldRef;
+namespace names = framework::names;
+using test::makePipeline;
+
+/** Run the PA for the first (only) activity of a pipeline. */
+std::unique_ptr<PointsToResult>
+runPta(test::Pipeline &p)
+{
+    PointsToAnalysis pta(p.app(), p.detector->plans()[0], {});
+    return pta.run();
+}
+
+/** Define a method with a builder callback (test-local mirror of the
+ *  corpus helper, which is file-local to patterns.cc). */
+Method *
+defineMethod(air::Klass *k, const std::string &name,
+             std::vector<Type> params, Type ret,
+             const std::function<void(MethodBuilder &)> &body)
+{
+    Method *m = k->addMethod(name, std::move(params), ret, false);
+    MethodBuilder b(m);
+    body(b);
+    b.finish();
+    return m;
+}
+
+/** Index of the n-th instruction with the given opcode; -1 if absent. */
+int
+findInstr(const Method &m, Opcode op, int occurrence = 0)
+{
+    int seen = 0;
+    for (size_t i = 0; i < m.instrs().size(); ++i) {
+        if (m.instrs()[i].op == op && seen++ == occurrence)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+/** The unique call-graph node of a method named `name` on `cls`. */
+NodeId
+nodeOf(const PointsToResult &r, const std::string &cls,
+       const std::string &name)
+{
+    for (NodeId n = 0; n < r.cg.numNodes(); ++n) {
+        const auto &data = r.cg.node(n);
+        if (data.method && data.method->name() == name &&
+            data.method->owner()->name() == cls) {
+            return n;
+        }
+    }
+    return -1;
+}
+
+TEST(LockSet, HeldBetweenEnterAndExit)
+{
+    auto p = makePipeline("ls-straight", [](corpus::AppFactory &f) {
+        auto &act = f.addActivity("StraightActivity");
+        act.addField("data", Type::object(names::object));
+        act.on("onCreate", [&](MethodBuilder &b) {
+            int rl = b.newReg();
+            int rv = b.newReg();
+            b.newObject(rl, names::object);
+            b.monitorEnter(rl);
+            b.newObject(rv, names::object);
+            b.putField(b.thisReg(), fieldRef("StraightActivity", "data"),
+                       rv);
+            b.monitorExit(rl);
+            b.getField(rv, b.thisReg(),
+                       fieldRef("StraightActivity", "data"));
+        });
+    });
+    auto r = runPta(p);
+    LockSetAnalysis locks(*r);
+    EXPECT_GE(locks.numMonitoredNodes(), 1);
+
+    const Method *m = p.app().module().findMethod("StraightActivity",
+                                                  "onCreate");
+    ASSERT_NE(m, nullptr);
+    NodeId node = nodeOf(*r, "StraightActivity", "onCreate");
+    ASSERT_GE(node, 0);
+
+    int put = findInstr(*m, Opcode::PutField);
+    int get = findInstr(*m, Opcode::GetField);
+    ASSERT_GE(put, 0);
+    ASSERT_GE(get, 0);
+    EXPECT_EQ(locks.locksHeldAt(node, put).size(), 1u)
+        << "the write between enter/exit is protected";
+    EXPECT_TRUE(locks.locksHeldAt(node, get).empty())
+        << "the read after exit is not";
+    // Entry of a lifecycle callback: framework calls with no app locks.
+    EXPECT_TRUE(locks.entryLocks(node).empty());
+}
+
+TEST(LockSet, SameLockOnBothBranchesSurvivesJoin)
+{
+    auto p = makePipeline("ls-join", [](corpus::AppFactory &f) {
+        auto &act = f.addActivity("JoinActivity");
+        act.addField("data", Type::object(names::object));
+        act.on("onCreate", [&](MethodBuilder &b) {
+            int rl = b.newReg();
+            int rc = b.newReg();
+            int rv = b.newReg();
+            b.newObject(rl, names::object);
+            b.constInt(rc, 1);
+            Label other = b.newLabel();
+            Label join = b.newLabel();
+            b.ifz(rc, CondKind::Eq, other);
+            b.monitorEnter(rl);
+            b.gotoLabel(join);
+            b.bind(other);
+            b.monitorEnter(rl);
+            b.bind(join);
+            b.newObject(rv, names::object);
+            b.putField(b.thisReg(), fieldRef("JoinActivity", "data"),
+                       rv);
+            b.monitorExit(rl);
+        });
+    });
+    auto r = runPta(p);
+    LockSetAnalysis locks(*r);
+
+    const Method *m =
+        p.app().module().findMethod("JoinActivity", "onCreate");
+    ASSERT_NE(m, nullptr);
+    NodeId node = nodeOf(*r, "JoinActivity", "onCreate");
+    ASSERT_GE(node, 0);
+
+    // Both predecessors of the join hold the same must-alias lock, so
+    // the intersection keeps it.
+    int put = findInstr(*m, Opcode::PutField);
+    ASSERT_GE(put, 0);
+    EXPECT_EQ(locks.locksHeldAt(node, put).size(), 1u);
+}
+
+TEST(LockSet, AmbiguousEnterAcquiresNothing)
+{
+    // The lock register may alias two allocation sites at the enter;
+    // a must-analysis cannot name the held lock and must acquire
+    // nothing (the sound direction for refutation).
+    auto p = makePipeline("ls-ambig", [](corpus::AppFactory &f) {
+        auto &act = f.addActivity("AmbigActivity");
+        act.addField("data", Type::object(names::object));
+        act.on("onCreate", [&](MethodBuilder &b) {
+            int ra = b.newReg();
+            int rb = b.newReg();
+            int rl = b.newReg();
+            int rc = b.newReg();
+            int rv = b.newReg();
+            b.newObject(ra, names::object);
+            b.newObject(rb, names::object);
+            b.constInt(rc, 1);
+            Label other = b.newLabel();
+            Label join = b.newLabel();
+            b.ifz(rc, CondKind::Eq, other);
+            b.move(rl, ra);
+            b.gotoLabel(join);
+            b.bind(other);
+            b.move(rl, rb);
+            b.bind(join);
+            b.monitorEnter(rl);
+            b.newObject(rv, names::object);
+            b.putField(b.thisReg(), fieldRef("AmbigActivity", "data"),
+                       rv);
+            b.monitorExit(rl);
+        });
+    });
+    auto r = runPta(p);
+    LockSetAnalysis locks(*r);
+
+    const Method *m =
+        p.app().module().findMethod("AmbigActivity", "onCreate");
+    ASSERT_NE(m, nullptr);
+    NodeId node = nodeOf(*r, "AmbigActivity", "onCreate");
+    ASSERT_GE(node, 0);
+
+    int put = findInstr(*m, Opcode::PutField);
+    ASSERT_GE(put, 0);
+    EXPECT_TRUE(locks.locksHeldAt(node, put).empty())
+        << "|pts(lock)| = 2 at the enter: nothing is must-held";
+}
+
+TEST(LockSet, ReentrantDepthAndClamp)
+{
+    auto p = makePipeline("ls-reentrant", [](corpus::AppFactory &f) {
+        auto &act = f.addActivity("ReentrantActivity");
+        act.addField("data", Type::object(names::object));
+        act.on("onCreate", [&](MethodBuilder &b) {
+            int rl = b.newReg();
+            int rv = b.newReg();
+            b.newObject(rl, names::object);
+            // Enter far past the depth cap; the state must clamp.
+            for (int i = 0; i < LockSetAnalysis::kDepthCap + 4; ++i)
+                b.monitorEnter(rl);
+            b.newObject(rv, names::object);
+            b.putField(b.thisReg(),
+                       fieldRef("ReentrantActivity", "data"), rv);
+            // One exit leaves the (clamped) lock still held.
+            b.monitorExit(rl);
+            b.getField(rv, b.thisReg(),
+                       fieldRef("ReentrantActivity", "data"));
+        });
+    });
+    auto r = runPta(p);
+    LockSetAnalysis locks(*r);
+
+    const Method *m = p.app().module().findMethod("ReentrantActivity",
+                                                  "onCreate");
+    ASSERT_NE(m, nullptr);
+    NodeId node = nodeOf(*r, "ReentrantActivity", "onCreate");
+    ASSERT_GE(node, 0);
+
+    int put = findInstr(*m, Opcode::PutField);
+    int get = findInstr(*m, Opcode::GetField);
+    ASSERT_GE(put, 0);
+    ASSERT_GE(get, 0);
+
+    LockState at_put = locks.stateAt(node, put);
+    ASSERT_EQ(at_put.size(), 1u);
+    EXPECT_EQ(at_put.begin()->second, LockSetAnalysis::kDepthCap)
+        << "reentrant depth clamps at kDepthCap";
+    EXPECT_EQ(locks.locksHeldAt(node, get).size(), 1u)
+        << "one exit from a reentrant monitor keeps the lock held";
+}
+
+TEST(LockSet, LoopEnterConverges)
+{
+    // A monitor-enter on a loop back edge must not diverge: the meet
+    // with the zero-depth entry path empties the state at the head and
+    // the fixpoint terminates.
+    auto p = makePipeline("ls-loop", [](corpus::AppFactory &f) {
+        auto &act = f.addActivity("LoopActivity");
+        act.addField("data", Type::object(names::object));
+        act.on("onCreate", [&](MethodBuilder &b) {
+            int rl = b.newReg();
+            int rc = b.newReg();
+            int rv = b.newReg();
+            b.newObject(rl, names::object);
+            b.constInt(rc, 3);
+            Label head = b.newLabel();
+            b.bind(head);
+            b.monitorEnter(rl);
+            b.newObject(rv, names::object);
+            b.putField(b.thisReg(), fieldRef("LoopActivity", "data"),
+                       rv);
+            b.ifz(rc, CondKind::Ne, head);
+            b.monitorExit(rl);
+        });
+    });
+    auto r = runPta(p);
+    LockSetAnalysis locks(*r); // must terminate
+
+    const Method *m =
+        p.app().module().findMethod("LoopActivity", "onCreate");
+    ASSERT_NE(m, nullptr);
+    NodeId node = nodeOf(*r, "LoopActivity", "onCreate");
+    ASSERT_GE(node, 0);
+
+    int put = findInstr(*m, Opcode::PutField);
+    ASSERT_GE(put, 0);
+    // Inside the loop body, after the enter, the lock is held on every
+    // path (depth >= 1 regardless of the iteration count).
+    EXPECT_EQ(locks.locksHeldAt(node, put).size(), 1u);
+}
+
+TEST(LockSet, InterproceduralEntryLocks)
+{
+    auto p = makePipeline("ls-inter", [](corpus::AppFactory &f) {
+        auto &act = f.addActivity("InterActivity");
+        act.addField("data", Type::object(names::object));
+        // Called only with the monitor held: its entry inherits the
+        // caller's lock set.
+        defineMethod(act.klass(), "guardedHelper", {}, Type::voidTy(),
+                     [&](MethodBuilder &b) {
+                         int rv = b.newReg();
+                         b.newObject(rv, names::object);
+                         b.putField(b.thisReg(),
+                                    fieldRef("InterActivity", "data"),
+                                    rv);
+                     });
+        // Called both with and without the monitor: the intersection
+        // over call sites is empty.
+        defineMethod(act.klass(), "mixedHelper", {}, Type::voidTy(),
+                     [&](MethodBuilder &b) {
+                         int rv = b.newReg();
+                         b.getField(rv, b.thisReg(),
+                                    fieldRef("InterActivity", "data"));
+                     });
+        act.on("onCreate", [&](MethodBuilder &b) {
+            int rl = b.newReg();
+            b.newObject(rl, names::object);
+            b.monitorEnter(rl);
+            b.call(b.thisReg(), "InterActivity", "guardedHelper");
+            b.call(b.thisReg(), "InterActivity", "mixedHelper");
+            b.monitorExit(rl);
+            b.call(b.thisReg(), "InterActivity", "mixedHelper");
+        });
+    });
+    auto r = runPta(p);
+    LockSetAnalysis locks(*r);
+
+    NodeId guarded = nodeOf(*r, "InterActivity", "guardedHelper");
+    NodeId mixed = nodeOf(*r, "InterActivity", "mixedHelper");
+    ASSERT_GE(guarded, 0);
+    ASSERT_GE(mixed, 0);
+
+    EXPECT_EQ(locks.entryLocks(guarded).size(), 1u)
+        << "every caller holds the monitor";
+    const air::Method *gm =
+        p.app().module().findMethod("InterActivity", "guardedHelper");
+    ASSERT_NE(gm, nullptr);
+    int put = findInstr(*gm, Opcode::PutField);
+    ASSERT_GE(put, 0);
+    EXPECT_EQ(locks.locksHeldAt(guarded, put).size(), 1u)
+        << "the callee's body is protected by the caller's monitor";
+
+    EXPECT_TRUE(locks.entryLocks(mixed).empty())
+        << "one unprotected call site empties the intersection";
+}
+
+TEST(LockSet, MonitorFreeAppFastPath)
+{
+    auto p = makePipeline("ls-free", [](corpus::AppFactory &f) {
+        auto &act = f.addActivity("FreeActivity");
+        corpus::addThreadRace(f, act);
+    });
+    auto r = runPta(p);
+    LockSetAnalysis locks(*r);
+    EXPECT_EQ(locks.numMonitoredNodes(), 0);
+    for (NodeId n = 0; n < r->cg.numNodes(); ++n)
+        EXPECT_TRUE(locks.entryLocks(n).empty());
+}
+
+} // namespace
+} // namespace sierra::analysis

@@ -161,6 +161,48 @@ TEST(ParallelDeterminism, DataflowStageIsJobsDeterministic)
     }
 }
 
+TEST(ParallelDeterminism, LockStagesAreJobsDeterministic)
+{
+    // The escape filter and the lock-set refutation run inside each
+    // worker's task; their verdicts (dropped accesses, refutedBy
+    // provenance, lockset counters) must not depend on the jobs count.
+    // ConnectBot's signature carries lockGuarded, so the stages do
+    // real work here.
+    corpus::BuiltApp built = corpus::buildNamedApp("ConnectBot");
+    SierraDetector detector(*built.app);
+    for (bool stages : {true, false}) {
+        SierraOptions one, four, eight;
+        one.jobs = 1;
+        four.jobs = 4;
+        eight.jobs = 8;
+        for (SierraOptions *o : {&one, &four, &eight}) {
+            o->escapeFilter = stages;
+            o->locksetRefutation = stages;
+        }
+        AppReport serial = detector.analyze(one);
+        AppReport j4 = detector.analyze(four);
+        AppReport j8 = detector.analyze(eight);
+        std::string label = stages ? "locks on" : "locks off";
+        expectIdenticalReports(serial, j4, label + " jobs=4");
+        expectIdenticalReports(serial, j8, label + " jobs=8");
+        EXPECT_EQ(serial.locksetRefuted, j4.locksetRefuted) << label;
+        EXPECT_EQ(serial.locksetRefuted, j8.locksetRefuted) << label;
+        EXPECT_EQ(serial.accessesDropped, j4.accessesDropped) << label;
+        EXPECT_EQ(serial.accessesDropped, j8.accessesDropped) << label;
+        if (stages)
+            EXPECT_GT(serial.locksetRefuted, 0)
+                << "lockGuarded must exercise the stage";
+        for (size_t h = 0; h < serial.perHarness.size(); ++h) {
+            const auto &x = serial.perHarness[h].pairs;
+            const auto &y = j8.perHarness[h].pairs;
+            ASSERT_EQ(x.size(), y.size()) << label;
+            for (size_t p = 0; p < x.size(); ++p)
+                EXPECT_EQ(x[p].refutedBy, y[p].refutedBy)
+                    << label << " pair " << p;
+        }
+    }
+}
+
 TEST(ParallelDeterminism, DedupKeysAreStableAcrossDetectors)
 {
     // The dedup key is built from qualified method names, not Method

@@ -129,10 +129,14 @@ TEST_P(CorpusProperty, ShbgIsAntisymmetric)
     }
 }
 
+// ConnectBot's signature includes lockGuarded (monitor-enter/exit in
+// both a background thread and a GUI handler), so the sweep covers the
+// new opcodes end to end: printing, reparsing, interpretation.
 INSTANTIATE_TEST_SUITE_P(Apps, CorpusProperty,
                          ::testing::Values("OpenSudoku", "VuDroid",
                                            "NotePad", "TippyTipper",
-                                           "KeePassDroid"));
+                                           "KeePassDroid",
+                                           "ConnectBot"));
 
 class FdroidProperty : public ::testing::TestWithParam<int>
 {

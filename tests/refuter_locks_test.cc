@@ -1,0 +1,181 @@
+/** @file Tests for lock-set race refutation wired into the pipeline. */
+
+#include <gtest/gtest.h>
+
+#include "corpus/named_apps.hh"
+#include "corpus/patterns.hh"
+#include "framework/known_api.hh"
+#include "test_helpers.hh"
+
+namespace sierra {
+namespace {
+
+using air::MethodBuilder;
+using air::Type;
+using corpus::fieldRef;
+namespace names = framework::names;
+using test::makePipeline;
+using test::reportsKey;
+
+TEST(RefuterLocks, LockGuardedRefutedOnlyWithLockset)
+{
+    auto p = makePipeline("locks-guarded", [](corpus::AppFactory &f) {
+        auto &act = f.addActivity("GuardedActivity");
+        corpus::addLockGuarded(f, act);
+        corpus::addThreadRace(f, act);
+    });
+
+    std::string guarded_key;
+    std::string true_key;
+    for (const auto &seed : p.built.truth.seeded) {
+        if (seed.note.find("lockGuarded") != std::string::npos)
+            guarded_key = seed.fieldKey;
+        else
+            true_key = seed.fieldKey;
+    }
+    ASSERT_FALSE(guarded_key.empty());
+    ASSERT_FALSE(true_key.empty());
+
+    AppReport with = p.detector->analyze({});
+    EXPECT_FALSE(reportsKey(with, guarded_key))
+        << "both sides hold the field monitor";
+    EXPECT_TRUE(reportsKey(with, true_key))
+        << "the unguarded race still surfaces";
+    EXPECT_GT(with.locksetRefuted, 0);
+
+    SierraOptions off;
+    off.locksetRefutation = false;
+    AppReport without = p.detector->analyze(off);
+    EXPECT_TRUE(reportsKey(without, guarded_key))
+        << "without lock sets the guarded pair is a false positive";
+    EXPECT_EQ(without.locksetRefuted, 0);
+}
+
+TEST(RefuterLocks, ProvenanceRecordedOnPairs)
+{
+    auto p = makePipeline("locks-provenance", [](corpus::AppFactory &f) {
+        auto &act = f.addActivity("ProvActivity");
+        corpus::addLockGuarded(f, act);
+    });
+    HarnessAnalysis ha = p.detector->analyzeActivity(
+        p.app().manifest().activities[0], {});
+
+    bool saw_lockset = false;
+    for (const auto &pair : ha.pairs) {
+        if (pair.refutedBy == race::RefutedBy::Lockset) {
+            saw_lockset = true;
+            EXPECT_TRUE(pair.refuted);
+            EXPECT_NE(pair.toString(*ha.pta, ha.accesses)
+                          .find("refuted: lockset"),
+                      std::string::npos);
+        }
+    }
+    EXPECT_TRUE(saw_lockset);
+    EXPECT_STREQ(race::refutedByName(race::RefutedBy::Lockset),
+                 "lockset");
+    EXPECT_STREQ(race::refutedByName(race::RefutedBy::Symbolic),
+                 "symbolic");
+}
+
+TEST(RefuterLocks, SameLooperPairsAreExempt)
+{
+    // Two GUI callbacks synchronize on the same lock, but both run on
+    // the main looper: their race is event-order nondeterminism, which
+    // monitors cannot rule out. The lock-set stage must not refute.
+    auto p = makePipeline("locks-looper", [](corpus::AppFactory &f) {
+        auto &act = f.addActivity("LooperActivity");
+        act.addField("lock", Type::object(names::object));
+        act.addField("val", Type::object(names::object));
+        act.on("onCreate", [&](MethodBuilder &b) {
+            int rl = b.newReg();
+            b.newObject(rl, names::object);
+            b.putField(b.thisReg(), fieldRef("LooperActivity", "lock"),
+                       rl);
+        });
+        for (int i = 0; i < 2; ++i) {
+            framework::Widget w;
+            w.id = f.nextViewId();
+            w.name = "btn" + std::to_string(i);
+            w.widgetClass = names::button;
+            w.xmlOnClick = "onTap" + std::to_string(i);
+            act.layout().addWidget(w);
+        }
+        auto body = [&](MethodBuilder &b) {
+            int rl = b.newReg();
+            int rv = b.newReg();
+            b.getField(rl, b.thisReg(),
+                       fieldRef("LooperActivity", "lock"));
+            b.monitorEnter(rl);
+            b.newObject(rv, names::object);
+            b.putField(b.thisReg(), fieldRef("LooperActivity", "val"),
+                       rv);
+            b.monitorExit(rl);
+        };
+        for (int i = 0; i < 2; ++i) {
+            air::Method *m = act.klass()->addMethod(
+                "onTap" + std::to_string(i),
+                {Type::object(names::view)}, Type::voidTy(), false);
+            MethodBuilder b(m);
+            body(b);
+            b.finish();
+        }
+    });
+
+    AppReport report = p.detector->analyze({});
+    bool saw_val_pair = false;
+    for (const auto &ha : report.perHarness) {
+        for (const auto &pair : ha.pairs) {
+            if (pair.loc.key != "LooperActivity.val")
+                continue;
+            saw_val_pair = true;
+            EXPECT_NE(pair.refutedBy, race::RefutedBy::Lockset)
+                << "same-looper pairs are outside the lock-set stage";
+        }
+    }
+    EXPECT_TRUE(saw_val_pair) << "the two GUI writes form a racy pair";
+    EXPECT_EQ(report.locksetRefuted, 0);
+}
+
+/** Per-app preservation: disabling the new stages never changes the
+ *  set of missed true races (both must be zero). */
+class LocksPreservation : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LocksPreservation, TrueRacesSurviveWithAndWithout)
+{
+    const auto &spec = corpus::namedAppSpecs()[GetParam()];
+    corpus::BuiltApp built = corpus::buildNamedApp(spec);
+    SierraDetector detector(*built.app);
+
+    AppReport with = detector.analyze({});
+    corpus::Score s_with = corpus::scoreReport(with, built.truth);
+    EXPECT_EQ(s_with.missedTrueKeys, 0) << spec.name;
+
+    SierraOptions off;
+    off.escapeFilter = false;
+    off.locksetRefutation = false;
+    AppReport without = detector.analyze(off);
+    corpus::Score s_without = corpus::scoreReport(without, built.truth);
+    EXPECT_EQ(s_without.missedTrueKeys, 0) << spec.name;
+
+    // The stages only ever remove reports, never add them.
+    EXPECT_LE(with.afterRefutation, without.afterRefutation)
+        << spec.name;
+    EXPECT_EQ(s_with.truePositives, s_without.truePositives)
+        << spec.name << ": pruning must only drop non-true reports";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Named, LocksPreservation, ::testing::Range(0, 20),
+    [](const ::testing::TestParamInfo<int> &info) {
+        std::string n = corpus::namedAppSpecs()[info.param].name;
+        for (char &c : n) {
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return n;
+    });
+
+} // namespace
+} // namespace sierra

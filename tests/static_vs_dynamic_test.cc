@@ -46,9 +46,13 @@ TEST_P(StaticVsDynamic, StaticFindsAtLeastAsMany)
     EXPECT_GE(c.dynamic.missedTrueKeys, 0);
 }
 
+// ConnectBot carries the lockGuarded monitor pattern: the interpreter
+// treats monitor-enter/exit as run-to-completion no-ops, and the
+// static/dynamic relation must still hold.
 INSTANTIATE_TEST_SUITE_P(Apps, StaticVsDynamic,
                          ::testing::Values("OpenSudoku", "Beem",
-                                           "VuDroid", "NotePad"));
+                                           "VuDroid", "NotePad",
+                                           "ConnectBot"));
 
 TEST(StaticVsDynamic, DynamicMissesSomewhere)
 {

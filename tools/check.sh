@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
-# CI entry point: configure, build, and run the test suite in three
-# flavors -- plain, AddressSanitizer, and ThreadSanitizer. Each flavor
-# uses its own build directory so the configurations never clobber each
-# other; pass extra ctest args after "--" (e.g. tools/check.sh -- -R Lint).
+# CI entry point: configure, build, and run the test suite in four
+# flavors -- plain, AddressSanitizer, ThreadSanitizer, and
+# UndefinedBehaviorSanitizer. Each flavor uses its own build directory
+# so the configurations never clobber each other; pass extra ctest args
+# after "--" (e.g. tools/check.sh -- -R Lint).
 #
-# Usage: tools/check.sh [plain|asan|tsan|all] [-- <ctest args...>]
+# Usage: tools/check.sh [plain|asan|tsan|ubsan|all] [-- <ctest args...>]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -30,13 +31,15 @@ case "${flavor}" in
   plain) run_flavor plain build "" ;;
   asan)  run_flavor asan build-asan address ;;
   tsan)  run_flavor tsan build-tsan thread ;;
+  ubsan) run_flavor ubsan build-ubsan undefined ;;
   all)
     run_flavor plain build ""
     run_flavor asan build-asan address
     run_flavor tsan build-tsan thread
+    run_flavor ubsan build-ubsan undefined
     ;;
   *)
-    echo "usage: tools/check.sh [plain|asan|tsan|all] [-- <ctest args>]" >&2
+    echo "usage: tools/check.sh [plain|asan|tsan|ubsan|all] [-- <ctest args>]" >&2
     exit 2
     ;;
 esac

@@ -53,6 +53,10 @@ analyze options:
                     every N)
   --no-dataflow     disable the dataflow stage (effect prefilter and
                     constant facts in the refuter)
+  --no-escape       disable the escape stage (thread-local accesses
+                    are kept in the racy-pair loop)
+  --no-lockset      disable lock-set refutation (monitor-guarded
+                    pairs reach the symbolic refuter)
   --max-races N     cap the printed race list (default 50)
   --show-refuted    also print refuted candidates
   --json            machine-readable output
@@ -228,8 +232,12 @@ printReportJson(const AppReport &report, std::ostream &out)
     out << "  \"orderedPct\": " << report.orderedPct << ",\n";
     out << "  \"racyPairs\": " << report.racyPairs << ",\n";
     out << "  \"afterRefutation\": " << report.afterRefutation << ",\n";
+    out << "  \"locksetRefuted\": " << report.locksetRefuted << ",\n";
+    out << "  \"accessesDropped\": " << report.accessesDropped << ",\n";
     out << "  \"timesMs\": {\"cgPa\": " << report.times.cgPa * 1e3
         << ", \"hbg\": " << report.times.hbg * 1e3
+        << ", \"escape\": " << report.times.escape * 1e3
+        << ", \"lockset\": " << report.times.lockset * 1e3
         << ", \"refutation\": " << report.times.refutation * 1e3
         << ", \"totalCpu\": " << report.times.totalCpu * 1e3
         << ", \"total\": " << report.times.total * 1e3 << "},\n";
@@ -281,6 +289,8 @@ cmdAnalyze(const ParsedFlags &flags, std::ostream &out,
         options.effectPrefilter = false;
         options.refuter.exec.useConstFacts = false;
     }
+    options.escapeFilter = !flags.has("--no-escape");
+    options.locksetRefutation = !flags.has("--no-lockset");
 
     SierraDetector detector(*app);
     AppReport report = detector.analyze(options);
