@@ -1,40 +1,104 @@
 /**
  * @file
- * Paper Table 4: SIERRA efficiency -- per-stage analysis time.
+ * Paper Table 4: SIERRA efficiency -- per-stage analysis time, driven
+ * by the metrics registry (SierraOptions::metrics) so the table and
+ * the counter-derived rates come from the same instrumented run.
  *
  * The paper reports seconds on real APKs with WALA; the model corpus
  * runs in milliseconds, so times are printed in ms. The *shape* to
  * check against the paper: call graph + pointer analysis and symbolic
  * refutation dominate, SHBG construction is cheap.
+ *
+ * Reproduce with: ./build/bench/bench_table4_efficiency
+ * (optionally SIERRA_TRACE=table4.json to also capture a trace).
  */
 
 #include "bench_util.hh"
+
+#include "util/metrics.hh"
 
 int
 main()
 {
     using namespace sierra;
     bench::header("Table 4: SIERRA efficiency (times in milliseconds)");
-    std::printf("%-18s %10s %8s %12s %10s\n", "App", "CG+PA", "HBG",
-                "Refutation", "Total");
+    std::printf("%-18s %8s %7s %7s %7s %10s %8s %8s\n", "App", "CG+PA",
+                "HBG", "Racy", "Lock", "Refute", "Cpu", "Wall");
 
-    std::vector<double> cg, hbg, refute, total;
+    std::vector<double> cg, hbg, racy, lockset, refute, cpu, wall;
+    util::metrics::Registry all;
     for (const auto &spec : corpus::namedAppSpecs()) {
         corpus::BuiltApp built = corpus::buildNamedApp(spec);
         SierraDetector detector(*built.app);
-        AppReport report = detector.analyze({});
+        SierraOptions options;
+        options.metrics = &all;
+        AppReport report = detector.analyze(options);
         const StageTimes &t = report.times;
-        std::printf("%-18s %10.2f %8.2f %12.2f %10.2f\n",
+        std::printf("%-18s %8.2f %7.2f %7.2f %7.2f %10.2f %8.2f "
+                    "%8.2f\n",
                     spec.name.c_str(), t.cgPa * 1e3, t.hbg * 1e3,
-                    t.refutation * 1e3, t.total * 1e3);
+                    (t.dataflow + t.escape + t.racy) * 1e3,
+                    t.lockset * 1e3, t.refutation * 1e3,
+                    t.totalCpu * 1e3, t.total * 1e3);
         cg.push_back(t.cgPa * 1e3);
         hbg.push_back(t.hbg * 1e3);
+        racy.push_back((t.dataflow + t.escape + t.racy) * 1e3);
+        lockset.push_back(t.lockset * 1e3);
         refute.push_back(t.refutation * 1e3);
-        total.push_back(t.total * 1e3);
+        cpu.push_back(t.totalCpu * 1e3);
+        wall.push_back(t.total * 1e3);
     }
-    std::printf("%-18s %10.2f %8.2f %12.2f %10.2f\n", "Median",
+    std::printf("%-18s %8.2f %7.2f %7.2f %7.2f %10.2f %8.2f %8.2f\n",
+                "Median", bench::median(cg), bench::median(hbg),
+                bench::median(racy), bench::median(lockset),
+                bench::median(refute), bench::median(cpu),
+                bench::median(wall));
+
+    // Counter-derived work rates over the whole corpus, straight from
+    // the registry the pipeline filled.
+    const int64_t considered = all.counter("race.access_pairs_considered");
+    const int64_t skipped = all.counter("race.prefilter_skipped");
+    const int64_t queries = all.counter("symbolic.queries");
+    const int64_t states = all.counter("symbolic.states_expanded");
+    const int64_t hits = all.counter("symbolic.cache_hits");
+    const double cpu_s =
+        all.histogram("harness.cpu.seconds").sum;
+    std::printf("\ncorpus totals (metrics registry):\n");
+    std::printf("  pta worklist iterations: %lld, instr visits: %lld\n",
+                (long long)all.counter("pta.worklist_iterations"),
+                (long long)all.counter("pta.instr_visits"));
+    std::printf("  shbg direct edges: %lld, closure pairs: %lld\n",
+                (long long)all.counter("shbg.direct_edges"),
+                (long long)all.counter("shbg.closure_pairs"));
+    std::printf("  access pairs considered: %lld, prefilter skipped: "
+                "%.1f%%\n",
+                (long long)considered,
+                considered ? 100.0 * skipped / considered : 0.0);
+    std::printf("  symbolic queries: %lld, states expanded: %lld "
+                "(%.0f states/cpu-s), cache hit rate: %.1f%%\n",
+                (long long)queries, (long long)states,
+                cpu_s > 0 ? states / cpu_s : 0.0,
+                (hits + states) ? 100.0 * hits / (hits + states) : 0.0);
+    std::printf("  refuted: lockset %lld, symbolic %lld, surviving "
+                "%lld\n",
+                (long long)all.counter("refuted_by.lockset"),
+                (long long)all.counter("refuted_by.symbolic"),
+                (long long)all.counter("refuted_by.none"));
+
+    std::printf("\nBENCH {\"bench\":\"table4_efficiency\","
+                "\"median_ms\":{\"cg_pa\":%.2f,\"hbg\":%.2f,"
+                "\"racy\":%.2f,\"lockset\":%.2f,\"refutation\":%.2f,"
+                "\"total\":%.2f},"
+                "\"counters\":{\"symbolic_queries\":%lld,"
+                "\"states_expanded\":%lld,\"cache_hits\":%lld,"
+                "\"pairs_considered\":%lld,\"prefilter_skipped\":%lld}"
+                "}\n",
                 bench::median(cg), bench::median(hbg),
-                bench::median(refute), bench::median(total));
+                bench::median(racy), bench::median(lockset),
+                bench::median(refute), bench::median(wall),
+                (long long)queries, (long long)states, (long long)hits,
+                (long long)considered, (long long)skipped);
+
     std::printf("\nPaper medians (seconds, real APKs): CG+PA 1310, HBG "
                 "28.5, refutation 560.5,\ntotal 1899. Expected shape: "
                 "HBG << CG+PA and refutation.\n");

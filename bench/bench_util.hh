@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -13,8 +14,41 @@
 #include "corpus/named_apps.hh"
 #include "dynamic/event_racer.hh"
 #include "sierra/detector.hh"
+#include "util/trace.hh"
 
 namespace sierra::bench {
+
+/**
+ * Every bench honors `SIERRA_TRACE=<file>`: when set, the whole bench
+ * run is traced and the Chrome trace-event JSON is written at process
+ * exit (see docs/OBSERVABILITY.md). Implemented as an inline-variable
+ * RAII guard so each bench binary gets the hook by including this
+ * header — no per-bench code.
+ */
+struct TraceEnvHook {
+    std::string path;
+    TraceEnvHook()
+    {
+        const char *p = std::getenv("SIERRA_TRACE");
+        if (p && *p) {
+            path = p;
+            util::trace::start();
+        }
+    }
+    ~TraceEnvHook()
+    {
+        if (!path.empty()) {
+            if (util::trace::writeJson(path))
+                std::fprintf(stderr, "trace written to %s\n",
+                             path.c_str());
+            else
+                std::fprintf(stderr,
+                             "error: cannot write trace '%s'\n",
+                             path.c_str());
+        }
+    }
+};
+inline TraceEnvHook g_traceEnvHook;
 
 /** Everything one app contributes to the evaluation tables. */
 struct AppStats {

@@ -5,6 +5,7 @@
 #include "air/logging.hh"
 #include "array_keys.hh"
 #include "framework/known_api.hh"
+#include "util/trace.hh"
 
 namespace sierra::analysis {
 
@@ -465,10 +466,14 @@ PointsToAnalysis::Engine::run()
     _r->actions.get(_r->rootAction).entryNode = _r->rootNode;
     addActionToNode(_r->rootNode, _r->rootAction);
 
+    SIERRA_TRACE_SPAN(span, "pta", "pta.solve",
+                      util::trace::arg("entry",
+                                       _plan.mainMethod->name()));
     while (!_worklist.empty()) {
         NodeId n = _worklist.front();
         _worklist.pop_front();
         _queued[n] = false;
+        ++_r->stats.worklistIterations;
         processNode(n);
     }
     return std::move(_r);
@@ -484,6 +489,8 @@ PointsToAnalysis::Engine::processNode(NodeId n)
     int guard = 0;
     while (changed) {
         changed = false;
+        ++_r->stats.localPasses;
+        _r->stats.instrVisits += m->numInstrs();
         for (int i = 0; i < m->numInstrs(); ++i)
             changed |= processInstr(n, m, i);
         if (++guard > 1000)

@@ -48,6 +48,15 @@ struct PointsToOptions {
     bool indexSensitiveArrays{false};
 };
 
+/** Solver work counters, filled by every run (plain increments on the
+ *  solving thread — no atomics, no overhead knob). The metric name
+ *  catalog in docs/OBSERVABILITY.md maps these to registry names. */
+struct PtaStats {
+    int64_t worklistIterations{0}; //!< nodes popped off the worklist
+    int64_t localPasses{0};        //!< per-node inner fixpoint passes
+    int64_t instrVisits{0};        //!< instruction transfer applications
+};
+
 /** A flow-insensitive constant lattice value for one register. */
 struct ConstVal {
     enum class State { Bottom, Const, Top };
@@ -68,6 +77,7 @@ class PointsToResult
     ActionRegistry actions;
     ClassHierarchy cha;
     PointsToOptions options;
+    PtaStats stats;
 
     NodeId rootNode{-1};
     int rootAction{-1};

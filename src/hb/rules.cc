@@ -8,6 +8,7 @@
 #include "air/logging.hh"
 #include "analysis/cfg.hh"
 #include "analysis/dominators.hh"
+#include "util/trace.hh"
 
 namespace sierra::hb {
 
@@ -88,6 +89,7 @@ HbBuilder::Impl::domOf(const air::Method *m)
 std::unique_ptr<Shbg>
 HbBuilder::Impl::build()
 {
+    SIERRA_TRACE_SPAN(span, "hb", "shbg.build", std::string());
     auto g = std::make_unique<Shbg>(_r.actions.size());
 
     // Index the harness event sites by interned SiteId, and map actions

@@ -6,6 +6,7 @@
 #include <tuple>
 
 #include "air/logging.hh"
+#include "util/trace.hh"
 
 namespace sierra::race {
 
@@ -84,6 +85,11 @@ findRacyPairs(const PointsToResult &result, const hb::Shbg &shbg,
         }
     }
 
+    // Work counters accumulate in locals (not through the stats
+    // pointer) so the quadratic loop costs nothing extra when they are
+    // unwanted.
+    int64_t considered = 0, prefilter_skipped = 0, alias_checked = 0;
+
     const std::vector<char> *live = options.liveAccess;
     for (size_t i = 0; i < accesses.size(); ++i) {
         if (live && !(*live)[i])
@@ -95,11 +101,14 @@ findRacyPairs(const PointsToResult &result, const hb::Shbg &shbg,
             const Access &y = accesses[j];
             if (!x.isWrite && !y.isWrite)
                 continue;
+            ++considered;
             if (options.effects &&
                 !analysis::FieldEffects::mayConflict(*summaries[i],
                                                      *summaries[j])) {
+                ++prefilter_skipped;
                 continue;
             }
+            ++alias_checked;
             std::vector<MemLoc> shared = sharedLocs(x, y);
             if (shared.empty())
                 continue;
@@ -179,6 +188,12 @@ findRacyPairs(const PointsToResult &result, const hb::Shbg &shbg,
         }
     }
 
+    if (options.stats) {
+        options.stats->accessPairsConsidered += considered;
+        options.stats->prefilterSkipped += prefilter_skipped;
+        options.stats->aliasChecked += alias_checked;
+    }
+
     std::vector<RacyPair> out;
     out.reserve(dedup.size());
     for (auto &[key, pair] : dedup)
@@ -250,6 +265,8 @@ refuteWithLockSets(const PointsToResult &result,
             pair.refuted = true;
             pair.refutedBy = RefutedBy::Lockset;
             ++refuted;
+            SIERRA_TRACE_INSTANT("refutation", "pair refuted",
+                                 util::trace::arg("by", "lockset"));
         }
     }
     return refuted;

@@ -51,6 +51,17 @@ struct RacyPair {
                          const std::vector<Access> &accesses) const;
 };
 
+/** Work counters from one findRacyPairs call (plain increments on the
+ *  calling thread; metric names in docs/OBSERVABILITY.md). */
+struct RacyStats {
+    //! access pairs surviving the keep mask and write check
+    int64_t accessPairsConsidered{0};
+    //! of those, dropped by the field-effect summary prefilter
+    int64_t prefilterSkipped{0};
+    //! of those, reaching the points-to intersection
+    int64_t aliasChecked{0};
+};
+
 /** Options for racy-pair detection. */
 struct RacyOptions {
     //! skip pairs where both actions run on different loopers (paper
@@ -74,6 +85,11 @@ struct RacyOptions {
      * disables the filter.
      */
     const std::vector<char> *liveAccess{nullptr};
+    /**
+     * Optional out-param: work counters for the metrics registry.
+     * Not owned; null skips the bookkeeping entirely.
+     */
+    RacyStats *stats{nullptr};
 };
 
 /**

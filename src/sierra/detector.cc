@@ -8,6 +8,7 @@
 
 #include "air/logging.hh"
 #include "util/thread_pool.hh"
+#include "util/trace.hh"
 
 namespace sierra {
 
@@ -19,6 +20,72 @@ secondsSince(std::chrono::steady_clock::time_point start)
     return std::chrono::duration<double>(
                std::chrono::steady_clock::now() - start)
         .count();
+}
+
+/**
+ * Fold one harness task's counters and stage times into the metrics
+ * registry. Called from the serial plan-order merge, so the registry
+ * contents are identical at every jobs count (the catalog of names
+ * lives in docs/OBSERVABILITY.md; metrics_test pins the counters that
+ * mirror report fields).
+ */
+void
+fillMetrics(util::metrics::Registry &m, const HarnessAnalysis &ha,
+            const StageTimes &t)
+{
+    const analysis::PtaStats &pta = ha.pta->stats;
+    m.add("pta.worklist_iterations", pta.worklistIterations);
+    m.add("pta.local_passes", pta.localPasses);
+    m.add("pta.instr_visits", pta.instrVisits);
+    m.add("pta.cg_nodes", ha.pta->cg.numNodes());
+    m.add("pta.actions", ha.numActions());
+
+    m.add("shbg.direct_edges",
+          static_cast<int64_t>(ha.shbg->directEdges().size()));
+    m.add("shbg.closure_pairs", ha.hbEdges());
+
+    m.add("race.accesses_extracted", ha.accessesTotal);
+    m.add("race.accesses_dropped", ha.accessesDropped);
+    m.add("race.access_pairs_considered",
+          ha.racyStats.accessPairsConsidered);
+    m.add("race.prefilter_skipped", ha.racyStats.prefilterSkipped);
+    m.add("race.alias_checked", ha.racyStats.aliasChecked);
+    m.add("race.racy_pairs", ha.racyPairCount());
+    m.add("race.lockset_refuted", ha.locksetRefuted);
+
+    const symbolic::RefutationStats &ref = ha.refutation;
+    m.add("symbolic.refuted", ref.refuted);
+    m.add("symbolic.survived", ref.survived);
+    m.add("symbolic.timed_out", ref.timedOut);
+    m.add("symbolic.queries", ref.exec.queries);
+    m.add("symbolic.paths_explored", ref.exec.pathsExplored);
+    m.add("symbolic.states_expanded", ref.exec.statesExpanded);
+    m.add("symbolic.cache_hits", ref.exec.cacheHits);
+    m.add("symbolic.budget_exhausted", ref.exec.budgetExhausted);
+    m.add("symbolic.const_pruned", ref.exec.constPruned);
+
+    // Per-pair refutation provenance (RefutedBy kinds).
+    int64_t by_none = 0, by_lockset = 0, by_symbolic = 0;
+    for (const race::RacyPair &p : ha.pairs) {
+        switch (p.refutedBy) {
+          case race::RefutedBy::None: ++by_none; break;
+          case race::RefutedBy::Lockset: ++by_lockset; break;
+          case race::RefutedBy::Symbolic: ++by_symbolic; break;
+        }
+    }
+    m.add("refuted_by.none", by_none);
+    m.add("refuted_by.lockset", by_lockset);
+    m.add("refuted_by.symbolic", by_symbolic);
+
+    // Per-harness stage durations as histograms (seconds).
+    m.observe("stage.cg_pa.seconds", t.cgPa);
+    m.observe("stage.hbg.seconds", t.hbg);
+    m.observe("stage.dataflow.seconds", t.dataflow);
+    m.observe("stage.escape.seconds", t.escape);
+    m.observe("stage.racy.seconds", t.racy);
+    m.observe("stage.lockset.seconds", t.lockset);
+    m.observe("stage.refutation.seconds", t.refutation);
+    m.observe("harness.cpu.seconds", t.totalCpu);
 }
 
 } // namespace
@@ -57,16 +124,28 @@ SierraDetector::runHarness(const harness::HarnessPlan &plan,
 {
     HarnessAnalysis ha;
     ha.activity = plan.activityClass;
+    SIERRA_TRACE_SPAN(task_span, "task", "harness",
+                      util::trace::arg("activity", plan.activityClass));
 
     auto t0 = std::chrono::steady_clock::now();
-    analysis::PointsToAnalysis pta(_app, plan, options.pta);
-    ha.pta = pta.run();
-    double cg_pa = secondsSince(t0);
+    double cg_pa;
+    {
+        SIERRA_TRACE_SPAN(span, "stage", "stage.cg_pa",
+                          util::trace::arg("activity", ha.activity));
+        analysis::PointsToAnalysis pta(_app, plan, options.pta);
+        ha.pta = pta.run();
+        cg_pa = secondsSince(t0);
+    }
 
     auto t1 = std::chrono::steady_clock::now();
-    hb::HbBuilder hb_builder(*ha.pta, plan, _app, options.hb);
-    ha.shbg = hb_builder.build();
-    double hbg = secondsSince(t1);
+    double hbg;
+    {
+        SIERRA_TRACE_SPAN(span, "stage", "stage.hbg",
+                          util::trace::arg("activity", ha.activity));
+        hb::HbBuilder hb_builder(*ha.pta, plan, _app, options.hb);
+        ha.shbg = hb_builder.build();
+        hbg = secondsSince(t1);
+    }
 
     // Dataflow stage: field-effect summaries feeding the racy-pair
     // prefilter. Per-task (each task owns its result), so the stage
@@ -74,7 +153,10 @@ SierraDetector::runHarness(const harness::HarnessPlan &plan,
     auto t_df = std::chrono::steady_clock::now();
     std::unique_ptr<analysis::FieldEffects> effects;
     race::RacyOptions racy_options = options.racy;
+    racy_options.stats = &ha.racyStats;
     if (options.effectPrefilter && !racy_options.effects) {
+        SIERRA_TRACE_SPAN(span, "stage", "stage.dataflow",
+                          util::trace::arg("activity", ha.activity));
         effects = std::make_unique<analysis::FieldEffects>(
             _app.module(), ha.pta->cha);
         racy_options.effects = effects.get();
@@ -82,48 +164,79 @@ SierraDetector::runHarness(const harness::HarnessPlan &plan,
     double dataflow = secondsSince(t_df);
 
     auto t2 = std::chrono::steady_clock::now();
-    ha.accesses = race::extractAccesses(*ha.pta);
-    ha.accessesTotal = static_cast<int>(ha.accesses.size());
-    double racy = secondsSince(t2);
+    double racy;
+    {
+        SIERRA_TRACE_SPAN(span, "stage", "stage.racy.extract",
+                          util::trace::arg("activity", ha.activity));
+        ha.accesses = race::extractAccesses(*ha.pta);
+        ha.accessesTotal = static_cast<int>(ha.accesses.size());
+        racy = secondsSince(t2);
+    }
 
     // Escape stage: drop accesses whose every base object is
     // thread-local before the quadratic pair loop (report-preserving,
     // see analysis/escape.hh).
     auto t_esc = std::chrono::steady_clock::now();
+    double escape;
     std::vector<char> live;
-    if (options.escapeFilter) {
-        analysis::EscapeAnalysis esc(*ha.pta);
-        live = race::escapeLiveMask(esc, ha.accesses);
-        racy_options.liveAccess = &live;
-        for (char kept : live) {
-            if (!kept)
-                ++ha.accessesDropped;
+    {
+        SIERRA_TRACE_SPAN(span, "stage", "stage.escape",
+                          util::trace::arg("activity", ha.activity));
+        if (options.escapeFilter) {
+            analysis::EscapeAnalysis esc(*ha.pta);
+            live = race::escapeLiveMask(esc, ha.accesses);
+            racy_options.liveAccess = &live;
+            for (char kept : live) {
+                if (!kept)
+                    ++ha.accessesDropped;
+            }
         }
+        escape = secondsSince(t_esc);
     }
-    double escape = secondsSince(t_esc);
 
     auto t2b = std::chrono::steady_clock::now();
-    ha.pairs = race::findRacyPairs(*ha.pta, *ha.shbg, ha.accesses,
-                                   racy_options);
-    racy += secondsSince(t2b);
+    {
+        SIERRA_TRACE_SPAN(span, "stage", "stage.racy.pairs",
+                          util::trace::arg("activity", ha.activity));
+        ha.pairs = race::findRacyPairs(*ha.pta, *ha.shbg, ha.accesses,
+                                       racy_options);
+        racy += secondsSince(t2b);
+    }
 
     // Lock-set stage: refute pairs protected by a common must-held
     // monitor on every (background-involving) action pair, so they
     // never reach the expensive symbolic refuter.
     auto t_ls = std::chrono::steady_clock::now();
-    if (options.locksetRefutation) {
-        analysis::LockSetAnalysis locks(*ha.pta);
-        ha.locksetRefuted = race::refuteWithLockSets(
-            *ha.pta, locks, ha.accesses, ha.pairs);
+    double lockset;
+    {
+        SIERRA_TRACE_SPAN(span, "stage", "stage.lockset",
+                          util::trace::arg("activity", ha.activity));
+        if (options.locksetRefutation) {
+            analysis::LockSetAnalysis locks(*ha.pta);
+            ha.locksetRefuted = race::refuteWithLockSets(
+                *ha.pta, locks, ha.accesses, ha.pairs);
+        }
+        lockset = secondsSince(t_ls);
     }
-    double lockset = secondsSince(t_ls);
 
     auto t3 = std::chrono::steady_clock::now();
-    if (options.runRefutation) {
-        ha.refutation = symbolic::refuteRaces(
-            *ha.pta, ha.accesses, ha.pairs, options.refuter);
+    double refutation;
+    {
+        SIERRA_TRACE_SPAN(span, "stage", "stage.refutation",
+                          util::trace::arg("activity", ha.activity));
+        if (options.runRefutation) {
+            ha.refutation = symbolic::refuteRaces(
+                *ha.pta, ha.accesses, ha.pairs, options.refuter);
+        }
+        // The refuter may shard across worker threads; its summed
+        // per-worker thread-CPU is the stage's cpu cost. The task
+        // thread's own wall clock is the floor (it covers the
+        // single-threaded path and the fan-out overhead), so worker
+        // CPU is added on top of it, never lost.
+        double wall = secondsSince(t3);
+        refutation =
+            std::max(wall, ha.refutation.cpuSeconds);
     }
-    double refutation = secondsSince(t3);
     race::prioritize(*ha.pta, ha.accesses, ha.pairs);
 
     if (times) {
@@ -165,6 +278,8 @@ SierraDetector::analyze(const SierraOptions &options)
         task_options.refuter.jobs = std::max(1, jobs / plan_jobs);
 
     auto t_total = std::chrono::steady_clock::now();
+    SIERRA_TRACE_SPAN(analyze_span, "pipeline", "analyze",
+                      util::trace::arg("app", _app.name()));
 
     // One task per harness plan. Each task reads only shared-immutable
     // state and owns everything it produces, so tasks are independent;
@@ -177,6 +292,9 @@ SierraDetector::analyze(const SierraOptions &options)
                 return runHarness(_plans[i], task_options,
                                   &task_times[i]);
             });
+
+    SIERRA_TRACE_SPAN(merge_span, "pipeline", "merge",
+                      util::trace::arg("app", _app.name()));
 
     // Everything below is the deterministic merge, done serially in
     // plan order so the dedup map, aggregate counters and timing sums
@@ -211,14 +329,14 @@ SierraDetector::analyze(const SierraOptions &options)
         HarnessAnalysis &ha = analyses[i];
         const harness::HarnessPlan &plan = _plans[i];
 
-        report.times.cgPa += task_times[i].cgPa;
-        report.times.hbg += task_times[i].hbg;
-        report.times.dataflow += task_times[i].dataflow;
-        report.times.escape += task_times[i].escape;
-        report.times.racy += task_times[i].racy;
-        report.times.lockset += task_times[i].lockset;
-        report.times.refutation += task_times[i].refutation;
-        report.times.totalCpu += task_times[i].totalCpu;
+        // Plan-order, associative sums: totalCpu equals the sum of
+        // the per-stage fields no matter which order the tasks
+        // *finished* in (they were accumulated per task, merged here
+        // serially).
+        report.times.add(task_times[i]);
+
+        if (options.metrics)
+            fillMetrics(*options.metrics, ha, task_times[i]);
 
         report.accessesDropped += ha.accessesDropped;
         report.locksetRefuted += ha.locksetRefuted;
@@ -296,7 +414,8 @@ formatReport(const AppReport &report, int max_races, bool with_times)
         os << "time: cg+pa " << report.times.cgPa << "s, hbg "
            << report.times.hbg << "s, dataflow "
            << report.times.dataflow << "s, escape "
-           << report.times.escape << "s, lockset "
+           << report.times.escape << "s, racy "
+           << report.times.racy << "s, lockset "
            << report.times.lockset << "s, refutation "
            << report.times.refutation << "s, total "
            << report.times.total << "s (cpu "

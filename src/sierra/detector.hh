@@ -26,6 +26,7 @@
 #include "hb/rules.hh"
 #include "race/racy.hh"
 #include "symbolic/refuter.hh"
+#include "util/metrics.hh"
 
 namespace sierra {
 
@@ -67,6 +68,14 @@ struct SierraOptions {
      * serial. The report is identical at every value.
      */
     int jobs{0};
+    /**
+     * Optional metrics registry, filled during the deterministic merge
+     * (counter catalog in docs/OBSERVABILITY.md). Not owned; null
+     * disables the bookkeeping. Counters mirror report fields exactly
+     * (e.g. `race.lockset_refuted` == AppReport::locksetRefuted) and
+     * are identical at every jobs count.
+     */
+    util::metrics::Registry *metrics{nullptr};
 };
 
 /**
@@ -84,9 +93,36 @@ struct StageTimes {
     double escape{0};     //!< escape analysis + access filter (cpu-s)
     double racy{0};       //!< access extraction + racy pairs (cpu-s)
     double lockset{0};    //!< lock-set analysis + refutation (cpu-s)
-    double refutation{0}; //!< symbolic refutation (cpu-s)
-    double totalCpu{0};   //!< sum of all per-task stage times (cpu-s)
-    double total{0};      //!< elapsed wall-clock of the whole run
+    /**
+     * Symbolic refutation. Unlike the single-threaded stages above
+     * (whose own wall time is their cpu time), refutation may fan out
+     * across refuter workers inside one task; this field is the sum of
+     * the workers' thread-CPU clocks (RefutationStats::cpuSeconds), so
+     * worker CPU is accounted instead of being hidden behind the task
+     * thread's elapsed time.
+     */
+    double refutation{0};
+    //! sum of all per-task stage times; equals the sum of the seven
+    //! stage fields (up to fp rounding) by construction, regardless of
+    //! task completion order — the merge runs serially in plan order
+    double totalCpu{0};
+    double total{0}; //!< elapsed wall-clock of the whole run
+
+    /** Fold another task's stage times in (associative, commutative
+     *  component-wise sums; `total` is deliberately excluded — wall
+     *  time is a property of the whole run, not of one task). */
+    void
+    add(const StageTimes &o)
+    {
+        cgPa += o.cgPa;
+        hbg += o.hbg;
+        dataflow += o.dataflow;
+        escape += o.escape;
+        racy += o.racy;
+        lockset += o.lockset;
+        refutation += o.refutation;
+        totalCpu += o.totalCpu;
+    }
 };
 
 /** The analysis artifacts of one harness (one activity). */
@@ -97,6 +133,7 @@ struct HarnessAnalysis {
     std::vector<race::Access> accesses;
     std::vector<race::RacyPair> pairs; //!< prioritized, refuted marked
     symbolic::RefutationStats refutation;
+    race::RacyStats racyStats; //!< pair-loop work counters
     int accessesTotal{0};     //!< extracted accesses before filtering
     int accessesDropped{0};   //!< thread-local accesses escape removed
     int locksetRefuted{0};    //!< pairs refuted by the lock-set stage

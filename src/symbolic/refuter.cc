@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "util/metrics.hh"
 #include "util/thread_pool.hh"
+#include "util/trace.hh"
 
 namespace sierra::symbolic {
 
@@ -45,10 +47,13 @@ refutePair(BackwardExecutor &exec,
     if (pair.refuted)
         pair.refutedBy = race::RefutedBy::Symbolic;
     pair.refutationTimedOut = any_budget;
-    if (pair.refuted)
+    if (pair.refuted) {
         ++stats.refuted;
-    else
+        SIERRA_TRACE_INSTANT("refutation", "pair refuted",
+                             util::trace::arg("by", "symbolic"));
+    } else {
         ++stats.survived;
+    }
     if (any_budget)
         ++stats.timedOut;
 }
@@ -66,9 +71,11 @@ refuteRaces(const analysis::PointsToResult &result,
 
     if (jobs <= 1) {
         RefutationStats stats;
+        double cpu0 = util::metrics::threadCpuSeconds();
         BackwardExecutor exec(result, options.exec);
         for (race::RacyPair &pair : pairs)
             refutePair(exec, accesses, pair, options, stats);
+        stats.cpuSeconds = util::metrics::threadCpuSeconds() - cpu0;
         stats.exec = exec.stats();
         return stats;
     }
@@ -80,12 +87,20 @@ refuteRaces(const analysis::PointsToResult &result,
     std::vector<RefutationStats> worker_stats(
         static_cast<size_t>(jobs));
     util::parallelFor(jobs, jobs, [&](int w) {
+        SIERRA_TRACE_SPAN(span, "worker", "refute.shard",
+                          util::trace::arg("shard",
+                                           std::to_string(w)));
+        // Each worker meters its own thread-CPU so the merged
+        // cpuSeconds is the true CPU of the stage, not the task
+        // thread's wall time over a concurrent fan-out.
+        double cpu0 = util::metrics::threadCpuSeconds();
         BackwardExecutor exec(result, options.exec, &shared_cache);
         RefutationStats &stats = worker_stats[w];
         for (size_t i = static_cast<size_t>(w); i < pairs.size();
              i += static_cast<size_t>(jobs)) {
             refutePair(exec, accesses, pairs[i], options, stats);
         }
+        stats.cpuSeconds = util::metrics::threadCpuSeconds() - cpu0;
         stats.exec = exec.stats();
     });
 

@@ -48,6 +48,14 @@ struct RefutationStats {
     int refuted{0};
     int survived{0};
     int timedOut{0};
+    /**
+     * CPU seconds spent deciding pairs, summed over every refuter
+     * worker thread (thread-CPU clock, not wall). Under sharded
+     * refutation the task thread's wall clock only sees the elapsed
+     * time of the fan-out, so StageTimes uses this sum instead —
+     * worker CPU is accounted, not lost (see StageTimes docs).
+     */
+    double cpuSeconds{0};
     ExecutorStats exec;
 
     /** Component-wise sum; associative (see ExecutorStats::merge). */
@@ -57,6 +65,7 @@ struct RefutationStats {
         refuted += o.refuted;
         survived += o.survived;
         timedOut += o.timedOut;
+        cpuSeconds += o.cpuSeconds;
         exec.merge(o.exec);
     }
 };

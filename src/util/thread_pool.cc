@@ -3,6 +3,9 @@
 #include <atomic>
 #include <cstdlib>
 #include <exception>
+#include <string>
+
+#include "trace.hh"
 
 namespace sierra::util {
 
@@ -28,7 +31,7 @@ ThreadPool::ThreadPool(int workers, size_t queue_capacity)
         workers = 1;
     _threads.reserve(static_cast<size_t>(workers));
     for (int i = 0; i < workers; ++i)
-        _threads.emplace_back([this] { workerLoop(); });
+        _threads.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -67,8 +70,11 @@ ThreadPool::wait()
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(int index)
 {
+    // Name this thread's trace track; names persist per thread, so the
+    // cost is one registration even across many trace sessions.
+    trace::setThreadName("pool-worker-" + std::to_string(index));
     for (;;) {
         std::function<void()> task;
         {
@@ -109,6 +115,10 @@ parallelFor(int jobs, int n, const std::function<void(int)> &fn)
     std::once_flag error_once;
 
     auto drain = [&] {
+        // One span per participating worker ("worker" category: the
+        // number of these varies with the jobs count by design).
+        SIERRA_TRACE_SPAN(span, "worker", "parallel_for.drain",
+                          std::string());
         for (;;) {
             int i = next.fetch_add(1, std::memory_order_relaxed);
             if (i >= n)

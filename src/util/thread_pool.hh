@@ -53,7 +53,7 @@ class ThreadPool
     int workers() const { return static_cast<int>(_threads.size()); }
 
   private:
-    void workerLoop();
+    void workerLoop(int index);
 
     std::mutex _mutex;
     std::condition_variable _notEmpty; //!< workers wait for tasks

@@ -290,6 +290,57 @@ TEST(Cli, AnalyzeLockFlags)
               std::string::npos);
 }
 
+TEST(Cli, AnalyzeTraceWritesChromeJson)
+{
+    TempFile file(".air");
+    ASSERT_EQ(run({"dump", "OpenSudoku", "-o", file.path()}).code, 0);
+
+    TempFile trace(".json");
+    CliRun r = run({"analyze", file.path(), "--trace", trace.path()});
+    ASSERT_EQ(r.code, 0) << r.err;
+
+    std::ifstream in(trace.path());
+    ASSERT_TRUE(in.good()) << "--trace did not write the file";
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(text.find("\"ph\":\"B\""), std::string::npos);
+    EXPECT_NE(text.find("stage.cg_pa"), std::string::npos);
+    EXPECT_NE(text.find("\"displayTimeUnit\":\"ms\""),
+              std::string::npos);
+
+    CliRun bad = run({"analyze", file.path(), "--trace",
+                      "/no/such/dir/trace.json"});
+    EXPECT_EQ(bad.code, 1);
+    EXPECT_NE(bad.err.find("cannot write trace"), std::string::npos);
+}
+
+TEST(Cli, AnalyzeMetricsFlag)
+{
+    TempFile file(".air");
+    ASSERT_EQ(run({"dump", "ConnectBot", "-o", file.path()}).code, 0);
+
+    CliRun text = run({"analyze", file.path(), "--metrics"});
+    ASSERT_EQ(text.code, 0) << text.err;
+    EXPECT_NE(text.out.find("pta.worklist_iterations"),
+              std::string::npos);
+    EXPECT_NE(text.out.find("race.lockset_refuted"),
+              std::string::npos);
+    EXPECT_NE(text.out.find("stage.refutation.seconds"),
+              std::string::npos);
+
+    CliRun json = run({"analyze", file.path(), "--json", "--metrics"});
+    ASSERT_EQ(json.code, 0) << json.err;
+    EXPECT_NE(json.out.find("\"metrics\":"), std::string::npos);
+    EXPECT_NE(json.out.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.out.find("\"dataflow\":"), std::string::npos);
+    EXPECT_NE(json.out.find("\"racy\":"), std::string::npos);
+
+    // Without the flag the report carries no metrics block.
+    CliRun plain = run({"analyze", file.path(), "--json"});
+    EXPECT_EQ(plain.out.find("\"metrics\":"), std::string::npos);
+}
+
 TEST(Cli, MissingFileFailsCleanly)
 {
     CliRun r = run({"analyze", "/definitely/not/here.air"});

@@ -17,6 +17,11 @@ ctest_args=("$@")
 
 jobs="${SIERRA_BUILD_JOBS:-$(nproc 2>/dev/null || echo 2)}"
 
+# Docs are part of the contract: broken links or anchors fail the run
+# before any flavor builds (cheap, catches doc rot early).
+echo "=== docs: markdown link check ==="
+tools/check_links.sh
+
 run_flavor() {
     local name="$1" dir="$2" sanitize="$3"
     echo "=== ${name}: configure + build (${dir}) ==="

@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# Markdown link-and-anchor checker for the repo docs.
+#
+# Validates every relative link in the checked markdown files:
+#   - the target file exists (resolved from the containing file's dir)
+#   - a `#fragment`, when present, matches a heading in the target
+#     (GitHub slugification: lowercase, spaces -> '-', punctuation
+#     stripped) or an explicit <a name="..."> anchor
+# External links (http/https/mailto) and bare anchors into the same
+# file are checked for the anchor only. Code fences are skipped so
+# example snippets can't trip the checker.
+#
+# Usage: tools/check_links.sh [file.md ...]
+#        (no args: README.md, *.md at the repo root, and docs/*.md)
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+
+files=("$@")
+if [ ${#files[@]} -eq 0 ]; then
+    while IFS= read -r f; do files+=("$f"); done \
+        < <(ls ./*.md 2>/dev/null; ls docs/*.md 2>/dev/null)
+fi
+
+# slugify <heading text> -> github anchor id
+slugify() {
+    printf '%s\n' "$1" |
+        tr '[:upper:]' '[:lower:]' |
+        sed -e 's/[^a-z0-9 _-]//g' -e 's/ /-/g'
+}
+
+# anchors_of <file>: one slug per line (headings outside code fences,
+# plus explicit <a name=...> / <a id=...> anchors). Duplicate headings
+# get -1, -2, ... suffixes like GitHub.
+anchors_of() {
+    local file="$1"
+    awk '
+        /^(```|~~~)/ { fence = !fence; next }
+        fence { next }
+        /^#+ / {
+            sub(/^#+ +/, "")
+            sub(/ +#* *$/, "")
+            print
+        }
+    ' "$file" | while IFS= read -r heading; do
+        slugify "$heading"
+    done | awk '{ n = seen[$0]++; print n ? $0 "-" n : $0 }'
+    grep -o '<a [^>]*\(name\|id\)="[^"]*"' "$file" 2>/dev/null |
+        sed 's/.*="\([^"]*\)".*/\1/'
+}
+
+errors=0
+report() {
+    echo "ERROR: $1" >&2
+    errors=$((errors + 1))
+}
+
+for file in "${files[@]}"; do
+    [ -f "$file" ] || { report "$file: no such file"; continue; }
+    dir=$(dirname "$file")
+
+    # Extract inline links `[text](target)` outside code fences; strip
+    # inline code spans so `[i](x)`-looking code is ignored.
+    links=$(awk '
+        /^(```|~~~)/ { fence = !fence; next }
+        fence { next }
+        {
+            line = $0
+            gsub(/`[^`]*`/, "", line)
+            while (match(line, /\]\([^)]+\)/)) {
+                print substr(line, RSTART + 2, RLENGTH - 3)
+                line = substr(line, RSTART + RLENGTH)
+            }
+        }
+    ' "$file")
+
+    while IFS= read -r link; do
+        [ -n "$link" ] || continue
+        # Drop optional '"title"' suffixes and surrounding <>.
+        link=${link%% \"*}
+        link=${link#<}; link=${link%>}
+        case "$link" in
+          http://*|https://*|mailto:*) continue ;;
+        esac
+
+        target=${link%%#*}
+        fragment=""
+        case "$link" in *#*) fragment=${link#*#} ;; esac
+
+        if [ -z "$target" ]; then
+            resolved="$file" # same-file anchor
+        else
+            resolved="$dir/$target"
+        fi
+        if [ ! -e "$resolved" ]; then
+            report "$file: broken link '$link' ($resolved not found)"
+            continue
+        fi
+        if [ -n "$fragment" ] && [[ "$resolved" == *.md ]]; then
+            anchors=$(anchors_of "$resolved")
+            if ! grep -qxF "$fragment" <<< "$anchors"; then
+                report "$file: broken anchor '#$fragment' in '$link'"
+            fi
+        fi
+    done <<< "$links"
+done
+
+if [ "$errors" -gt 0 ]; then
+    echo "$errors broken link(s)" >&2
+    exit 1
+fi
+echo "all markdown links OK (${#files[@]} files)"

@@ -14,6 +14,8 @@
 #include "dynamic/race_verifier.hh"
 #include "framework/app_text.hh"
 #include "sierra/detector.hh"
+#include "util/metrics.hh"
+#include "util/trace.hh"
 
 namespace sierra::cli {
 
@@ -59,6 +61,11 @@ analyze options:
                     pairs reach the symbolic refuter)
   --max-races N     cap the printed race list (default 50)
   --show-refuted    also print refuted candidates
+  --trace FILE      write a Chrome trace-event JSON profile of the run
+                    (open in Perfetto or chrome://tracing; see
+                    docs/OBSERVABILITY.md)
+  --metrics         collect and print the pipeline metrics registry
+                    (embedded under "metrics" with --json)
   --json            machine-readable output
 
 lint options:
@@ -102,7 +109,7 @@ flagTakesValue(const std::string &flag)
 {
     static const char *valued[] = {"--policy", "--k", "--max-races",
                                    "--jobs", "--schedules", "--seed",
-                                   "-o"};
+                                   "--trace", "-o"};
     for (const char *v : valued) {
         if (flag == v)
             return true;
@@ -222,7 +229,8 @@ jsonEscape(const std::string &s)
 }
 
 void
-printReportJson(const AppReport &report, std::ostream &out)
+printReportJson(const AppReport &report, std::ostream &out,
+                const util::metrics::Registry *metrics = nullptr)
 {
     out << "{\n";
     out << "  \"app\": \"" << jsonEscape(report.app) << "\",\n";
@@ -236,11 +244,15 @@ printReportJson(const AppReport &report, std::ostream &out)
     out << "  \"accessesDropped\": " << report.accessesDropped << ",\n";
     out << "  \"timesMs\": {\"cgPa\": " << report.times.cgPa * 1e3
         << ", \"hbg\": " << report.times.hbg * 1e3
+        << ", \"dataflow\": " << report.times.dataflow * 1e3
         << ", \"escape\": " << report.times.escape * 1e3
+        << ", \"racy\": " << report.times.racy * 1e3
         << ", \"lockset\": " << report.times.lockset * 1e3
         << ", \"refutation\": " << report.times.refutation * 1e3
         << ", \"totalCpu\": " << report.times.totalCpu * 1e3
         << ", \"total\": " << report.times.total * 1e3 << "},\n";
+    if (metrics)
+        out << "  \"metrics\": " << metrics->toJson() << ",\n";
     out << "  \"races\": [\n";
     bool first = true;
     for (const auto &race : report.races) {
@@ -292,14 +304,33 @@ cmdAnalyze(const ParsedFlags &flags, std::ostream &out,
     options.escapeFilter = !flags.has("--no-escape");
     options.locksetRefutation = !flags.has("--no-lockset");
 
+    util::metrics::Registry registry;
+    const bool want_metrics = flags.has("--metrics");
+    if (want_metrics)
+        options.metrics = &registry;
+    const std::string trace_path = flags.get("--trace");
+    if (!trace_path.empty())
+        util::trace::start();
+
     SierraDetector detector(*app);
     AppReport report = detector.analyze(options);
 
+    int status = 0;
+    if (!trace_path.empty() &&
+        !util::trace::writeJson(trace_path)) {
+        err << "error: cannot write trace file '" << trace_path
+            << "'\n";
+        status = 1;
+    }
+
     if (flags.has("--json")) {
-        printReportJson(report, out);
-        return 0;
+        printReportJson(report, out,
+                        want_metrics ? &registry : nullptr);
+        return status;
     }
     out << formatReport(report, flags.getInt("--max-races", 50));
+    if (want_metrics)
+        out << "\n" << registry.toText();
     if (flags.has("--show-refuted")) {
         out << "refuted candidates:\n";
         for (const auto &race : report.races) {
@@ -307,7 +338,7 @@ cmdAnalyze(const ParsedFlags &flags, std::ostream &out,
                 out << "  " << race.description << "\n";
         }
     }
-    return 0;
+    return status;
 }
 
 int
