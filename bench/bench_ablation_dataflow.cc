@@ -10,6 +10,11 @@
  *   - dataflow off: the PR-1 pipeline (no prefilter, opaque
  *     arithmetic).
  *
+ * The interprocedural IFDS stage is disabled in BOTH configurations:
+ * its summaries subsume the intraprocedural constant facts, so
+ * leaving it on would mask the stage under ablation (see
+ * bench_ablation_ifds for that stage's own on/off comparison).
+ *
  * The stage must be report-preserving on ground truth (identical
  * misses) while doing strictly less refutation work: fewer surviving
  * reports or fewer symbolic states expanded.
@@ -57,6 +62,7 @@ main()
             SierraOptions opts;
             opts.effectPrefilter = configs[c].dataflow;
             opts.refuter.exec.useConstFacts = configs[c].dataflow;
+            opts.ifds = false;
             AppReport report = detector.analyze(opts);
             t.racy += report.racyPairs;
             t.refuted += report.racyPairs - report.afterRefutation;

@@ -41,7 +41,7 @@ namedAppSpecs()
     // known for in the text (OpenSudoku: Fig. 8; NPR News: Section 6.3).
     static const std::vector<NamedAppSpec> specs = {
         {"APV", "500,000-1,000,000", 736, 3,
-         {"threadRace", "guardedTimer"}},
+         {"threadRace", "guardedTimer", "interprocGuard"}},
         {"Astrid", "100,000-500,000", 5400, 8,
          {"asyncNewsRace", "messageGuard", "workSession"}},
         {"Barcode Scanner", "100,000,000-500,000,000", 808, 3,
@@ -53,7 +53,8 @@ namedAppSpecs()
         {"FBReader", "10,000,000-50,000,000", 1013, 4,
          {"asyncNewsRace", "actionAliasTrap", "workSession"}},
         {"K-9 Mail", "5,000,000-10,000,000", 2800, 6,
-         {"receiverDbRace", "serviceStaticRace", "implicitDepTrap"}},
+         {"receiverDbRace", "serviceStaticRace", "implicitDepTrap",
+          "useAfterDestroy"}},
         {"KeePassDroid", "1,000,000-5,000,000", 489, 2,
          {"guardedTimer", "lifecycleSafe"}},
         {"Mileage", "500,000-1,000,000", 641, 3,

@@ -1496,6 +1496,182 @@ addLocalScratch(AppFactory &f, ActivityBuilder &act)
                   "localScratch: thread-local buffers never pair");
 }
 
+// --------------------------------------------------------------------
+// Pattern: computedGuard taken interprocedural. stop() clears the
+// guard through a 9-deep chain of setter helpers (clear0 .. clear8),
+// deeper than the executor's call-descend limit, so backward execution
+// havocs the call and keeps the report. The IFDS stage's must-write
+// summaries prove the chain stores the constant 0 into both fields,
+// turning the havoc back into a strong update that conflicts with the
+// guard constraint -- refutable only with interprocedural constants.
+// --------------------------------------------------------------------
+void
+addInterprocGuard(AppFactory &f, ActivityBuilder &act)
+{
+    int n = f.nextUnique();
+    std::string timer_cls = "IPGuard$" + std::to_string(n);
+    std::string act_cls = act.name();
+    std::string timer_field = "ipguard$" + std::to_string(n);
+
+    air::Module &mod = f.app().module();
+
+    Klass *timer = mod.addClass(timer_cls, names::object);
+    timer->addInterface(names::runnable);
+    timer->addField({"mOn", Type::intTy(), false});
+    timer->addField({"mHits", Type::intTy(), false});
+    timer->addField({"handler", Type::object(names::handler), false});
+    emptyCtor(timer);
+    defineMethod(timer, "run", {}, Type::voidTy(), false,
+                 [&](MethodBuilder &b) {
+                     Label l_end = b.newLabel();
+                     int r = b.newReg();
+                     b.getField(r, b.thisReg(),
+                                fieldRef(timer_cls, "mOn"));
+                     b.ifz(r, CondKind::Eq, l_end);
+                     int rt = b.newReg();
+                     int rc = b.newReg();
+                     int rt2 = b.newReg();
+                     b.getField(rt, b.thisReg(),
+                                fieldRef(timer_cls, "mHits"));
+                     b.constInt(rc, 1);
+                     b.binOp(rt2, air::BinOpKind::Add, rt, rc);
+                     b.putField(b.thisReg(),
+                                fieldRef(timer_cls, "mHits"), rt2);
+                     b.bind(l_end);
+                     b.retVoid();
+                 });
+    // clear0 .. clear7 forward their argument down the chain; clear8
+    // stores it. Every link just rides `this`, so the chain's
+    // must-write summary stays exclusive.
+    for (int i = 0; i < 8; ++i) {
+        std::string link = "clear" + std::to_string(i);
+        std::string next = "clear" + std::to_string(i + 1);
+        defineMethod(timer, link, {Type::intTy()}, Type::voidTy(),
+                     false, [&](MethodBuilder &b) {
+                         b.call(b.thisReg(), timer_cls, next,
+                                {b.paramReg(0)});
+                     });
+    }
+    defineMethod(timer, "clear8", {Type::intTy()}, Type::voidTy(),
+                 false, [&](MethodBuilder &b) {
+                     b.putField(b.thisReg(),
+                                fieldRef(timer_cls, "mOn"),
+                                b.paramReg(0));
+                     b.putField(b.thisReg(),
+                                fieldRef(timer_cls, "mHits"),
+                                b.paramReg(0));
+                 });
+    defineMethod(timer, "stop", {}, Type::voidTy(), false,
+                 [&](MethodBuilder &b) {
+                     Label l_end = b.newLabel();
+                     int r = b.newReg();
+                     b.getField(r, b.thisReg(),
+                                fieldRef(timer_cls, "mOn"));
+                     b.ifz(r, CondKind::Eq, l_end);
+                     int rz = b.newReg();
+                     b.constInt(rz, 0);
+                     b.call(b.thisReg(), timer_cls, "clear0", {rz});
+                     b.bind(l_end);
+                     b.retVoid();
+                 });
+
+    act.addField(timer_field, Type::object(timer_cls));
+
+    act.on("onCreate", [=](MethodBuilder &b) {
+        int rt = b.newReg();
+        int rh = b.newReg();
+        int r1 = b.newReg();
+        b.newObject(rt, timer_cls);
+        b.invoke(-1, InvokeKind::Special, {timer_cls, "<init>", 0},
+                 {rt});
+        b.newObject(rh, names::handler);
+        b.invoke(-1, InvokeKind::Special,
+                 {names::handler, "<init>", 0}, {rh});
+        b.putField(rt, fieldRef(timer_cls, "handler"), rh);
+        b.putField(b.thisReg(), fieldRef(act_cls, timer_field), rt);
+        b.constInt(r1, 1);
+        b.putField(rt, fieldRef(timer_cls, "mOn"), r1);
+        b.getField(rh, rt, fieldRef(timer_cls, "handler"));
+        b.call(rh, names::handler, "post", {rt});
+    });
+    act.on("onPause", [=](MethodBuilder &b) {
+        int rt = b.newReg();
+        b.getField(rt, b.thisReg(), fieldRef(act_cls, timer_field));
+        b.call(rt, timer_cls, "stop");
+    });
+
+    f.truth().add(timer_cls + ".mOn", SeedClass::TrueRace,
+                  "interprocGuard: guard variable race (benign)");
+    f.truth().add(timer_cls + ".mHits", SeedClass::FpTrap,
+                  "interprocGuard: guard cleared through a 9-deep "
+                  "setter chain; refutable only with interprocedural "
+                  "constants");
+}
+
+// --------------------------------------------------------------------
+// Pattern: use-after-destroy. onDestroy nulls a view field (through a
+// release helper, so the null rides a parameter) while a posted task
+// still dereferences it -- unordered, so the posted read can follow
+// the teardown. The IFDS use-after-destroy client reports it.
+// --------------------------------------------------------------------
+void
+addUseAfterDestroy(AppFactory &f, ActivityBuilder &act)
+{
+    int n = f.nextUnique();
+    std::string render_cls = "Render$" + std::to_string(n);
+    std::string act_cls = act.name();
+    std::string view_field = "view$" + std::to_string(n);
+    std::string release = "release$" + std::to_string(n);
+
+    air::Module &mod = f.app().module();
+
+    Klass *render = mod.addClass(render_cls, names::object);
+    render->addInterface(names::runnable);
+    render->addField({"act", Type::object(act_cls), false});
+    storingCtor(render, render_cls, "act", Type::object(act_cls));
+    defineMethod(render, "run", {}, Type::voidTy(), false,
+                 [&](MethodBuilder &b) {
+                     int ra = b.newReg();
+                     int rv = b.newReg();
+                     b.getField(ra, b.thisReg(),
+                                fieldRef(render_cls, "act"));
+                     b.getField(rv, ra,
+                                fieldRef(act_cls, view_field));
+                 });
+
+    act.addField(view_field, Type::object(names::view));
+    defineMethod(act.klass(), release, {Type::object(names::view)},
+                 Type::voidTy(), false, [&](MethodBuilder &b) {
+                     b.putField(b.thisReg(),
+                                fieldRef(act_cls, view_field),
+                                b.paramReg(0));
+                 });
+
+    act.on("onCreate", [=](MethodBuilder &b) {
+        int rv = b.newReg();
+        int rr = b.newReg();
+        int rh = b.newReg();
+        b.newObject(rv, names::view);
+        b.putField(b.thisReg(), fieldRef(act_cls, view_field), rv);
+        b.newObject(rr, render_cls);
+        b.invoke(-1, InvokeKind::Special, {render_cls, "<init>", 0},
+                 {rr, b.thisReg()});
+        b.newObject(rh, names::handler);
+        b.invoke(-1, InvokeKind::Special,
+                 {names::handler, "<init>", 0}, {rh});
+        b.call(rh, names::handler, "post", {rr});
+    });
+    act.on("onDestroy", [=](MethodBuilder &b) {
+        int rn = b.newReg();
+        b.constNull(rn);
+        b.call(b.thisReg(), act_cls, release, {rn});
+    });
+
+    f.truth().add(act_cls + "." + view_field, SeedClass::TrueRace,
+                  "useAfterDestroy: view nulled in onDestroy, read "
+                  "from a posted task");
+}
+
 const std::vector<PatternEntry> &
 patternCatalog()
 {
@@ -1519,6 +1695,8 @@ patternCatalog()
         {"workSession", &addWorkSession, 0, 2},
         {"lockGuarded", &addLockGuarded, 0, 1},
         {"localScratch", &addLocalScratch, 0, 1},
+        {"interprocGuard", &addInterprocGuard, 1, 1},
+        {"useAfterDestroy", &addUseAfterDestroy, 1, 0},
     };
     return catalog;
 }

@@ -29,6 +29,10 @@
  *                       same field monitor (FP without lock sets)
  *  - localScratch       method-local buffers (pruned by escape
  *                       analysis; never a race)
+ *  - interprocGuard     guard cleared through a 9-deep setter chain:
+ *                       refutable only with interprocedural constants
+ *  - useAfterDestroy    field nulled in onDestroy, dereferenced from a
+ *                       posted task (IFDS use-after-destroy client)
  */
 
 #ifndef SIERRA_CORPUS_PATTERNS_HH
@@ -57,6 +61,8 @@ void addArrayIndexTrap(AppFactory &f, ActivityBuilder &act);
 void addWorkSession(AppFactory &f, ActivityBuilder &act);
 void addLockGuarded(AppFactory &f, ActivityBuilder &act);
 void addLocalScratch(AppFactory &f, ActivityBuilder &act);
+void addInterprocGuard(AppFactory &f, ActivityBuilder &act);
+void addUseAfterDestroy(AppFactory &f, ActivityBuilder &act);
 
 /** All pattern functions, for sweep-style corpus generation. */
 using PatternFn = void (*)(AppFactory &, ActivityBuilder &);

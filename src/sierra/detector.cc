@@ -63,6 +63,19 @@ fillMetrics(util::metrics::Registry &m, const HarnessAnalysis &ha,
     m.add("symbolic.cache_hits", ref.exec.cacheHits);
     m.add("symbolic.budget_exhausted", ref.exec.budgetExhausted);
     m.add("symbolic.const_pruned", ref.exec.constPruned);
+    m.add("symbolic.inter_pruned", ref.exec.interPruned);
+    m.add("symbolic.inter_applied", ref.exec.interApplied);
+
+    if (ha.inter) {
+        const analysis::IfdsStats &ifds = ha.inter->stats();
+        m.add("ifds.methods", ifds.methods);
+        m.add("ifds.summary_computations", ifds.summaryComputations);
+        m.add("ifds.summary_reuses", ifds.summaryReuses);
+        m.add("ifds.must_write_facts", ifds.mustWriteFacts);
+        m.add("ifds.budget_exhausted", ifds.budgetExhausted ? 1 : 0);
+    }
+    m.add("ifds.use_after_destroy",
+          static_cast<int64_t>(ha.useAfterDestroy.size()));
 
     // Per-pair refutation provenance (RefutedBy kinds).
     int64_t by_none = 0, by_lockset = 0, by_symbolic = 0;
@@ -84,6 +97,7 @@ fillMetrics(util::metrics::Registry &m, const HarnessAnalysis &ha,
     m.observe("stage.escape.seconds", t.escape);
     m.observe("stage.racy.seconds", t.racy);
     m.observe("stage.lockset.seconds", t.lockset);
+    m.observe("stage.ifds.seconds", t.ifds);
     m.observe("stage.refutation.seconds", t.refutation);
     m.observe("harness.cpu.seconds", t.totalCpu);
 }
@@ -219,14 +233,35 @@ SierraDetector::runHarness(const harness::HarnessPlan &plan,
         lockset = secondsSince(t_ls);
     }
 
+    // IFDS stage: interprocedural constant summaries for the symbolic
+    // refuter (setter parameters, callee returns, must-write-constant
+    // call effects) plus the use-after-destroy typestate client.
+    auto t_ifds = std::chrono::steady_clock::now();
+    double ifds;
+    {
+        SIERRA_TRACE_SPAN(span, "stage", "stage.ifds",
+                          util::trace::arg("activity", ha.activity));
+        if (options.ifds) {
+            ha.inter =
+                std::make_unique<analysis::InterConstants>(*ha.pta);
+            ha.useAfterDestroy = analysis::findUseAfterDestroy(
+                *ha.pta, *ha.inter, [&](int a, int b) {
+                    return ha.shbg->reaches(a, b);
+                });
+        }
+        ifds = secondsSince(t_ifds);
+    }
+
     auto t3 = std::chrono::steady_clock::now();
     double refutation;
     {
         SIERRA_TRACE_SPAN(span, "stage", "stage.refutation",
                           util::trace::arg("activity", ha.activity));
         if (options.runRefutation) {
+            symbolic::RefuterOptions refuter_options = options.refuter;
+            refuter_options.exec.inter = ha.inter.get();
             ha.refutation = symbolic::refuteRaces(
-                *ha.pta, ha.accesses, ha.pairs, options.refuter);
+                *ha.pta, ha.accesses, ha.pairs, refuter_options);
         }
         // The refuter may shard across worker threads; its summed
         // per-worker thread-CPU is the stage's cpu cost. The task
@@ -246,9 +281,10 @@ SierraDetector::runHarness(const harness::HarnessPlan &plan,
         times->escape += escape;
         times->racy += racy;
         times->lockset += lockset;
+        times->ifds += ifds;
         times->refutation += refutation;
         times->totalCpu += cg_pa + hbg + dataflow + escape + racy +
-                           lockset + refutation;
+                           lockset + ifds + refutation;
     }
     return ha;
 }
@@ -341,6 +377,16 @@ SierraDetector::analyze(const SierraOptions &options)
         report.accessesDropped += ha.accessesDropped;
         report.locksetRefuted += ha.locksetRefuted;
 
+        // Use-after-destroy findings, deduplicated across harnesses in
+        // plan order (findings are already sorted per harness, so the
+        // merged list is deterministic at every jobs count).
+        for (const auto &f : ha.useAfterDestroy) {
+            if (std::find(report.useAfterDestroy.begin(),
+                          report.useAfterDestroy.end(),
+                          f) == report.useAfterDestroy.end())
+                report.useAfterDestroy.push_back(f);
+        }
+
         report.actions += ha.numActions();
         report.hbEdges += ha.hbEdges();
         int n = ha.numActions();
@@ -416,7 +462,8 @@ formatReport(const AppReport &report, int max_races, bool with_times)
            << report.times.dataflow << "s, escape "
            << report.times.escape << "s, racy "
            << report.times.racy << "s, lockset "
-           << report.times.lockset << "s, refutation "
+           << report.times.lockset << "s, ifds "
+           << report.times.ifds << "s, refutation "
            << report.times.refutation << "s, total "
            << report.times.total << "s (cpu "
            << report.times.totalCpu << "s)\n";
@@ -432,6 +479,12 @@ formatReport(const AppReport &report, int max_races, bool with_times)
         }
         os << "  [p" << race.priority << "] " << race.description
            << "\n";
+    }
+    if (!report.useAfterDestroy.empty()) {
+        os << "use-after-destroy: "
+           << report.useAfterDestroy.size() << "\n";
+        for (const auto &f : report.useAfterDestroy)
+            os << "  [uad] " << f.toString() << "\n";
     }
     return os.str();
 }

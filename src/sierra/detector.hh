@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "analysis/effects.hh"
+#include "analysis/ifds.hh"
 #include "analysis/points_to.hh"
 #include "framework/app.hh"
 #include "harness/harness.hh"
@@ -61,6 +62,15 @@ struct SierraOptions {
      */
     bool locksetRefutation{true};
     /**
+     * The IFDS stage: summary-based interprocedural constant facts
+     * (analysis::InterConstants) handed to the symbolic refuter via
+     * ExecutorOptions::inter, plus the use-after-destroy typestate
+     * client. Report-preserving for true races — the facts are sound,
+     * so they only refute more false positives (`--no-ifds` ablates
+     * it; measured by bench_ablation_ifds).
+     */
+    bool ifds{true};
+    /**
      * Worker threads for the whole pipeline: harness plans run as
      * parallel tasks, and leftover parallelism (jobs / plans) is
      * handed to each task's sharded refutation. 0 = the SIERRA_JOBS
@@ -93,6 +103,7 @@ struct StageTimes {
     double escape{0};     //!< escape analysis + access filter (cpu-s)
     double racy{0};       //!< access extraction + racy pairs (cpu-s)
     double lockset{0};    //!< lock-set analysis + refutation (cpu-s)
+    double ifds{0};       //!< interprocedural summaries + UAD (cpu-s)
     /**
      * Symbolic refutation. Unlike the single-threaded stages above
      * (whose own wall time is their cpu time), refutation may fan out
@@ -102,7 +113,7 @@ struct StageTimes {
      * thread's elapsed time.
      */
     double refutation{0};
-    //! sum of all per-task stage times; equals the sum of the seven
+    //! sum of all per-task stage times; equals the sum of the eight
     //! stage fields (up to fp rounding) by construction, regardless of
     //! task completion order — the merge runs serially in plan order
     double totalCpu{0};
@@ -120,6 +131,7 @@ struct StageTimes {
         escape += o.escape;
         racy += o.racy;
         lockset += o.lockset;
+        ifds += o.ifds;
         refutation += o.refutation;
         totalCpu += o.totalCpu;
     }
@@ -130,6 +142,10 @@ struct HarnessAnalysis {
     std::string activity;
     std::unique_ptr<analysis::PointsToResult> pta;
     std::unique_ptr<hb::Shbg> shbg;
+    //! interprocedural constant facts (null when the stage is off)
+    std::unique_ptr<analysis::InterConstants> inter;
+    //! use-after-destroy findings (empty when the stage is off)
+    std::vector<analysis::UseAfterDestroyFinding> useAfterDestroy;
     std::vector<race::Access> accesses;
     std::vector<race::RacyPair> pairs; //!< prioritized, refuted marked
     symbolic::RefutationStats refutation;
@@ -167,6 +183,8 @@ struct AppReport {
     int locksetRefuted{0};  //!< summed pairs refuted by lock sets
     StageTimes times;
     std::vector<AppRace> races; //!< deduplicated, priority-ranked
+    //! use-after-destroy findings, deduplicated across harnesses
+    std::vector<analysis::UseAfterDestroyFinding> useAfterDestroy;
     std::vector<HarnessAnalysis> perHarness;
 };
 

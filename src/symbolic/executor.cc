@@ -1,6 +1,7 @@
 #include "executor.hh"
 
 #include "air/logging.hh"
+#include "analysis/ifds.hh"
 
 namespace sierra::symbolic {
 
@@ -145,6 +146,18 @@ BackwardExecutor::transfer(PathState &st, const Instruction &instr)
                                            Operand::constant(v.value));
             }
         }
+        if (_opts.inter) {
+            // Second chance: the interprocedural facts may pin a value
+            // the intraprocedural solve left Top (setter parameters).
+            const air::Method *m = _r.cg.node(st.node).method;
+            analysis::ConstVal v =
+                _opts.inter->after(m, st.instr, instr.dst);
+            if (v.isConst()) {
+                ++_stats.interApplied;
+                return store.substituteReg(regKey(f, instr.dst),
+                                           Operand::constant(v.value));
+            }
+        }
         return store.substituteReg(regKey(f, instr.dst),
                                    Operand::unknown());
       }
@@ -247,13 +260,108 @@ BackwardExecutor::handleInvoke(PathState &st, const Instruction &instr,
     if (callees.empty() ||
         static_cast<int>(st.callStack.size()) >= _opts.maxCallDepth) {
         // Havoc: unknown return value, drop what callees may write.
-        if (instr.dst >= 0 &&
-            !st.store.substituteReg(regKey(st.frame, instr.dst),
-                                    Operand::unknown())) {
-            return false;
+        // The interprocedural summaries can do better on both counts:
+        // a constant return concretizes the destination, and fields
+        // every callee must-writes with a known constant get a strong
+        // update -- which may conflict with collected constraints and
+        // prune the path -- instead of being dropped.
+        if (instr.dst >= 0) {
+            Operand ret = Operand::unknown();
+            if (_opts.inter && !callees.empty()) {
+                analysis::ConstVal acc; // Bottom
+                for (NodeId c : callees) {
+                    analysis::ConstVal rc = _opts.inter->returnConst(
+                        _r.cg.node(c).method);
+                    if (acc.state ==
+                        analysis::ConstVal::State::Bottom) {
+                        acc = rc;
+                    } else if (rc.state !=
+                                   analysis::ConstVal::State::Bottom &&
+                               !(acc.isConst() && rc.isConst() &&
+                                 acc.value == rc.value)) {
+                        acc.state = analysis::ConstVal::State::Top;
+                    }
+                }
+                if (acc.isConst()) {
+                    ++_stats.interApplied;
+                    ret = Operand::constant(acc.value);
+                }
+            }
+            if (!st.store.substituteReg(regKey(st.frame, instr.dst),
+                                        ret)) {
+                return false;
+            }
         }
-        for (NodeId c : callees)
-            st.store.dropLocsByKey(mayWriteKeys(c));
+        // Must-write facts agreed on by every possible callee (a
+        // virtual call runs exactly one of them, so only the
+        // intersection is a strong update).
+        std::set<std::string> keep;
+        if (_opts.inter && !callees.empty()) {
+            std::map<MemLoc, std::pair<int64_t, bool>> agreed;
+            bool first = true;
+            for (NodeId c : callees) {
+                const air::Method *cm = _r.cg.node(c).method;
+                std::map<MemLoc, std::pair<int64_t, bool>> cur;
+                for (const auto &mw : _opts.inter->mustWrites(cm)) {
+                    MemLoc loc;
+                    if (mw.isStatic) {
+                        loc.isStatic = true;
+                        loc.key = _r.staticKey(mw.field);
+                    } else {
+                        // Instance facts are writes through the
+                        // callee's `this`: usable only when that
+                        // resolves to a single abstract object.
+                        const auto &pts = _r.pointsTo(c, 0);
+                        if (pts.size() != 1)
+                            continue;
+                        loc.obj = *pts.begin();
+                        loc.key = _r.fieldKey(loc.obj, mw.field);
+                    }
+                    cur.emplace(loc,
+                                std::make_pair(mw.value,
+                                               mw.exclusive));
+                }
+                if (first) {
+                    agreed = std::move(cur);
+                    first = false;
+                } else {
+                    for (auto it = agreed.begin();
+                         it != agreed.end();) {
+                        auto jt = cur.find(it->first);
+                        if (jt == cur.end() ||
+                            jt->second.first != it->second.first) {
+                            it = agreed.erase(it);
+                        } else {
+                            it->second.second &= jt->second.second;
+                            ++it;
+                        }
+                    }
+                }
+            }
+            for (const auto &[loc, v] : agreed) {
+                ++_stats.interApplied;
+                if (!st.store.substituteLoc(
+                        loc, Operand::constant(v.first))) {
+                    return false; // conflicts: path infeasible
+                }
+                // `exclusive` facts cover every write the callee can
+                // make to this key, so nothing is left to havoc.
+                if (v.second)
+                    keep.insert(loc.key);
+            }
+        }
+        for (NodeId c : callees) {
+            if (keep.empty()) {
+                st.store.dropLocsByKey(mayWriteKeys(c));
+                continue;
+            }
+            std::vector<std::string> drop;
+            for (const std::string &k : mayWriteKeys(c)) {
+                if (!keep.count(k))
+                    drop.push_back(k);
+            }
+            st.store.dropLocsByKey(drop);
+        }
         return !st.store.failed();
     }
 
@@ -508,6 +616,15 @@ BackwardExecutor::orderFeasible(const race::Access &access, int action_a,
                 // The constant fixpoint proved no execution flows
                 // along this edge: don't walk it.
                 ++_stats.constPruned;
+                ++paths;
+                continue;
+            }
+            if (_opts.inter &&
+                (!_opts.inter->reachable(m, q) ||
+                 !_opts.inter->edgeFeasible(m, q, st.instr))) {
+                // Same, but only the interprocedural facts (seeded
+                // parameters, callee returns) could prove it.
+                ++_stats.interPruned;
                 ++paths;
                 continue;
             }

@@ -30,6 +30,10 @@
 #include "constraint.hh"
 #include "race/access.hh"
 
+namespace sierra::analysis {
+class InterConstants;
+} // namespace sierra::analysis
+
 namespace sierra::symbolic {
 
 /** Result of one ordering query. */
@@ -64,6 +68,18 @@ struct ExecutorOptions {
      * incorrectly. Measured by bench_ablation_dataflow.
      */
     bool useConstFacts{true};
+    /**
+     * Interprocedural constant facts (analysis::InterConstants, the
+     * IFDS stage). When set, the walk additionally concretizes values
+     * the intraprocedural facts miss (setter parameters, callee
+     * returns), prunes interprocedurally-infeasible pred edges, and --
+     * the big lever -- replaces call-site havoc of must-write-constant
+     * fields with strong constant updates, so guard clears hidden
+     * behind deep setter chains still conflict with path constraints.
+     * The object is read-only here and shared across refuter workers;
+     * it must outlive the executor. Measured by bench_ablation_ifds.
+     */
+    const analysis::InterConstants *inter{nullptr};
 };
 
 /** Counters for the evaluation tables. */
@@ -75,6 +91,10 @@ struct ExecutorStats {
     int64_t budgetExhausted{0};
     //! predecessor edges skipped via constant-infeasible branches
     int64_t constPruned{0};
+    //! pred edges skipped only thanks to interprocedural facts
+    int64_t interPruned{0};
+    //! interprocedural concretizations (returns, must-write fields)
+    int64_t interApplied{0};
 
     /**
      * Fold another executor's counters in. Plain component-wise sums,
@@ -92,6 +112,8 @@ struct ExecutorStats {
         cacheHits += o.cacheHits;
         budgetExhausted += o.budgetExhausted;
         constPruned += o.constPruned;
+        interPruned += o.interPruned;
+        interApplied += o.interApplied;
     }
 };
 

@@ -210,6 +210,62 @@ class Main extends android.app.Activity {
     EXPECT_EQ(errs.out.find("unreachable"), std::string::npos);
 }
 
+TEST(Cli, LintJsonMirrorsTextFindings)
+{
+    const char *linty = R"(
+app "linty" {
+    package org.example.linty
+    activity Main main
+}
+class Main extends android.app.Activity {
+    method <init>(): void regs=1 { @0: return-void }
+    method useBeforeDef(): int regs=4 {
+        @0: r2 = add r1, r1
+        @1: return r2
+    }
+    method deadStore(): int regs=4 {
+        @0: r1 = const 1
+        @1: r1 = const 2
+        @2: return r1
+    }
+}
+)";
+    TempFile file(".air");
+    {
+        std::ofstream out(file.path());
+        out << linty;
+    }
+
+    // Same findings and exit code as the text form, as a JSON array.
+    CliRun r = run({"lint", file.path(), "--json"});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_EQ(r.out.rfind("[", 0), 0u) << r.out;
+    EXPECT_NE(r.out.find("\"severity\": \"error\""),
+              std::string::npos);
+    EXPECT_NE(r.out.find("\"severity\": \"warning\""),
+              std::string::npos);
+    EXPECT_NE(r.out.find("\"where\": \"Main.useBeforeDef"),
+              std::string::npos);
+    EXPECT_NE(r.out.find("may be used before assignment"),
+              std::string::npos);
+    EXPECT_EQ(r.out.find("issue(s)"), std::string::npos)
+        << "no text summary line in JSON mode";
+
+    // --errors-only composes: the dead-store warning disappears.
+    CliRun errs = run({"lint", file.path(), "--json", "--errors-only"});
+    EXPECT_EQ(errs.code, 1);
+    EXPECT_EQ(errs.out.find("dead store"), std::string::npos);
+    EXPECT_NE(errs.out.find("\"severity\": \"error\""),
+              std::string::npos);
+
+    // Clean module: an empty array and exit 0.
+    TempFile clean(".air");
+    ASSERT_EQ(run({"dump", "VuDroid", "-o", clean.path()}).code, 0);
+    CliRun ok = run({"lint", clean.path(), "--json"});
+    EXPECT_EQ(ok.code, 0) << ok.out;
+    EXPECT_EQ(ok.out, "[]\n");
+}
+
 TEST(Cli, LintReportsUnbalancedMonitors)
 {
     const char *unbalanced = R"(
@@ -260,6 +316,30 @@ TEST(Cli, AnalyzeNoDataflowFlag)
     EXPECT_NE(r.out.find("SIERRA report"), std::string::npos);
 }
 
+TEST(Cli, AnalyzeNoIfdsFlag)
+{
+    // APV's signature carries interprocGuard: its mHits trap is only
+    // refuted with the interprocedural summaries, so --no-ifds brings
+    // the false positive back.
+    TempFile file(".air");
+    ASSERT_EQ(run({"dump", "APV", "-o", file.path()}).code, 0);
+
+    CliRun with = run({"analyze", file.path()});
+    ASSERT_EQ(with.code, 0) << with.err;
+    EXPECT_EQ(with.out.find("mHits"), std::string::npos);
+
+    CliRun without = run({"analyze", file.path(), "--no-ifds"});
+    ASSERT_EQ(without.code, 0) << without.err;
+    EXPECT_NE(without.out.find("mHits"), std::string::npos)
+        << "without summaries the deep setter chain is havocked";
+
+    CliRun json = run({"analyze", file.path(), "--json"});
+    ASSERT_EQ(json.code, 0) << json.err;
+    EXPECT_NE(json.out.find("\"useAfterDestroy\":"),
+              std::string::npos);
+    EXPECT_NE(json.out.find("\"ifds\":"), std::string::npos);
+}
+
 TEST(Cli, AnalyzeLockFlags)
 {
     // ConnectBot's signature carries lockGuarded: the monitor-guarded
@@ -304,10 +384,14 @@ TEST(Cli, AnalyzeTraceWritesChromeJson)
     std::string text((std::istreambuf_iterator<char>(in)),
                      std::istreambuf_iterator<char>());
     EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
-    EXPECT_NE(text.find("\"ph\":\"B\""), std::string::npos);
-    EXPECT_NE(text.find("stage.cg_pa"), std::string::npos);
     EXPECT_NE(text.find("\"displayTimeUnit\":\"ms\""),
               std::string::npos);
+#ifndef SIERRA_TRACE_DISABLED
+    // With tracing compiled out the file is valid but empty: no
+    // spans to look for.
+    EXPECT_NE(text.find("\"ph\":\"B\""), std::string::npos);
+    EXPECT_NE(text.find("stage.cg_pa"), std::string::npos);
+#endif
 
     CliRun bad = run({"analyze", file.path(), "--trace",
                       "/no/such/dir/trace.json"});

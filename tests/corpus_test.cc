@@ -96,7 +96,7 @@ INSTANTIATE_TEST_SUITE_P(Sample, FdroidBuild,
 TEST(Patterns, CatalogShape)
 {
     const auto &catalog = patternCatalog();
-    EXPECT_EQ(catalog.size(), 19u);
+    EXPECT_EQ(catalog.size(), 21u);
     int true_races = 0;
     int traps = 0;
     for (const auto &entry : catalog) {

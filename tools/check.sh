@@ -5,7 +5,11 @@
 # so the configurations never clobber each other; pass extra ctest args
 # after "--" (e.g. tools/check.sh -- -R Lint).
 #
-# Usage: tools/check.sh [plain|asan|tsan|ubsan|all] [-- <ctest args...>]
+# The extra "notrace" flavor builds with -DSIERRA_DISABLE_TRACING=ON,
+# proving the suite passes with every SIERRA_TRACE_* call site compiled
+# out (the observability layer must be optional, not load-bearing).
+#
+# Usage: tools/check.sh [plain|asan|tsan|ubsan|notrace|all] [-- <ctest args...>]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,9 +28,10 @@ tools/check_links.sh
 
 run_flavor() {
     local name="$1" dir="$2" sanitize="$3"
+    shift 3
     echo "=== ${name}: configure + build (${dir}) ==="
     cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-        -DSIERRA_SANITIZE="${sanitize}" >/dev/null
+        -DSIERRA_SANITIZE="${sanitize}" "$@" >/dev/null
     cmake --build "${dir}" -j "${jobs}"
     echo "=== ${name}: ctest ==="
     (cd "${dir}" && ctest --output-on-failure -j "${jobs}" "${ctest_args[@]+"${ctest_args[@]}"}")
@@ -37,14 +42,16 @@ case "${flavor}" in
   asan)  run_flavor asan build-asan address ;;
   tsan)  run_flavor tsan build-tsan thread ;;
   ubsan) run_flavor ubsan build-ubsan undefined ;;
+  notrace) run_flavor notrace build-notrace "" -DSIERRA_DISABLE_TRACING=ON ;;
   all)
     run_flavor plain build ""
     run_flavor asan build-asan address
     run_flavor tsan build-tsan thread
     run_flavor ubsan build-ubsan undefined
+    run_flavor notrace build-notrace "" -DSIERRA_DISABLE_TRACING=ON
     ;;
   *)
-    echo "usage: tools/check.sh [plain|asan|tsan|ubsan|all] [-- <ctest args>]" >&2
+    echo "usage: tools/check.sh [plain|asan|tsan|ubsan|notrace|all] [-- <ctest args>]" >&2
     exit 2
     ;;
 esac

@@ -59,6 +59,9 @@ analyze options:
                     are kept in the racy-pair loop)
   --no-lockset      disable lock-set refutation (monitor-guarded
                     pairs reach the symbolic refuter)
+  --no-ifds         disable the interprocedural constant stage (the
+                    refuter loses setter/return summaries and the
+                    use-after-destroy section is skipped)
   --max-races N     cap the printed race list (default 50)
   --show-refuted    also print refuted candidates
   --trace FILE      write a Chrome trace-event JSON profile of the run
@@ -70,6 +73,9 @@ analyze options:
 
 lint options:
   --errors-only     report only errors (skip warnings)
+  --json            machine-readable output: a JSON array of findings
+                    with severity/where/message fields ("[]" when
+                    clean; exit codes are unchanged)
 
 dynamic options:
   --schedules N     randomized schedules to run (default 3)
@@ -248,11 +254,24 @@ printReportJson(const AppReport &report, std::ostream &out,
         << ", \"escape\": " << report.times.escape * 1e3
         << ", \"racy\": " << report.times.racy * 1e3
         << ", \"lockset\": " << report.times.lockset * 1e3
+        << ", \"ifds\": " << report.times.ifds * 1e3
         << ", \"refutation\": " << report.times.refutation * 1e3
         << ", \"totalCpu\": " << report.times.totalCpu * 1e3
         << ", \"total\": " << report.times.total * 1e3 << "},\n";
     if (metrics)
         out << "  \"metrics\": " << metrics->toJson() << ",\n";
+    out << "  \"useAfterDestroy\": [";
+    for (size_t i = 0; i < report.useAfterDestroy.size(); ++i) {
+        const auto &f = report.useAfterDestroy[i];
+        out << (i ? ",\n    " : "\n    ")
+            << "{\"field\": \"" << jsonEscape(f.fieldKey)
+            << "\", \"teardownAction\": " << f.teardownAction
+            << ", \"useAction\": " << f.useAction
+            << ", \"writeMethod\": \"" << jsonEscape(f.writeMethod)
+            << "\", \"readMethod\": \"" << jsonEscape(f.readMethod)
+            << "\"}";
+    }
+    out << (report.useAfterDestroy.empty() ? "],\n" : "\n  ],\n");
     out << "  \"races\": [\n";
     bool first = true;
     for (const auto &race : report.races) {
@@ -303,6 +322,7 @@ cmdAnalyze(const ParsedFlags &flags, std::ostream &out,
     }
     options.escapeFilter = !flags.has("--no-escape");
     options.locksetRefutation = !flags.has("--no-lockset");
+    options.ifds = !flags.has("--no-ifds");
 
     util::metrics::Registry registry;
     const bool want_metrics = flags.has("--metrics");
@@ -436,6 +456,24 @@ cmdLint(const ParsedFlags &flags, std::ostream &out, std::ostream &err)
     }
 
     const bool errors_only = flags.has("--errors-only");
+    if (flags.has("--json")) {
+        // Same findings and exit codes as the text form, as a JSON
+        // array (one object per finding, "[]" when clean).
+        int shown = 0;
+        out << "[";
+        for (const air::VerifyIssue &issue : issues) {
+            if (errors_only && issue.severity != air::Severity::Error)
+                continue;
+            out << (shown ? ",\n " : "\n ") << "{\"severity\": \""
+                << air::severityName(issue.severity)
+                << "\", \"where\": \"" << jsonEscape(issue.where)
+                << "\", \"message\": \"" << jsonEscape(issue.message)
+                << "\"}";
+            ++shown;
+        }
+        out << (shown ? "\n]\n" : "]\n");
+        return shown == 0 ? 0 : 1;
+    }
     int shown = 0;
     for (const air::VerifyIssue &issue : issues) {
         if (errors_only && issue.severity != air::Severity::Error)
