@@ -93,15 +93,16 @@ main()
                 less_work ? "yes" : "NO (regression!)",
                 static_cast<long long>(on.constPruned));
 
-    std::printf(
-        "BENCH {\"bench\":\"ablation_dataflow\",\"corpus\":20,"
+    bench::benchJson(
+        "ablation_dataflow",
+        "{\"bench\":\"ablation_dataflow\",\"corpus\":20,"
         "\"on\":{\"racy\":%d,\"refuted\":%d,\"surviving\":%d,"
         "\"missed\":%d,\"states\":%lld,\"const_pruned\":%lld,"
         "\"dataflow_ms\":%.2f,\"refutation_ms\":%.2f},"
         "\"off\":{\"racy\":%d,\"refuted\":%d,\"surviving\":%d,"
         "\"missed\":%d,\"states\":%lld,"
         "\"refutation_ms\":%.2f},"
-        "\"preserved\":%s,\"less_work\":%s}\n",
+        "\"preserved\":%s,\"less_work\":%s}",
         on.racy, on.refuted, on.surviving, on.missed,
         static_cast<long long>(on.statesExpanded),
         static_cast<long long>(on.constPruned), on.dataflowMs,

@@ -112,8 +112,9 @@ main()
                 static_cast<long long>(on.interApplied),
                 static_cast<long long>(on.interPruned));
 
-    std::printf(
-        "BENCH {\"bench\":\"ablation_ifds\",\"corpus\":20,"
+    bench::benchJson(
+        "ablation_ifds",
+        "{\"bench\":\"ablation_ifds\",\"corpus\":20,"
         "\"on\":{\"racy\":%d,\"refuted\":%d,\"surviving\":%d,"
         "\"missed\":%d,\"use_after_destroy\":%d,"
         "\"inter_applied\":%lld,\"inter_pruned\":%lld,"
@@ -121,7 +122,7 @@ main()
         "\"off\":{\"racy\":%d,\"refuted\":%d,\"surviving\":%d,"
         "\"missed\":%d,\"refutation_ms\":%.2f},"
         "\"preserved\":%s,\"more_refuted\":%s,"
-        "\"per_pair_monotone\":%s}\n",
+        "\"per_pair_monotone\":%s}",
         on.racy, on.refuted, on.surviving, on.missed,
         on.useAfterDestroy, static_cast<long long>(on.interApplied),
         static_cast<long long>(on.interPruned), on.ifdsMs,

@@ -91,15 +91,16 @@ main()
                 less_work ? "yes" : "NO (regression!)", on.toSymbolic,
                 off.toSymbolic, on.accessesDropped);
 
-    std::printf(
-        "BENCH {\"bench\":\"ablation_locks\",\"corpus\":%d,"
+    bench::benchJson(
+        "ablation_locks",
+        "{\"bench\":\"ablation_locks\",\"corpus\":%d,"
         "\"on\":{\"racy\":%d,\"lockset_refuted\":%d,"
         "\"to_symbolic\":%d,\"surviving\":%d,\"missed\":%d,"
         "\"accesses_dropped\":%d,\"escape_ms\":%.2f,"
         "\"lockset_ms\":%.2f,\"refutation_ms\":%.2f},"
         "\"off\":{\"racy\":%d,\"to_symbolic\":%d,\"surviving\":%d,"
         "\"missed\":%d,\"refutation_ms\":%.2f},"
-        "\"preserved\":%s,\"less_work\":%s}\n",
+        "\"preserved\":%s,\"less_work\":%s}",
         20 + corpus::kFdroidAppCount, on.racy, on.locksetRefuted,
         on.toSymbolic, on.surviving, on.missed, on.accessesDropped,
         on.escapeMs, on.locksetMs, on.refutationMs, off.racy,

@@ -8,14 +8,30 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <set>
+
 #include "air/parser.hh"
 #include "air/printer.hh"
 #include "bench_util.hh"
 #include "hb/rules.hh"
+#include "util/bitset.hh"
 
 namespace {
 
 using namespace sierra;
+
+/** Deterministic id stream (LCG) so both containers see identical
+ *  insertion orders — no std::random, no run-to-run drift. */
+struct IdStream {
+    uint32_t x{12345};
+    int
+    next(int universe)
+    {
+        x = x * 1664525u + 1013904223u;
+        return static_cast<int>((x >> 8) % universe);
+    }
+};
 
 corpus::BuiltApp
 appFor(int size_class)
@@ -144,6 +160,201 @@ BM_ShbgClosureScaling(benchmark::State &state)
 }
 BENCHMARK(BM_ShbgClosureScaling)->RangeMultiplier(2)->Range(32, 512);
 
+// --- ObjBitset vs std::set<ObjId>: the representation swap behind ---
+// --- the points-to/escape/effects overhaul, measured head-to-head ---
+
+void
+BM_PtsInsert_StdSet(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        std::set<int> s;
+        IdStream ids;
+        for (int i = 0; i < n; ++i)
+            s.insert(ids.next(n * 4));
+        benchmark::DoNotOptimize(s.size());
+    }
+}
+BENCHMARK(BM_PtsInsert_StdSet)->RangeMultiplier(8)->Range(16, 1024);
+
+void
+BM_PtsInsert_ObjBitset(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        util::ObjBitset s;
+        IdStream ids;
+        for (int i = 0; i < n; ++i)
+            s.insert(ids.next(n * 4));
+        benchmark::DoNotOptimize(s.size());
+    }
+}
+BENCHMARK(BM_PtsInsert_ObjBitset)->RangeMultiplier(8)->Range(16, 1024);
+
+void
+BM_PtsUnion_StdSet(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    std::set<int> a, b;
+    IdStream ids;
+    for (int i = 0; i < n; ++i) {
+        a.insert(ids.next(n * 4));
+        b.insert(ids.next(n * 4));
+    }
+    for (auto _ : state) {
+        std::set<int> dst = a;
+        dst.insert(b.begin(), b.end());
+        benchmark::DoNotOptimize(dst.size());
+    }
+}
+BENCHMARK(BM_PtsUnion_StdSet)->RangeMultiplier(8)->Range(16, 1024);
+
+void
+BM_PtsUnion_ObjBitset(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    util::ObjBitset a, b;
+    IdStream ids;
+    for (int i = 0; i < n; ++i) {
+        a.insert(ids.next(n * 4));
+        b.insert(ids.next(n * 4));
+    }
+    for (auto _ : state) {
+        util::ObjBitset dst = a;
+        dst.unionWith(b);
+        benchmark::DoNotOptimize(dst.size());
+    }
+}
+BENCHMARK(BM_PtsUnion_ObjBitset)->RangeMultiplier(8)->Range(16, 1024);
+
+void
+BM_PtsIterate_StdSet(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    std::set<int> s;
+    IdStream ids;
+    for (int i = 0; i < n; ++i)
+        s.insert(ids.next(n * 4));
+    for (auto _ : state) {
+        int64_t sum = 0;
+        for (int v : s)
+            sum += v;
+        benchmark::DoNotOptimize(sum);
+    }
+}
+BENCHMARK(BM_PtsIterate_StdSet)->RangeMultiplier(8)->Range(16, 1024);
+
+void
+BM_PtsIterate_ObjBitset(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    util::ObjBitset s;
+    IdStream ids;
+    for (int i = 0; i < n; ++i)
+        s.insert(ids.next(n * 4));
+    for (auto _ : state) {
+        int64_t sum = 0;
+        for (int v : s)
+            sum += v;
+        benchmark::DoNotOptimize(sum);
+    }
+}
+BENCHMARK(BM_PtsIterate_ObjBitset)->RangeMultiplier(8)->Range(16, 1024);
+
+/** Best-of-5 ns/op for `fn` run `iters` times (for the BENCH JSON
+ *  rows; the google-benchmark output above stays the primary view). */
+template <typename Fn>
+double
+nsPerOp(int iters, Fn fn)
+{
+    double best = 1e18;
+    for (int rep = 0; rep < 5; ++rep) {
+        auto t0 = std::chrono::steady_clock::now();
+        for (int i = 0; i < iters; ++i)
+            fn();
+        double ns = std::chrono::duration<double, std::nano>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count() /
+                    iters;
+        if (ns < best)
+            best = ns;
+    }
+    return best;
+}
+
+void
+emitMicroBenchJson()
+{
+    const int n = 256, universe = 1024, iters = 2000;
+    std::set<int> sa, sb;
+    util::ObjBitset ba, bb;
+    IdStream ids;
+    for (int i = 0; i < n; ++i) {
+        int v1 = ids.next(universe), v2 = ids.next(universe);
+        sa.insert(v1);
+        sb.insert(v2);
+        ba.insert(v1);
+        bb.insert(v2);
+    }
+
+    double set_insert = nsPerOp(iters, [&] {
+        std::set<int> s;
+        IdStream is;
+        for (int i = 0; i < n; ++i)
+            s.insert(is.next(universe));
+        benchmark::DoNotOptimize(s.size());
+    });
+    double bits_insert = nsPerOp(iters, [&] {
+        util::ObjBitset s;
+        IdStream is;
+        for (int i = 0; i < n; ++i)
+            s.insert(is.next(universe));
+        benchmark::DoNotOptimize(s.size());
+    });
+    double set_union = nsPerOp(iters, [&] {
+        std::set<int> dst = sa;
+        dst.insert(sb.begin(), sb.end());
+        benchmark::DoNotOptimize(dst.size());
+    });
+    double bits_union = nsPerOp(iters, [&] {
+        util::ObjBitset dst = ba;
+        dst.unionWith(bb);
+        benchmark::DoNotOptimize(dst.size());
+    });
+    double set_iter = nsPerOp(iters, [&] {
+        int64_t sum = 0;
+        for (int v : sa)
+            sum += v;
+        benchmark::DoNotOptimize(sum);
+    });
+    double bits_iter = nsPerOp(iters, [&] {
+        int64_t sum = 0;
+        for (int v : ba)
+            sum += v;
+        benchmark::DoNotOptimize(sum);
+    });
+
+    bench::benchJson(
+        "micro",
+        "{\"bench\":\"micro\",\"n\":%d,\"universe\":%d,\"rows\":["
+        "{\"op\":\"insert\",\"std_set_ns\":%.1f,\"objbitset_ns\":%.1f},"
+        "{\"op\":\"union\",\"std_set_ns\":%.1f,\"objbitset_ns\":%.1f},"
+        "{\"op\":\"iterate\",\"std_set_ns\":%.1f,\"objbitset_ns\":%.1f}"
+        "]}",
+        n, universe, set_insert, bits_insert, set_union, bits_union,
+        set_iter, bits_iter);
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    emitMicroBenchJson();
+    return 0;
+}

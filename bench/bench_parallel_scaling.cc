@@ -90,13 +90,18 @@ main()
                 "(%u hardware thread%s)\n",
                 speedup4, hw, hw == 1 ? "" : "s");
 
-    std::printf("BENCH {\"bench\":\"parallel_scaling\",\"corpus\":20,"
-                "\"hw_threads\":%u,\"runs\":[",
-                hw);
+    std::string runs;
     for (size_t i = 0; i < seconds.size(); ++i) {
-        std::printf("%s{\"jobs\":%d,\"seconds\":%.6f}",
-                    i ? "," : "", job_counts[i], seconds[i]);
+        char one[96];
+        std::snprintf(one, sizeof(one),
+                      "%s{\"jobs\":%d,\"seconds\":%.6f}", i ? "," : "",
+                      job_counts[i], seconds[i]);
+        runs += one;
     }
-    std::printf("],\"speedup_4v1\":%.3f}\n", speedup4);
+    bench::benchJson("parallel_scaling",
+                     "{\"bench\":\"parallel_scaling\",\"corpus\":20,"
+                     "\"hw_threads\":%u,\"runs\":[%s],"
+                     "\"speedup_4v1\":%.3f}",
+                     hw, runs.c_str(), speedup4);
     return 0;
 }

@@ -85,19 +85,25 @@ main()
                 (long long)all.counter("refuted_by.symbolic"),
                 (long long)all.counter("refuted_by.none"));
 
-    std::printf("\nBENCH {\"bench\":\"table4_efficiency\","
-                "\"median_ms\":{\"cg_pa\":%.2f,\"hbg\":%.2f,"
-                "\"racy\":%.2f,\"lockset\":%.2f,\"refutation\":%.2f,"
-                "\"total\":%.2f},"
-                "\"counters\":{\"symbolic_queries\":%lld,"
-                "\"states_expanded\":%lld,\"cache_hits\":%lld,"
-                "\"pairs_considered\":%lld,\"prefilter_skipped\":%lld}"
-                "}\n",
-                bench::median(cg), bench::median(hbg),
-                bench::median(racy), bench::median(lockset),
-                bench::median(refute), bench::median(wall),
-                (long long)queries, (long long)states, (long long)hits,
-                (long long)considered, (long long)skipped);
+    bench::benchJson(
+        "table4_efficiency",
+        "{\"bench\":\"table4_efficiency\","
+        "\"median_ms\":{\"cg_pa\":%.2f,\"hbg\":%.2f,"
+        "\"racy\":%.2f,\"lockset\":%.2f,\"refutation\":%.2f,"
+        "\"total\":%.2f},"
+        "\"counters\":{\"symbolic_queries\":%lld,"
+        "\"states_expanded\":%lld,\"cache_hits\":%lld,"
+        "\"pairs_considered\":%lld,\"prefilter_skipped\":%lld,"
+        "\"pta_delta_props\":%lld,\"arena_bytes\":%lld,"
+        "\"peak_rss_bytes\":%lld}"
+        "}",
+        bench::median(cg), bench::median(hbg), bench::median(racy),
+        bench::median(lockset), bench::median(refute),
+        bench::median(wall), (long long)queries, (long long)states,
+        (long long)hits, (long long)considered, (long long)skipped,
+        (long long)all.counter("pta.delta_props"),
+        (long long)all.counter("arena.bytes_allocated"),
+        (long long)all.counter("mem.peak_rss_bytes"));
 
     std::printf("\nPaper medians (seconds, real APKs): CG+PA 1310, HBG "
                 "28.5, refutation 560.5,\ntotal 1899. Expected shape: "

@@ -132,7 +132,7 @@ survivingKeys(const HarnessAnalysis &ha)
     std::vector<std::string> keys;
     for (const auto &p : ha.pairs) {
         if (!p.refuted)
-            keys.push_back(p.loc.key);
+            keys.push_back(p.loc.key.str());
     }
     return keys;
 }
@@ -151,6 +151,35 @@ median(std::vector<T> values)
     return (static_cast<double>(values[mid - 1]) +
             static_cast<double>(values[mid])) /
            2.0;
+}
+
+/**
+ * Emit one machine-readable benchmark record: prints the historical
+ * `BENCH {...}` stdout line and mirrors the same JSON object to
+ * `BENCH_<name>.json` so runs leave a diffable artifact (the committed
+ * snapshots under bench/trajectory/ form the in-repo perf trajectory).
+ * Files go to the current directory unless SIERRA_BENCH_DIR is set.
+ */
+inline void
+benchJson(const char *name, const char *fmt, ...)
+{
+    char buf[8192];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    std::printf("\nBENCH %s\n", buf);
+
+    const char *dir = std::getenv("SIERRA_BENCH_DIR");
+    std::string path = std::string(dir && *dir ? dir : ".") +
+                       "/BENCH_" + name + ".json";
+    if (FILE *f = std::fopen(path.c_str(), "w")) {
+        std::fprintf(f, "%s\n", buf);
+        std::fclose(f);
+    } else {
+        std::fprintf(stderr, "warning: cannot write %s\n",
+                     path.c_str());
+    }
 }
 
 /** printf-style row helper with a fixed-width first column. */

@@ -45,7 +45,8 @@ Klass::addMethod(std::string name, std::vector<Type> param_types,
         fatal("duplicate method ", _name, ".", name);
     auto m = std::make_unique<Method>(this, std::move(name),
                                       std::move(param_types),
-                                      std::move(return_type), is_static);
+                                      std::move(return_type), is_static,
+                                      _arena);
     Method *raw = m.get();
     _methodIndex[raw->name()] = raw;
     _methods.push_back(std::move(m));

@@ -31,8 +31,12 @@ struct Field {
 class Klass
 {
   public:
-    Klass(std::string name, std::string super_name)
-        : _name(std::move(name)), _superName(std::move(super_name))
+    /** `arena` (the owning Module's) backs method bodies; standalone
+     *  Klass instances without one fall back to heap storage. */
+    Klass(std::string name, std::string super_name,
+          util::Arena *arena = nullptr)
+        : _name(std::move(name)), _superName(std::move(super_name)),
+          _arena(arena)
     {
     }
 
@@ -77,6 +81,7 @@ class Klass
   private:
     std::string _name;
     std::string _superName;
+    util::Arena *_arena{nullptr};
     std::vector<std::string> _interfaces;
     bool _isInterface{false};
     bool _isSynthetic{false};

@@ -11,6 +11,7 @@
 
 #include "instruction.hh"
 #include "type.hh"
+#include "util/arena.hh"
 
 namespace sierra::air {
 
@@ -27,11 +28,15 @@ class Klass;
 class Method
 {
   public:
+    /** `arena`, when given (the owning Module's), backs the instruction
+     *  storage; without one the body lives on the heap. */
     Method(Klass *owner, std::string name, std::vector<Type> param_types,
-           Type return_type, bool is_static)
+           Type return_type, bool is_static,
+           util::Arena *arena = nullptr)
         : _owner(owner), _name(std::move(name)),
           _paramTypes(std::move(param_types)),
-          _returnType(std::move(return_type)), _isStatic(is_static)
+          _returnType(std::move(return_type)), _isStatic(is_static),
+          _instrs(arena)
     {
     }
 
@@ -61,8 +66,11 @@ class Method
     int numRegisters() const { return _numRegisters; }
     void setNumRegisters(int n) { _numRegisters = n; }
 
-    std::vector<Instruction> &instrs() { return _instrs; }
-    const std::vector<Instruction> &instrs() const { return _instrs; }
+    util::ArenaVector<Instruction> &instrs() { return _instrs; }
+    const util::ArenaVector<Instruction> &instrs() const
+    {
+        return _instrs;
+    }
     int numInstrs() const { return static_cast<int>(_instrs.size()); }
 
     const Instruction &instr(int idx) const { return _instrs[idx]; }
@@ -80,7 +88,7 @@ class Method
     bool _isStatic;
     bool _isAbstract{false};
     int _numRegisters{0};
-    std::vector<Instruction> _instrs;
+    util::ArenaVector<Instruction> _instrs;
 };
 
 } // namespace sierra::air

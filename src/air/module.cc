@@ -10,7 +10,8 @@ Module::addClass(std::string name, std::string super_name)
 {
     if (_classes.count(name))
         fatal("duplicate class ", name);
-    auto k = std::make_unique<Klass>(name, std::move(super_name));
+    auto k = std::make_unique<Klass>(name, std::move(super_name),
+                                     &_arena);
     Klass *raw = k.get();
     _classes[raw->name()] = std::move(k);
     _order.push_back(raw);

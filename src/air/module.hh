@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "klass.hh"
+#include "util/arena.hh"
 
 namespace sierra::air {
 
@@ -51,7 +52,14 @@ class Module
      */
     size_t codeSize() const;
 
+    /** Arena backing all method bodies (for the
+     *  `arena.bytes_allocated` metric). */
+    const util::Arena &arena() const { return _arena; }
+
   private:
+    // The arena is declared first so it is destroyed last: Klass and
+    // Method destructors still touch arena-backed instruction storage.
+    util::Arena _arena;
     std::unordered_map<std::string, std::unique_ptr<Klass>> _classes;
     std::vector<Klass *> _order;
 };

@@ -15,9 +15,9 @@ CallGraph::internNode(const air::Method *method, CtxId ctx)
         return it->second;
     NodeId id = static_cast<NodeId>(_nodes.size());
     _nodes.push_back({method, ctx});
-    _edges.emplace_back();
+    _edges.emplace_back(_arena);
     _reverse.emplace_back();
-    _actionsOf.emplace_back();
+    _actionsOf.emplace_back(_arena);
     _index.emplace(key, id);
     _byMethod[method].push_back(id);
     return id;

@@ -6,12 +6,13 @@
 #ifndef SIERRA_ANALYSIS_CALLGRAPH_HH
 #define SIERRA_ANALYSIS_CALLGRAPH_HH
 
-#include <set>
 #include <unordered_map>
 #include <vector>
 
 #include "context.hh"
 #include "sites.hh"
+#include "util/arena.hh"
+#include "util/bitset.hh"
 
 namespace sierra::analysis {
 
@@ -46,6 +47,11 @@ struct SpawnEdge {
 class CallGraph
 {
   public:
+    /** Attach the arena that owns edge arrays and action-set spill
+     *  storage (PointsToResult wires its own arena in; standalone
+     *  call graphs in tests fall back to the heap). */
+    void setArena(util::Arena *arena) { _arena = arena; }
+
     /** Intern a (method, context) node. */
     NodeId internNode(const air::Method *method, CtxId ctx);
 
@@ -58,7 +64,7 @@ class CallGraph
     /** Add a call edge; returns true if it was new. */
     bool addEdge(NodeId caller, SiteId site, NodeId callee);
 
-    const std::vector<CGEdge> &edgesOf(NodeId id) const
+    const util::ArenaVector<CGEdge> &edgesOf(NodeId id) const
     {
         return _edges[id];
     }
@@ -81,15 +87,16 @@ class CallGraph
     }
     const std::vector<SpawnEdge> &spawns() const { return _spawns; }
 
-    /** Actions that can execute this node. */
-    const std::set<int> &actionsOf(NodeId id) const
+    /** Actions that can execute this node (dense bitset; ascending
+     *  iteration like the std::set it replaced). */
+    const util::ObjBitset &actionsOf(NodeId id) const
     {
         return _actionsOf[id];
     }
     /** Add an action to a node's action set; true if it was new. */
     bool addAction(NodeId id, int action)
     {
-        return _actionsOf[id].insert(action).second;
+        return _actionsOf[id].insert(action);
     }
 
     /** All nodes of a given method, in creation order. */
@@ -105,10 +112,11 @@ class CallGraph
         }
     };
 
+    util::Arena *_arena{nullptr};
     std::vector<CGNodeData> _nodes;
-    std::vector<std::vector<CGEdge>> _edges;
+    std::vector<util::ArenaVector<CGEdge>> _edges;
     std::vector<std::vector<NodeId>> _reverse;
-    std::vector<std::set<int>> _actionsOf;
+    std::vector<util::ObjBitset> _actionsOf;
     std::vector<SpawnEdge> _spawns;
     std::unordered_map<std::pair<const air::Method *, CtxId>, NodeId,
                        KeyHash>

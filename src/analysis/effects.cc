@@ -72,10 +72,9 @@ bool
 unionInto(FieldEffects::Summary &into, const FieldEffects::Summary &from)
 {
     bool changed = false;
-    auto mergeSet = [&](std::set<std::string> &dst,
-                        const std::set<std::string> &src) {
-        for (const std::string &k : src)
-            changed |= dst.insert(k).second;
+    auto mergeSet = [&](FieldEffects::EffectSet &dst,
+                        const FieldEffects::EffectSet &src) {
+        changed |= dst.bits.unionWith(src.bits);
     };
     mergeSet(into.instanceWrites, from.instanceWrites);
     mergeSet(into.instanceReads, from.instanceReads);
@@ -100,6 +99,17 @@ FieldEffects::FieldEffects(const air::Module &module,
 {
     _unknown.callsUnknown = true;
 
+    auto bind = [this](Summary &s) {
+        s.instanceWrites.names = &_keys;
+        s.instanceReads.names = &_keys;
+        s.staticWrites.names = &_keys;
+        s.staticReads.names = &_keys;
+    };
+    bind(_unknown);
+    auto add = [this](EffectSet &set, std::string_view key) {
+        set.bits.insert(static_cast<int>(_keys.intern(key)));
+    };
+
     // Deterministic method order: module class order, declaration order.
     std::vector<const Method *> methods;
     for (const air::Klass *k : module.classes()) {
@@ -115,21 +125,22 @@ FieldEffects::FieldEffects(const air::Module &module,
     std::vector<const Method *> targets;
     for (const Method *m : methods) {
         Summary &s = _summaries[m];
+        bind(s);
         std::vector<const Method *> &edges = callees[m];
         for (int i = 0; i < m->numInstrs(); ++i) {
             const Instruction &instr = m->instr(i);
             switch (instr.op) {
               case Opcode::GetField:
-                s.instanceReads.insert(instr.field.fieldName);
+                add(s.instanceReads, instr.field.fieldName);
                 break;
               case Opcode::PutField:
-                s.instanceWrites.insert(instr.field.fieldName);
+                add(s.instanceWrites, instr.field.fieldName);
                 break;
               case Opcode::GetStatic:
-                s.staticReads.insert(canonicalStaticKey(cha, instr.field));
+                add(s.staticReads, canonicalStaticKey(cha, instr.field));
                 break;
               case Opcode::PutStatic:
-                s.staticWrites.insert(
+                add(s.staticWrites,
                     canonicalStaticKey(cha, instr.field));
                 break;
               case Opcode::ArrayGet:
@@ -180,19 +191,8 @@ FieldEffects::mayConflict(const Summary &a, const Summary &b)
     if ((a.writesArrays && (b.readsArrays || b.writesArrays)) ||
         (b.writesArrays && (a.readsArrays || a.writesArrays)))
         return true;
-    auto intersects = [](const std::set<std::string> &x,
-                         const std::set<std::string> &y) {
-        auto ix = x.begin();
-        auto iy = y.begin();
-        while (ix != x.end() && iy != y.end()) {
-            if (*ix < *iy)
-                ++ix;
-            else if (*iy < *ix)
-                ++iy;
-            else
-                return true;
-        }
-        return false;
+    auto intersects = [](const EffectSet &x, const EffectSet &y) {
+        return x.bits.intersects(y.bits);
     };
     return intersects(a.instanceWrites, b.instanceWrites) ||
            intersects(a.instanceWrites, b.instanceReads) ||

@@ -23,17 +23,24 @@
  *    points-to-free summary cannot know (a subclass may shadow a
  *    super's field); the bare name over-approximates every possible
  *    canonical key.
+ *
+ * Representation: every key is interned once into a FieldEffects-owned
+ * StringInterner and summaries hold dense bitsets over those ids, so
+ * the mayConflict prefilter inside the quadratic race pair loop is a
+ * handful of word-AND scans instead of sorted string-set walks.
  */
 
 #ifndef SIERRA_ANALYSIS_EFFECTS_HH
 #define SIERRA_ANALYSIS_EFFECTS_HH
 
-#include <set>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "air/module.hh"
 #include "class_hierarchy.hh"
+#include "util/bitset.hh"
+#include "util/intern.hh"
 
 namespace sierra::analysis {
 
@@ -41,12 +48,33 @@ namespace sierra::analysis {
 class FieldEffects
 {
   public:
+    /** Set of effect keys as interned-id bits, with a string-lookup
+     *  surface for tests and debugging. */
+    struct EffectSet {
+        util::ObjBitset bits;
+        const util::StringInterner *names{nullptr};
+
+        bool empty() const { return bits.empty(); }
+
+        /** std::set<std::string>-compatible membership test. */
+        size_t
+        count(std::string_view key) const
+        {
+            if (names == nullptr)
+                return 0;
+            util::InternId id = names->find(key);
+            return id == util::StringInterner::kInvalid
+                       ? 0
+                       : bits.count(static_cast<int>(id));
+        }
+    };
+
     /** May-effects of one method including its transitive callees. */
     struct Summary {
-        std::set<std::string> instanceWrites; //!< bare field names
-        std::set<std::string> instanceReads;  //!< bare field names
-        std::set<std::string> staticWrites;   //!< canonical Class.field
-        std::set<std::string> staticReads;    //!< canonical Class.field
+        EffectSet instanceWrites; //!< bare field names
+        EffectSet instanceReads;  //!< bare field names
+        EffectSet staticWrites;   //!< canonical Class.field
+        EffectSet staticReads;    //!< canonical Class.field
         bool writesArrays{false};
         bool readsArrays{false};
         /** An invoke resolved to no analyzable body: effects unknown. */
@@ -83,6 +111,8 @@ class FieldEffects
     }
 
   private:
+    /** One key space for all summaries; ids index the bitsets. */
+    util::StringInterner _keys;
     std::unordered_map<const air::Method *, Summary> _summaries;
     Summary _unknown;
 };

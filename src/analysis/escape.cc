@@ -49,20 +49,18 @@ EscapeAnalysis::EscapeAnalysis(const PointsToResult &pts)
     // each object to the actions of every node whose registers may
     // hold it; the ObjId order of the outer structures keeps the
     // attribution deterministic.
-    std::vector<std::set<int>> touched_by(
-        static_cast<size_t>(num_objects));
+    std::vector<ObjSet> touched_by(static_cast<size_t>(num_objects));
     const int num_nodes = static_cast<int>(pts.regPts.size());
     for (NodeId node = 0; node < num_nodes; ++node) {
-        const std::set<int> &actions = pts.cg.actionsOf(node);
+        const ObjSet &actions = pts.cg.actionsOf(node);
         if (actions.empty())
             continue;
-        for (const std::set<ObjId> &objs :
+        for (const ObjSet &objs :
              pts.regPts[static_cast<size_t>(node)]) {
             for (ObjId obj : objs) {
                 if (obj < 0 || obj >= num_objects)
                     continue;
-                auto &set = touched_by[static_cast<size_t>(obj)];
-                set.insert(actions.begin(), actions.end());
+                touched_by[static_cast<size_t>(obj)].unionWith(actions);
             }
         }
     }
@@ -77,7 +75,7 @@ EscapeAnalysis::EscapeAnalysis(const PointsToResult &pts)
         ObjId obj = work.front();
         work.pop_front();
         EscapeReason reason = _reasons[static_cast<size_t>(obj)];
-        auto it = pts.fieldPts.lower_bound({obj, std::string()});
+        auto it = pts.fieldPts.lower_bound({obj, FieldId{0}});
         for (; it != pts.fieldPts.end() && it->first.first == obj;
              ++it) {
             for (ObjId target : it->second)

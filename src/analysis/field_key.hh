@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Interned canonical field keys.
+ *
+ * A FieldKey is the dense-id replacement for the `std::string key`
+ * that used to ride on every memory location: a u32 id from the
+ * per-result StringInterner plus a stable pointer to the interned
+ * string (interner storage never moves). Hot paths — points-to maps,
+ * access aliasing, constraint substitution — compare ids; report and
+ * test code reads the string through the same value, so nothing
+ * re-resolves ids at the boundary.
+ *
+ * Ids are only meaningful within one interner (one PointsToResult /
+ * one harness). Cross-harness consumers (the detector's report dedup)
+ * must compare via str().
+ */
+
+#ifndef SIERRA_ANALYSIS_FIELD_KEY_HH
+#define SIERRA_ANALYSIS_FIELD_KEY_HH
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "util/intern.hh"
+
+namespace sierra::analysis {
+
+/** Dense id of an interned canonical key. */
+using FieldId = util::InternId;
+
+struct FieldKey {
+    static constexpr uint8_t kArray = 1;    //!< names an array location
+    static constexpr uint8_t kWildcard = 2; //!< unknown-index wildcard
+
+    FieldId id{util::StringInterner::kInvalid};
+    const std::string *name{nullptr}; //!< interned string (stable)
+    uint8_t flags{0};
+
+    /** Intern `s` in `table` and build the key. */
+    static FieldKey
+    intern(util::StringInterner &table, std::string_view s,
+           uint8_t flags = 0)
+    {
+        FieldId id = table.intern(s);
+        return {id, &table.name(id), flags};
+    }
+
+    const std::string &
+    str() const
+    {
+        static const std::string empty;
+        return name ? *name : empty;
+    }
+
+    bool isArray() const { return flags & kArray; }
+    bool isWildcard() const { return flags & kWildcard; }
+
+    /** Id comparison (same-interner contexts; determinism makes ids
+     *  comparable across runs too, which parallel-determinism tests
+     *  rely on). */
+    bool operator==(const FieldKey &o) const { return id == o.id; }
+    bool
+    operator<(const FieldKey &o) const
+    {
+        return id < o.id;
+    }
+
+    // String-compatible surface for tests/report code.
+    bool operator==(std::string_view s) const { return str() == s; }
+    size_t
+    find(std::string_view needle, size_t pos = 0) const
+    {
+        return str().find(needle, pos);
+    }
+};
+
+inline std::ostream &
+operator<<(std::ostream &os, const FieldKey &k)
+{
+    return os << k.str();
+}
+
+} // namespace sierra::analysis
+
+#endif // SIERRA_ANALYSIS_FIELD_KEY_HH

@@ -79,13 +79,15 @@ evalBranch(const Instruction &instr, const std::vector<ConstVal> &env)
     return air::evalCond(instr.cond, lhs.value, rhs) ? 1 : 0;
 }
 
-/** Identity of one field in the may/must-write summaries. */
-struct FieldId {
+/** Identity of one field in the may/must-write summaries (string
+ * identity: IFDS summaries are method-scoped and cross harnesses, so
+ * they cannot use per-result interned ids). */
+struct FieldSlot {
     bool isStatic{false};
     std::string klass;
     std::string field;
 
-    bool operator<(const FieldId &o) const
+    bool operator<(const FieldSlot &o) const
     {
         if (isStatic != o.isStatic)
             return isStatic < o.isStatic;
@@ -93,7 +95,7 @@ struct FieldId {
             return klass < o.klass;
         return field < o.field;
     }
-    bool operator==(const FieldId &o) const
+    bool operator==(const FieldSlot &o) const
     {
         return isStatic == o.isStatic && klass == o.klass &&
                field == o.field;
@@ -106,7 +108,7 @@ struct WriteVal {
     int64_t value{0};
 };
 
-using MustEnv = std::map<FieldId, WriteVal>;
+using MustEnv = std::map<FieldSlot, WriteVal>;
 
 /** Meet of two must-write environments: intersect keys, values must
  *  agree to stay known. Returns true if `into` changed. */
@@ -167,7 +169,7 @@ struct InterConstants::MethodInfo {
     std::set<std::pair<int, int>> infeasible;
 
     // Summaries of field writes.
-    std::map<FieldId, char> mayWriteOnlyThis; //!< present = may write
+    std::map<FieldSlot, char> mayWriteOnlyThis; //!< present = may write
     std::vector<MustWrite> mustWrites;
     bool mustDone{false};
 };
@@ -559,7 +561,7 @@ InterConstants::computeMayWrites()
         for (size_t i = 0; i < _methods.size(); ++i) {
             MethodInfo &mi = _methods[i];
             const air::Method &m = *mi.method;
-            auto record = [&](const FieldId &id, bool via_this) {
+            auto record = [&](const FieldSlot &id, bool via_this) {
                 auto [it, inserted] =
                     mi.mayWriteOnlyThis.emplace(id, via_this ? 1 : 0);
                 if (inserted) {
@@ -638,7 +640,7 @@ InterConstants::computeMustWrites()
             ++_stats.statesVisited;
             switch (instr.op) {
               case Opcode::PutField: {
-                FieldId id{false, instr.field.className,
+                FieldSlot id{false, instr.field.className,
                            instr.field.fieldName};
                 if (!m.isStatic() && instr.srcs[0] == 0 &&
                     mi.thisStable) {
@@ -658,7 +660,7 @@ InterConstants::computeMustWrites()
                 ConstVal v =
                     mi.before[static_cast<size_t>(i)]
                              [static_cast<size_t>(instr.srcs[0])];
-                env[FieldId{true, instr.field.className,
+                env[FieldSlot{true, instr.field.className,
                             instr.field.fieldName}] =
                     v.isConst() ? WriteVal{true, v.value}
                                 : WriteVal{};
@@ -673,7 +675,7 @@ InterConstants::computeMustWrites()
                     !instr.srcs.empty() && instr.srcs[0] == 0;
                 // Intersection of the callee summaries (a virtual
                 // call runs exactly one of them).
-                std::map<FieldId, MustWrite> applied;
+                std::map<FieldSlot, MustWrite> applied;
                 bool first = true;
                 bool all_done = true;
                 for (int c : at->second)
@@ -683,14 +685,14 @@ InterConstants::computeMustWrites()
                     for (int c : at->second) {
                         const MethodInfo &cm =
                             _methods[static_cast<size_t>(c)];
-                        std::map<FieldId, MustWrite> cur;
+                        std::map<FieldSlot, MustWrite> cur;
                         for (const MustWrite &mw : cm.mustWrites) {
                             if (!mw.isStatic &&
                                 !(this_recv &&
                                   !cm.method->isStatic()))
                                 continue;
                             cur.emplace(
-                                FieldId{mw.isStatic,
+                                FieldSlot{mw.isStatic,
                                         mw.field.className,
                                         mw.field.fieldName},
                                 mw);
@@ -1028,7 +1030,7 @@ findUseAfterDestroy(const PointsToResult &result,
         const air::Method *m = result.cg.node(n).method;
         if (!m || !m->hasBody())
             continue;
-        const std::set<int> &acts = result.cg.actionsOf(n);
+        const auto &acts = result.cg.actionsOf(n);
         std::vector<int> here;
         for (int t : teardowns) {
             if (acts.count(t))
@@ -1055,10 +1057,10 @@ findUseAfterDestroy(const PointsToResult &result,
                 continue;
             std::vector<std::string> keys;
             if (instr.op == Opcode::PutStatic) {
-                keys.push_back(result.staticKey(instr.field));
+                keys.push_back(result.staticKey(instr.field).str());
             } else {
                 for (ObjId o : result.pointsTo(n, instr.srcs[0]))
-                    keys.push_back(result.fieldKey(o, instr.field));
+                    keys.push_back(result.fieldKey(o, instr.field).str());
             }
             for (const std::string &key : keys) {
                 for (int t : here)
@@ -1086,9 +1088,9 @@ findUseAfterDestroy(const PointsToResult &result,
             std::vector<std::string> keys;
             if (instr.op == Opcode::GetField) {
                 for (ObjId o : result.pointsTo(n, instr.srcs[0]))
-                    keys.push_back(result.fieldKey(o, instr.field));
+                    keys.push_back(result.fieldKey(o, instr.field).str());
             } else if (instr.op == Opcode::GetStatic) {
-                keys.push_back(result.staticKey(instr.field));
+                keys.push_back(result.staticKey(instr.field).str());
             } else {
                 continue;
             }

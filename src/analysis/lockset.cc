@@ -71,8 +71,7 @@ struct LockProblem {
         if (instr.op == air::Opcode::MonitorEnter) {
             if (instr.srcs.empty())
                 return;
-            const std::set<ObjId> &objs =
-                pts.pointsTo(node, instr.srcs[0]);
+            const ObjSet &objs = pts.pointsTo(node, instr.srcs[0]);
             // Must-alias approximation: only a singleton points-to set
             // names the held lock. Ambiguous enters acquire nothing
             // (under-approximation; sound for refutation).

@@ -15,9 +15,9 @@ using air::Method;
 using air::Opcode;
 using framework::ApiKind;
 
-const std::set<ObjId> PointsToResult::_emptySet;
+const ObjSet PointsToResult::_emptySet;
 
-const std::set<ObjId> &
+const ObjSet &
 PointsToResult::pointsTo(NodeId node, int reg) const
 {
     if (node < 0 || node >= static_cast<int>(regPts.size()))
@@ -39,24 +39,24 @@ PointsToResult::constOf(NodeId node, int reg) const
     return regs[reg];
 }
 
-std::string
+FieldKey
 PointsToResult::fieldKey(ObjId obj, const air::FieldRef &field) const
 {
     const std::string &klass = objects.get(obj).klassName;
     std::string decl = cha.declaringClassOfField(klass, field.fieldName);
     if (decl.empty())
         decl = field.className;
-    return decl + "." + field.fieldName;
+    return FieldKey::intern(keys, decl + "." + field.fieldName);
 }
 
-std::string
+FieldKey
 PointsToResult::staticKey(const air::FieldRef &field) const
 {
     std::string decl =
         cha.declaringClassOfField(field.className, field.fieldName);
     if (decl.empty())
         decl = field.className;
-    return decl + "." + field.fieldName;
+    return FieldKey::intern(keys, decl + "." + field.fieldName);
 }
 
 ObjId
@@ -88,6 +88,13 @@ PointsToResult::numRealActions() const
 /**
  * The worklist engine. One instance per run; all state lives in the
  * PointsToResult being built plus the dependency maps below.
+ *
+ * Delta propagation: every instruction's last-execution signature (the
+ * sum of its inputs' monotone version counters) is cached per node.
+ * Inputs unchanged => re-execution is provably a no-op (every transfer
+ * is a monotone union/merge and every enqueue is guarded by "changed"),
+ * so the visit is skipped without perturbing traversal order — the
+ * property the byte-identical-report contract rests on.
  */
 class PointsToAnalysis::Engine
 {
@@ -101,6 +108,8 @@ class PointsToAnalysis::Engine
     std::unique_ptr<PointsToResult> run();
 
   private:
+    static constexpr uint64_t kNoSig = ~uint64_t{0};
+
     bool asMode() const
     {
         return _opts.ctx.policy == ContextPolicy::ActionSensitive;
@@ -118,17 +127,15 @@ class PointsToAnalysis::Engine
     NodeId internNode(const Method *method, CtxId ctx);
 
     bool addObj(NodeId n, int reg, ObjId o);
-    bool addObjs(NodeId n, int reg, const std::set<ObjId> &objs);
+    bool addObjs(NodeId n, int reg, const ObjSet &objs);
     bool mergeConst(NodeId n, int reg, ConstVal v);
 
     /** Merge a value into returnPts and push through return flows. */
-    void addReturn(NodeId n, const std::set<ObjId> &objs);
+    void addReturn(NodeId n, const ObjSet &objs);
     void addReturnFlow(NodeId src, NodeId dst_node, int dst_reg);
 
-    bool addFieldObjs(ObjId obj, const std::string &key,
-                      const std::set<ObjId> &objs);
-    bool addStaticObjs(const std::string &key,
-                       const std::set<ObjId> &objs);
+    bool addFieldObjs(ObjId obj, FieldId key, const ObjSet &objs);
+    bool addStaticObjs(FieldId key, const ObjSet &objs);
 
     CtxId heapCtxOf(CtxId ctx);
     /** Context for a callee per the active policy. `action_id` is the
@@ -164,8 +171,143 @@ class PointsToAnalysis::Engine
     }
 
     /** Constant "what" recorded on message objects. */
-    void mergeFieldConst(ObjId obj, const std::string &key, ConstVal v);
-    ConstVal fieldConstOf(ObjId obj, const std::string &key) const;
+    void mergeFieldConst(ObjId obj, FieldId key, ConstVal v);
+    ConstVal fieldConstOf(ObjId obj, FieldId key) const;
+
+    // --- interned-key memoization (engine-local; single-threaded) ---
+
+    /** Memoized canonical key for (object, field-ref of one instr). */
+    FieldId
+    fieldIdOf(ObjId o, const air::FieldRef &field)
+    {
+        auto key = std::make_pair(static_cast<const void *>(&field), o);
+        auto it = _fieldKeyMemo.find(key);
+        if (it != _fieldKeyMemo.end())
+            return it->second;
+        FieldId id = _r->fieldKey(o, field).id;
+        _fieldKeyMemo.emplace(key, id);
+        return id;
+    }
+
+    FieldId
+    staticIdOf(const air::FieldRef &field)
+    {
+        const void *key = &field;
+        auto it = _staticKeyMemo.find(key);
+        if (it != _staticKeyMemo.end())
+            return it->second;
+        FieldId id = _r->staticKey(field).id;
+        _staticKeyMemo.emplace(key, id);
+        return id;
+    }
+
+    FieldId
+    wildcardIdOf(ObjId o)
+    {
+        auto it = _objWildcard.find(o);
+        if (it != _objWildcard.end())
+            return it->second;
+        FieldId id = _r->internKey(arrayWildcardKey(classOf(o)),
+                                   FieldKey::kArray | FieldKey::kWildcard)
+                         .id;
+        _objWildcard.emplace(o, id);
+        return id;
+    }
+
+    /** Exact array-element key for `o`. Only writes (`record=true`,
+     *  the ArrayPut path that creates the fieldPts entry) register the
+     *  key in the per-object element index — the delta-friendly
+     *  replacement for the old string prefix scan over fieldPts, which
+     *  likewise only saw entries writes had created. */
+    FieldId
+    elemIdOf(ObjId o, int64_t idx, bool record)
+    {
+        FieldId id =
+            _r->internKey(arrayElementKey(classOf(o), idx),
+                          FieldKey::kArray)
+                .id;
+        _elemWildcard.emplace(id, wildcardIdOf(o));
+        if (record) {
+            auto &elems = _arrayElemKeys[o];
+            bool known = false;
+            for (FieldId e : elems)
+                known = known || e == id;
+            if (!known)
+                elems.push_back(id);
+        }
+        return id;
+    }
+
+    FieldId
+    internFixed(const char *s)
+    {
+        return _r->internKey(s).id;
+    }
+
+    /** Heap-backed copy of a set (temporaries never bloat the arena). */
+    static ObjSet
+    copyOf(const ObjSet &s)
+    {
+        ObjSet t;
+        t.unionWith(s);
+        return t;
+    }
+
+    // --- delta-propagation signatures ---
+
+    /** Version of one register as an instruction input: points-to set
+     *  mutation counter plus the (monotone) constant lattice state. */
+    uint64_t
+    inSig(NodeId n, int reg) const
+    {
+        const auto &regs = _r->regPts[n];
+        if (reg < 0 || reg >= static_cast<int>(regs.size()))
+            return 0;
+        return regs[reg].version() +
+               static_cast<uint64_t>(_r->regConst[n][reg].state);
+    }
+
+    /** Sum of the monotone versions of everything the instruction's
+     *  transfer function reads. Unchanged sum => unchanged inputs =>
+     *  re-execution is a no-op and is skipped. Opcodes with no dynamic
+     *  inputs return a constant (run exactly once). */
+    uint64_t
+    instrSignature(NodeId n, const Instruction &instr) const
+    {
+        switch (instr.op) {
+          case Opcode::Move:
+          case Opcode::Return:
+          case Opcode::PutStatic:
+            return inSig(n, instr.srcs[0]);
+          case Opcode::GetField:
+            return inSig(n, instr.srcs[0]) + _fieldEpoch;
+          case Opcode::PutField:
+            return inSig(n, instr.srcs[0]) + inSig(n, instr.srcs[1]);
+          case Opcode::GetStatic:
+            return _staticEpoch;
+          case Opcode::ArrayGet:
+            return inSig(n, instr.srcs[0]) + inSig(n, instr.srcs[1]) +
+                   _fieldEpoch;
+          case Opcode::ArrayPut:
+            return inSig(n, instr.srcs[0]) + inSig(n, instr.srcs[1]) +
+                   inSig(n, instr.srcs[2]);
+          case Opcode::Invoke: {
+            // Calls read argument registers, the node's action set
+            // (spawn creators / propagation), handler->looper bindings,
+            // field constants (message "what") and the Thread.$target
+            // points-to set. Deliberately NOT the coarse _fieldEpoch:
+            // ordinary field writes don't feed any Invoke transfer, so
+            // they must not force re-execution of every call site.
+            uint64_t s = _r->cg.actionsOf(n).version() + _constEpoch +
+                         _spawnFieldEpoch + _looperEpoch;
+            for (int r : instr.srcs)
+                s += inSig(n, r);
+            return s;
+          }
+          default:
+            return 0; // no dynamic inputs: execute once
+        }
+    }
 
     const framework::App &_app;
     const EntryPlan &_plan;
@@ -176,12 +318,46 @@ class PointsToAnalysis::Engine
     std::deque<NodeId> _worklist;
     std::vector<char> _queued;
 
-    std::map<std::pair<ObjId, std::string>, std::set<NodeId>>
-        _fieldReaders;
-    std::map<std::string, std::set<NodeId>> _staticReaders;
+    std::map<std::pair<ObjId, FieldId>, ObjSet> _fieldReaders;
+    std::map<FieldId, ObjSet> _staticReaders;
     //! callee -> (dst node, dst reg) forwarding of return values
     std::map<NodeId, std::vector<std::pair<NodeId, int>>> _returnFlows;
-    std::map<std::pair<ObjId, std::string>, ConstVal> _fieldConst;
+    std::map<std::pair<ObjId, FieldId>, ConstVal> _fieldConst;
+
+    //! per-node, per-instruction last-execution signature
+    std::vector<std::vector<uint64_t>> _instrSig;
+    //! bumped on every fieldPts / field-constant change
+    uint64_t _fieldEpoch{0};
+    //! bumped on every staticPts change
+    uint64_t _staticEpoch{0};
+    //! bumped on every handlerLooper change
+    uint64_t _looperEpoch{0};
+    //! bumped on every field-constant change only (what Invoke
+    //! intrinsics read via fieldConstOf — message "what" joins)
+    uint64_t _constEpoch{0};
+    //! bumped when the Thread.$target field points-to set changes (the
+    //! only fieldPts entry any Invoke handler reads)
+    uint64_t _spawnFieldEpoch{0};
+
+    struct PtrObjHash {
+        size_t
+        operator()(const std::pair<const void *, ObjId> &p) const
+        {
+            return std::hash<const void *>()(p.first) * 1000003u ^
+                   std::hash<int>()(p.second);
+        }
+    };
+    std::unordered_map<std::pair<const void *, ObjId>, FieldId,
+                       PtrObjHash>
+        _fieldKeyMemo;
+    std::unordered_map<const void *, FieldId> _staticKeyMemo;
+    std::unordered_map<ObjId, FieldId> _objWildcard;
+    //! exact element key -> its array's wildcard key (for notify)
+    std::unordered_map<FieldId, FieldId> _elemWildcard;
+    //! per array object: exact element keys seen so far
+    std::unordered_map<ObjId, std::vector<FieldId>> _arrayElemKeys;
+    FieldId _threadTargetKey{util::StringInterner::kInvalid};
+    FieldId _messageWhatKey{util::StringInterner::kInvalid};
     bool _warnedActionCap{false};
 };
 
@@ -192,9 +368,19 @@ PointsToAnalysis::Engine::internNode(const Method *method, CtxId ctx)
     if (existing >= 0)
         return existing;
     NodeId n = _r->cg.internNode(method, ctx);
-    _r->regPts.emplace_back(method->numRegisters());
-    _r->returnPts.emplace_back();
+    _r->regPts.emplace_back();
+    {
+        auto &regs = _r->regPts.back();
+        int nregs = method->numRegisters();
+        regs.reserve(static_cast<size_t>(nregs));
+        for (int i = 0; i < nregs; ++i)
+            regs.emplace_back(&_r->arena);
+    }
+    _r->returnPts.emplace_back(&_r->arena);
     _r->regConst.emplace_back(method->numRegisters());
+    _instrSig.emplace_back(
+        method->hasBody() ? static_cast<size_t>(method->numInstrs()) : 0,
+        kNoSig);
     _queued.push_back(false);
     enqueue(n);
     return n;
@@ -205,19 +391,20 @@ PointsToAnalysis::Engine::addObj(NodeId n, int reg, ObjId o)
 {
     if (reg < 0 || reg >= static_cast<int>(_r->regPts[n].size()))
         return false;
-    bool added = _r->regPts[n][reg].insert(o).second;
+    bool added = _r->regPts[n][reg].insert(o);
     if (added)
         enqueue(n);
     return added;
 }
 
 bool
-PointsToAnalysis::Engine::addObjs(NodeId n, int reg,
-                                  const std::set<ObjId> &objs)
+PointsToAnalysis::Engine::addObjs(NodeId n, int reg, const ObjSet &objs)
 {
-    bool changed = false;
-    for (ObjId o : objs)
-        changed |= addObj(n, reg, o);
+    if (reg < 0 || reg >= static_cast<int>(_r->regPts[n].size()))
+        return false;
+    bool changed = _r->regPts[n][reg].unionWith(objs);
+    if (changed)
+        enqueue(n);
     return changed;
 }
 
@@ -243,12 +430,9 @@ PointsToAnalysis::Engine::mergeConst(NodeId n, int reg, ConstVal v)
 }
 
 void
-PointsToAnalysis::Engine::addReturn(NodeId n, const std::set<ObjId> &objs)
+PointsToAnalysis::Engine::addReturn(NodeId n, const ObjSet &objs)
 {
-    bool changed = false;
-    for (ObjId o : objs)
-        changed |= _r->returnPts[n].insert(o).second;
-    if (!changed)
+    if (!_r->returnPts[n].unionWith(objs))
         return;
     auto it = _returnFlows.find(n);
     if (it == _returnFlows.end())
@@ -271,15 +455,18 @@ PointsToAnalysis::Engine::addReturnFlow(NodeId src, NodeId dst_node,
 }
 
 bool
-PointsToAnalysis::Engine::addFieldObjs(ObjId obj, const std::string &key,
-                                       const std::set<ObjId> &objs)
+PointsToAnalysis::Engine::addFieldObjs(ObjId obj, FieldId key,
+                                       const ObjSet &objs)
 {
-    auto &dst = _r->fieldPts[{obj, key}];
-    bool changed = false;
-    for (ObjId o : objs)
-        changed |= dst.insert(o).second;
+    auto [entry, created] =
+        _r->fieldPts.try_emplace({obj, key}, ObjSet(&_r->arena));
+    (void)created;
+    bool changed = entry->second.unionWith(objs);
     if (changed) {
-        auto notify = [&](const std::string &k) {
+        ++_fieldEpoch;
+        if (key == _threadTargetKey)
+            ++_spawnFieldEpoch;
+        auto notify = [&](FieldId k) {
             auto it = _fieldReaders.find({obj, k});
             if (it != _fieldReaders.end()) {
                 for (NodeId reader : it->second)
@@ -291,22 +478,22 @@ PointsToAnalysis::Engine::addFieldObjs(ObjId obj, const std::string &key,
         // registered on the wildcard: an unknown-index ArrayGet scans
         // the exact keys that exist when it runs, so a later-created
         // $elem#i entry would otherwise never reach it.
-        size_t elem_pos = key.find(".$elem#");
-        if (elem_pos != std::string::npos)
-            notify(key.substr(0, elem_pos) + ".$elems");
+        auto wit = _elemWildcard.find(key);
+        if (wit != _elemWildcard.end())
+            notify(wit->second);
     }
     return changed;
 }
 
 bool
-PointsToAnalysis::Engine::addStaticObjs(const std::string &key,
-                                        const std::set<ObjId> &objs)
+PointsToAnalysis::Engine::addStaticObjs(FieldId key, const ObjSet &objs)
 {
-    auto &dst = _r->staticPts[key];
-    bool changed = false;
-    for (ObjId o : objs)
-        changed |= dst.insert(o).second;
+    auto [entry, created] =
+        _r->staticPts.try_emplace(key, ObjSet(&_r->arena));
+    (void)created;
+    bool changed = entry->second.unionWith(objs);
     if (changed) {
+        ++_staticEpoch;
         auto it = _staticReaders.find(key);
         if (it != _staticReaders.end()) {
             for (NodeId reader : it->second)
@@ -424,8 +611,7 @@ PointsToAnalysis::Engine::addActionToNode(NodeId n, int action)
 }
 
 void
-PointsToAnalysis::Engine::mergeFieldConst(ObjId obj,
-                                          const std::string &key,
+PointsToAnalysis::Engine::mergeFieldConst(ObjId obj, FieldId key,
                                           ConstVal v)
 {
     if (v.state == ConstVal::State::Bottom)
@@ -433,16 +619,19 @@ PointsToAnalysis::Engine::mergeFieldConst(ObjId obj,
     ConstVal &cur = _fieldConst[{obj, key}];
     if (cur.state == ConstVal::State::Bottom) {
         cur = v;
+        ++_fieldEpoch;
+        ++_constEpoch;
     } else if (cur.state == ConstVal::State::Const &&
                (v.state != ConstVal::State::Const ||
                 v.value != cur.value)) {
         cur.state = ConstVal::State::Top;
+        ++_fieldEpoch;
+        ++_constEpoch;
     }
 }
 
 ConstVal
-PointsToAnalysis::Engine::fieldConstOf(ObjId obj,
-                                       const std::string &key) const
+PointsToAnalysis::Engine::fieldConstOf(ObjId obj, FieldId key) const
 {
     auto it = _fieldConst.find({obj, key});
     return it == _fieldConst.end() ? ConstVal{} : it->second;
@@ -451,10 +640,13 @@ PointsToAnalysis::Engine::fieldConstOf(ObjId obj,
 std::unique_ptr<PointsToResult>
 PointsToAnalysis::Engine::run()
 {
-    _r = std::make_unique<PointsToResult>(_app.module());
+    _r = std::make_unique<PointsToResult>(_app.module(),
+                                          _opts.sharedCha);
     _r->options = _opts;
     _r->mainLooperObj =
         _r->objects.singleton(framework::names::looper, kMainLooper);
+    _threadTargetKey = internFixed("java.lang.Thread.$target");
+    _messageWhatKey = internFixed("android.os.Message.what");
 
     SIERRA_ASSERT(_plan.mainMethod, "entry plan without a main method");
     _r->rootAction = _r->actions.create(
@@ -490,9 +682,19 @@ PointsToAnalysis::Engine::processNode(NodeId n)
     while (changed) {
         changed = false;
         ++_r->stats.localPasses;
-        _r->stats.instrVisits += m->numInstrs();
-        for (int i = 0; i < m->numInstrs(); ++i)
+        for (int i = 0; i < m->numInstrs(); ++i) {
+            const Instruction &instr = m->instr(i);
+            uint64_t sig = instrSignature(n, instr);
+            // Index _instrSig[n] afresh on every access: processInstr
+            // can intern new nodes, reallocating the outer vector.
+            if (sig == _instrSig[n][i]) {
+                ++_r->stats.deltaSkips;
+                continue;
+            }
+            _instrSig[n][i] = sig;
+            ++_r->stats.instrVisits;
             changed |= processInstr(n, m, i);
+        }
         if (++guard > 1000)
             panic("local fixpoint divergence in ", m->qualifiedName());
     }
@@ -503,9 +705,13 @@ PointsToAnalysis::Engine::processInstr(NodeId n, const Method *m,
                                        int idx)
 {
     const Instruction &instr = m->instr(idx);
-    auto pts = [&](int reg) -> const std::set<ObjId> & {
+    auto pts = [&](int reg) -> const ObjSet & {
         return _r->pointsTo(n, reg);
     };
+    // Interned eagerly on purpose: downstream stages (access
+    // extraction, locksets) intern the same (method, instr) sites and
+    // the numeric id order — visit order here — is part of the
+    // byte-identical-report contract.
     SiteId site = _r->sites.intern(m, idx);
 
     switch (instr.op) {
@@ -551,9 +757,13 @@ PointsToAnalysis::Engine::processInstr(NodeId n, const Method *m,
       }
       case Opcode::GetField: {
         bool changed = false;
-        for (ObjId o : pts(instr.srcs[0])) {
-            std::string key = _r->fieldKey(o, instr.field);
-            _fieldReaders[{o, key}].insert(n);
+        // dst may alias the base register; never mutate the set being
+        // iterated (bitset growth would invalidate the end sentinel).
+        const ObjSet bases = copyOf(pts(instr.srcs[0]));
+        for (ObjId o : bases) {
+            FieldId key = fieldIdOf(o, instr.field);
+            _fieldReaders.try_emplace({o, key}, ObjSet(&_r->arena))
+                .first->second.insert(n);
             auto it = _r->fieldPts.find({o, key});
             if (it != _r->fieldPts.end())
                 changed |= addObjs(n, instr.dst, it->second);
@@ -563,45 +773,47 @@ PointsToAnalysis::Engine::processInstr(NodeId n, const Method *m,
       }
       case Opcode::PutField: {
         for (ObjId o : pts(instr.srcs[0])) {
-            std::string key = _r->fieldKey(o, instr.field);
+            FieldId key = fieldIdOf(o, instr.field);
             addFieldObjs(o, key, pts(instr.srcs[1]));
             mergeFieldConst(o, key, _r->constOf(n, instr.srcs[1]));
         }
         return false;
       }
       case Opcode::GetStatic: {
-        std::string key = _r->staticKey(instr.field);
-        _staticReaders[key].insert(n);
+        FieldId key = staticIdOf(instr.field);
+        _staticReaders.try_emplace(key, ObjSet(&_r->arena))
+            .first->second.insert(n);
         auto it = _r->staticPts.find(key);
         if (it == _r->staticPts.end())
             return false;
         return addObjs(n, instr.dst, it->second);
       }
       case Opcode::PutStatic:
-        addStaticObjs(_r->staticKey(instr.field), pts(instr.srcs[0]));
+        addStaticObjs(staticIdOf(instr.field), pts(instr.srcs[0]));
         return false;
       case Opcode::ArrayGet: {
         bool changed = false;
         ConstVal idx = _r->constOf(n, instr.srcs[1]);
         bool sensitive = _opts.indexSensitiveArrays;
-        for (ObjId o : pts(instr.srcs[0])) {
-            const std::string klass = classOf(o);
-            std::vector<std::string> keys{arrayWildcardKey(klass)};
+        // Same aliasing guard as GetField: dst can be the array register.
+        const ObjSet arrays = copyOf(pts(instr.srcs[0]));
+        for (ObjId o : arrays) {
+            std::vector<FieldId> keys{wildcardIdOf(o)};
             if (sensitive && idx.isConst()) {
-                keys.push_back(arrayElementKey(klass, idx.value));
+                keys.push_back(elemIdOf(o, idx.value, false));
             } else if (sensitive) {
-                // Unknown index: read every known exact element too.
-                std::string prefix = klass + ".$elem#";
-                for (auto it = _r->fieldPts.lower_bound({o, prefix});
-                     it != _r->fieldPts.end() &&
-                     it->first.first == o &&
-                     it->first.second.rfind(prefix, 0) == 0;
-                     ++it) {
-                    keys.push_back(it->first.second);
+                // Unknown index: read every known exact element too
+                // (per-object element index replaces the old string
+                // prefix scan over fieldPts).
+                auto eit = _arrayElemKeys.find(o);
+                if (eit != _arrayElemKeys.end()) {
+                    for (FieldId e : eit->second)
+                        keys.push_back(e);
                 }
             }
-            for (const auto &key : keys) {
-                _fieldReaders[{o, key}].insert(n);
+            for (FieldId key : keys) {
+                _fieldReaders.try_emplace({o, key}, ObjSet(&_r->arena))
+                    .first->second.insert(n);
                 auto it = _r->fieldPts.find({o, key});
                 if (it != _r->fieldPts.end())
                     changed |= addObjs(n, instr.dst, it->second);
@@ -612,10 +824,9 @@ PointsToAnalysis::Engine::processInstr(NodeId n, const Method *m,
       case Opcode::ArrayPut: {
         ConstVal idx = _r->constOf(n, instr.srcs[1]);
         for (ObjId o : pts(instr.srcs[0])) {
-            std::string key =
-                _opts.indexSensitiveArrays && idx.isConst()
-                    ? arrayElementKey(classOf(o), idx.value)
-                    : arrayWildcardKey(classOf(o));
+            FieldId key = _opts.indexSensitiveArrays && idx.isConst()
+                              ? elemIdOf(o, idx.value, true)
+                              : wildcardIdOf(o);
             addFieldObjs(o, key, pts(instr.srcs[2]));
         }
         return false;
@@ -686,7 +897,7 @@ PointsToAnalysis::Engine::handleEventSite(NodeId n, const Method *m,
     }
 
     // Copy: spawnEntry interns nodes, which may reallocate regPts.
-    const std::set<ObjId> receivers = _r->pointsTo(n, instr.srcs[0]);
+    const ObjSet receivers = copyOf(_r->pointsTo(n, instr.srcs[0]));
     for (ObjId o : receivers) {
         const Method *target = _r->cha.resolveVirtual(
             classOf(o), instr.method.methodName);
@@ -712,12 +923,12 @@ PointsToAnalysis::Engine::handleIntrinsic(NodeId n, const Method *m,
     SiteId site = _r->sites.intern(m, idx);
     // Copies throughout: intrinsics intern nodes/actions while iterating,
     // which may reallocate the backing vectors.
-    auto pts = [&](size_t i) -> std::set<ObjId> {
+    auto pts = [&](size_t i) -> ObjSet {
         if (i >= instr.srcs.size())
-            return {};
-        return _r->pointsTo(n, instr.srcs[i]);
+            return ObjSet{};
+        return copyOf(_r->pointsTo(n, instr.srcs[i]));
     };
-    const std::set<int> creators = _r->cg.actionsOf(n);
+    const ObjSet creators = copyOf(_r->cg.actionsOf(n));
 
     auto looper_of_handler = [&](ObjId h) {
         auto it = _r->handlerLooper.find(h);
@@ -787,8 +998,7 @@ PointsToAnalysis::Engine::handleIntrinsic(NodeId n, const Method *m,
                                           : -1);
             } else {
                 for (ObjId msg : pts(1)) {
-                    ConstVal w = fieldConstOf(
-                        msg, "android.os.Message.what");
+                    ConstVal w = fieldConstOf(msg, _messageWhatKey);
                     if (what.state == ConstVal::State::Bottom)
                         what = w;
                     else if (!(what.isConst() && w.isConst() &&
@@ -809,9 +1019,7 @@ PointsToAnalysis::Engine::handleIntrinsic(NodeId n, const Method *m,
                         ObjId msg = _r->objects.syntheticObject(
                             framework::names::message, site);
                         if (what.isConst()) {
-                            mergeFieldConst(msg,
-                                            "android.os.Message.what",
-                                            what);
+                            mergeFieldConst(msg, _messageWhatKey, what);
                         }
                         addObj(n2, target->paramReg(0), msg);
                     } else {
@@ -875,12 +1083,14 @@ PointsToAnalysis::Engine::handleIntrinsic(NodeId n, const Method *m,
                 continue;
             }
             // Plain java.lang.Thread wrapping a Runnable.
-            std::string key = "java.lang.Thread.$target";
-            _fieldReaders[{t, key}].insert(n);
+            FieldId key = _threadTargetKey;
+            _fieldReaders.try_emplace({t, key}, ObjSet(&_r->arena))
+                .first->second.insert(n);
             auto it = _r->fieldPts.find({t, key});
             if (it == _r->fieldPts.end())
                 continue;
-            for (ObjId r : it->second) {
+            const ObjSet targets = copyOf(it->second);
+            for (ObjId r : targets) {
                 spawn_runnable(ActionKind::ThreadRun, r, -1,
                                ThreadAffinity::Background);
             }
@@ -897,7 +1107,7 @@ PointsToAnalysis::Engine::handleIntrinsic(NodeId n, const Method *m,
       case ApiKind::ThreadInit: {
         if (instr.srcs.size() >= 2) {
             for (ObjId t : pts(0)) {
-                addFieldObjs(t, "java.lang.Thread.$target", pts(1));
+                addFieldObjs(t, _threadTargetKey, pts(1));
             }
         }
         return false;
@@ -905,9 +1115,14 @@ PointsToAnalysis::Engine::handleIntrinsic(NodeId n, const Method *m,
       case ApiKind::HandlerInit: {
         for (ObjId h : pts(0)) {
             ObjId looper = _r->mainLooperObj;
-            if (instr.srcs.size() >= 2 && !pts(1).empty())
-                looper = *pts(1).begin();
-            _r->handlerLooper[h] = looper;
+            const ObjSet loopers = pts(1);
+            if (instr.srcs.size() >= 2 && !loopers.empty())
+                looper = *loopers.begin();
+            auto [it, inserted] = _r->handlerLooper.emplace(h, looper);
+            if (inserted || it->second != looper) {
+                it->second = looper;
+                ++_looperEpoch;
+            }
         }
         return false;
       }
@@ -1125,8 +1340,8 @@ PointsToAnalysis::Engine::normalCall(NodeId n, const Method *m, int idx)
         if (instr.srcs.empty())
             return false;
         // Copy: interning callee nodes may reallocate regPts.
-        const std::set<ObjId> receivers =
-            _r->pointsTo(n, instr.srcs[0]);
+        const ObjSet receivers =
+            copyOf(_r->pointsTo(n, instr.srcs[0]));
         for (ObjId o : receivers) {
             const Method *target = _r->cha.resolveVirtual(
                 classOf(o), instr.method.methodName);

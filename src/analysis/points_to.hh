@@ -13,6 +13,13 @@
  *  - resolves findViewById through the layout model using the
  *    InflatedViewContext abstraction,
  *  - tracks which looper each Handler is bound to (paper Section 4.4).
+ *
+ * Memory layout (see docs/INTERNALS.md "Memory layout & interning"):
+ * points-to sets are dense bitsets (util::ObjBitset) spilling into the
+ * result's arena; field/static keys are interned u32 FieldIds in the
+ * result's deterministic string table; the worklist engine uses
+ * version-signature delta propagation to skip re-executing instructions
+ * whose inputs are unchanged since their last visit.
  */
 
 #ifndef SIERRA_ANALYSIS_POINTS_TO_HH
@@ -20,7 +27,6 @@
 
 #include <map>
 #include <memory>
-#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -30,16 +36,33 @@
 #include "class_hierarchy.hh"
 #include "context.hh"
 #include "entry_plan.hh"
+#include "field_key.hh"
 #include "framework/app.hh"
 #include "heap.hh"
 #include "sites.hh"
+#include "util/arena.hh"
+#include "util/bitset.hh"
+#include "util/intern.hh"
 
 namespace sierra::analysis {
+
+/** Dense points-to / id set (ascending iteration, like std::set). */
+using ObjSet = util::ObjBitset;
 
 /** Options controlling one pointer-analysis run. */
 struct PointsToOptions {
     ContextOptions ctx;
     int maxActions{4096}; //!< backstop against runaway action creation
+    /**
+     * Optional app-level hierarchy shared across harness tasks. The
+     * hierarchy is a pure function of the module and immutable after
+     * construction, so one instance can serve every per-harness solver
+     * (the detector builds it once per analyze()). Shared ownership:
+     * results outlive the detector call that spawned them, so each
+     * result co-owns the hierarchy it references. Null: the result
+     * builds and owns its own.
+     */
+    std::shared_ptr<const ClassHierarchy> sharedCha;
     /**
      * Give array accesses with constant indices per-element locations
      * instead of one "$elems" summary (the paper's future-work citation
@@ -55,6 +78,10 @@ struct PtaStats {
     int64_t worklistIterations{0}; //!< nodes popped off the worklist
     int64_t localPasses{0};        //!< per-node inner fixpoint passes
     int64_t instrVisits{0};        //!< instruction transfer applications
+    //! instruction visits skipped because the version signature of the
+    //! instruction's inputs was unchanged since its last execution
+    //! (delta propagation; surfaced as `pta.delta_props`)
+    int64_t deltaSkips{0};
 };
 
 /** A flow-insensitive constant lattice value for one register. */
@@ -70,12 +97,31 @@ struct ConstVal {
 class PointsToResult
 {
   public:
+    /** Bump-pointer arena owning bitset spill storage and call-graph
+     *  edge arrays. Declared first so it is destroyed last. */
+    util::Arena arena;
+    /** Deterministic field/static key table. Populated by the serial
+     *  phases; the detector freezes it before parallel refutation
+     *  (late interns from executor shards go to the thread-safe
+     *  overflow table). */
+    mutable util::StringInterner keys;
+
     SiteTable sites;
     ContextTable contexts;
     ObjectTable objects;
     CallGraph cg;
     ActionRegistry actions;
-    ClassHierarchy cha;
+
+  private:
+    //! The hierarchy this result reads: the caller's shared app-level
+    //! instance, or one built here. Co-owned so the result stays valid
+    //! after the detector locals that supplied it are gone. Declared
+    //! before `cha` so the reference below can bind to it.
+    std::shared_ptr<const ClassHierarchy> _chaPtr;
+
+  public:
+    //! Hierarchy facts (read-only view of `_chaPtr`).
+    const ClassHierarchy &cha;
     PointsToOptions options;
     PtaStats stats;
 
@@ -83,13 +129,13 @@ class PointsToResult
     int rootAction{-1};
 
     //! per-node, per-register points-to sets
-    std::vector<std::vector<std::set<ObjId>>> regPts;
-    //! (object, canonical "Class.field") -> points-to set
-    std::map<std::pair<ObjId, std::string>, std::set<ObjId>> fieldPts;
-    //! canonical "Class.field" -> points-to set for statics
-    std::map<std::string, std::set<ObjId>> staticPts;
+    std::vector<std::vector<ObjSet>> regPts;
+    //! (object, interned "Class.field" id) -> points-to set
+    std::map<std::pair<ObjId, FieldId>, ObjSet> fieldPts;
+    //! interned "Class.field" id -> points-to set for statics
+    std::map<FieldId, ObjSet> staticPts;
     //! per-node return-value points-to sets
-    std::vector<std::set<ObjId>> returnPts;
+    std::vector<ObjSet> returnPts;
     //! per-node, per-register constant lattice
     std::vector<std::vector<ConstVal>> regConst;
     //! Handler object -> Looper object it posts to
@@ -97,14 +143,33 @@ class PointsToResult
     //! the main looper's abstract object
     ObjId mainLooperObj{-1};
 
-    explicit PointsToResult(const air::Module &module) : cha(module) {}
+    explicit PointsToResult(
+        const air::Module &module,
+        std::shared_ptr<const ClassHierarchy> shared_cha = nullptr)
+        : _chaPtr(shared_cha
+                      ? std::move(shared_cha)
+                      : std::make_shared<ClassHierarchy>(module)),
+          cha(*_chaPtr)
+    {
+        cg.setArena(&arena);
+    }
 
-    const std::set<ObjId> &pointsTo(NodeId node, int reg) const;
+    const ObjSet &pointsTo(NodeId node, int reg) const;
     ConstVal constOf(NodeId node, int reg) const;
 
-    /** Canonical "DeclaringClass.field" key for an access. */
-    std::string fieldKey(ObjId obj, const air::FieldRef &field) const;
-    std::string staticKey(const air::FieldRef &field) const;
+    /** Canonical "DeclaringClass.field" key for an access, interned. */
+    FieldKey fieldKey(ObjId obj, const air::FieldRef &field) const;
+    FieldKey staticKey(const air::FieldRef &field) const;
+
+    /** Intern an externally built key string (array element keys). */
+    FieldKey
+    internKey(std::string_view s, uint8_t flags = 0) const
+    {
+        return FieldKey::intern(keys, s, flags);
+    }
+
+    /** The string behind an interned key id. */
+    const std::string &keyName(FieldId id) const { return keys.name(id); }
 
     /** Looper object an action's events are delivered to, or -1 for
      *  background-thread actions. */
@@ -114,7 +179,7 @@ class PointsToResult
     int numRealActions() const;
 
   private:
-    static const std::set<ObjId> _emptySet;
+    static const ObjSet _emptySet;
 };
 
 /**

@@ -10,15 +10,18 @@
 #include <string>
 #include <vector>
 
+#include "analysis/field_key.hh"
 #include "analysis/points_to.hh"
 
 namespace sierra::race {
 
-/** One abstract memory location. */
+/** One abstract memory location. Keys are interned FieldKeys: the hot
+ *  comparisons (pair loop, alias checks) are u32 id compares; report
+ *  code reads the string through key.str(). */
 struct MemLoc {
     bool isStatic{false};
-    analysis::ObjId obj{-1}; //!< base object for instance locations
-    std::string key;         //!< canonical "DeclaringClass.field"
+    analysis::ObjId obj{-1};  //!< base object for instance locations
+    analysis::FieldKey key{}; //!< canonical "DeclaringClass.field"
 
     bool
     operator==(const MemLoc &o) const

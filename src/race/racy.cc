@@ -152,7 +152,9 @@ findRacyPairs(const PointsToResult &result, const hb::Shbg &shbg,
 
             int s1 = std::min(x.site, y.site);
             int s2 = std::max(x.site, y.site);
-            auto key = std::make_tuple(s1, s2, shared.front().key);
+            // String key (not the interned id): map iteration order is
+            // report order, which must stay lexicographic.
+            auto key = std::make_tuple(s1, s2, shared.front().key.str());
             auto it = dedup.find(key);
             if (it == dedup.end()) {
                 RacyPair p;

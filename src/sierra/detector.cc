@@ -37,6 +37,9 @@ fillMetrics(util::metrics::Registry &m, const HarnessAnalysis &ha,
     m.add("pta.worklist_iterations", pta.worklistIterations);
     m.add("pta.local_passes", pta.localPasses);
     m.add("pta.instr_visits", pta.instrVisits);
+    m.add("pta.delta_props", pta.deltaSkips);
+    m.add("arena.bytes_allocated",
+          static_cast<int64_t>(ha.pta->arena.bytesAllocated()));
     m.add("pta.cg_nodes", ha.pta->cg.numNodes());
     m.add("pta.actions", ha.numActions());
 
@@ -317,6 +320,27 @@ SierraDetector::analyze(const SierraOptions &options)
     SIERRA_TRACE_SPAN(analyze_span, "pipeline", "analyze",
                       util::trace::arg("app", _app.name()));
 
+    // App-level facts shared by every harness task. Both are pure
+    // functions of the module and immutable after construction, so
+    // building them once here instead of once per harness removes the
+    // dominant redundant work from the plan fan-out (tasks only read
+    // them concurrently).
+    StageTimes app_times;
+    auto app_cha =
+        std::make_shared<analysis::ClassHierarchy>(_app.module());
+    task_options.pta.sharedCha = app_cha;
+    std::unique_ptr<analysis::FieldEffects> app_effects;
+    if (task_options.effectPrefilter && !task_options.racy.effects) {
+        auto t_df = std::chrono::steady_clock::now();
+        SIERRA_TRACE_SPAN(span, "stage", "stage.dataflow",
+                          util::trace::arg("app", _app.name()));
+        app_effects = std::make_unique<analysis::FieldEffects>(
+            _app.module(), *app_cha);
+        task_options.racy.effects = app_effects.get();
+        app_times.dataflow = secondsSince(t_df);
+        app_times.totalCpu = app_times.dataflow;
+    }
+
     // One task per harness plan. Each task reads only shared-immutable
     // state and owns everything it produces, so tasks are independent;
     // results land in plan order regardless of completion order.
@@ -399,7 +423,7 @@ SierraDetector::analyze(const SierraOptions &options)
                 ha.pta->cg.node(x.node).method->qualifiedName();
             std::string my =
                 ha.pta->cg.node(y.node).method->qualifiedName();
-            Key key{mx, x.instrIdx, my, y.instrIdx, p.loc.key};
+            Key key{mx, x.instrIdx, my, y.instrIdx, p.loc.key.str()};
             if (std::tie(key.m2, key.i2) < std::tie(key.m1, key.i1)) {
                 std::swap(key.m1, key.m2);
                 std::swap(key.i1, key.i2);
@@ -408,7 +432,7 @@ SierraDetector::analyze(const SierraOptions &options)
             if (agg.race.description.empty()) {
                 agg.race.description = p.toString(*ha.pta, ha.accesses);
                 agg.race.priority = p.priority;
-                agg.race.fieldKey = p.loc.key;
+                agg.race.fieldKey = p.loc.key.str();
             }
             agg.race.activities.push_back(plan.activityClass);
             if (!p.refuted)
@@ -438,7 +462,24 @@ SierraDetector::analyze(const SierraOptions &options)
             ? 100.0 * static_cast<double>(report.hbEdges) /
                   static_cast<double>(max_pairs_total)
             : 0.0;
+    // Fold in the app-level shared-fact construction so totalCpu still
+    // equals the sum of the per-stage fields.
+    report.times.add(app_times);
     report.times.total = secondsSince(t_total);
+
+    if (options.metrics) {
+        util::metrics::Registry &m = *options.metrics;
+        // AIR instruction storage, shared by every harness.
+        m.add("arena.bytes_allocated",
+              static_cast<int64_t>(
+                  _app.module().arena().bytesAllocated()));
+        // Counters are monotone; raise the peak-RSS counter to the
+        // current process peak rather than summing repeated reads.
+        int64_t rss = util::metrics::peakRssBytes();
+        int64_t have = m.counter("mem.peak_rss_bytes");
+        if (rss > have)
+            m.add("mem.peak_rss_bytes", rss - have);
+    }
     return report;
 }
 

@@ -20,7 +20,7 @@ Operand::toString() const
       case Kind::Const: return std::to_string(value);
       case Kind::Reg: return "r" + std::to_string(reg);
       case Kind::Loc:
-        return (loc.isStatic ? "static:" : "") + loc.key + "#" +
+        return (loc.isStatic ? "static:" : "") + loc.key.str() + "#" +
                std::to_string(loc.obj);
     }
     panic("unreachable operand kind");
@@ -175,7 +175,7 @@ ConstraintStore::dropRegsInRange(int lo, int hi)
 }
 
 bool
-ConstraintStore::substituteKeyWithConst(const std::string &key,
+ConstraintStore::substituteKeyWithConst(analysis::FieldKey key,
                                         int64_t value,
                                         const std::set<int> &objs)
 {
@@ -196,7 +196,8 @@ ConstraintStore::substituteKeyWithConst(const std::string &key,
 }
 
 void
-ConstraintStore::dropLocsByKey(const std::vector<std::string> &keys)
+ConstraintStore::dropLocsByKey(
+    const std::vector<analysis::FieldKey> &keys)
 {
     auto mentions = [&](const Operand &op) {
         if (!op.isLoc())
@@ -252,14 +253,16 @@ solveLocConstSystem(const std::vector<Atom> &atoms)
         int64_t eq{0};
         std::set<int64_t> ne;
     };
-    std::map<std::pair<int, std::string>, Domain> domains;
+    // Domain key: (base object, static?, interned key id). Interned
+    // ids replace the old "s:"/"i:"-prefixed strings; satisfiability
+    // does not depend on domain ordering, so id order is fine.
+    std::map<std::tuple<int, bool, analysis::FieldId>, Domain> domains;
 
     for (const Atom &a : atoms) {
         if (!a.lhs.isLoc() || !a.rhs.isConst())
             continue;
-        auto key = std::make_pair(a.lhs.loc.obj,
-                                  (a.lhs.loc.isStatic ? "s:" : "i:") +
-                                      a.lhs.loc.key);
+        auto key = std::make_tuple(a.lhs.loc.obj, a.lhs.loc.isStatic,
+                                   a.lhs.loc.key.id);
         Domain &d = domains[key];
         int64_t v = a.rhs.value;
         switch (a.cond) {

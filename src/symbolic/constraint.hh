@@ -103,12 +103,14 @@ class ConstraintStore
 
     /** Substitute locations whose key matches (and, when `objs` is
      *  non-empty, whose base object is in `objs`) with a constant --
-     *  on-demand constant propagation for Message.what. */
-    bool substituteKeyWithConst(const std::string &key, int64_t value,
+     *  on-demand constant propagation for Message.what. Keys compare
+     *  by interned id, so the FieldKey must come from the same
+     *  interner as the accesses (the harness's PointsToResult). */
+    bool substituteKeyWithConst(analysis::FieldKey key, int64_t value,
                                 const std::set<int> &objs = {});
 
     /** Drop atoms on locations whose key is in `keys` (call havoc). */
-    void dropLocsByKey(const std::vector<std::string> &keys);
+    void dropLocsByKey(const std::vector<analysis::FieldKey> &keys);
 
     /** Re-map register operands across a call frame: register `from` in
      *  the callee becomes register `to` in the caller. */

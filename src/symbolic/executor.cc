@@ -57,17 +57,19 @@ BackwardExecutor::factsOf(const air::Method *m)
     return ref;
 }
 
-const std::vector<std::string> &
+const std::vector<analysis::FieldKey> &
 BackwardExecutor::mayWriteKeys(NodeId n)
 {
     auto it = _mayWrite.find(n);
     if (it != _mayWrite.end())
         return it->second;
-    static const std::vector<std::string> empty;
+    static const std::vector<analysis::FieldKey> empty;
     if (!_mayWriteInProgress.insert(n).second)
         return empty;
 
-    std::set<std::string> keys;
+    // Set ordered by interned id; havoc (dropLocsByKey) is
+    // order-insensitive, so id order is as good as lexicographic.
+    std::set<analysis::FieldKey> keys;
     const air::Method *m = _r.cg.node(n).method;
     if (m->hasBody()) {
         for (int i = 0; i < m->numInstrs(); ++i) {
@@ -78,8 +80,8 @@ BackwardExecutor::mayWriteKeys(NodeId n)
                      _r.pointsTo(n, instr.srcs[0])) {
                     keys.insert(_r.fieldKey(o, instr.field));
                 }
-                keys.insert(instr.field.className + "." +
-                            instr.field.fieldName);
+                keys.insert(_r.internKey(instr.field.className + "." +
+                                         instr.field.fieldName));
                 break;
               case Opcode::PutStatic:
                 keys.insert(_r.staticKey(instr.field));
@@ -87,7 +89,10 @@ BackwardExecutor::mayWriteKeys(NodeId n)
               case Opcode::ArrayPut:
                 for (analysis::ObjId o :
                      _r.pointsTo(n, instr.srcs[0])) {
-                    keys.insert(_r.objects.get(o).klassName + ".$elems");
+                    keys.insert(_r.internKey(
+                        _r.objects.get(o).klassName + ".$elems",
+                        analysis::FieldKey::kArray |
+                            analysis::FieldKey::kWildcard));
                 }
                 break;
               default:
@@ -95,13 +100,14 @@ BackwardExecutor::mayWriteKeys(NodeId n)
             }
         }
         for (const auto &edge : _r.cg.edgesOf(n)) {
-            for (const std::string &k : mayWriteKeys(edge.callee))
+            for (const analysis::FieldKey &k : mayWriteKeys(edge.callee))
                 keys.insert(k);
         }
     }
     _mayWriteInProgress.erase(n);
     auto [ins, inserted] = _mayWrite.emplace(
-        n, std::vector<std::string>(keys.begin(), keys.end()));
+        n,
+        std::vector<analysis::FieldKey>(keys.begin(), keys.end()));
     (void)inserted;
     return ins->second;
 }
@@ -188,8 +194,8 @@ BackwardExecutor::transfer(PathState &st, const Instruction &instr)
                 loc, Operand::regOp(regKey(f, instr.srcs[1])));
         }
         // Ambiguous base: weak update, havoc by key.
-        store.dropLocsByKey({instr.field.className + "." +
-                             instr.field.fieldName});
+        store.dropLocsByKey({_r.internKey(instr.field.className + "." +
+                                          instr.field.fieldName)});
         for (analysis::ObjId o : _r.pointsTo(st.node, instr.srcs[0]))
             store.dropLocsByKey({_r.fieldKey(o, instr.field)});
         return !store.failed();
@@ -213,8 +219,10 @@ BackwardExecutor::transfer(PathState &st, const Instruction &instr)
                                    Operand::unknown());
       case Opcode::ArrayPut:
         for (analysis::ObjId o : _r.pointsTo(st.node, instr.srcs[0])) {
-            store.dropLocsByKey(
-                {_r.objects.get(o).klassName + ".$elems"});
+            store.dropLocsByKey({_r.internKey(
+                _r.objects.get(o).klassName + ".$elems",
+                analysis::FieldKey::kArray |
+                    analysis::FieldKey::kWildcard)});
         }
         return !store.failed();
       default:
@@ -295,7 +303,7 @@ BackwardExecutor::handleInvoke(PathState &st, const Instruction &instr,
         // Must-write facts agreed on by every possible callee (a
         // virtual call runs exactly one of them, so only the
         // intersection is a strong update).
-        std::set<std::string> keep;
+        std::set<analysis::FieldKey> keep;
         if (_opts.inter && !callees.empty()) {
             std::map<MemLoc, std::pair<int64_t, bool>> agreed;
             bool first = true;
@@ -355,8 +363,8 @@ BackwardExecutor::handleInvoke(PathState &st, const Instruction &instr,
                 st.store.dropLocsByKey(mayWriteKeys(c));
                 continue;
             }
-            std::vector<std::string> drop;
-            for (const std::string &k : mayWriteKeys(c)) {
+            std::vector<analysis::FieldKey> drop;
+            for (const analysis::FieldKey &k : mayWriteKeys(c)) {
                 if (!keep.count(k))
                     drop.push_back(k);
             }
@@ -506,9 +514,9 @@ BackwardExecutor::atEntry(PathState st, int action_a, int action_b,
                 }
             }
         }
-        if (!st.store.substituteKeyWithConst("android.os.Message.what",
-                                             phase_action.messageWhat,
-                                             msg_objs)) {
+        if (!st.store.substituteKeyWithConst(
+                _r.internKey("android.os.Message.what"),
+                phase_action.messageWhat, msg_objs)) {
             return false;
         }
     }

@@ -240,7 +240,8 @@ class BackwardExecutor
 
     /** Keys of fields possibly written by a node (transitively); used
      *  to havoc calls beyond the descend limit. */
-    const std::vector<std::string> &mayWriteKeys(analysis::NodeId n);
+    const std::vector<analysis::FieldKey> &
+    mayWriteKeys(analysis::NodeId n);
 
     /** Apply instruction backward transfer (non-invoke); false=prune. */
     bool transfer(PathState &st, const air::Instruction &instr);
@@ -278,7 +279,8 @@ class BackwardExecutor
     std::unordered_map<const air::Method *,
                        std::unique_ptr<analysis::MethodConstants>>
         _constFacts;
-    std::unordered_map<analysis::NodeId, std::vector<std::string>>
+    std::unordered_map<analysis::NodeId,
+                       std::vector<analysis::FieldKey>>
         _mayWrite;
     std::set<analysis::NodeId> _mayWriteInProgress;
     //! refuted-query node cache (paper Section 5 "Caching"); points at

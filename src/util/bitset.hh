@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Dense bitset over small non-negative integer ids (ObjId, NodeId,
+ * interned FieldId), the memory substrate of the hot analyses.
+ *
+ * ObjBitset replaces std::set<int> wherever the id space is dense:
+ * points-to sets, escape closures, effect summaries, reader indexes.
+ * Two words (128 ids) live inline; larger sets spill into an Arena
+ * when one is attached, or the heap otherwise. Iteration is ascending,
+ * exactly like std::set<int>, so swapping containers never perturbs
+ * any order-sensitive traversal — the load-bearing property behind the
+ * byte-identical-report contract.
+ *
+ * Every mutation bumps a monotone version counter. Versions never
+ * decrease, so a sum of versions across a set of inputs changes iff at
+ * least one input changed — the signature trick the points-to engine
+ * uses for delta propagation (skip re-executing an instruction whose
+ * inputs are unchanged since its last visit).
+ */
+
+#ifndef SIERRA_UTIL_BITSET_HH
+#define SIERRA_UTIL_BITSET_HH
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <iterator>
+
+#include "arena.hh"
+
+namespace sierra::util {
+
+class ObjBitset
+{
+  public:
+    static constexpr uint32_t kInlineWords = 2; //!< 128 ids inline
+
+    ObjBitset() = default;
+    explicit ObjBitset(Arena *arena) : _arena(arena) {}
+
+    ObjBitset(const ObjBitset &o) { copyFrom(o); }
+    ObjBitset &
+    operator=(const ObjBitset &o)
+    {
+        if (this != &o) {
+            freeExt();
+            copyFrom(o);
+        }
+        return *this;
+    }
+    ObjBitset(ObjBitset &&o) noexcept { moveFrom(o); }
+    ObjBitset &
+    operator=(ObjBitset &&o) noexcept
+    {
+        if (this != &o) {
+            freeExt();
+            moveFrom(o);
+        }
+        return *this;
+    }
+    ~ObjBitset() { freeExt(); }
+
+    /** Attach an arena for spill storage (before first spill). */
+    void
+    setArena(Arena *arena)
+    {
+        if (_ext == nullptr)
+            _arena = arena;
+    }
+
+    /** Insert; returns true when the bit was newly set. */
+    bool
+    insert(int id)
+    {
+        uint32_t w = static_cast<uint32_t>(id) >> 6;
+        uint64_t bit = uint64_t(1) << (id & 63);
+        if (w >= _nwords)
+            ensureWords(w + 1);
+        uint64_t *ws = words();
+        if (ws[w] & bit)
+            return false;
+        ws[w] |= bit;
+        ++_version;
+        return true;
+    }
+
+    /** Remove; returns true when the bit was set. */
+    bool
+    erase(int id)
+    {
+        uint32_t w = static_cast<uint32_t>(id) >> 6;
+        if (w >= _nwords)
+            return false;
+        uint64_t bit = uint64_t(1) << (id & 63);
+        uint64_t *ws = words();
+        if (!(ws[w] & bit))
+            return false;
+        ws[w] &= ~bit;
+        ++_version;
+        return true;
+    }
+
+    bool
+    test(int id) const
+    {
+        uint32_t w = static_cast<uint32_t>(id) >> 6;
+        if (id < 0 || w >= _nwords)
+            return false;
+        return (words()[w] >> (id & 63)) & 1;
+    }
+
+    /** std::set-compatible membership count (0 or 1). */
+    size_t count(int id) const { return test(id) ? 1 : 0; }
+
+    /** Union in `o`; returns true when any bit was added. */
+    bool
+    unionWith(const ObjBitset &o)
+    {
+        uint32_t need = o.topWord();
+        if (need == 0)
+            return false;
+        if (need > _nwords)
+            ensureWords(need);
+        uint64_t *dst = words();
+        const uint64_t *src = o.words();
+        uint64_t changed = 0;
+        for (uint32_t i = 0; i < need; ++i) {
+            uint64_t before = dst[i];
+            uint64_t after = before | src[i];
+            changed |= before ^ after;
+            dst[i] = after;
+        }
+        if (changed)
+            ++_version;
+        return changed != 0;
+    }
+
+    /** Do the two sets share any element? Pure word-AND scan. */
+    bool
+    intersects(const ObjBitset &o) const
+    {
+        uint32_t n = _nwords < o._nwords ? _nwords : o._nwords;
+        const uint64_t *a = words();
+        const uint64_t *b = o.words();
+        for (uint32_t i = 0; i < n; ++i) {
+            if (a[i] & b[i])
+                return true;
+        }
+        return false;
+    }
+
+    bool
+    empty() const
+    {
+        const uint64_t *ws = words();
+        for (uint32_t i = 0; i < _nwords; ++i) {
+            if (ws[i])
+                return false;
+        }
+        return true;
+    }
+
+    /** Population count (std::set::size equivalent). */
+    size_t
+    size() const
+    {
+        size_t n = 0;
+        const uint64_t *ws = words();
+        for (uint32_t i = 0; i < _nwords; ++i)
+            n += static_cast<size_t>(std::popcount(ws[i]));
+        return n;
+    }
+
+    void
+    clear()
+    {
+        uint64_t *ws = words();
+        bool any = false;
+        for (uint32_t i = 0; i < _nwords; ++i) {
+            any = any || ws[i];
+            ws[i] = 0;
+        }
+        if (any)
+            ++_version;
+    }
+
+    /** Monotone mutation counter (never decreases). */
+    uint32_t version() const { return _version; }
+
+    bool
+    operator==(const ObjBitset &o) const
+    {
+        uint32_t n = _nwords > o._nwords ? _nwords : o._nwords;
+        for (uint32_t i = 0; i < n; ++i) {
+            uint64_t a = i < _nwords ? words()[i] : 0;
+            uint64_t b = i < o._nwords ? o.words()[i] : 0;
+            if (a != b)
+                return false;
+        }
+        return true;
+    }
+
+    /** Ascending-order iteration, matching std::set<int>. */
+    class const_iterator
+    {
+      public:
+        using iterator_category = std::forward_iterator_tag;
+        using value_type = int;
+        using difference_type = std::ptrdiff_t;
+        using pointer = const int *;
+        using reference = int;
+
+        const_iterator(const ObjBitset *s, uint32_t word, uint64_t bits)
+            : _set(s), _word(word), _bits(bits)
+        {
+            advance();
+        }
+
+        int
+        operator*() const
+        {
+            return static_cast<int>(_word * 64 +
+                                    std::countr_zero(_bits));
+        }
+        const_iterator &
+        operator++()
+        {
+            _bits &= _bits - 1; // clear lowest set bit
+            advance();
+            return *this;
+        }
+        bool
+        operator!=(const const_iterator &o) const
+        {
+            return _word != o._word || _bits != o._bits;
+        }
+        bool
+        operator==(const const_iterator &o) const
+        {
+            return !(*this != o);
+        }
+
+      private:
+        void
+        advance()
+        {
+            while (_bits == 0 && _word + 1 < _set->_nwords)
+                _bits = _set->words()[++_word];
+            if (_bits == 0)
+                _word = _set->_nwords; // end sentinel
+        }
+
+        const ObjBitset *_set;
+        uint32_t _word;
+        uint64_t _bits;
+    };
+
+    const_iterator
+    begin() const
+    {
+        if (_nwords == 0)
+            return end();
+        return const_iterator(this, 0, words()[0]);
+    }
+    const_iterator
+    end() const
+    {
+        return const_iterator(this, _nwords, 0);
+    }
+
+  private:
+    const uint64_t *words() const { return _ext ? _ext : _inline; }
+    uint64_t *words() { return _ext ? _ext : _inline; }
+
+    /** Highest word index with any bit set, as a count. */
+    uint32_t
+    topWord() const
+    {
+        const uint64_t *ws = words();
+        uint32_t n = _nwords;
+        while (n > 0 && ws[n - 1] == 0)
+            --n;
+        return n;
+    }
+
+    void
+    ensureWords(uint32_t need)
+    {
+        if (need <= _nwords)
+            return;
+        if (need <= kInlineWords) {
+            for (uint32_t i = _nwords; i < kInlineWords; ++i)
+                _inline[i] = 0;
+            _nwords = kInlineWords;
+            return;
+        }
+        uint32_t cap = _nwords * 2 > need ? _nwords * 2 : need;
+        if (cap < kInlineWords * 2)
+            cap = kInlineWords * 2;
+        uint64_t *mem = _arena ? _arena->allocArray<uint64_t>(cap)
+                               : new uint64_t[cap];
+        std::memcpy(mem, words(), _nwords * sizeof(uint64_t));
+        std::memset(mem + _nwords, 0,
+                    (cap - _nwords) * sizeof(uint64_t));
+        freeExt();
+        _ext = mem;
+        _nwords = cap;
+    }
+
+    void
+    copyFrom(const ObjBitset &o)
+    {
+        _arena = o._arena;
+        _version = o._version;
+        uint32_t top = o.topWord();
+        if (top <= kInlineWords) {
+            _ext = nullptr;
+            _nwords = top;
+            std::memcpy(_inline, o.words(), top * sizeof(uint64_t));
+        } else {
+            _ext = _arena ? _arena->allocArray<uint64_t>(top)
+                          : new uint64_t[top];
+            _nwords = top;
+            std::memcpy(_ext, o.words(), top * sizeof(uint64_t));
+        }
+    }
+
+    void
+    moveFrom(ObjBitset &o) noexcept
+    {
+        _arena = o._arena;
+        _version = o._version;
+        _nwords = o._nwords;
+        _ext = o._ext;
+        if (_ext == nullptr)
+            std::memcpy(_inline, o._inline,
+                        (_nwords < kInlineWords ? _nwords : kInlineWords) *
+                            sizeof(uint64_t));
+        o._ext = nullptr;
+        o._nwords = 0;
+    }
+
+    void
+    freeExt()
+    {
+        // Arena-backed spill is abandoned; the arena frees slabs.
+        if (_ext != nullptr && _arena == nullptr)
+            delete[] _ext;
+        _ext = nullptr;
+    }
+
+    uint64_t _inline[kInlineWords] = {};
+    uint64_t *_ext{nullptr};
+    uint32_t _nwords{0};
+    uint32_t _version{0};
+    Arena *_arena{nullptr};
+};
+
+} // namespace sierra::util
+
+#endif // SIERRA_UTIL_BITSET_HH

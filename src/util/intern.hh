@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Deterministic string interning: dense u32 ids for field keys, method
+ * names, static keys, and action labels.
+ *
+ * Ids are assigned in first-intern order, so an interner populated by a
+ * deterministic serial phase (the points-to solver, access extraction)
+ * yields the same id for the same string on every run and at every
+ * --jobs count. After the serial phases the owner calls freeze(): the
+ * primary table becomes read-only — lock-free for the parallel
+ * refutation stage — and any genuinely novel string interned late goes
+ * to a mutex-protected overflow table. Overflow ids may vary run to
+ * run, which is why order-sensitive consumers (report dedup keys,
+ * symbolic cache keys) always round-trip through name() rather than
+ * comparing raw ids across interners.
+ */
+
+#ifndef SIERRA_UTIL_INTERN_HH
+#define SIERRA_UTIL_INTERN_HH
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace sierra::util {
+
+/** Dense id for an interned string. */
+using InternId = uint32_t;
+
+class StringInterner
+{
+  public:
+    static constexpr InternId kInvalid = 0xffffffffu;
+
+    StringInterner() = default;
+    StringInterner(const StringInterner &) = delete;
+    StringInterner &operator=(const StringInterner &) = delete;
+
+    /** Id for `s`, interning it on first sight. Pre-freeze this must
+     *  only be called from one thread; post-freeze it is thread-safe
+     *  (primary lookups are lock-free, misses take the overflow
+     *  mutex). */
+    InternId
+    intern(std::string_view s)
+    {
+        auto it = _primary.find(s);
+        if (it != _primary.end())
+            return it->second;
+        if (!_frozen) {
+            _names.emplace_back(s);
+            InternId id = static_cast<InternId>(_names.size() - 1);
+            _primary.emplace(_names.back(), id);
+            return id;
+        }
+        std::lock_guard<std::mutex> lock(_overflowMutex);
+        auto oit = _overflow.find(s);
+        if (oit != _overflow.end())
+            return oit->second;
+        _overflowNames.emplace_back(s);
+        InternId id = static_cast<InternId>(_frozenSize +
+                                            _overflowNames.size() - 1);
+        _overflow.emplace(_overflowNames.back(), id);
+        return id;
+    }
+
+    /** Id for `s` if already interned, else kInvalid. Thread-safe
+     *  post-freeze. */
+    InternId
+    find(std::string_view s) const
+    {
+        auto it = _primary.find(s);
+        if (it != _primary.end())
+            return it->second;
+        if (!_frozen)
+            return kInvalid;
+        std::lock_guard<std::mutex> lock(_overflowMutex);
+        auto oit = _overflow.find(s);
+        return oit != _overflow.end() ? oit->second : kInvalid;
+    }
+
+    /** The string behind an id. The reference is stable for the
+     *  interner's lifetime (deque storage never reallocates
+     *  elements). */
+    const std::string &
+    name(InternId id) const
+    {
+        if (!_frozen || id < _frozenSize)
+            return _names[id];
+        std::lock_guard<std::mutex> lock(_overflowMutex);
+        return _overflowNames[id - _frozenSize];
+    }
+
+    /** Number of interned strings (including overflow). */
+    size_t
+    size() const
+    {
+        if (!_frozen)
+            return _names.size();
+        std::lock_guard<std::mutex> lock(_overflowMutex);
+        return _frozenSize + _overflowNames.size();
+    }
+
+    /** End the single-threaded population phase: primary table becomes
+     *  read-only; later interns go to the overflow table. */
+    void
+    freeze()
+    {
+        _frozenSize = _names.size();
+        _frozen = true;
+    }
+
+    bool frozen() const { return _frozen; }
+
+  private:
+    // Keys are views into the deques, whose elements never move.
+    std::unordered_map<std::string_view, InternId> _primary;
+    std::deque<std::string> _names;
+    bool _frozen{false};
+    size_t _frozenSize{0};
+
+    mutable std::mutex _overflowMutex;
+    std::unordered_map<std::string_view, InternId> _overflow;
+    std::deque<std::string> _overflowNames;
+};
+
+} // namespace sierra::util
+
+#endif // SIERRA_UTIL_INTERN_HH

@@ -4,6 +4,10 @@
 #include <ctime>
 #include <sstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace sierra::util::metrics {
 
 double
@@ -17,6 +21,22 @@ threadCpuSeconds()
     }
 #endif
     return 0.0;
+}
+
+int64_t
+peakRssBytes()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) == 0) {
+#if defined(__APPLE__)
+        return static_cast<int64_t>(ru.ru_maxrss); // already bytes
+#else
+        return static_cast<int64_t>(ru.ru_maxrss) * 1024; // KiB
+#endif
+    }
+#endif
+    return 0;
 }
 
 void

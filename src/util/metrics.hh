@@ -31,6 +31,11 @@ namespace sierra::util::metrics {
  *  StageTimes. Falls back to 0 on platforms without a thread clock. */
 double threadCpuSeconds();
 
+/** Peak resident set size of this process in bytes (getrusage), the
+ *  primitive behind the `mem.peak_rss_bytes` counter. Returns 0 on
+ *  platforms without getrusage. */
+int64_t peakRssBytes();
+
 /** Decimal duration-bucket boundaries (seconds): 1us .. 10s. An
  *  observation lands in the first bucket whose boundary it does not
  *  exceed; larger values land in the overflow bucket. */

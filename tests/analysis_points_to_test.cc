@@ -166,8 +166,8 @@ TEST(PointsTo, InflatedViewContextAliasing)
     // Both lookups with the same id resolve to the same abstract view.
     std::set<ObjId> views;
     for (const auto &[key, pts] : r->fieldPts) {
-        if (key.second == "ViewActivity.v1" ||
-            key.second == "ViewActivity.v2") {
+        if (r->keyName(key.second) == "ViewActivity.v1" ||
+            r->keyName(key.second) == "ViewActivity.v2") {
             for (ObjId o : pts)
                 views.insert(o);
         }

@@ -1,0 +1,154 @@
+/** @file ObjBitset tests, checked against a std::set<int> oracle. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/arena.hh"
+#include "util/bitset.hh"
+
+namespace sierra::util {
+namespace {
+
+std::vector<int>
+toVector(const ObjBitset &s)
+{
+    std::vector<int> out;
+    for (int v : s)
+        out.push_back(v);
+    return out;
+}
+
+std::vector<int>
+toVector(const std::set<int> &s)
+{
+    return {s.begin(), s.end()};
+}
+
+TEST(Bitset, InsertTestEraseSmall)
+{
+    ObjBitset s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_TRUE(s.insert(3));
+    EXPECT_FALSE(s.insert(3)) << "duplicate insert reports no change";
+    EXPECT_TRUE(s.insert(0));
+    EXPECT_TRUE(s.test(3));
+    EXPECT_FALSE(s.test(4));
+    EXPECT_EQ(s.count(0), 1u);
+    EXPECT_EQ(s.size(), 2u);
+    EXPECT_TRUE(s.erase(3));
+    EXPECT_FALSE(s.erase(3));
+    EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(Bitset, MatchesSetOracleAcrossSpill)
+{
+    // Deterministic pseudo-random workload crossing the inline->spill
+    // boundary (128 ids inline) several times.
+    ObjBitset bits;
+    std::set<int> oracle;
+    uint32_t x = 99;
+    for (int i = 0; i < 4000; ++i) {
+        x = x * 1664525u + 1013904223u;
+        int id = static_cast<int>((x >> 7) % 1500);
+        if ((x & 3) == 0) {
+            EXPECT_EQ(bits.erase(id), oracle.erase(id) == 1u);
+        } else {
+            EXPECT_EQ(bits.insert(id), oracle.insert(id).second);
+        }
+    }
+    EXPECT_EQ(bits.size(), oracle.size());
+    EXPECT_EQ(toVector(bits), toVector(oracle))
+        << "iteration is ascending, exactly like std::set";
+}
+
+TEST(Bitset, IterationAscendingAcrossWords)
+{
+    ObjBitset s;
+    std::vector<int> ids = {500, 0, 63, 64, 129, 1000, 65, 1};
+    for (int id : ids)
+        s.insert(id);
+    EXPECT_EQ(toVector(s),
+              (std::vector<int>{0, 1, 63, 64, 65, 129, 500, 1000}));
+}
+
+TEST(Bitset, UnionWithReportsChange)
+{
+    ObjBitset a, b;
+    a.insert(1);
+    a.insert(200);
+    b.insert(1);
+    EXPECT_FALSE(a.unionWith(b)) << "subset union adds nothing";
+    b.insert(999);
+    EXPECT_TRUE(a.unionWith(b));
+    EXPECT_TRUE(a.test(999));
+    EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(Bitset, Intersects)
+{
+    ObjBitset a, b;
+    a.insert(5);
+    a.insert(640);
+    b.insert(6);
+    EXPECT_FALSE(a.intersects(b));
+    b.insert(640);
+    EXPECT_TRUE(a.intersects(b));
+    EXPECT_TRUE(b.intersects(a)) << "symmetric";
+}
+
+TEST(Bitset, VersionIsMonotoneAndChangeCoupled)
+{
+    ObjBitset s;
+    uint32_t v0 = s.version();
+    s.insert(10);
+    uint32_t v1 = s.version();
+    EXPECT_GT(v1, v0);
+    s.insert(10); // no-op
+    EXPECT_EQ(s.version(), v1) << "no-op mutations keep the version";
+    ObjBitset other;
+    other.insert(10);
+    s.unionWith(other); // still a no-op union
+    EXPECT_EQ(s.version(), v1);
+    other.insert(700);
+    s.unionWith(other);
+    EXPECT_GT(s.version(), v1);
+}
+
+TEST(Bitset, CopyAndEquality)
+{
+    ObjBitset a;
+    for (int i = 0; i < 300; i += 3)
+        a.insert(i);
+    ObjBitset b = a;
+    EXPECT_TRUE(a == b);
+    EXPECT_EQ(toVector(a), toVector(b));
+    b.insert(1);
+    EXPECT_FALSE(a == b);
+    // Differently-sized backing stores still compare by contents.
+    ObjBitset small, big;
+    small.insert(2);
+    big.insert(2);
+    big.insert(5000);
+    big.erase(5000);
+    EXPECT_TRUE(small == big);
+}
+
+TEST(Bitset, ArenaSpill)
+{
+    Arena arena;
+    ObjBitset s(&arena);
+    for (int i = 0; i < 2048; i += 2)
+        s.insert(i);
+    EXPECT_EQ(s.size(), 1024u);
+    EXPECT_GT(arena.bytesAllocated(), 0u)
+        << "spill storage must come from the arena";
+    // Copies of arena-backed sets stay correct.
+    ObjBitset t = s;
+    EXPECT_TRUE(t == s);
+    EXPECT_TRUE(t.test(2046));
+}
+
+} // namespace
+} // namespace sierra::util

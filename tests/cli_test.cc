@@ -338,6 +338,17 @@ TEST(Cli, AnalyzeNoIfdsFlag)
     EXPECT_NE(json.out.find("\"useAfterDestroy\":"),
               std::string::npos);
     EXPECT_NE(json.out.find("\"ifds\":"), std::string::npos);
+
+    // K-9 Mail carries use-after-destroy findings; every field of a
+    // finding must be emitted as a quoted JSON string.
+    TempFile k9(".air");
+    ASSERT_EQ(run({"dump", "K-9 Mail", "-o", k9.path()}).code, 0);
+    CliRun uad = run({"analyze", k9.path(), "--json"});
+    ASSERT_EQ(uad.code, 0) << uad.err;
+    EXPECT_NE(uad.out.find("\"teardownAction\": \""),
+              std::string::npos)
+        << "use-after-destroy actions must be quoted JSON strings";
+    EXPECT_NE(uad.out.find("\"useAction\": \""), std::string::npos);
 }
 
 TEST(Cli, AnalyzeLockFlags)

@@ -82,9 +82,9 @@ boxFields(const PointsToResult &r)
     std::set<ObjId> a;
     std::set<ObjId> b;
     for (const auto &[key, pts] : r.fieldPts) {
-        if (key.second == "CtxActivity.boxA")
+        if (r.keyName(key.second) == "CtxActivity.boxA")
             a.insert(pts.begin(), pts.end());
-        if (key.second == "CtxActivity.boxB")
+        if (r.keyName(key.second) == "CtxActivity.boxB")
             b.insert(pts.begin(), pts.end());
     }
     return {a, b};
@@ -209,16 +209,16 @@ TEST(ContextPolicy, KObjSeparatesReceivers)
     ObjId c1 = -1;
     ObjId c2 = -1;
     for (const auto &[key, pts] : r->fieldPts) {
-        if (key.second == "ObjActivity.c1")
+        if (r->keyName(key.second) == "ObjActivity.c1")
             c1 = *pts.begin();
-        if (key.second == "ObjActivity.c2")
+        if (r->keyName(key.second) == "ObjActivity.c2")
             c2 = *pts.begin();
     }
     ASSERT_GE(c1, 0);
     ASSERT_GE(c2, 0);
     ASSERT_NE(c1, c2);
     for (const auto &[key, pts] : r->fieldPts) {
-        if (key.second != "Cell.payload")
+        if (r->keyName(key.second) != "Cell.payload")
             continue;
         if (key.first == c1)
             p1.insert(pts.begin(), pts.end());

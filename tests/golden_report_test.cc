@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Golden-report pinning: the full pipeline's text report for every
+ * named app must be byte-identical to the committed snapshot under
+ * tests/golden/ (captured before the interned-id/bitset memory
+ * overhaul). This is the report-preserving contract all representation
+ * changes are held to; regenerate the snapshots only for a change that
+ * intentionally alters analysis results, never for a perf refactor.
+ *
+ * Snapshots are written by the recipe below (formatReport with
+ * max_races=50 and no timing line); spaces and slashes in app names
+ * become underscores in file names.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "corpus/named_apps.hh"
+#include "sierra/detector.hh"
+
+#ifndef SIERRA_GOLDEN_DIR
+#define SIERRA_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace sierra {
+namespace {
+
+std::string
+goldenPath(const std::string &app_name)
+{
+    std::string fname;
+    for (char c : app_name)
+        fname += (c == ' ' || c == '/') ? '_' : c;
+    return std::string(SIERRA_GOLDEN_DIR) + "/" + fname +
+           ".report.txt";
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+TEST(GoldenReports, AllNamedAppsByteIdentical)
+{
+    int checked = 0;
+    for (const auto &spec : corpus::namedAppSpecs()) {
+        std::string path = goldenPath(spec.name);
+        std::string expected = readFile(path);
+        ASSERT_FALSE(expected.empty())
+            << "missing golden snapshot " << path;
+
+        corpus::BuiltApp built = corpus::buildNamedApp(spec);
+        SierraDetector detector(*built.app);
+        AppReport report = detector.analyze({});
+        std::string actual = formatReport(report, 50, false);
+
+        EXPECT_EQ(actual, expected)
+            << spec.name << ": report diverged from " << path;
+        ++checked;
+    }
+    EXPECT_EQ(checked, 20) << "the corpus pins all 20 named apps";
+}
+
+} // namespace
+} // namespace sierra

@@ -26,13 +26,30 @@ TEST(ArrayKeys, Shapes)
     EXPECT_FALSE(analysis::isArrayWildcardKey("Slot[].$elem#0"));
 }
 
+/** Build a MemLoc from a raw key string, deriving array flags the way
+ *  the extraction stage does when it interns keys. */
+race::MemLoc
+testLoc(int obj, const std::string &key)
+{
+    static util::StringInterner table;
+    uint8_t flags = 0;
+    if (analysis::isArrayKey(key))
+        flags |= analysis::FieldKey::kArray;
+    if (analysis::isArrayWildcardKey(key))
+        flags |= analysis::FieldKey::kWildcard;
+    race::MemLoc l;
+    l.obj = obj;
+    l.key = analysis::FieldKey::intern(table, key, flags);
+    return l;
+}
+
 TEST(ArrayKeys, AliasRules)
 {
-    race::MemLoc elem0{false, 7, "S[].$elem#0"};
-    race::MemLoc elem1{false, 7, "S[].$elem#1"};
-    race::MemLoc wild{false, 7, "S[].$elems"};
-    race::MemLoc other_obj{false, 8, "S[].$elem#0"};
-    race::MemLoc field{false, 7, "S.f"};
+    race::MemLoc elem0 = testLoc(7, "S[].$elem#0");
+    race::MemLoc elem1 = testLoc(7, "S[].$elem#1");
+    race::MemLoc wild = testLoc(7, "S[].$elems");
+    race::MemLoc other_obj = testLoc(8, "S[].$elem#0");
+    race::MemLoc field = testLoc(7, "S.f");
 
     EXPECT_TRUE(race::locsMayAlias(elem0, elem0));
     EXPECT_FALSE(race::locsMayAlias(elem0, elem1))

@@ -9,12 +9,27 @@ namespace {
 
 using air::CondKind;
 
+/** Shared interner standing in for the harness's PointsToResult: all
+ *  keys in one store must come from the same table (ids compare). */
+util::StringInterner &
+testKeys()
+{
+    static util::StringInterner table;
+    return table;
+}
+
+analysis::FieldKey
+key(std::string_view name)
+{
+    return analysis::FieldKey::intern(testKeys(), name);
+}
+
 race::MemLoc
-loc(const std::string &key, int obj = 1)
+loc(const std::string &k, int obj = 1)
 {
     race::MemLoc l;
     l.obj = obj;
-    l.key = key;
+    l.key = key(k);
     return l;
 }
 
@@ -176,7 +191,7 @@ TEST(Store, DropHelpers)
                            Operand::constant(2))));
     s.dropRegAtoms();
     EXPECT_EQ(s.size(), 2u);
-    s.dropLocsByKey({"T.a"});
+    s.dropLocsByKey({key("T.a")});
     EXPECT_EQ(s.size(), 1u);
     s.dropRegsInRange(0, 10); // no reg atoms left: no-op
     EXPECT_EQ(s.size(), 1u);
@@ -199,7 +214,8 @@ TEST(Store, SubstituteKeyWithConst)
     race::MemLoc what = loc("android.os.Message.what", 42);
     ASSERT_TRUE(s.add(atom(Operand::locOp(what), CondKind::Eq,
                            Operand::constant(2))));
-    EXPECT_FALSE(s.substituteKeyWithConst("android.os.Message.what", 1))
+    EXPECT_FALSE(
+        s.substituteKeyWithConst(key("android.os.Message.what"), 1))
         << "a what==2 guard cannot hold for a what=1 message";
 }
 

@@ -265,9 +265,10 @@ printReportJson(const AppReport &report, std::ostream &out,
         const auto &f = report.useAfterDestroy[i];
         out << (i ? ",\n    " : "\n    ")
             << "{\"field\": \"" << jsonEscape(f.fieldKey)
-            << "\", \"teardownAction\": " << f.teardownAction
-            << ", \"useAction\": " << f.useAction
-            << ", \"writeMethod\": \"" << jsonEscape(f.writeMethod)
+            << "\", \"teardownAction\": \""
+            << jsonEscape(f.teardownAction) << "\", \"useAction\": \""
+            << jsonEscape(f.useAction)
+            << "\", \"writeMethod\": \"" << jsonEscape(f.writeMethod)
             << "\", \"readMethod\": \"" << jsonEscape(f.readMethod)
             << "\"}";
     }
