@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Ablation: RAICC-style inter-component (ICC) harness edges.
+ *
+ * Two configurations over the full corpus (20 named apps + the 174
+ * F-Droid-analogue apps):
+ *   - icc on (default): resolved explicit-Intent activity edges extend
+ *     the sender's harness with the target's lifecycle, so races
+ *     between components are in scope;
+ *   - icc off: each component is analyzed against its own events only
+ *     (the pre-ICC pipeline).
+ *
+ * With ICC on the pipeline must miss zero true races. With ICC off
+ * exactly the seeded cross-component races (ground-truth keys marked
+ * requiresIcc) go missing — nothing else — demonstrating the new
+ * coverage is real and the edge model does not perturb
+ * intra-component results.
+ *
+ * Emits one machine-readable `BENCH {...}` JSON line.
+ */
+
+#include <set>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace sierra;
+    bench::header("Ablation: inter-component (ICC) harness edges");
+
+    struct Totals {
+        int racy{0};
+        int surviving{0};
+        int missed{0};        //!< missed true keys, any kind
+        int missedIccOnly{0}; //!< missed keys marked requiresIcc
+        int iccOnlyKeys{0};   //!< requiresIcc keys seeded in the corpus
+        int64_t callSites{0};
+        int64_t resolved{0};
+        int64_t activityEdges{0};
+    };
+    Totals totals[2]; // [0] = on, [1] = off
+
+    std::printf("%-8s %8s %10s %8s %10s %9s %9s %7s\n", "config",
+                "racy", "surviving", "missed", "icc-missed", "sites",
+                "resolved", "edges");
+    for (int c = 0; c < 2; ++c) {
+        const bool enabled = c == 0;
+        Totals &t = totals[c];
+        auto run = [&](corpus::BuiltApp built) {
+            SierraOptions opts;
+            opts.icc = enabled;
+            // ICC acts at harness generation: the options must reach
+            // the constructor.
+            SierraDetector detector(*built.app, opts);
+            AppReport report = detector.analyze(opts);
+            t.racy += report.racyPairs;
+            t.surviving += report.afterRefutation;
+            t.callSites += detector.iccStats().callSites;
+            t.resolved += detector.iccStats().resolved;
+            t.activityEdges += detector.iccStats().activityEdges;
+
+            std::vector<std::string> surviving_keys;
+            for (const auto &race : report.races) {
+                if (!race.refuted)
+                    surviving_keys.push_back(race.fieldKey);
+            }
+            corpus::Score score =
+                corpus::scoreKeys(surviving_keys, built.truth);
+            t.missed += score.missedTrueKeys;
+            // Split the missed keys into cross-component and other.
+            std::set<std::string> found(surviving_keys.begin(),
+                                        surviving_keys.end());
+            std::set<std::string> counted;
+            for (const auto &seed : built.truth.seeded) {
+                if (!counted.insert(seed.fieldKey).second)
+                    continue;
+                if (built.truth.isIccOnlyTrueKey(seed.fieldKey)) {
+                    ++t.iccOnlyKeys;
+                    if (!found.count(seed.fieldKey))
+                        ++t.missedIccOnly;
+                }
+            }
+        };
+        for (const auto &spec : corpus::namedAppSpecs())
+            run(corpus::buildNamedApp(spec));
+        for (int i = 0; i < corpus::kFdroidAppCount; ++i)
+            run(corpus::buildFdroidApp(i));
+        std::printf("%-8s %8d %10d %8d %10d %9lld %9lld %7lld\n",
+                    enabled ? "icc on" : "icc off", t.racy, t.surviving,
+                    t.missed, t.missedIccOnly,
+                    static_cast<long long>(t.callSites),
+                    static_cast<long long>(t.resolved),
+                    static_cast<long long>(t.activityEdges));
+    }
+
+    const Totals &on = totals[0];
+    const Totals &off = totals[1];
+    bool on_complete = on.missed == 0;
+    // Off may miss exactly the cross-component keys, nothing else.
+    bool off_scoped = off.missed == off.missedIccOnly &&
+                      off.missedIccOnly == off.iccOnlyKeys &&
+                      off.iccOnlyKeys > 0;
+    std::printf("\nzero missed true races with ICC on: %s; ICC off "
+                "misses exactly the %d cross-component keys: %s\n",
+                on_complete ? "yes" : "NO (regression!)",
+                off.iccOnlyKeys,
+                off_scoped ? "yes" : "NO (regression!)");
+
+    bench::benchJson(
+        "ablation_icc",
+        "{\"bench\":\"ablation_icc\",\"corpus\":%d,"
+        "\"on\":{\"racy\":%d,\"surviving\":%d,\"missed\":%d,"
+        "\"call_sites\":%lld,\"resolved\":%lld,"
+        "\"activity_edges\":%lld},"
+        "\"off\":{\"racy\":%d,\"surviving\":%d,\"missed\":%d,"
+        "\"missed_icc_only\":%d},"
+        "\"icc_only_keys\":%d,\"on_complete\":%s,\"off_scoped\":%s}",
+        20 + corpus::kFdroidAppCount, on.racy, on.surviving, on.missed,
+        static_cast<long long>(on.callSites),
+        static_cast<long long>(on.resolved),
+        static_cast<long long>(on.activityEdges), off.racy,
+        off.surviving, off.missed, off.missedIccOnly, off.iccOnlyKeys,
+        on_complete ? "true" : "false", off_scoped ? "true" : "false");
+    return on_complete && off_scoped ? 0 : 1;
+}

@@ -1,0 +1,255 @@
+#include "deadlock.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "air/logging.hh"
+
+namespace sierra::analysis {
+
+namespace {
+
+/** Nodes per cycle cap: elementary cycles longer than this are noise
+ *  (real deadlocks involve two or three locks) and the enumeration
+ *  stays linear in the observation count. */
+constexpr size_t kMaxCycleLen = 6;
+
+/** Cap on observation assignments tried per cycle. */
+constexpr int kMaxAssignments = 256;
+
+/** One raw acquisition observation: acquire `acq` holding `held`. */
+struct Obs {
+    ObjId held{-1};
+    ObjId acq{-1};
+    NodeId node{-1};
+    int instrIdx{-1};
+};
+
+/**
+ * Two observations can run concurrently: distinct actions execute
+ * their nodes, neither action happens-before the other, and they do
+ * not serialize on the same looper thread. The witnessing actions are
+ * returned for provenance (smallest ids win — bitsets iterate
+ * ascending, so the choice is deterministic).
+ */
+bool
+concurrentObs(const PointsToResult &r, const Obs &a, const Obs &b,
+              const std::function<bool(int, int)> &happens_before,
+              int &witness_a, int &witness_b)
+{
+    for (int a1 : r.cg.actionsOf(a.node)) {
+        if (a1 == r.rootAction)
+            continue;
+        for (int a2 : r.cg.actionsOf(b.node)) {
+            if (a2 == r.rootAction || a1 == a2)
+                continue;
+            if (happens_before(a1, a2) || happens_before(a2, a1))
+                continue;
+            const Action &x = r.actions.get(a1);
+            const Action &y = r.actions.get(a2);
+            // Same-looper events serialize; they can interleave in
+            // any order but never block each other mid-handler.
+            if (x.runsOnLooper() && y.runsOnLooper() &&
+                r.looperOfAction(a1) == r.looperOfAction(a2))
+                continue;
+            witness_a = a1;
+            witness_b = a2;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+std::string
+DeadlockEdge::toString() const
+{
+    return strCat("acquire ", acquiredLock, " holding ", heldLock,
+                  " at ", method, "@", instrIdx, " [", actionLabel,
+                  "]");
+}
+
+std::string
+DeadlockFinding::toString() const
+{
+    std::string s = "cycle ";
+    for (const DeadlockEdge &e : edges)
+        s += e.heldLock + " -> ";
+    s += edges.empty() ? std::string("?") : edges.front().heldLock;
+    s += ": ";
+    for (size_t i = 0; i < edges.size(); ++i) {
+        if (i)
+            s += "; ";
+        s += edges[i].toString();
+    }
+    return s;
+}
+
+std::vector<DeadlockFinding>
+findDeadlocks(const PointsToResult &result, const LockSetAnalysis &locks,
+              const std::function<bool(int, int)> &happensBefore,
+              DeadlockStats *stats)
+{
+    // ---- collect acquisition observations ---------------------------
+    std::vector<Obs> obs;
+    for (NodeId n = 0; n < result.cg.numNodes(); ++n) {
+        const air::Method *m = result.cg.node(n).method;
+        if (!m || !m->hasBody())
+            continue;
+        for (int i = 0; i < m->numInstrs(); ++i) {
+            const air::Instruction &instr = m->instr(i);
+            if (instr.op != air::Opcode::MonitorEnter)
+                continue;
+            const ObjSet &pts = result.pointsTo(n, instr.srcs[0]);
+            if (pts.size() != 1)
+                continue; // ambiguous lock: cannot be named soundly
+            ObjId acq = *pts.begin();
+            for (ObjId held : locks.locksHeldAt(n, i)) {
+                if (held != acq)
+                    obs.push_back({held, acq, n, i});
+            }
+        }
+    }
+
+    // ---- the lock-dependency graph ----------------------------------
+    // held -> acquired -> indices of the witnessing observations.
+    std::map<ObjId, std::map<ObjId, std::vector<int>>> adj;
+    std::set<ObjId> lock_nodes;
+    int64_t lock_edges = 0;
+    for (size_t i = 0; i < obs.size(); ++i) {
+        auto &succ = adj[obs[i].held][obs[i].acq];
+        if (succ.empty())
+            ++lock_edges;
+        succ.push_back(static_cast<int>(i));
+        lock_nodes.insert(obs[i].held);
+        lock_nodes.insert(obs[i].acq);
+    }
+    if (stats) {
+        stats->observations += static_cast<int64_t>(obs.size());
+        stats->lockNodes += static_cast<int64_t>(lock_nodes.size());
+        stats->lockEdges += lock_edges;
+    }
+
+    std::vector<DeadlockFinding> findings;
+
+    // Try to assign one observation per cycle edge such that every
+    // pair of assigned observations is concurrently runnable; the
+    // first (deterministic) satisfying assignment is reported.
+    auto tryCycle = [&](const std::vector<ObjId> &cycle) {
+        if (stats)
+            ++stats->cyclesExamined;
+        size_t k = cycle.size();
+        std::vector<const std::vector<int> *> choices(k);
+        for (size_t i = 0; i < k; ++i) {
+            auto it = adj.find(cycle[i]);
+            auto jt = it->second.find(cycle[(i + 1) % k]);
+            choices[i] = &jt->second;
+        }
+        std::vector<int> pick(k, 0);
+        int tried = 0;
+        std::function<bool(size_t)> assign = [&](size_t depth) {
+            if (depth == k) {
+                if (++tried > kMaxAssignments)
+                    return false;
+                int wa = -1, wb = -1;
+                for (size_t i = 0; i < k; ++i) {
+                    for (size_t j = i + 1; j < k; ++j) {
+                        if (!concurrentObs(result,
+                                           obs[(*choices[i])[pick[i]]],
+                                           obs[(*choices[j])[pick[j]]],
+                                           happensBefore, wa, wb))
+                            return false;
+                    }
+                }
+                return true;
+            }
+            for (size_t c = 0; c < choices[depth]->size(); ++c) {
+                pick[depth] = static_cast<int>(c);
+                if (assign(depth + 1))
+                    return true;
+                if (tried > kMaxAssignments)
+                    return false;
+            }
+            return false;
+        };
+        if (!assign(0))
+            return;
+
+        DeadlockFinding f;
+        for (size_t i = 0; i < k; ++i) {
+            const Obs &oi = obs[(*choices[i])[pick[i]]];
+            const Obs &next = obs[(*choices[(i + 1) % k])
+                                      [pick[(i + 1) % k]]];
+            int wa = -1, wb = -1;
+            concurrentObs(result, oi, next, happensBefore, wa, wb);
+            DeadlockEdge e;
+            e.heldLock = result.objects.toString(oi.held, result.sites);
+            e.acquiredLock =
+                result.objects.toString(oi.acq, result.sites);
+            e.method = result.cg.node(oi.node).method->qualifiedName();
+            e.instrIdx = oi.instrIdx;
+            if (wa >= 0)
+                e.actionLabel = result.actions.get(wa).label;
+            f.edges.push_back(std::move(e));
+        }
+        // Canonical rotation: the lexicographically smallest edge
+        // sequence, so the same cycle renders identically no matter
+        // which harness (and thus which ObjId numbering) found it.
+        size_t best = 0;
+        auto less_rotated = [&](size_t a, size_t b) {
+            for (size_t i = 0; i < k; ++i) {
+                std::string ea = f.edges[(a + i) % k].toString();
+                std::string eb = f.edges[(b + i) % k].toString();
+                if (ea != eb)
+                    return ea < eb;
+            }
+            return false;
+        };
+        for (size_t r = 1; r < k; ++r) {
+            if (less_rotated(r, best))
+                best = r;
+        }
+        std::rotate(f.edges.begin(),
+                    f.edges.begin() + static_cast<long>(best),
+                    f.edges.end());
+        findings.push_back(std::move(f));
+    };
+
+    // Elementary cycle enumeration: DFS restricted to lock ids >= the
+    // start id, so every cycle is discovered exactly once (from its
+    // smallest node).
+    std::vector<ObjId> path;
+    std::set<ObjId> on_path;
+    std::function<void(ObjId, ObjId)> dfs = [&](ObjId start,
+                                                ObjId cur) {
+        auto it = adj.find(cur);
+        if (it == adj.end())
+            return;
+        for (const auto &[next, witnesses] : it->second) {
+            if (next == start && path.size() >= 2) {
+                tryCycle(path);
+            } else if (next > start && !on_path.count(next) &&
+                       path.size() < kMaxCycleLen) {
+                path.push_back(next);
+                on_path.insert(next);
+                dfs(start, next);
+                on_path.erase(next);
+                path.pop_back();
+            }
+        }
+    };
+    for (ObjId start : lock_nodes) {
+        path.assign(1, start);
+        on_path = {start};
+        dfs(start, start);
+    }
+
+    std::sort(findings.begin(), findings.end());
+    findings.erase(std::unique(findings.begin(), findings.end()),
+                   findings.end());
+    return findings;
+}
+
+} // namespace sierra::analysis

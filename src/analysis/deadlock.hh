@@ -1,0 +1,108 @@
+/**
+ * @file
+ * UNDEAD-style static deadlock detection over the lock-set stage.
+ *
+ * The client walks every call-graph node's monitor-enter instructions
+ * and records acquisition observations "acquire L while holding H",
+ * resolved through the points-to result exactly like the lock-set
+ * refuter: a monitor-enter acquires the single abstract object its
+ * operand must-aliases (|pts| == 1); ambiguous enters are skipped, so
+ * the dependency graph under-approximates acquisitions the same sound
+ * direction the lock sets do. Observations are tagged with the actions
+ * that can execute the acquiring node (CallGraph::actionsOf).
+ *
+ * Observations form a lock-dependency graph: nodes are abstract lock
+ * objects, a directed edge H -> L means some instruction acquires L
+ * with H already held. Elementary cycles of that graph are deadlock
+ * *candidates*; a cycle is reported only when its edges can be driven
+ * from concurrently-runnable contexts — for every pair of edges in the
+ * cycle there exist distinct actions that are SHBG-unordered and do
+ * not serialize on a common looper thread (mirroring the concurrency
+ * test of race::refuteWithLockSets, inverted: there, serialization
+ * refutes; here, it exonerates).
+ *
+ * Findings carry per-edge acquisition-site provenance (lock names,
+ * acquiring method + instruction, witnessing action) and canonicalize
+ * the cycle rotation, so they deduplicate across harnesses and render
+ * identically at every jobs count.
+ */
+
+#ifndef SIERRA_ANALYSIS_DEADLOCK_HH
+#define SIERRA_ANALYSIS_DEADLOCK_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "lockset.hh"
+#include "points_to.hh"
+
+namespace sierra::analysis {
+
+/** One edge of a reported cycle: an acquisition observation. */
+struct DeadlockEdge {
+    std::string heldLock;     //!< printable name of the held lock
+    std::string acquiredLock; //!< printable name of the acquired lock
+    std::string method;       //!< qualified name of the acquiring method
+    int instrIdx{-1};         //!< the monitor-enter instruction
+    std::string actionLabel;  //!< witnessing concurrent action
+
+    std::string toString() const;
+
+    bool operator==(const DeadlockEdge &o) const
+    {
+        return heldLock == o.heldLock &&
+               acquiredLock == o.acquiredLock && method == o.method &&
+               instrIdx == o.instrIdx;
+    }
+};
+
+/** One cyclic lock-acquisition finding (a potential deadlock). */
+struct DeadlockFinding {
+    std::vector<DeadlockEdge> edges; //!< canonical rotation of the cycle
+
+    std::string toString() const;
+
+    bool operator==(const DeadlockFinding &o) const
+    {
+        if (edges.size() != o.edges.size())
+            return false;
+        for (size_t i = 0; i < edges.size(); ++i) {
+            if (!(edges[i] == o.edges[i]))
+                return false;
+        }
+        return true;
+    }
+    bool operator<(const DeadlockFinding &o) const
+    {
+        return toString() < o.toString();
+    }
+};
+
+/** Work counters (the `deadlock.*` rows of docs/OBSERVABILITY.md). */
+struct DeadlockStats {
+    int64_t observations{0};   //!< "acquire L holding H" facts recorded
+    int64_t lockNodes{0};      //!< distinct lock objects in the graph
+    int64_t lockEdges{0};      //!< distinct (H, L) dependency edges
+    int64_t cyclesExamined{0}; //!< elementary cycles tested for
+                               //!< concurrent runnability
+};
+
+/**
+ * Find cyclic lock acquisitions that concurrently-runnable contexts
+ * can drive to deadlock.
+ *
+ * `happensBefore(a, b)` must answer "action a always completes before
+ * action b starts" (the detector passes Shbg::reaches, the same
+ * callback shape findUseAfterDestroy takes). Results are sorted and
+ * deterministic.
+ */
+std::vector<DeadlockFinding>
+findDeadlocks(const PointsToResult &result, const LockSetAnalysis &locks,
+              const std::function<bool(int, int)> &happensBefore,
+              DeadlockStats *stats = nullptr);
+
+} // namespace sierra::analysis
+
+#endif // SIERRA_ANALYSIS_DEADLOCK_HH

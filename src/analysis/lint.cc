@@ -1,8 +1,11 @@
 #include "lint.hh"
 
+#include <algorithm>
+
 #include "air/logging.hh"
 #include "cfg.hh"
 #include "dataflow.hh"
+#include "framework/known_api.hh"
 
 namespace sierra::analysis {
 
@@ -54,6 +57,55 @@ struct DefiniteAssignment {
     }
 };
 
+/**
+ * Forward may-analysis of the monitor nesting depth: how many monitors
+ * might still be held at an instruction. Merge is max (a warning fires
+ * if *some* path reaches the post with a lock held); depth is clamped
+ * to [0, 8] so unmatched enters/exits cannot diverge the fixpoint.
+ */
+struct MonitorDepth {
+    using Domain = int;
+    static constexpr DataflowDirection kDirection =
+        DataflowDirection::Forward;
+
+    Domain boundary() const { return 0; }
+
+    bool
+    merge(Domain &into, const Domain &from) const
+    {
+        if (from > into) {
+            into = from;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    transfer(int, const Instruction &instr, Domain &d) const
+    {
+        if (instr.op == Opcode::MonitorEnter)
+            d = std::min(d + 1, 8);
+        else if (instr.op == Opcode::MonitorExit)
+            d = std::max(d - 1, 0);
+    }
+};
+
+/** The "post"-family APIs: the argument runs later on a looper queue,
+ *  so a monitor held at the call protects none of its execution. */
+bool
+isPostLikeApi(framework::ApiKind kind)
+{
+    switch (kind) {
+      case framework::ApiKind::HandlerPost:
+      case framework::ApiKind::HandlerSendMessage:
+      case framework::ApiKind::ViewPost:
+      case framework::ApiKind::RunOnUiThread:
+        return true;
+      default:
+        return false;
+    }
+}
+
 /** Value-producing instructions with no side effect: eliding one only
  *  loses the register value, so an unread destination is a dead store.
  *  Loads, calls and allocations are excluded (effects / site identity),
@@ -76,6 +128,7 @@ isPureValueOp(Opcode op)
 
 void
 lintInto(const Method &method, const LintOptions &opts,
+         const framework::KnownApis *apis,
          std::vector<VerifyIssue> &out)
 {
     if (!method.hasBody())
@@ -143,6 +196,41 @@ lintInto(const Method &method, const LintOptions &opts,
         }
     }
 
+    if (opts.lockHeldAtPost) {
+        MonitorDepth problem;
+        DataflowResult<MonitorDepth::Domain> r =
+            solveDataflow(cfg, problem);
+        for (const BasicBlock &block : cfg.blocks()) {
+            if (block.first > block.last || !r.reached[block.id])
+                continue;
+            MonitorDepth::Domain depth = r.atEntry[block.id];
+            for (int i = block.first; i <= block.last; ++i) {
+                const Instruction &instr = method.instr(i);
+                if (instr.op == Opcode::Invoke && depth > 0) {
+                    // With a module-backed classifier the super chain
+                    // resolves app subclasses of Handler etc.; without
+                    // one, direct framework references still match.
+                    framework::ApiKind kind =
+                        apis ? apis->classify(instr.method)
+                             : framework::KnownApis::classifyExact(
+                                   instr.method.className,
+                                   instr.method.methodName);
+                    if (isPostLikeApi(kind)) {
+                        out.push_back(
+                            {at(i),
+                             strCat(instr.method.toString(),
+                                    " called with a monitor held; "
+                                    "the posted callback runs after "
+                                    "the critical section and may "
+                                    "race or re-enter it"),
+                             Severity::Warning});
+                    }
+                }
+                problem.transfer(i, instr, depth);
+            }
+        }
+    }
+
     if (opts.deadStores) {
         const Liveness live(cfg);
         for (const BasicBlock &block : cfg.blocks()) {
@@ -170,17 +258,18 @@ std::vector<VerifyIssue>
 lintMethod(const Method &method, const LintOptions &opts)
 {
     std::vector<VerifyIssue> out;
-    lintInto(method, opts, out);
+    lintInto(method, opts, nullptr, out);
     return air::dedupeIssues(std::move(out));
 }
 
 std::vector<VerifyIssue>
 lintModule(const air::Module &module, const LintOptions &opts)
 {
+    const framework::KnownApis apis(module);
     std::vector<VerifyIssue> out;
     for (const air::Klass *k : module.classes()) {
         for (const auto &m : k->methods())
-            lintInto(*m, opts, out);
+            lintInto(*m, opts, &apis, out);
     }
     return air::dedupeIssues(std::move(out));
 }

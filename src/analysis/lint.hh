@@ -3,7 +3,7 @@
  * AIR lint: flow-sensitive diagnostics on top of the structural
  * verifier, built on the dataflow framework (analysis/dataflow.hh).
  *
- * Three checks:
+ * Four checks:
  *  - use-before-def (Error): an instruction reads a register that is
  *    not definitely assigned on every path from method entry
  *    (parameters and `this` count as assigned);
@@ -11,7 +11,12 @@
  *    reaches;
  *  - dead-store (Warning): a side-effect-free value-producing
  *    instruction (const/move/arith) whose destination is never read
- *    before being overwritten.
+ *    before being overwritten;
+ *  - lock-held-at-post (Warning): a Handler.post/sendMessage/View.post
+ *    call site that some path reaches with a monitor still held — the
+ *    posted callback runs later on another queue, so the monitor
+ *    protects nothing it does, and re-acquiring it there is a classic
+ *    event-loop deadlock/ordering trap.
  *
  * Diagnostics reuse air::VerifyIssue so verifier and lint output can be
  * merged, deduplicated, and printed uniformly.
@@ -30,6 +35,7 @@ struct LintOptions {
     bool useBeforeDef{true};
     bool unreachableBlocks{true};
     bool deadStores{true};
+    bool lockHeldAtPost{true};
 };
 
 /** Lint one method body; no-op for bodyless methods. */

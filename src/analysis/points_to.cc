@@ -1287,6 +1287,11 @@ PointsToAnalysis::Engine::handleIntrinsic(NodeId n, const Method *m,
       case ApiKind::UnregisterReceiver:
       case ApiKind::SendBroadcast:
       case ApiKind::StartActivity:
+      case ApiKind::IntentSetClass:
+      case ApiKind::PendingIntentGetActivity:
+      case ApiKind::PendingIntentGetService:
+      case ApiKind::PendingIntentGetBroadcast:
+      case ApiKind::PendingIntentSend:
       case ApiKind::ObjectInit:
       case ApiKind::None:
         return false;

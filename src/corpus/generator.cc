@@ -13,7 +13,8 @@ generateSyntheticApp(const std::string &name, const SyntheticSpec &spec)
 {
     AppFactory factory(name);
     std::mt19937 rng(spec.seed);
-    const auto &catalog = patternCatalog();
+    // Frozen pool: catalog growth must not reshuffle synthetic apps.
+    const auto &pool = randomPatternPool();
 
     for (int i = 0; i < spec.activities; ++i) {
         ActivityBuilder &act = factory.addActivity(
@@ -24,7 +25,7 @@ generateSyntheticApp(const std::string &name, const SyntheticSpec &spec)
                     (span > 0 ? static_cast<int>(rng() % (span + 1))
                               : 0);
         for (int p = 0; p < count; ++p) {
-            const auto &entry = catalog[rng() % catalog.size()];
+            const auto &entry = pool[rng() % pool.size()];
             entry.fn(factory, act);
         }
     }

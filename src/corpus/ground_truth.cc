@@ -34,6 +34,17 @@ GroundTruth::isKnownFpKey(const std::string &key) const
     return false;
 }
 
+bool
+GroundTruth::isIccOnlyTrueKey(const std::string &key) const
+{
+    for (const auto &s : seeded) {
+        if (s.fieldKey == key && s.cls == SeedClass::TrueRace &&
+            s.requiresIcc)
+            return true;
+    }
+    return false;
+}
+
 Score
 scoreKeys(const std::vector<std::string> &surviving_keys,
           const GroundTruth &truth)

@@ -33,26 +33,39 @@ struct SeededRace {
     std::string fieldKey; //!< canonical "Class.field"
     SeedClass cls{SeedClass::TrueRace};
     std::string note;     //!< which pattern seeded it and why
+    //! the race crosses components: only reachable when ICC modeling
+    //! drives the target's lifecycle from the sender's harness, so
+    //! `--no-icc` runs are *expected* to miss it
+    bool requiresIcc{false};
 };
 
 /** All seeds of one app. */
 struct GroundTruth {
     std::vector<SeededRace> seeded;
+    //! cyclic-acquisition findings the app's patterns guarantee (the
+    //! deadlock stage must report at least this many cycles)
+    int seededDeadlocks{0};
 
     void
-    add(std::string key, SeedClass cls, std::string note)
+    add(std::string key, SeedClass cls, std::string note,
+        bool requires_icc = false)
     {
-        seeded.push_back({std::move(key), cls, std::move(note)});
+        seeded.push_back(
+            {std::move(key), cls, std::move(note), requires_icc});
     }
+    void addDeadlock() { ++seededDeadlocks; }
     void
     merge(const GroundTruth &other)
     {
         seeded.insert(seeded.end(), other.seeded.begin(),
                       other.seeded.end());
+        seededDeadlocks += other.seededDeadlocks;
     }
     bool isTrueRaceKey(const std::string &key) const;
     bool isSeededKey(const std::string &key) const;
     bool isKnownFpKey(const std::string &key) const;
+    /** True if the key is a TrueRace seed flagged requiresIcc. */
+    bool isIccOnlyTrueKey(const std::string &key) const;
 };
 
 /** Scoring of a detector run against the ground truth. */

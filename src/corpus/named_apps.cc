@@ -56,11 +56,12 @@ namedAppSpecs()
          {"receiverDbRace", "serviceStaticRace", "implicitDepTrap",
           "useAfterDestroy"}},
         {"KeePassDroid", "1,000,000-5,000,000", 489, 2,
-         {"guardedTimer", "lifecycleSafe"}},
+         {"guardedTimer", "lifecycleSafe", "deadlockOrdered"}},
         {"Mileage", "500,000-1,000,000", 641, 3,
          {"asyncNewsRace", "guiFlowSafe"}},
         {"MyTracks", "500,000-1,000,000", 5300, 7,
-         {"serviceStaticRace", "threadRace", "workSession"}},
+         {"serviceStaticRace", "threadRace", "workSession",
+          "iccPendingIntent"}},
         {"NPR News", "1,000,000-5,000,000", 1500, 4,
          {"asyncNewsRace", "threadRace", "implicitDepTrap"}},
         {"NotePad", "10,000,000-50,000,000", 228, 2,
@@ -70,13 +71,14 @@ namedAppSpecs()
         {"OpenSudoku", "1,000,000-5,000,000", 170, 2,
          {"guardedTimer", "messageGuard", "computedGuard"}},
         {"SipDroid", "1,000,000-5,000,000", 539, 3,
-         {"receiverDbRace", "messageGuard", "arrayIndexTrap"}},
+         {"receiverDbRace", "messageGuard", "arrayIndexTrap",
+          "deadlockCycle"}},
         {"SuperGenPass", "10,000-50,000", 137, 1,
          {"guiFlowSafe", "threadRace"}},
         {"TippyTipper", "100,000-500,000", 79, 1,
          {"actionAliasTrap", "threadRace"}},
         {"VLC", "100,000,000-500,000,000", 1100, 4,
-         {"serviceStaticRace", "asyncNewsRace"}},
+         {"serviceStaticRace", "asyncNewsRace", "iccStartActivity"}},
         {"VuDroid", "100,000-500,000", 63, 1,
          {"threadRace", "localScratch"}},
         {"XBMC remote", "100,000-500,000", 1100, 4,
@@ -100,7 +102,9 @@ buildNamedApp(const NamedAppSpec &spec)
 {
     AppFactory factory(spec.name);
     std::mt19937 rng(nameSeed(spec.name));
-    const auto &catalog = patternCatalog();
+    // Random fills draw from the frozen pool so catalog growth does not
+    // reshuffle existing apps; new patterns arrive via signature lists.
+    const auto &pool = randomPatternPool();
 
     for (int i = 0; i < spec.activities; ++i) {
         ActivityBuilder &act = factory.addActivity(
@@ -113,7 +117,7 @@ buildNamedApp(const NamedAppSpec &spec)
             // 2-4 additional patterns, deterministic per app.
             int count = 2 + static_cast<int>(rng() % 3);
             for (int p = 0; p < count; ++p) {
-                const auto &entry = catalog[rng() % catalog.size()];
+                const auto &entry = pool[rng() % pool.size()];
                 entry.fn(factory, act);
             }
         }

@@ -1672,6 +1672,247 @@ addUseAfterDestroy(AppFactory &f, ActivityBuilder &act)
                   "from a posted task");
 }
 
+namespace {
+
+/** A Thread subclass whose run() acquires two activity field monitors
+ *  in the given order and writes a shared field under both. */
+void
+defineTwoLockWorker(air::Module &mod, const std::string &worker_cls,
+                    const std::string &act_cls,
+                    const std::string &first_lock,
+                    const std::string &second_lock,
+                    const std::string &shared_field)
+{
+    Klass *worker = mod.addClass(worker_cls, names::thread);
+    worker->addField({"act", Type::object(act_cls), false});
+    storingCtor(worker, worker_cls, "act", Type::object(act_cls));
+    defineMethod(worker, "run", {}, Type::voidTy(), false,
+                 [&](MethodBuilder &b) {
+                     int ra = b.newReg();
+                     int r1 = b.newReg();
+                     int r2 = b.newReg();
+                     int rv = b.newReg();
+                     b.getField(ra, b.thisReg(),
+                                fieldRef(worker_cls, "act"));
+                     b.getField(r1, ra, fieldRef(act_cls, first_lock));
+                     b.getField(r2, ra, fieldRef(act_cls, second_lock));
+                     b.monitorEnter(r1);
+                     b.monitorEnter(r2);
+                     b.newObject(rv, names::object);
+                     b.putField(ra, fieldRef(act_cls, shared_field),
+                                rv);
+                     b.monitorExit(r2);
+                     b.monitorExit(r1);
+                 });
+}
+
+/** Common body of the two deadlock patterns: two field monitors, two
+ *  background threads, acquisition orders as given. */
+void
+addTwoLockThreads(AppFactory &f, ActivityBuilder &act, bool opposite)
+{
+    int n = f.nextUnique();
+    std::string w1_cls = "Transfer$" + std::to_string(n);
+    std::string w2_cls = "Audit$" + std::to_string(n);
+    std::string act_cls = act.name();
+    std::string lock_a = "lockA$" + std::to_string(n);
+    std::string lock_b = "lockB$" + std::to_string(n);
+    std::string shared = "balance$" + std::to_string(n);
+
+    air::Module &mod = f.app().module();
+    defineTwoLockWorker(mod, w1_cls, act_cls, lock_a, lock_b, shared);
+    defineTwoLockWorker(mod, w2_cls, act_cls,
+                        opposite ? lock_b : lock_a,
+                        opposite ? lock_a : lock_b, shared);
+
+    act.addField(lock_a, Type::object(names::object));
+    act.addField(lock_b, Type::object(names::object));
+    act.addField(shared, Type::object(names::object));
+    act.on("onCreate", [=](MethodBuilder &b) {
+        int rla = b.newReg();
+        int rlb = b.newReg();
+        b.newObject(rla, names::object);
+        b.putField(b.thisReg(), fieldRef(act_cls, lock_a), rla);
+        b.newObject(rlb, names::object);
+        b.putField(b.thisReg(), fieldRef(act_cls, lock_b), rlb);
+        for (const std::string &w : {w1_cls, w2_cls}) {
+            int rw = b.newReg();
+            b.newObject(rw, w);
+            b.invoke(-1, InvokeKind::Special, {w, "<init>", 0},
+                     {rw, b.thisReg()});
+            b.call(rw, w, "start");
+        }
+    });
+
+    // Both writers hold both monitors at the write, so the racy pair
+    // on `shared` is lockset-refuted either way — the two patterns
+    // differ only in the acquisition *order*, i.e. in the deadlock
+    // verdict.
+    f.truth().add(act_cls + "." + shared, SeedClass::FpTrap,
+                  opposite ? "deadlockCycle: writes guarded by both "
+                             "monitors (but acquired in opposite "
+                             "orders)"
+                           : "deadlockOrdered: writes guarded by both "
+                             "monitors, consistent order");
+    if (opposite)
+        f.truth().addDeadlock();
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// Pattern: UNDEAD-style cyclic lock acquisition (deadlock positive).
+// --------------------------------------------------------------------
+void
+addDeadlockCycle(AppFactory &f, ActivityBuilder &act)
+{
+    addTwoLockThreads(f, act, /*opposite=*/true);
+}
+
+// --------------------------------------------------------------------
+// Pattern: consistent lock order (deadlock negative control).
+// --------------------------------------------------------------------
+void
+addDeadlockOrdered(AppFactory &f, ActivityBuilder &act)
+{
+    addTwoLockThreads(f, act, /*opposite=*/false);
+}
+
+// --------------------------------------------------------------------
+// Pattern: cross-component race through an explicit startActivity.
+// --------------------------------------------------------------------
+void
+addIccStartActivity(AppFactory &f, ActivityBuilder &act)
+{
+    int n = f.nextUnique();
+    std::string feed_cls = "Feed$" + std::to_string(n);
+    std::string worker_cls = "Fetcher$" + std::to_string(n);
+    // No '$' in the activity name: it must match the manifest entry
+    // the Intent string names.
+    std::string target_cls = "IccDetail" + std::to_string(n);
+    std::string act_cls = act.name();
+
+    air::Module &mod = f.app().module();
+
+    Klass *feed = mod.addClass(feed_cls, names::object);
+    feed->addField({"article", Type::object(names::object), true});
+
+    Klass *worker = mod.addClass(worker_cls, names::thread);
+    emptyCtor(worker);
+    defineMethod(worker, "run", {}, Type::voidTy(), false,
+                 [&](MethodBuilder &b) {
+                     int rv = b.newReg();
+                     b.newObject(rv, names::object);
+                     b.putStatic(fieldRef(feed_cls, "article"), rv);
+                 });
+
+    // The target component: its onCreate reads what the sender's
+    // worker writes. In the target's *own* harness no writer runs, and
+    // without ICC the sender's harness never drives this onCreate — so
+    // the race is reachable only through the ICC edge.
+    ActivityBuilder &target = f.addActivity(target_cls);
+    target.on("onCreate", [=](MethodBuilder &b) {
+        int r = b.newReg();
+        b.getStatic(r, fieldRef(feed_cls, "article"));
+    });
+
+    act.on("onCreate", [=](MethodBuilder &b) {
+        int rw = b.newReg();
+        b.newObject(rw, worker_cls);
+        b.invoke(-1, InvokeKind::Special, {worker_cls, "<init>", 0},
+                 {rw});
+        b.call(rw, worker_cls, "start");
+        int rs = b.newReg();
+        int ri = b.newReg();
+        b.constStr(rs, target_cls);
+        b.newObject(ri, names::intent);
+        b.invoke(-1, InvokeKind::Special, {names::intent, "<init>", 0},
+                 {ri, rs});
+        b.call(b.thisReg(), act_cls, "startActivity", {ri});
+    });
+
+    f.truth().add(feed_cls + ".article", SeedClass::TrueRace,
+                  "iccStartActivity: worker write vs launched "
+                  "activity's onCreate read",
+                  /*requires_icc=*/true);
+}
+
+// --------------------------------------------------------------------
+// Pattern: cross-component race through a field-stored PendingIntent.
+// --------------------------------------------------------------------
+void
+addIccPendingIntent(AppFactory &f, ActivityBuilder &act)
+{
+    int n = f.nextUnique();
+    std::string box_cls = "AlarmBox$" + std::to_string(n);
+    std::string worker_cls = "Refresher$" + std::to_string(n);
+    std::string target_cls = "IccAlert" + std::to_string(n);
+    std::string act_cls = act.name();
+    std::string pending_field = "alarm$" + std::to_string(n);
+    int wid = f.nextViewId();
+    std::string fire = "onFire$" + std::to_string(n);
+
+    air::Module &mod = f.app().module();
+
+    Klass *box = mod.addClass(box_cls, names::object);
+    box->addField({"payload", Type::object(names::object), true});
+
+    Klass *worker = mod.addClass(worker_cls, names::thread);
+    emptyCtor(worker);
+    defineMethod(worker, "run", {}, Type::voidTy(), false,
+                 [&](MethodBuilder &b) {
+                     int rv = b.newReg();
+                     b.newObject(rv, names::object);
+                     b.putStatic(fieldRef(box_cls, "payload"), rv);
+                 });
+
+    ActivityBuilder &target = f.addActivity(target_cls);
+    target.on("onCreate", [=](MethodBuilder &b) {
+        int r = b.newReg();
+        b.getStatic(r, fieldRef(box_cls, "payload"));
+    });
+
+    act.addField(pending_field, Type::object(names::pendingIntent));
+    framework::Widget w;
+    w.id = wid;
+    w.name = "btnFire$" + std::to_string(n);
+    w.widgetClass = names::button;
+    w.xmlOnClick = fire;
+    act.layout().addWidget(w);
+
+    // onCreate wraps the explicit Intent in a PendingIntent and parks
+    // it in a field; the GUI handler fires it later — RAICC's
+    // "atypical ICC", resolved via the field-stored target pass.
+    act.on("onCreate", [=](MethodBuilder &b) {
+        int rw = b.newReg();
+        b.newObject(rw, worker_cls);
+        b.invoke(-1, InvokeKind::Special, {worker_cls, "<init>", 0},
+                 {rw});
+        b.call(rw, worker_cls, "start");
+        int rs = b.newReg();
+        int ri = b.newReg();
+        int rp = b.newReg();
+        b.constStr(rs, target_cls);
+        b.newObject(ri, names::intent);
+        b.invoke(-1, InvokeKind::Special, {names::intent, "<init>", 0},
+                 {ri, rs});
+        b.callStatic(rp, names::pendingIntent, "getActivity", {ri});
+        b.putField(b.thisReg(), fieldRef(act_cls, pending_field), rp);
+    });
+    defineMethod(act.klass(), fire, {Type::object(names::view)},
+                 Type::voidTy(), false, [&](MethodBuilder &b) {
+                     int rp = b.newReg();
+                     b.getField(rp, b.thisReg(),
+                                fieldRef(act_cls, pending_field));
+                     b.call(rp, names::pendingIntent, "send");
+                 });
+
+    f.truth().add(box_cls + ".payload", SeedClass::TrueRace,
+                  "iccPendingIntent: worker write vs PendingIntent "
+                  "target's onCreate read",
+                  /*requires_icc=*/true);
+}
+
 const std::vector<PatternEntry> &
 patternCatalog()
 {
@@ -1697,8 +1938,26 @@ patternCatalog()
         {"localScratch", &addLocalScratch, 0, 1},
         {"interprocGuard", &addInterprocGuard, 1, 1},
         {"useAfterDestroy", &addUseAfterDestroy, 1, 0},
+        {"deadlockCycle", &addDeadlockCycle, 0, 1, 1},
+        {"deadlockOrdered", &addDeadlockOrdered, 0, 1, 0},
+        {"iccStartActivity", &addIccStartActivity, 1, 0, 0},
+        {"iccPendingIntent", &addIccPendingIntent, 1, 0, 0},
     };
     return catalog;
+}
+
+const std::vector<PatternEntry> &
+randomPatternPool()
+{
+    // The first 21 entries, frozen at the size the random corpus was
+    // generated with. Appending to patternCatalog() must not change
+    // rng() % pool.size() for existing apps.
+    static const std::vector<PatternEntry> pool = [] {
+        const auto &catalog = patternCatalog();
+        return std::vector<PatternEntry>(catalog.begin(),
+                                         catalog.begin() + 21);
+    }();
+    return pool;
 }
 
 } // namespace sierra::corpus

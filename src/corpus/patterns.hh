@@ -33,6 +33,18 @@
  *                       refutable only with interprocedural constants
  *  - useAfterDestroy    field nulled in onDestroy, dereferenced from a
  *                       posted task (IFDS use-after-destroy client)
+ *  - deadlockCycle      two background threads acquire two field
+ *                       monitors in opposite orders (UNDEAD-style
+ *                       cyclic acquisition; the deadlock stage must
+ *                       report the A->B->A cycle)
+ *  - deadlockOrdered    both threads acquire the monitors in the same
+ *                       order (negative control: no cycle)
+ *  - iccStartActivity   sender writes a static from a worker thread
+ *                       and startActivity()s an explicit-Intent target
+ *                       whose onCreate reads it: a cross-component
+ *                       race visible only with ICC modeling
+ *  - iccPendingIntent   same shape through a field-stored PendingIntent
+ *                       fired from a GUI handler (atypical ICC)
  */
 
 #ifndef SIERRA_CORPUS_PATTERNS_HH
@@ -63,6 +75,10 @@ void addLockGuarded(AppFactory &f, ActivityBuilder &act);
 void addLocalScratch(AppFactory &f, ActivityBuilder &act);
 void addInterprocGuard(AppFactory &f, ActivityBuilder &act);
 void addUseAfterDestroy(AppFactory &f, ActivityBuilder &act);
+void addDeadlockCycle(AppFactory &f, ActivityBuilder &act);
+void addDeadlockOrdered(AppFactory &f, ActivityBuilder &act);
+void addIccStartActivity(AppFactory &f, ActivityBuilder &act);
+void addIccPendingIntent(AppFactory &f, ActivityBuilder &act);
 
 /** All pattern functions, for sweep-style corpus generation. */
 using PatternFn = void (*)(AppFactory &, ActivityBuilder &);
@@ -71,8 +87,19 @@ struct PatternEntry {
     PatternFn fn;
     int seededTrueRaces; //!< TrueRace locations this pattern seeds
     int seededTraps;     //!< FpTrap locations this pattern seeds
+    int seededDeadlocks{0}; //!< cyclic-acquisition findings seeded
 };
 const std::vector<PatternEntry> &patternCatalog();
+
+/**
+ * The frozen pool random corpus generation draws from: the first 21
+ * catalog entries, pinned forever. Growing patternCatalog() must NOT
+ * reshuffle the pseudo-random pattern assignment of existing synthetic
+ * apps (it would invalidate every golden report), so random draws index
+ * this pool; new patterns reach apps only through explicit signature
+ * lists.
+ */
+const std::vector<PatternEntry> &randomPatternPool();
 
 } // namespace sierra::corpus
 

@@ -374,6 +374,11 @@ Interpreter::intrinsic(ApiKind kind, const Instruction &instr,
       case ApiKind::HandlerRemove:
       case ApiKind::SetContentView:
       case ApiKind::StartActivity:
+      case ApiKind::IntentSetClass:
+      case ApiKind::PendingIntentGetActivity:
+      case ApiKind::PendingIntentGetService:
+      case ApiKind::PendingIntentGetBroadcast:
+      case ApiKind::PendingIntentSend:
       case ApiKind::None:
         return Value::null();
     }

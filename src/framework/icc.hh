@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Inter-component communication (ICC) model, after RAICC.
+ *
+ * Android components talk through Intents: startActivity / startService
+ * / sendBroadcast deliver an Intent to a target component, and
+ * PendingIntent wraps the same delivery for later ("atypical ICC" in
+ * RAICC's terms — the send is decoupled from the Intent construction).
+ * Statically these are control-flow edges the call graph cannot see:
+ * the framework, not the app, invokes the target's lifecycle.
+ *
+ * IccModel scans every method body once, tracking Intent construction
+ * chains (`new Intent("X")`, `Intent.setClassName("X")`, register
+ * moves, PendingIntent.get*) with a linear per-method register scan,
+ * and records one IccSite per delivery call. A site is *resolved* when
+ * the Intent's explicit target names a manifest component of the
+ * matching kind. Resolved activity->activity edges feed the harness
+ * generator, which instantiates the target activity and drives its
+ * lifecycle concurrently with the sender's events — races between the
+ * two components then flow through the unchanged SIERRA pipeline.
+ */
+
+#ifndef SIERRA_FRAMEWORK_ICC_HH
+#define SIERRA_FRAMEWORK_ICC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "app.hh"
+#include "known_api.hh"
+
+namespace sierra::framework {
+
+/** Component kind an ICC delivery targets. */
+enum class IccTargetKind { Activity, Service, Broadcast };
+
+const char *iccTargetKindName(IccTargetKind k);
+
+/** One Intent-delivery call site. */
+struct IccSite {
+    const air::Method *method{nullptr}; //!< the sending method
+    int instrIdx{-1};                   //!< the delivery instruction
+    ApiKind kind{ApiKind::None};        //!< the delivery API
+    IccTargetKind targetKind{IccTargetKind::Activity};
+    std::string senderClass; //!< outermost class of the sender
+    std::string targetClass; //!< explicit manifest target; "" = unresolved
+    bool pending{false};     //!< delivered through a PendingIntent
+
+    bool resolved() const { return !targetClass.empty(); }
+    std::string toString() const;
+};
+
+/** Work counters (the `icc.*` rows of docs/OBSERVABILITY.md). */
+struct IccStats {
+    int64_t callSites{0};      //!< Intent-delivery sites seen
+    int64_t resolved{0};       //!< sites with an explicit manifest target
+    int64_t unresolved{0};     //!< implicit / unmatched targets
+    int64_t pendingSites{0};   //!< sites delivered via PendingIntent
+    int64_t activityEdges{0};  //!< distinct sender->target activity edges
+};
+
+/** The ICC sites and component edges of one app. */
+class IccModel
+{
+  public:
+    explicit IccModel(const App &app);
+
+    const std::vector<IccSite> &sites() const { return _sites; }
+    const IccStats &stats() const { return _stats; }
+
+    /**
+     * Manifest activities explicitly targeted by code in `activity` or
+     * its inner classes (`activity$...`), excluding `activity` itself.
+     * Sorted and unique, so harness plans are deterministic.
+     */
+    std::vector<std::string>
+    activityTargetsOf(const std::string &activity) const;
+
+  private:
+    struct PendingFields; // field-stored PendingIntent facts (icc.cc)
+    void scanMethod(const air::Method *m, const KnownApis &apis,
+                    PendingFields &fields, bool collect);
+
+    const App &_app;
+    std::vector<IccSite> _sites;
+    IccStats _stats;
+};
+
+} // namespace sierra::framework
+
+#endif // SIERRA_FRAMEWORK_ICC_HH

@@ -29,6 +29,14 @@ apiKindName(ApiKind k)
       case ApiKind::StartService: return "start-service";
       case ApiKind::BindService: return "bind-service";
       case ApiKind::StartActivity: return "start-activity";
+      case ApiKind::IntentSetClass: return "intent-set-class";
+      case ApiKind::PendingIntentGetActivity:
+        return "pending-intent-get-activity";
+      case ApiKind::PendingIntentGetService:
+        return "pending-intent-get-service";
+      case ApiKind::PendingIntentGetBroadcast:
+        return "pending-intent-get-broadcast";
+      case ApiKind::PendingIntentSend: return "pending-intent-send";
       case ApiKind::LooperMain: return "looper-main";
       case ApiKind::HandlerThreadGetLooper:
         return "handler-thread-get-looper";
@@ -79,6 +87,15 @@ const ApiEntry kApiTable[] = {
     {names::activity, "startService", ApiKind::StartService},
     {names::activity, "bindService", ApiKind::BindService},
     {names::activity, "startActivity", ApiKind::StartActivity},
+    {names::service, "startActivity", ApiKind::StartActivity},
+    {names::intent, "setClassName", ApiKind::IntentSetClass},
+    {names::pendingIntent, "getActivity",
+     ApiKind::PendingIntentGetActivity},
+    {names::pendingIntent, "getService",
+     ApiKind::PendingIntentGetService},
+    {names::pendingIntent, "getBroadcast",
+     ApiKind::PendingIntentGetBroadcast},
+    {names::pendingIntent, "send", ApiKind::PendingIntentSend},
     {names::looper, "getMainLooper", ApiKind::LooperMain},
     {names::handlerThread, "getLooper",
      ApiKind::HandlerThreadGetLooper},
@@ -293,6 +310,17 @@ installFrameworkModel(air::Module &module)
         native(k, "getExtras", {}, Type::object(names::bundle));
         native(k, "putExtra", {str_t, obj_t});
         native(k, "getAction", {}, str_t);
+        native(k, "setClassName", {str_t},
+               Type::object(names::intent));
+    }
+    if (!have(names::pendingIntent)) {
+        auto *k = module.addClass(names::pendingIntent, names::object);
+        Type intent_t = Type::object(names::intent);
+        Type pending_t = Type::object(names::pendingIntent);
+        nativeStatic(k, "getActivity", {intent_t}, pending_t);
+        nativeStatic(k, "getService", {intent_t}, pending_t);
+        nativeStatic(k, "getBroadcast", {intent_t}, pending_t);
+        native(k, "send");
     }
     if (!have(names::bundle)) {
         auto *k = module.addClass(names::bundle, names::object);

@@ -39,6 +39,11 @@ enum class ApiKind {
     StartService,      //!< Context.startService(intent)
     BindService,       //!< Context.bindService(intent, connection)
     StartActivity,     //!< Context.startActivity(intent)
+    IntentSetClass,    //!< Intent.setClassName(str) (explicit target)
+    PendingIntentGetActivity,  //!< PendingIntent.getActivity(intent)
+    PendingIntentGetService,   //!< PendingIntent.getService(intent)
+    PendingIntentGetBroadcast, //!< PendingIntent.getBroadcast(intent)
+    PendingIntentSend, //!< PendingIntent.send()
     LooperMain,        //!< Looper.getMainLooper()
     HandlerThreadGetLooper, //!< HandlerThread.getLooper()
     LooperMy,          //!< Looper.myLooper()
@@ -74,6 +79,7 @@ inline constexpr const char *onItemClickListener =
 inline constexpr const char *serviceConnection =
     "android.content.ServiceConnection";
 inline constexpr const char *intent = "android.content.Intent";
+inline constexpr const char *pendingIntent = "android.app.PendingIntent";
 inline constexpr const char *bundle = "android.os.Bundle";
 inline constexpr const char *baseAdapter = "android.widget.BaseAdapter";
 inline constexpr const char *button = "android.widget.Button";

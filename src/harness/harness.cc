@@ -16,10 +16,16 @@ using air::MethodBuilder;
 using air::Type;
 using analysis::ActionKind;
 
-HarnessGenerator::HarnessGenerator(framework::App &app) : _app(app)
+HarnessGenerator::HarnessGenerator(framework::App &app, bool model_icc)
+    : _app(app)
 {
     framework::installFrameworkModel(app.module());
     ensureNondetClass();
+    // The ICC scan runs before any harness is generated, so it only
+    // sees app code (harness classes are synthetic and Intent-free
+    // anyway).
+    if (model_icc)
+        _icc = std::make_unique<framework::IccModel>(app);
 }
 
 std::string
@@ -137,6 +143,30 @@ HarnessGenerator::generate(const std::string &activity_class)
         service_regs.emplace_back(spec.className, rs);
     }
 
+    // ICC target activities (resolved activity->activity Intent edges,
+    // sorted by IccModel): instantiated alongside receivers/services,
+    // driven by their own event-loop case below.
+    std::vector<std::pair<std::string, int>> icc_regs;
+    if (_icc) {
+        for (const std::string &target :
+             _icc->activityTargetsOf(activity_class)) {
+            air::Klass *tk = mod.getClass(target);
+            if (!tk) {
+                warn("harness: unknown icc target ", target);
+                continue;
+            }
+            int rt = b.newReg();
+            b.newObject(rt, target);
+            if (air::Method *init = tk->findMethod("<init>")) {
+                if (!init->isStatic()) {
+                    b.invoke(-1, InvokeKind::Special,
+                             {target, "<init>", 0}, {rt});
+                }
+            }
+            icc_regs.emplace_back(target, rt);
+        }
+    }
+
     // --- the nondeterministic event loop ------------------------------
     // Cases: 0 = pause/resume cycle, 1 = stop/restart cycle, then GUI
     // callbacks from the layout, then receivers, then services.
@@ -197,6 +227,23 @@ HarnessGenerator::generate(const std::string &activity_class)
             int idx2 = b.call(reg, sc, "onStartCommand", {rin});
             event(idx2, ActionKind::ServiceCreate, "onStartCommand", sc,
                   -1, true, 1);
+        }});
+    }
+    // One case per ICC target: the framework launches the target and
+    // drives its whole lifecycle. The sites sit inside the loop
+    // (inEventLoop = true), so they stay SHBG-unordered against the
+    // sender's own loop events while the intra-case dominance still
+    // orders the target's onCreate..onDestroy sequence.
+    for (const auto &[icc_class, rt] : icc_regs) {
+        const std::string &tc = icc_class;
+        int reg = rt;
+        cases.push_back({[&, tc, reg] {
+            for (const char *cb :
+                 {"onCreate", "onStart", "onResume", "onPause",
+                  "onStop", "onDestroy"}) {
+                int idx = b.call(reg, tc, cb);
+                event(idx, ActionKind::Lifecycle, cb, tc, -1, true, 1);
+            }
         }});
     }
 

@@ -26,11 +26,13 @@
 #ifndef SIERRA_HARNESS_HARNESS_HH
 #define SIERRA_HARNESS_HARNESS_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "analysis/entry_plan.hh"
 #include "framework/app.hh"
+#include "framework/icc.hh"
 
 namespace sierra::harness {
 
@@ -46,11 +48,19 @@ inline constexpr const char *kNondetClass = "sierra.Nondet";
  *
  * Also installs the framework model classes and the Nondet provider on
  * construction, so a freshly built corpus app becomes analyzable.
+ *
+ * With `model_icc` on, construction additionally builds the app's
+ * framework::IccModel, and each activity harness gains one event-loop
+ * case per resolved activity->activity ICC edge: the case instantiates
+ * the target activity and drives its full lifecycle, so the target's
+ * callbacks interleave with the sender's events and cross-component
+ * races become visible to the unchanged downstream pipeline.
  */
 class HarnessGenerator
 {
   public:
-    explicit HarnessGenerator(framework::App &app);
+    explicit HarnessGenerator(framework::App &app,
+                              bool model_icc = false);
 
     /** Generate the harness for one activity. */
     HarnessPlan generate(const std::string &activity_class);
@@ -61,10 +71,14 @@ class HarnessGenerator
     /** The harness class name for an activity. */
     static std::string harnessClassName(const std::string &activity);
 
+    /** The ICC model, when `model_icc` was requested (else null). */
+    const framework::IccModel *icc() const { return _icc.get(); }
+
   private:
     void ensureNondetClass();
 
     framework::App &_app;
+    std::unique_ptr<framework::IccModel> _icc;
 };
 
 } // namespace sierra::harness

@@ -80,6 +80,13 @@ fillMetrics(util::metrics::Registry &m, const HarnessAnalysis &ha,
     m.add("ifds.use_after_destroy",
           static_cast<int64_t>(ha.useAfterDestroy.size()));
 
+    m.add("deadlock.observations", ha.deadlockStats.observations);
+    m.add("deadlock.lock_nodes", ha.deadlockStats.lockNodes);
+    m.add("deadlock.lock_edges", ha.deadlockStats.lockEdges);
+    m.add("deadlock.cycles_examined", ha.deadlockStats.cyclesExamined);
+    m.add("deadlock.findings",
+          static_cast<int64_t>(ha.deadlocks.size()));
+
     // Per-pair refutation provenance (RefutedBy kinds).
     int64_t by_none = 0, by_lockset = 0, by_symbolic = 0;
     for (const race::RacyPair &p : ha.pairs) {
@@ -100,6 +107,7 @@ fillMetrics(util::metrics::Registry &m, const HarnessAnalysis &ha,
     m.observe("stage.escape.seconds", t.escape);
     m.observe("stage.racy.seconds", t.racy);
     m.observe("stage.lockset.seconds", t.lockset);
+    m.observe("stage.deadlock.seconds", t.deadlock);
     m.observe("stage.ifds.seconds", t.ifds);
     m.observe("stage.refutation.seconds", t.refutation);
     m.observe("harness.cpu.seconds", t.totalCpu);
@@ -118,10 +126,19 @@ HarnessAnalysis::survivingRaceCount() const
     return n;
 }
 
-SierraDetector::SierraDetector(framework::App &app) : _app(app)
+SierraDetector::SierraDetector(framework::App &app)
+    : SierraDetector(app, SierraOptions{})
 {
-    harness::HarnessGenerator gen(app);
+}
+
+SierraDetector::SierraDetector(framework::App &app,
+                               const SierraOptions &options)
+    : _app(app)
+{
+    harness::HarnessGenerator gen(app, options.icc);
     _plans = gen.generateAll();
+    if (gen.icc())
+        _iccStats = gen.icc()->stats();
 }
 
 const harness::HarnessPlan &
@@ -225,16 +242,41 @@ SierraDetector::runHarness(const harness::HarnessPlan &plan,
     // never reach the expensive symbolic refuter.
     auto t_ls = std::chrono::steady_clock::now();
     double lockset;
+    std::unique_ptr<analysis::LockSetAnalysis> locks;
     {
         SIERRA_TRACE_SPAN(span, "stage", "stage.lockset",
                           util::trace::arg("activity", ha.activity));
         if (options.locksetRefutation) {
-            analysis::LockSetAnalysis locks(*ha.pta);
+            locks = std::make_unique<analysis::LockSetAnalysis>(
+                *ha.pta);
             ha.locksetRefuted = race::refuteWithLockSets(
-                *ha.pta, locks, ha.accesses, ha.pairs);
+                *ha.pta, *locks, ha.accesses, ha.pairs);
         }
         lockset = secondsSince(t_ls);
     }
+
+    // Deadlock stage: cyclic lock acquisitions over the same lock-set
+    // substrate (shared with the refuter above when both are on).
+    // Purely additive — it refutes no pairs, it only produces the
+    // `deadlocks:` findings.
+    auto t_dl = std::chrono::steady_clock::now();
+    double deadlock;
+    {
+        SIERRA_TRACE_SPAN(span, "stage", "stage.deadlock",
+                          util::trace::arg("activity", ha.activity));
+        if (options.deadlock) {
+            if (!locks) {
+                locks = std::make_unique<analysis::LockSetAnalysis>(
+                    *ha.pta);
+            }
+            ha.deadlocks = analysis::findDeadlocks(
+                *ha.pta, *locks,
+                [&](int a, int b) { return ha.shbg->reaches(a, b); },
+                &ha.deadlockStats);
+        }
+        deadlock = secondsSince(t_dl);
+    }
+    locks.reset();
 
     // IFDS stage: interprocedural constant summaries for the symbolic
     // refuter (setter parameters, callee returns, must-write-constant
@@ -284,10 +326,11 @@ SierraDetector::runHarness(const harness::HarnessPlan &plan,
         times->escape += escape;
         times->racy += racy;
         times->lockset += lockset;
+        times->deadlock += deadlock;
         times->ifds += ifds;
         times->refutation += refutation;
         times->totalCpu += cg_pa + hbg + dataflow + escape + racy +
-                           lockset + ifds + refutation;
+                           lockset + deadlock + ifds + refutation;
     }
     return ha;
 }
@@ -411,6 +454,16 @@ SierraDetector::analyze(const SierraOptions &options)
                 report.useAfterDestroy.push_back(f);
         }
 
+        // Deadlock findings, same plan-order dedup: cycles are already
+        // canonically rotated and sorted per harness, so equal cycles
+        // found by several harnesses collapse deterministically.
+        for (const auto &f : ha.deadlocks) {
+            if (std::find(report.deadlocks.begin(),
+                          report.deadlocks.end(),
+                          f) == report.deadlocks.end())
+                report.deadlocks.push_back(f);
+        }
+
         report.actions += ha.numActions();
         report.hbEdges += ha.hbEdges();
         int n = ha.numActions();
@@ -469,6 +522,14 @@ SierraDetector::analyze(const SierraOptions &options)
 
     if (options.metrics) {
         util::metrics::Registry &m = *options.metrics;
+        // ICC scan counters: computed once at construction (harness
+        // generation), flushed here so they land in the registry
+        // exactly once per analyze() at every jobs count.
+        m.add("icc.call_sites", _iccStats.callSites);
+        m.add("icc.resolved", _iccStats.resolved);
+        m.add("icc.unresolved", _iccStats.unresolved);
+        m.add("icc.pending_sites", _iccStats.pendingSites);
+        m.add("icc.activity_edges", _iccStats.activityEdges);
         // AIR instruction storage, shared by every harness.
         m.add("arena.bytes_allocated",
               static_cast<int64_t>(
@@ -503,7 +564,8 @@ formatReport(const AppReport &report, int max_races, bool with_times)
            << report.times.dataflow << "s, escape "
            << report.times.escape << "s, racy "
            << report.times.racy << "s, lockset "
-           << report.times.lockset << "s, ifds "
+           << report.times.lockset << "s, deadlock "
+           << report.times.deadlock << "s, ifds "
            << report.times.ifds << "s, refutation "
            << report.times.refutation << "s, total "
            << report.times.total << "s (cpu "
@@ -526,6 +588,11 @@ formatReport(const AppReport &report, int max_races, bool with_times)
            << report.useAfterDestroy.size() << "\n";
         for (const auto &f : report.useAfterDestroy)
             os << "  [uad] " << f.toString() << "\n";
+    }
+    if (!report.deadlocks.empty()) {
+        os << "deadlocks: " << report.deadlocks.size() << "\n";
+        for (const auto &f : report.deadlocks)
+            os << "  [dl] " << f.toString() << "\n";
     }
     return os.str();
 }

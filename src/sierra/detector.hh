@@ -19,10 +19,12 @@
 #include <string>
 #include <vector>
 
+#include "analysis/deadlock.hh"
 #include "analysis/effects.hh"
 #include "analysis/ifds.hh"
 #include "analysis/points_to.hh"
 #include "framework/app.hh"
+#include "framework/icc.hh"
 #include "harness/harness.hh"
 #include "hb/rules.hh"
 #include "race/racy.hh"
@@ -71,6 +73,25 @@ struct SierraOptions {
      */
     bool ifds{true};
     /**
+     * The deadlock stage: build the lock-dependency graph over the
+     * lock-set results and report cyclic acquisitions reachable from
+     * concurrently-runnable contexts (analysis::findDeadlocks). Purely
+     * additive — it refutes nothing, it only fills the `deadlocks:`
+     * report section (`--no-deadlock` ablates it).
+     */
+    bool deadlock{true};
+    /**
+     * ICC modeling (framework::IccModel): resolve explicit Intent
+     * targets at startActivity/startService/sendBroadcast/PendingIntent
+     * sites and extend each activity harness with the lifecycles of the
+     * activities it launches, so cross-component races are reachable.
+     * Consumed at harness-generation time, i.e. by the detector
+     * *constructor* — pass the options to the two-argument constructor
+     * to ablate it (`--no-icc`); flipping it at analyze() time has no
+     * effect.
+     */
+    bool icc{true};
+    /**
      * Worker threads for the whole pipeline: harness plans run as
      * parallel tasks, and leftover parallelism (jobs / plans) is
      * handed to each task's sharded refutation. 0 = the SIERRA_JOBS
@@ -103,6 +124,7 @@ struct StageTimes {
     double escape{0};     //!< escape analysis + access filter (cpu-s)
     double racy{0};       //!< access extraction + racy pairs (cpu-s)
     double lockset{0};    //!< lock-set analysis + refutation (cpu-s)
+    double deadlock{0};   //!< lock-dependency cycles (cpu-s)
     double ifds{0};       //!< interprocedural summaries + UAD (cpu-s)
     /**
      * Symbolic refutation. Unlike the single-threaded stages above
@@ -113,7 +135,7 @@ struct StageTimes {
      * thread's elapsed time.
      */
     double refutation{0};
-    //! sum of all per-task stage times; equals the sum of the eight
+    //! sum of all per-task stage times; equals the sum of the nine
     //! stage fields (up to fp rounding) by construction, regardless of
     //! task completion order — the merge runs serially in plan order
     double totalCpu{0};
@@ -131,6 +153,7 @@ struct StageTimes {
         escape += o.escape;
         racy += o.racy;
         lockset += o.lockset;
+        deadlock += o.deadlock;
         ifds += o.ifds;
         refutation += o.refutation;
         totalCpu += o.totalCpu;
@@ -146,6 +169,9 @@ struct HarnessAnalysis {
     std::unique_ptr<analysis::InterConstants> inter;
     //! use-after-destroy findings (empty when the stage is off)
     std::vector<analysis::UseAfterDestroyFinding> useAfterDestroy;
+    //! cyclic lock-acquisition findings (empty when the stage is off)
+    std::vector<analysis::DeadlockFinding> deadlocks;
+    analysis::DeadlockStats deadlockStats; //!< deadlock-stage work
     std::vector<race::Access> accesses;
     std::vector<race::RacyPair> pairs; //!< prioritized, refuted marked
     symbolic::RefutationStats refutation;
@@ -185,18 +211,23 @@ struct AppReport {
     std::vector<AppRace> races; //!< deduplicated, priority-ranked
     //! use-after-destroy findings, deduplicated across harnesses
     std::vector<analysis::UseAfterDestroyFinding> useAfterDestroy;
+    //! deadlock findings, deduplicated across harnesses
+    std::vector<analysis::DeadlockFinding> deadlocks;
     std::vector<HarnessAnalysis> perHarness;
 };
 
 /**
  * The detector. Construction generates the per-activity harnesses into
  * the app's module (once); analyze() may be called repeatedly with
- * different options (e.g. to ablate the context policy).
+ * different options (e.g. to ablate the context policy). Options that
+ * act at harness-generation time (SierraOptions::icc) are honored only
+ * by the two-argument constructor.
  */
 class SierraDetector
 {
   public:
     explicit SierraDetector(framework::App &app);
+    SierraDetector(framework::App &app, const SierraOptions &options);
 
     /** Run the full pipeline over every activity harness. */
     AppReport analyze(const SierraOptions &options = {});
@@ -209,6 +240,9 @@ class SierraDetector
     {
         return _plans;
     }
+
+    /** ICC scan counters (all zero when icc was off at construction). */
+    const framework::IccStats &iccStats() const { return _iccStats; }
 
   private:
     const harness::HarnessPlan &planFor(const std::string &activity);
@@ -226,6 +260,7 @@ class SierraDetector
 
     framework::App &_app;
     std::vector<harness::HarnessPlan> _plans;
+    framework::IccStats _iccStats;
 };
 
 /**

@@ -111,6 +111,103 @@ TEST(Cli, AnalyzeJson)
     EXPECT_NE(r.out.find("\"racyPairs\":"), std::string::npos);
 }
 
+TEST(Cli, AnalyzeJsonCarriesSchemaVersion)
+{
+    TempFile file(".air");
+    ASSERT_EQ(run({"dump", "VuDroid", "-o", file.path()}).code, 0);
+    CliRun r = run({"analyze", file.path(), "--json"});
+    ASSERT_EQ(r.code, 0) << r.err;
+    // The version is the first key, so consumers can dispatch on it
+    // before reading anything else.
+    EXPECT_NE(r.out.find("{\n  \"schemaVersion\": 2,"),
+              std::string::npos)
+        << r.out.substr(0, 200);
+}
+
+/** Every value in the emitted JSON must be quoted, numeric, boolean,
+ *  or a nested container — a bare string value (the PR-6 class of bug,
+ *  where a new field was emitted unquoted) breaks strict parsers. */
+void
+expectValuesWellFormed(const std::string &json)
+{
+    for (size_t i = 0; i + 2 < json.size(); ++i) {
+        // A key ends with `": ` (an escaped quote inside a string
+        // value is `\"` and does not match).
+        if (json[i] != '"' || json[i + 1] != ':' ||
+            json[i + 2] != ' ' || (i > 0 && json[i - 1] == '\\'))
+            continue;
+        char v = json[i + 3];
+        bool ok = v == '"' || v == '[' || v == '{' || v == '-' ||
+                  (v >= '0' && v <= '9') || v == 't' || v == 'f' ||
+                  v == 'n';
+        EXPECT_TRUE(ok) << "unquoted value at offset " << i << ": ..."
+                        << json.substr(i, 60) << "...";
+        if (!ok)
+            return;
+    }
+}
+
+TEST(Cli, AnalyzeJsonStringFieldsAreQuoted)
+{
+    // SipDroid exercises every report section: races, use-after-
+    // destroy, and deadlocks; VLC adds resolved ICC edges.
+    for (const char *app : {"SipDroid", "VLC"}) {
+        TempFile file(".air");
+        ASSERT_EQ(run({"dump", app, "-o", file.path()}).code, 0);
+        CliRun r = run({"analyze", file.path(), "--json", "--metrics"});
+        ASSERT_EQ(r.code, 0) << r.err;
+        expectValuesWellFormed(r.out);
+    }
+}
+
+TEST(Cli, AnalyzeJsonDeadlockSection)
+{
+    TempFile file(".air");
+    ASSERT_EQ(run({"dump", "SipDroid", "-o", file.path()}).code, 0);
+
+    CliRun r = run({"analyze", file.path(), "--json"});
+    ASSERT_EQ(r.code, 0) << r.err;
+    EXPECT_NE(r.out.find("\"deadlocks\": ["), std::string::npos);
+    EXPECT_NE(r.out.find("\"heldLock\":"), std::string::npos);
+    EXPECT_NE(r.out.find("\"acquiredLock\":"), std::string::npos);
+
+    CliRun off = run({"analyze", file.path(), "--json",
+                      "--no-deadlock"});
+    ASSERT_EQ(off.code, 0) << off.err;
+    EXPECT_NE(off.out.find("\"deadlocks\": []"), std::string::npos);
+}
+
+TEST(Cli, AnalyzeNoDeadlockFlag)
+{
+    TempFile file(".air");
+    ASSERT_EQ(run({"dump", "SipDroid", "-o", file.path()}).code, 0);
+
+    CliRun on = run({"analyze", file.path()});
+    ASSERT_EQ(on.code, 0) << on.err;
+    EXPECT_NE(on.out.find("deadlocks: 1"), std::string::npos);
+    EXPECT_NE(on.out.find("[dl] cycle"), std::string::npos);
+
+    CliRun off = run({"analyze", file.path(), "--no-deadlock"});
+    ASSERT_EQ(off.code, 0) << off.err;
+    EXPECT_EQ(off.out.find("[dl]"), std::string::npos);
+}
+
+TEST(Cli, AnalyzeNoIccFlag)
+{
+    TempFile file(".air");
+    ASSERT_EQ(run({"dump", "VLC", "-o", file.path()}).code, 0);
+
+    CliRun on = run({"analyze", file.path()});
+    ASSERT_EQ(on.code, 0) << on.err;
+    EXPECT_NE(on.out.find("Feed$2.article"), std::string::npos)
+        << "cross-component race expected with ICC on";
+
+    CliRun off = run({"analyze", file.path(), "--no-icc"});
+    ASSERT_EQ(off.code, 0) << off.err;
+    EXPECT_EQ(off.out.find("Feed$2.article"), std::string::npos)
+        << "cross-component race requires the ICC edge";
+}
+
 TEST(Cli, DynamicCommand)
 {
     TempFile file(".air");

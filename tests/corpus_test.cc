@@ -34,7 +34,8 @@ TEST_P(NamedAppBuild, BuildsAndVerifies)
     const NamedAppSpec &spec = namedAppSpecs()[GetParam()];
     BuiltApp built = buildNamedApp(spec);
     EXPECT_EQ(built.app->name(), spec.name);
-    EXPECT_EQ(
+    // ICC patterns add target activities beyond the spec count.
+    EXPECT_GE(
         static_cast<int>(built.app->manifest().activities.size()),
         spec.activities);
     EXPECT_TRUE(air::verifyModule(built.app->module()).empty())
@@ -96,16 +97,33 @@ INSTANTIATE_TEST_SUITE_P(Sample, FdroidBuild,
 TEST(Patterns, CatalogShape)
 {
     const auto &catalog = patternCatalog();
-    EXPECT_EQ(catalog.size(), 21u);
+    EXPECT_EQ(catalog.size(), 25u);
     int true_races = 0;
     int traps = 0;
+    int deadlocks = 0;
     for (const auto &entry : catalog) {
         EXPECT_NE(entry.fn, nullptr);
         true_races += entry.seededTrueRaces;
         traps += entry.seededTraps;
+        deadlocks += entry.seededDeadlocks;
     }
     EXPECT_GT(true_races, 0);
     EXPECT_GT(traps, 0);
+    EXPECT_GT(deadlocks, 0);
+}
+
+/** The random-draw pool is pinned to the first 21 catalog entries —
+ *  growing the catalog must never reshuffle existing synthetic apps. */
+TEST(Patterns, RandomPoolIsFrozenCatalogPrefix)
+{
+    const auto &pool = randomPatternPool();
+    const auto &catalog = patternCatalog();
+    ASSERT_EQ(pool.size(), 21u);
+    ASSERT_GE(catalog.size(), pool.size());
+    for (size_t i = 0; i < pool.size(); ++i) {
+        EXPECT_STREQ(pool[i].name, catalog[i].name) << i;
+        EXPECT_EQ(pool[i].fn, catalog[i].fn) << i;
+    }
 }
 
 TEST(Patterns, SeedCountsMatchCatalog)
@@ -125,6 +143,8 @@ TEST(Patterns, SeedCountsMatchCatalog)
         }
         EXPECT_EQ(true_races, entry.seededTrueRaces) << entry.name;
         EXPECT_EQ(traps, entry.seededTraps) << entry.name;
+        EXPECT_EQ(built.truth.seededDeadlocks, entry.seededDeadlocks)
+            << entry.name;
         EXPECT_TRUE(air::verifyModule(built.app->module()).empty())
             << entry.name;
     }

@@ -9,6 +9,7 @@
 #include "analysis/lint.hh"
 #include "corpus/generator.hh"
 #include "corpus/named_apps.hh"
+#include "corpus/patterns.hh"
 
 namespace sierra::corpus {
 namespace {
@@ -65,6 +66,21 @@ TEST(CorpusWellformed, AllFdroidAppsVerifyAndLintClean)
         expectWellformed(*built.app);
         if (::testing::Test::HasFailure())
             FAIL() << "first failing app index " << i;
+    }
+}
+
+/** Each pattern in isolation, too — named/fdroid apps mix patterns,
+ *  which can mask a defect one pattern plants and another hides. */
+TEST(CorpusWellformed, EveryPatternProbeVerifiesAndLintsClean)
+{
+    for (const auto &entry : patternCatalog()) {
+        AppFactory factory(std::string("probe-") + entry.name);
+        auto &act = factory.addActivity("ProbeActivity");
+        entry.fn(factory, act);
+        BuiltApp built = factory.finish();
+        expectWellformed(*built.app);
+        if (::testing::Test::HasFailure())
+            FAIL() << "first failing pattern " << entry.name;
     }
 }
 

@@ -197,6 +197,88 @@ TEST(Lint, RepeatedDiagnosticsAreDeduplicated)
         << issues[0].message;
 }
 
+TEST(Lint, PostUnderMonitorIsWarning)
+{
+    auto mod = parse(R"(
+    class T {
+        method f(p0: java.lang.Object, p1: java.lang.Runnable): void regs=4 {
+            @0: monitor-enter r1
+            @1: invoke-virtual android.os.Handler.post(r1, r2)
+            @2: monitor-exit r1
+            @3: return-void
+        }
+    })");
+    auto issues = lintModule(*mod);
+    ASSERT_EQ(issues.size(), 1u);
+    EXPECT_TRUE(hasIssue(issues, "called with a monitor held",
+                         Severity::Warning));
+    EXPECT_EQ(issues[0].where, "T.f@1");
+}
+
+TEST(Lint, PostOutsideMonitorIsClean)
+{
+    auto mod = parse(R"(
+    class T {
+        method f(p0: java.lang.Object, p1: java.lang.Runnable): void regs=4 {
+            @0: monitor-enter r1
+            @1: monitor-exit r1
+            @2: invoke-virtual android.os.Handler.post(r1, r2)
+            @3: return-void
+        }
+    })");
+    EXPECT_TRUE(lintModule(*mod).empty());
+}
+
+TEST(Lint, SendMessageUnderMonitorIsWarning)
+{
+    auto mod = parse(R"(
+    class T {
+        method f(p0: java.lang.Object, p1: java.lang.Object): void regs=4 {
+            @0: monitor-enter r1
+            @1: invoke-virtual android.os.Handler.sendMessage(r1, r2)
+            @2: monitor-exit r1
+            @3: return-void
+        }
+    })");
+    auto issues = lintModule(*mod);
+    ASSERT_EQ(issues.size(), 1u);
+    EXPECT_TRUE(hasIssue(issues, "called with a monitor held",
+                         Severity::Warning));
+}
+
+TEST(Lint, NonPostCallUnderMonitorIsClean)
+{
+    auto mod = parse(R"(
+    class T {
+        method g(): void regs=2 {
+            @0: return-void
+        }
+        method f(p0: java.lang.Object): void regs=4 {
+            @0: monitor-enter r1
+            @1: invoke-virtual T.g(r0)
+            @2: monitor-exit r1
+            @3: return-void
+        }
+    })");
+    EXPECT_TRUE(lintModule(*mod).empty());
+}
+
+TEST(Lint, LockHeldAtPostCanBeDisabled)
+{
+    auto mod = parse(R"(
+    class T {
+        method f(p0: java.lang.Object, p1: java.lang.Runnable): void regs=4 {
+            @0: monitor-enter r1
+            @1: invoke-virtual android.os.Handler.post(r1, r2)
+            @2: monitor-exit r1
+            @3: return-void
+        }
+    })");
+    LintOptions opts;
+    opts.lockHeldAtPost = false;
+    EXPECT_TRUE(lintModule(*mod, opts).empty());
+}
+
 TEST(Lint, UnreachableCodeProducesNoUseOrStoreNoise)
 {
     // Dead code reading an unassigned register: flagged unreachable

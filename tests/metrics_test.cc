@@ -182,7 +182,8 @@ TEST(StageTimesAccounting, TotalCpuEqualsSumOfStageFields)
         AppReport report = analyzeWithMetrics("K-9 Mail", m, jobs);
         const StageTimes &t = report.times;
         double stage_sum = t.cgPa + t.hbg + t.dataflow + t.escape +
-                           t.racy + t.lockset + t.ifds + t.refutation;
+                           t.racy + t.lockset + t.deadlock + t.ifds +
+                           t.refutation;
         // fp-rounding tolerance only: the merge must not lose or
         // double-count any worker's CPU at any jobs count.
         EXPECT_NEAR(t.totalCpu, stage_sum,

@@ -62,6 +62,12 @@ analyze options:
   --no-ifds         disable the interprocedural constant stage (the
                     refuter loses setter/return summaries and the
                     use-after-destroy section is skipped)
+  --no-deadlock     disable the deadlock stage (the lock-dependency
+                    cycle search; the deadlocks section is skipped)
+  --no-icc          disable inter-component (Intent) modeling: target
+                    activities launched via startActivity/PendingIntent
+                    are not driven by the sender's harness, so
+                    cross-component races are missed
   --max-races N     cap the printed race list (default 50)
   --show-refuted    also print refuted candidates
   --trace FILE      write a Chrome trace-event JSON profile of the run
@@ -239,6 +245,9 @@ printReportJson(const AppReport &report, std::ostream &out,
                 const util::metrics::Registry *metrics = nullptr)
 {
     out << "{\n";
+    // Bumped whenever a field is added, renamed or retyped, so
+    // downstream consumers can gate on the shape they understand.
+    out << "  \"schemaVersion\": 2,\n";
     out << "  \"app\": \"" << jsonEscape(report.app) << "\",\n";
     out << "  \"harnesses\": " << report.harnesses << ",\n";
     out << "  \"actions\": " << report.actions << ",\n";
@@ -254,6 +263,7 @@ printReportJson(const AppReport &report, std::ostream &out,
         << ", \"escape\": " << report.times.escape * 1e3
         << ", \"racy\": " << report.times.racy * 1e3
         << ", \"lockset\": " << report.times.lockset * 1e3
+        << ", \"deadlock\": " << report.times.deadlock * 1e3
         << ", \"ifds\": " << report.times.ifds * 1e3
         << ", \"refutation\": " << report.times.refutation * 1e3
         << ", \"totalCpu\": " << report.times.totalCpu * 1e3
@@ -273,6 +283,23 @@ printReportJson(const AppReport &report, std::ostream &out,
             << "\"}";
     }
     out << (report.useAfterDestroy.empty() ? "],\n" : "\n  ],\n");
+    out << "  \"deadlocks\": [";
+    for (size_t i = 0; i < report.deadlocks.size(); ++i) {
+        const auto &f = report.deadlocks[i];
+        out << (i ? ",\n    " : "\n    ") << "{\"edges\": [";
+        for (size_t j = 0; j < f.edges.size(); ++j) {
+            const auto &e = f.edges[j];
+            out << (j ? ", " : "") << "{\"heldLock\": \""
+                << jsonEscape(e.heldLock) << "\", \"acquiredLock\": \""
+                << jsonEscape(e.acquiredLock) << "\", \"method\": \""
+                << jsonEscape(e.method)
+                << "\", \"instrIdx\": " << e.instrIdx
+                << ", \"action\": \"" << jsonEscape(e.actionLabel)
+                << "\"}";
+        }
+        out << "]}";
+    }
+    out << (report.deadlocks.empty() ? "],\n" : "\n  ],\n");
     out << "  \"races\": [\n";
     bool first = true;
     for (const auto &race : report.races) {
@@ -324,6 +351,8 @@ cmdAnalyze(const ParsedFlags &flags, std::ostream &out,
     options.escapeFilter = !flags.has("--no-escape");
     options.locksetRefutation = !flags.has("--no-lockset");
     options.ifds = !flags.has("--no-ifds");
+    options.deadlock = !flags.has("--no-deadlock");
+    options.icc = !flags.has("--no-icc");
 
     util::metrics::Registry registry;
     const bool want_metrics = flags.has("--metrics");
@@ -333,7 +362,9 @@ cmdAnalyze(const ParsedFlags &flags, std::ostream &out,
     if (!trace_path.empty())
         util::trace::start();
 
-    SierraDetector detector(*app);
+    // ICC acts at harness generation, so the options must reach the
+    // constructor, not just analyze().
+    SierraDetector detector(*app, options);
     AppReport report = detector.analyze(options);
 
     int status = 0;
