@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Callback-enablement refutation: registration typestate + lifecycle
+ * reachability (the refutation stage between lockset and IFDS).
+ *
+ * A racy pair's entry can be a false positive when one action's
+ * *enabling* registration is provably torn down before the other
+ * action can run: a receiver's onReceive cannot conflict with an
+ * access ordered after `unregisterReceiver`, a posted runnable removed
+ * via `removeCallbacks` cannot witness a race with anything ordered
+ * after the removal, and a listener slot overwritten or cleared with
+ * null stops delivering its old callback.
+ *
+ * The pass has three parts, all resolved through points-to must-alias
+ * exactly like `race::refuteWithLockSets` resolves monitors (a
+ * singleton points-to set is treated as one concrete object):
+ *
+ *  1. **Records** — for each disableable action (Receive,
+ *     PostedRunnable, PostedMessage, Gui) resolve its spawn sites to a
+ *     registration *key*: the receiver object, the (handler, runnable)
+ *     pair, the (handler, message-what) pair, or the (view, listener
+ *     slot) pair. Ambiguous (non-singleton) resolutions yield no
+ *     record and the action is never exonerated.
+ *  2. **Typestate** — a forward must-dataflow (a client of
+ *     `solveDataflow`) over candidate disabler callbacks: facts map
+ *     keys to MustOff / MustBound(listener); merge is intersection;
+ *     may-enabling calls (register/post/send/set) kill facts, and
+ *     calls into app code kill by the callee's transitive may-enable
+ *     summary. The *exit* fact (meet over return blocks) is what the
+ *     action guarantees to every observer ordered after it.
+ *  3. **Query** — `disabledBefore(a1, a2)` holds when some disabler D
+ *     with a must-disable exit fact for a1's key (a) serializes with
+ *     a1 on the same looper, (b) happens-before a2 (or D is a1's own
+ *     creator: disabled-from-birth), and (c) every site that may
+ *     re-enable the key belongs to an action ordered before D — so
+ *     once D completes, no instance of a1 can ever start again.
+ *
+ * All disable APIs modeled here also drop *pending* instances
+ * (removeCallbacks/removeMessages purge the queue, unregisterReceiver
+ * drops undelivered broadcasts, listener slots are read at dispatch
+ * time), which is what makes (a)+(b)+(c) sufficient: every instance of
+ * a1 completes before D does, and D completes before a2 starts.
+ *
+ * Layering: this module may not include hb/ — SHBG reachability is
+ * passed in as a `std::function` closed over the graph.
+ */
+
+#ifndef SIERRA_ANALYSIS_ENABLEMENT_HH
+#define SIERRA_ANALYSIS_ENABLEMENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "points_to.hh"
+
+namespace sierra::framework {
+class KnownApis;
+}
+
+namespace sierra::analysis {
+
+/** Which registration family enables a disableable action. */
+enum class EnablementKind : uint8_t {
+    Receiver, //!< registerReceiver / unregisterReceiver
+    Runnable, //!< Handler.post / Handler.removeCallbacks
+    Message,  //!< Handler.sendMessage / Handler.removeMessages
+    Listener, //!< View.setOnXxxListener(obj | null)
+};
+
+/** Work counters, surfaced as the `enablement.*` metrics. */
+struct EnablementStats {
+    int64_t trackedActions{0}; //!< actions with a must-alias record
+    int64_t enableSites{0};    //!< registration/post sites inventoried
+    int64_t disableSites{0};   //!< unregister/remove/clear sites found
+    int64_t disablers{0};      //!< actions with a must-disable exit fact
+    int64_t queries{0};        //!< disabledBefore() evaluations
+    int64_t exonerated{0};     //!< queries that held
+};
+
+/**
+ * One harness's enablement facts. Construction scans the call graph
+ * once for enable/disable sites and solves the registration typestate
+ * only on callbacks that directly contain a disable site (the
+ * demand-driven part); `disabledBefore` queries are then cheap.
+ */
+class EnablementAnalysis
+{
+  public:
+    EnablementAnalysis(const PointsToResult &result,
+                       const framework::KnownApis &apis);
+
+    /** SHBG reachability, irreflexive and transitively closed. */
+    using ReachesFn = std::function<bool(int, int)>;
+
+    /**
+     * True when action `a1` is provably disabled at every
+     * SHBG-unordered point where action `a2` can run, with no
+     * re-enabling site on any interleaved path. Counts into stats().
+     */
+    bool disabledBefore(int a1, int a2, const ReachesFn &reaches);
+
+    /** Whether the action resolved to a must-alias registration key. */
+    bool tracks(int action_id) const
+    {
+        return _records.find(action_id) != _records.end();
+    }
+
+    const EnablementStats &stats() const { return _stats; }
+
+  private:
+    /** A registration key: what a disable API must name to turn the
+     *  enablement off. `aux` is the runnable ObjId (Runnable), the
+     *  message `what` with -1 meaning any (Message), or the listener
+     *  slot id (Listener); 0 for Receiver. */
+    struct TsKey {
+        EnablementKind kind{EnablementKind::Receiver};
+        ObjId obj{-1};
+        int aux{0};
+
+        auto operator<=>(const TsKey &) const = default;
+    };
+
+    /** A must fact about one key: turned off, or (listener slots
+     *  only) definitely bound to a specific listener object. */
+    struct TsVal {
+        bool off{false};
+        ObjId bound{-1};
+
+        bool operator==(const TsVal &) const = default;
+    };
+
+    /** The typestate lattice element: absent key = unknown. */
+    using TsDomain = std::map<TsKey, TsVal>;
+
+    /** A disableable action's resolved registration. */
+    struct Record {
+        TsKey key;
+        ObjId listener{-1}; //!< Listener only: the bound object
+    };
+
+    /** One site that may (re-)enable a key. */
+    struct EnableSite {
+        NodeId node{-1};
+        std::vector<ObjId> listeners; //!< Listener only: may-bound set
+    };
+
+    /** An action whose entry callback must-disables some keys. */
+    struct Disabler {
+        int action{-1};
+        TsDomain exitFacts;
+    };
+
+    /** The dataflow problem (defined in the .cc). */
+    struct TypestateProblem;
+
+    int slotOf(const std::string &callback);
+    void computeCalleeEnableMasks();
+    void scanSites();
+    void buildRecords();
+    void buildDisablers();
+    TsDomain solveTypestate(NodeId node) const;
+    bool reEnableSafe(const Record &rec, int disabler,
+                      const ReachesFn &reaches) const;
+
+    const PointsToResult &_result;
+    const framework::KnownApis &_apis;
+    EnablementStats _stats;
+
+    /** Listener callback name -> dense slot id (scan order). */
+    std::map<std::string, int> _slots;
+    /** Per call-graph node: which key families its transitive callees
+     *  may enable (bitmask of EnableBit in the .cc). */
+    std::vector<uint8_t> _mayEnable;
+    /** Per node: whether the node's method contains a disable site. */
+    std::vector<char> _hasDisableSite;
+
+    std::unordered_map<int, Record> _records; //!< action id -> record
+    std::map<TsKey, std::vector<EnableSite>> _enableSites;
+    std::vector<Disabler> _disablers; //!< ascending action id
+};
+
+} // namespace sierra::analysis
+
+#endif // SIERRA_ANALYSIS_ENABLEMENT_HH

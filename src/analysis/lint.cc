@@ -1,6 +1,7 @@
 #include "lint.hh"
 
 #include <algorithm>
+#include <set>
 
 #include "air/logging.hh"
 #include "cfg.hh"
@@ -252,6 +253,200 @@ lintInto(const Method &method, const LintOptions &opts,
     }
 }
 
+/**
+ * Resolve the object register `reg`, as of instruction `limit`, to the
+ * instance field that keeps it alive across callbacks: either the
+ * register was loaded from a field, or it holds a fresh allocation the
+ * method also stores into one. Walks back through move chains; returns
+ * "" when no field is found (the object dies with the method frame).
+ */
+std::string
+fieldKeyOf(const Method &method, int limit, int reg)
+{
+    for (int i = limit - 1; i >= 0; --i) {
+        const Instruction &in = method.instr(i);
+        if (in.dst != reg)
+            continue;
+        if (in.op == Opcode::Move) {
+            reg = in.srcs[0];
+            continue;
+        }
+        if (in.op == Opcode::GetField)
+            return in.field.toString();
+        if (in.op == Opcode::New) {
+            for (int j = 0; j < method.numInstrs(); ++j) {
+                const Instruction &st = method.instr(j);
+                if (st.op == Opcode::PutField && st.srcs[1] == reg)
+                    return st.field.toString();
+            }
+            return {};
+        }
+        return {};
+    }
+    return {};
+}
+
+/**
+ * Forward must-analysis over one teardown callback: the set of
+ * registration keys unregistered/cleared on *every* path so far. Meet
+ * is set intersection; keys are "recv:<field>" for unregisterReceiver
+ * and "lsn:<field>#<setter>" for a null listener store.
+ */
+struct MustTeardown {
+    using Domain = std::set<std::string>;
+    static constexpr DataflowDirection kDirection =
+        DataflowDirection::Forward;
+
+    const Method *method;
+    const framework::KnownApis *apis;
+
+    Domain boundary() const { return {}; }
+
+    bool
+    merge(Domain &into, const Domain &from) const
+    {
+        bool changed = false;
+        for (auto it = into.begin(); it != into.end();) {
+            if (!from.count(*it)) {
+                it = into.erase(it);
+                changed = true;
+            } else {
+                ++it;
+            }
+        }
+        return changed;
+    }
+
+    void
+    transfer(int idx, const Instruction &instr, Domain &d) const
+    {
+        if (instr.op != Opcode::Invoke || instr.srcs.size() < 2)
+            return;
+        framework::ApiKind kind = apis->classify(instr.method);
+        if (kind == framework::ApiKind::UnregisterReceiver) {
+            std::string key = fieldKeyOf(*method, idx, instr.srcs[1]);
+            if (!key.empty())
+                d.insert("recv:" + key);
+        } else if (kind == framework::ApiKind::SetListener &&
+                   framework::KnownApis::isListenerClear(*method, idx)) {
+            std::string key = fieldKeyOf(*method, idx, instr.srcs[0]);
+            if (!key.empty())
+                d.insert("lsn:" + key + "#" + instr.method.methodName);
+        }
+    }
+};
+
+/** Keys a class must-unregister in at least one teardown callback. */
+std::set<std::string>
+mustTeardownKeys(const air::Klass &klass,
+                 const framework::KnownApis &apis)
+{
+    std::set<std::string> satisfied;
+    for (const auto &m : klass.methods()) {
+        if (!m->hasBody())
+            continue;
+        const std::string &n = m->name();
+        if (n != "onPause" && n != "onStop" && n != "onDestroy")
+            continue;
+        const Cfg cfg(*m);
+        MustTeardown problem{m.get(), &apis};
+        DataflowResult<MustTeardown::Domain> r =
+            solveDataflow(cfg, problem);
+        // Meet over every reached return block: a key counts only if
+        // all normal exits of this callback have seen the unregister.
+        std::set<std::string> at_exit;
+        bool first = true;
+        for (const BasicBlock &block : cfg.blocks()) {
+            if (block.first > block.last || !r.reached[block.id])
+                continue;
+            Opcode last = m->instr(block.last).op;
+            if (last != Opcode::Return && last != Opcode::ReturnVoid)
+                continue;
+            if (first) {
+                at_exit = r.atExit[block.id];
+                first = false;
+            } else {
+                problem.merge(at_exit, r.atExit[block.id]);
+            }
+        }
+        satisfied.insert(at_exit.begin(), at_exit.end());
+    }
+    return satisfied;
+}
+
+/**
+ * The leaked-registration check: registrations made in lifecycle setup
+ * callbacks that no teardown callback of the same class provably undoes
+ * stay enabled past the component's useful lifetime — the classic
+ * unregistered-receiver leak, and exactly the windows the enablement
+ * refutation stage cannot close.
+ */
+void
+lintLeakedRegistrations(const air::Klass &klass,
+                        const framework::KnownApis &apis,
+                        std::vector<VerifyIssue> &out)
+{
+    std::set<std::string> satisfied;
+    bool satisfied_computed = false;
+    for (const auto &m : klass.methods()) {
+        if (!m->hasBody())
+            continue;
+        const std::string &n = m->name();
+        if (n != "onCreate" && n != "onStart" && n != "onResume")
+            continue;
+        for (int i = 0; i < m->numInstrs(); ++i) {
+            const Instruction &instr = m->instr(i);
+            if (instr.op != Opcode::Invoke || instr.srcs.size() < 2)
+                continue;
+            framework::ApiKind kind = apis.classify(instr.method);
+            std::string key;
+            std::string message;
+            if (kind == framework::ApiKind::RegisterReceiver) {
+                std::string field =
+                    fieldKeyOf(*m, i, instr.srcs[1]);
+                if (field.empty()) {
+                    message = "registered receiver is never stored in "
+                              "a field and is not unregistered in any "
+                              "teardown callback "
+                              "(onPause/onStop/onDestroy)";
+                } else {
+                    key = "recv:" + field;
+                    message = strCat(
+                        "receiver ", field,
+                        " registered here is not unregistered in any "
+                        "teardown callback (onPause/onStop/onDestroy)");
+                }
+            } else if (kind == framework::ApiKind::SetListener &&
+                       !framework::KnownApis::isListenerClear(*m, i)) {
+                // Only listeners on field-held (long-lived) views leak;
+                // views fetched from the activity's own layout die with
+                // the view tree.
+                std::string field =
+                    fieldKeyOf(*m, i, instr.srcs[0]);
+                if (field.empty())
+                    continue;
+                key = "lsn:" + field + "#" + instr.method.methodName;
+                message = strCat(
+                    "listener set on ", field,
+                    " is not cleared in any teardown callback "
+                    "(onPause/onStop/onDestroy)");
+            } else {
+                continue;
+            }
+            if (!key.empty()) {
+                if (!satisfied_computed) {
+                    satisfied = mustTeardownKeys(klass, apis);
+                    satisfied_computed = true;
+                }
+                if (satisfied.count(key))
+                    continue;
+            }
+            out.push_back({strCat(m->qualifiedName(), "@", i),
+                           std::move(message), Severity::Warning});
+        }
+    }
+}
+
 } // namespace
 
 std::vector<VerifyIssue>
@@ -270,6 +465,8 @@ lintModule(const air::Module &module, const LintOptions &opts)
     for (const air::Klass *k : module.classes()) {
         for (const auto &m : k->methods())
             lintInto(*m, opts, &apis, out);
+        if (opts.leakedRegistration)
+            lintLeakedRegistrations(*k, apis, out);
     }
     return air::dedupeIssues(std::move(out));
 }

@@ -3,7 +3,7 @@
  * AIR lint: flow-sensitive diagnostics on top of the structural
  * verifier, built on the dataflow framework (analysis/dataflow.hh).
  *
- * Four checks:
+ * Five checks:
  *  - use-before-def (Error): an instruction reads a register that is
  *    not definitely assigned on every path from method entry
  *    (parameters and `this` count as assigned);
@@ -16,7 +16,19 @@
  *    call site that some path reaches with a monitor still held — the
  *    posted callback runs later on another queue, so the monitor
  *    protects nothing it does, and re-acquiring it there is a classic
- *    event-loop deadlock/ordering trap.
+ *    event-loop deadlock/ordering trap;
+ *  - leaked-registration (Warning): a registerReceiver or
+ *    setOnXxxListener in a lifecycle setup callback (onCreate, onStart,
+ *    onResume) whose registered object no teardown callback (onPause,
+ *    onStop, onDestroy) of the same class must-unregisters or
+ *    must-clears. The registration is matched to its teardown through
+ *    the instance field holding the receiver (or, for listeners, the
+ *    long-lived field holding the view); listeners set on views the
+ *    activity owns through findViewById die with the view tree and are
+ *    not flagged. "Must" is literal: the unregister has to happen on
+ *    every path through some teardown callback, computed by a forward
+ *    intersection dataflow. This check needs the whole class (setup
+ *    and teardown methods), so it runs under lintModule only.
  *
  * Diagnostics reuse air::VerifyIssue so verifier and lint output can be
  * merged, deduplicated, and printed uniformly.
@@ -36,6 +48,7 @@ struct LintOptions {
     bool unreachableBlocks{true};
     bool deadStores{true};
     bool lockHeldAtPost{true};
+    bool leakedRegistration{true}; //!< module-scope; no-op in lintMethod
 };
 
 /** Lint one method body; no-op for bodyless methods. */

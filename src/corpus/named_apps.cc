@@ -47,7 +47,8 @@ namedAppSpecs()
         {"Barcode Scanner", "100,000,000-500,000,000", 808, 3,
          {"messageGuard", "threadRace"}},
         {"Beem", "50,000-100,000", 1700, 5,
-         {"receiverDbRace", "orderedPosts", "arrayIndexTrap"}},
+         {"receiverDbRace", "orderedPosts", "arrayIndexTrap",
+          "unregisteredFpTrap"}},
         {"ConnectBot", "1,000,000-5,000,000", 700, 3,
          {"threadRace", "receiverDbRace", "lockGuarded"}},
         {"FBReader", "10,000,000-50,000,000", 1013, 4,
@@ -63,13 +64,15 @@ namedAppSpecs()
          {"serviceStaticRace", "threadRace", "workSession",
           "iccPendingIntent"}},
         {"NPR News", "1,000,000-5,000,000", 1500, 4,
-         {"asyncNewsRace", "threadRace", "implicitDepTrap"}},
+         {"asyncNewsRace", "threadRace", "implicitDepTrap",
+          "registeredWindow"}},
         {"NotePad", "10,000,000-50,000,000", 228, 2,
          {"orderedPosts", "threadRace"}},
         {"OpenManager", "N/A", 77, 1,
          {"implicitDepTrap", "threadRace"}},
         {"OpenSudoku", "1,000,000-5,000,000", 170, 2,
-         {"guardedTimer", "messageGuard", "computedGuard"}},
+         {"guardedTimer", "messageGuard", "computedGuard",
+          "removedCallback"}},
         {"SipDroid", "1,000,000-5,000,000", 539, 3,
          {"receiverDbRace", "messageGuard", "arrayIndexTrap",
           "deadlockCycle"}},

@@ -1913,6 +1913,238 @@ addIccPendingIntent(AppFactory &f, ActivityBuilder &act)
                   /*requires_icc=*/true);
 }
 
+// --------------------------------------------------------------------
+// Pattern: registration window (enablement-stage positive + negative).
+//
+// A receiver registered in onCreate and unregistered in onPause writes
+// two activity fields from onReceive: one also written by a click
+// listener (a true race — the click can interleave with deliveries
+// inside the registration window), one read only by onDestroy (a false
+// positive — onPause must-unregisters before onDestroy can run, so no
+// delivery can overlap the epilogue read).
+// --------------------------------------------------------------------
+void
+addRegisteredWindow(AppFactory &f, ActivityBuilder &act)
+{
+    int n = f.nextUnique();
+    int view_id = f.nextViewId();
+    std::string recv_cls = "Win$" + std::to_string(n);
+    std::string click_cls = "WinClick$" + std::to_string(n);
+    std::string act_cls = act.name();
+    std::string recv_field = "winRecv$" + std::to_string(n);
+    std::string state_field = "winState$" + std::to_string(n);
+    std::string buf_field = "winBuf$" + std::to_string(n);
+
+    air::Module &mod = f.app().module();
+
+    Klass *recv = mod.addClass(recv_cls, names::receiver);
+    recv->addField({"act", Type::object(act_cls), false});
+    storingCtor(recv, recv_cls, "act", Type::object(act_cls));
+    defineMethod(recv, "onReceive",
+                 {Type::object(names::object),
+                  Type::object(names::intent)},
+                 Type::voidTy(), false, [&](MethodBuilder &b) {
+                     int ra = b.newReg();
+                     int r1 = b.newReg();
+                     int r2 = b.newReg();
+                     b.getField(ra, b.thisReg(),
+                                fieldRef(recv_cls, "act"));
+                     b.constInt(r1, 1);
+                     b.putField(ra, fieldRef(act_cls, state_field), r1);
+                     b.constInt(r2, 7);
+                     b.putField(ra, fieldRef(act_cls, buf_field), r2);
+                 });
+
+    Klass *click = mod.addClass(click_cls, names::object);
+    click->addInterface(names::onClickListener);
+    click->addField({"act", Type::object(act_cls), false});
+    storingCtor(click, click_cls, "act", Type::object(act_cls));
+    defineMethod(click, "onClick", {Type::object(names::view)},
+                 Type::voidTy(), false, [&](MethodBuilder &b) {
+                     int ra = b.newReg();
+                     int r2 = b.newReg();
+                     b.getField(ra, b.thisReg(),
+                                fieldRef(click_cls, "act"));
+                     b.constInt(r2, 2);
+                     b.putField(ra, fieldRef(act_cls, state_field), r2);
+                 });
+
+    act.addField(recv_field, Type::object(recv_cls));
+    act.addField(state_field, Type::intTy());
+    act.addField(buf_field, Type::intTy());
+    framework::Widget w;
+    w.id = view_id;
+    w.name = "btnWin$" + std::to_string(n);
+    w.widgetClass = names::button;
+    act.layout().addWidget(w);
+
+    act.on("onCreate", [=](MethodBuilder &b) {
+        int rid = b.newReg();
+        int rv = b.newReg();
+        int rcl = b.newReg();
+        int rr = b.newReg();
+        int rs = b.newReg();
+        b.constInt(rid, view_id);
+        b.callTo(rv, b.thisReg(), act_cls, "findViewById", {rid});
+        b.newObject(rcl, click_cls);
+        b.invoke(-1, InvokeKind::Special, {click_cls, "<init>", 0},
+                 {rcl, b.thisReg()});
+        b.call(rv, names::view, "setOnClickListener", {rcl});
+        b.newObject(rr, recv_cls);
+        b.invoke(-1, InvokeKind::Special, {recv_cls, "<init>", 0},
+                 {rr, b.thisReg()});
+        b.putField(b.thisReg(), fieldRef(act_cls, recv_field), rr);
+        b.constStr(rs, "org.sierra.WIN_UPDATE");
+        b.call(b.thisReg(), act_cls, "registerReceiver", {rr, rs});
+    });
+    act.on("onPause", [=](MethodBuilder &b) {
+        int rr = b.newReg();
+        b.getField(rr, b.thisReg(), fieldRef(act_cls, recv_field));
+        b.call(b.thisReg(), act_cls, "unregisterReceiver", {rr});
+    });
+    act.on("onDestroy", [=](MethodBuilder &b) {
+        int rb = b.newReg();
+        b.getField(rb, b.thisReg(), fieldRef(act_cls, buf_field));
+    });
+
+    f.truth().add(act_cls + "." + state_field, SeedClass::TrueRace,
+                  "registeredWindow: onReceive vs onClick inside the "
+                  "registration window");
+    f.truth().add(act_cls + "." + buf_field, SeedClass::FpTrap,
+                  "registeredWindow: onPause must-unregisters before "
+                  "onDestroy reads");
+}
+
+// --------------------------------------------------------------------
+// Pattern: symmetric unregistration (enablement-stage negative).
+//
+// The receiverDbRace motif with the teardown moved from onDestroy to
+// onPause: every onDestroy read of the receiver-written field is then
+// ordered after a must-unregister, so the report is a false positive
+// exactly of the kind the enablement stage refutes.
+// --------------------------------------------------------------------
+void
+addUnregisteredFpTrap(AppFactory &f, ActivityBuilder &act)
+{
+    int n = f.nextUnique();
+    std::string recv_cls = "Gate$" + std::to_string(n);
+    std::string act_cls = act.name();
+    std::string recv_field = "gateRecv$" + std::to_string(n);
+    std::string val_field = "gateVal$" + std::to_string(n);
+
+    air::Module &mod = f.app().module();
+
+    Klass *recv = mod.addClass(recv_cls, names::receiver);
+    recv->addField({"act", Type::object(act_cls), false});
+    storingCtor(recv, recv_cls, "act", Type::object(act_cls));
+    defineMethod(recv, "onReceive",
+                 {Type::object(names::object),
+                  Type::object(names::intent)},
+                 Type::voidTy(), false, [&](MethodBuilder &b) {
+                     int ra = b.newReg();
+                     int r1 = b.newReg();
+                     b.getField(ra, b.thisReg(),
+                                fieldRef(recv_cls, "act"));
+                     b.constInt(r1, 1);
+                     b.putField(ra, fieldRef(act_cls, val_field), r1);
+                 });
+
+    act.addField(recv_field, Type::object(recv_cls));
+    act.addField(val_field, Type::intTy());
+
+    act.on("onCreate", [=](MethodBuilder &b) {
+        int rr = b.newReg();
+        int rs = b.newReg();
+        b.newObject(rr, recv_cls);
+        b.invoke(-1, InvokeKind::Special, {recv_cls, "<init>", 0},
+                 {rr, b.thisReg()});
+        b.putField(b.thisReg(), fieldRef(act_cls, recv_field), rr);
+        b.constStr(rs, "org.sierra.GATE_OPEN");
+        b.call(b.thisReg(), act_cls, "registerReceiver", {rr, rs});
+    });
+    act.on("onPause", [=](MethodBuilder &b) {
+        int rr = b.newReg();
+        b.getField(rr, b.thisReg(), fieldRef(act_cls, recv_field));
+        b.call(b.thisReg(), act_cls, "unregisterReceiver", {rr});
+    });
+    act.on("onDestroy", [=](MethodBuilder &b) {
+        int rv = b.newReg();
+        b.getField(rv, b.thisReg(), fieldRef(act_cls, val_field));
+    });
+
+    f.truth().add(act_cls + "." + val_field, SeedClass::FpTrap,
+                  "unregisteredFpTrap: onPause must-unregisters before "
+                  "onDestroy reads");
+}
+
+// --------------------------------------------------------------------
+// Pattern: removed callback (enablement-stage negative, Handler side).
+//
+// A runnable posted in onCreate is removed via removeCallbacks in
+// onPause; its write can therefore never overlap the onDestroy read —
+// the Handler.removeCallbacks purge drops pending posts, and the
+// epilogue orders onPause before onDestroy.
+// --------------------------------------------------------------------
+void
+addRemovedCallback(AppFactory &f, ActivityBuilder &act)
+{
+    int n = f.nextUnique();
+    std::string job_cls = "Job$" + std::to_string(n);
+    std::string act_cls = act.name();
+    std::string handler_field = "jobHandler$" + std::to_string(n);
+    std::string job_field = "job$" + std::to_string(n);
+    std::string ticks_field = "jobTicks$" + std::to_string(n);
+
+    air::Module &mod = f.app().module();
+
+    Klass *job = mod.addClass(job_cls, names::object);
+    job->addInterface(names::runnable);
+    job->addField({"act", Type::object(act_cls), false});
+    storingCtor(job, job_cls, "act", Type::object(act_cls));
+    defineMethod(job, "run", {}, Type::voidTy(), false,
+                 [&](MethodBuilder &b) {
+                     int ra = b.newReg();
+                     int r1 = b.newReg();
+                     b.getField(ra, b.thisReg(),
+                                fieldRef(job_cls, "act"));
+                     b.constInt(r1, 1);
+                     b.putField(ra, fieldRef(act_cls, ticks_field), r1);
+                 });
+
+    act.addField(handler_field, Type::object(names::handler));
+    act.addField(job_field, Type::object(job_cls));
+    act.addField(ticks_field, Type::intTy());
+
+    act.on("onCreate", [=](MethodBuilder &b) {
+        int rh = b.newReg();
+        int rj = b.newReg();
+        b.newObject(rh, names::handler);
+        b.invoke(-1, InvokeKind::Special,
+                 {names::handler, "<init>", 0}, {rh});
+        b.putField(b.thisReg(), fieldRef(act_cls, handler_field), rh);
+        b.newObject(rj, job_cls);
+        b.invoke(-1, InvokeKind::Special, {job_cls, "<init>", 0},
+                 {rj, b.thisReg()});
+        b.putField(b.thisReg(), fieldRef(act_cls, job_field), rj);
+        b.call(rh, names::handler, "post", {rj});
+    });
+    act.on("onPause", [=](MethodBuilder &b) {
+        int rh = b.newReg();
+        int rj = b.newReg();
+        b.getField(rh, b.thisReg(), fieldRef(act_cls, handler_field));
+        b.getField(rj, b.thisReg(), fieldRef(act_cls, job_field));
+        b.call(rh, names::handler, "removeCallbacks", {rj});
+    });
+    act.on("onDestroy", [=](MethodBuilder &b) {
+        int rv = b.newReg();
+        b.getField(rv, b.thisReg(), fieldRef(act_cls, ticks_field));
+    });
+
+    f.truth().add(act_cls + "." + ticks_field, SeedClass::FpTrap,
+                  "removedCallback: onPause removeCallbacks before "
+                  "onDestroy reads");
+}
+
 const std::vector<PatternEntry> &
 patternCatalog()
 {
@@ -1942,6 +2174,11 @@ patternCatalog()
         {"deadlockOrdered", &addDeadlockOrdered, 0, 1, 0},
         {"iccStartActivity", &addIccStartActivity, 1, 0, 0},
         {"iccPendingIntent", &addIccPendingIntent, 1, 0, 0},
+        // Entries past the frozen 21-entry random pool (see
+        // randomPatternPool): reachable only via named-app signatures.
+        {"registeredWindow", &addRegisteredWindow, 1, 1, 0},
+        {"unregisteredFpTrap", &addUnregisteredFpTrap, 0, 1, 0},
+        {"removedCallback", &addRemovedCallback, 0, 1, 0},
     };
     return catalog;
 }

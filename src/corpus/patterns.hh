@@ -45,6 +45,14 @@
  *                       race visible only with ICC modeling
  *  - iccPendingIntent   same shape through a field-stored PendingIntent
  *                       fired from a GUI handler (atypical ICC)
+ *  - registeredWindow   receiver registered onCreate / unregistered
+ *                       onPause: a true race inside the window plus a
+ *                       post-teardown FP the enablement stage refutes
+ *  - unregisteredFpTrap receiverDbRace with the teardown in onPause:
+ *                       the onDestroy read is a pure enablement FP
+ *  - removedCallback    Handler.post in onCreate, removeCallbacks in
+ *                       onPause: the onDestroy read is a pure
+ *                       enablement FP
  */
 
 #ifndef SIERRA_CORPUS_PATTERNS_HH
@@ -79,6 +87,9 @@ void addDeadlockCycle(AppFactory &f, ActivityBuilder &act);
 void addDeadlockOrdered(AppFactory &f, ActivityBuilder &act);
 void addIccStartActivity(AppFactory &f, ActivityBuilder &act);
 void addIccPendingIntent(AppFactory &f, ActivityBuilder &act);
+void addRegisteredWindow(AppFactory &f, ActivityBuilder &act);
+void addUnregisteredFpTrap(AppFactory &f, ActivityBuilder &act);
+void addRemovedCallback(AppFactory &f, ActivityBuilder &act);
 
 /** All pattern functions, for sweep-style corpus generation. */
 using PatternFn = void (*)(AppFactory &, ActivityBuilder &);

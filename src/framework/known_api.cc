@@ -1,5 +1,6 @@
 #include "known_api.hh"
 
+#include <iterator>
 #include <unordered_map>
 
 #include "air/logging.hh"
@@ -109,14 +110,65 @@ ApiKind
 KnownApis::classifyExact(const std::string &class_name,
                          const std::string &method_name)
 {
-    for (const auto &e : kApiTable) {
-        if (class_name == e.className && method_name == e.methodName)
-            return e.kind;
-    }
+    // Built once on first use: classifyExact runs for every invoke the
+    // pointer analysis visits, so the former linear table scan was on
+    // the hot path. Keys are "class\0method" (the separator cannot
+    // occur in either name).
+    static const std::unordered_map<std::string, ApiKind> index = [] {
+        std::unordered_map<std::string, ApiKind> m;
+        m.reserve(std::size(kApiTable));
+        for (const auto &e : kApiTable) {
+            m.emplace(std::string(e.className) + '\0' + e.methodName,
+                      e.kind);
+        }
+        return m;
+    }();
+    auto it = index.find(class_name + '\0' + method_name);
+    if (it != index.end())
+        return it->second;
     // Any setXxxListener on a View subclass counts as SetListener.
     if (!listenerCallback(method_name).empty())
         return ApiKind::SetListener;
     return ApiKind::None;
+}
+
+bool
+KnownApis::isListenerClear(const air::Method &method, int instr_idx)
+{
+    const air::Instruction &call = method.instr(instr_idx);
+    if (!call.isInvoke() || call.srcs.size() < 2)
+        return false;
+    if (listenerCallback(call.method.methodName).empty())
+        return false;
+
+    // Follow the listener argument backward through moves. Abort at
+    // any branch, terminator, or jump target: past a control-flow
+    // join the register may hold a value from another path, and the
+    // answer must hold on *every* execution of the call.
+    const int n = static_cast<int>(method.instrs().size());
+    std::vector<char> is_target(n, 0);
+    for (const air::Instruction &in : method.instrs()) {
+        if (in.isBranch() && in.target >= 0 && in.target < n)
+            is_target[in.target] = 1;
+    }
+    int reg = call.srcs[1];
+    for (int i = instr_idx - 1; i >= 0; --i) {
+        if (is_target[i + 1])
+            return false; // another path joins before the call
+        const air::Instruction &in = method.instr(i);
+        if (in.isBranch() || in.isTerminator())
+            return false;
+        if (in.dst == reg) {
+            if (in.op == air::Opcode::ConstNull)
+                return true;
+            if (in.op == air::Opcode::Move) {
+                reg = in.srcs[0];
+                continue;
+            }
+            return false;
+        }
+    }
+    return false;
 }
 
 std::string

@@ -20,6 +20,7 @@ refutedByName(RefutedBy r)
     switch (r) {
       case RefutedBy::None: return "none";
       case RefutedBy::Lockset: return "lockset";
+      case RefutedBy::Enablement: return "enablement";
       case RefutedBy::Symbolic: return "symbolic";
     }
     return "?";
@@ -269,6 +270,36 @@ refuteWithLockSets(const PointsToResult &result,
             ++refuted;
             SIERRA_TRACE_INSTANT("refutation", "pair refuted",
                                  util::trace::arg("by", "lockset"));
+        }
+    }
+    return refuted;
+}
+
+int
+refuteWithEnablement(analysis::EnablementAnalysis &enablement,
+                     const std::function<bool(int, int)> &reaches,
+                     std::vector<RacyPair> &pairs)
+{
+    int refuted = 0;
+    for (RacyPair &pair : pairs) {
+        if (pair.refuted || pair.actionPairs.empty())
+            continue;
+        bool all_exonerated = true;
+        for (const ActionPairEntry &entry : pair.actionPairs) {
+            if (!enablement.disabledBefore(entry.action1, entry.action2,
+                                           reaches) &&
+                !enablement.disabledBefore(entry.action2, entry.action1,
+                                           reaches)) {
+                all_exonerated = false;
+                break;
+            }
+        }
+        if (all_exonerated) {
+            pair.refuted = true;
+            pair.refutedBy = RefutedBy::Enablement;
+            ++refuted;
+            SIERRA_TRACE_INSTANT("refutation", "pair refuted",
+                                 util::trace::arg("by", "enablement"));
         }
     }
     return refuted;

@@ -6,11 +6,13 @@
 #ifndef SIERRA_RACE_RACY_HH
 #define SIERRA_RACE_RACY_HH
 
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "access.hh"
 #include "analysis/effects.hh"
+#include "analysis/enablement.hh"
 #include "analysis/escape.hh"
 #include "analysis/lockset.hh"
 #include "hb/shbg.hh"
@@ -19,9 +21,10 @@ namespace sierra::race {
 
 /** Which stage refuted a racy pair (per-pair provenance). */
 enum class RefutedBy : uint8_t {
-    None,     //!< the pair survives
-    Lockset,  //!< a common must-held lock on every action pair
-    Symbolic, //!< the backward symbolic executor
+    None,       //!< the pair survives
+    Lockset,    //!< a common must-held lock on every action pair
+    Enablement, //!< registration typestate: a callback was disabled
+    Symbolic,   //!< the backward symbolic executor
 };
 
 const char *refutedByName(RefutedBy r);
@@ -139,6 +142,19 @@ int refuteWithLockSets(const analysis::PointsToResult &result,
                        const analysis::LockSetAnalysis &locks,
                        const std::vector<Access> &accesses,
                        std::vector<RacyPair> &pairs);
+
+/**
+ * Enablement refutation (runs after lockset, before IFDS): mark a
+ * pair `refutedBy: Enablement` when EVERY action pair of the race has
+ * one action whose enabling registration is must-disabled before the
+ * other action can run (analysis::EnablementAnalysis::disabledBefore,
+ * queried in both directions). `reaches` is SHBG reachability
+ * (hb::Shbg::reaches), passed as a closure because analysis/ may not
+ * depend on hb/. Returns the number of pairs newly refuted.
+ */
+int refuteWithEnablement(analysis::EnablementAnalysis &enablement,
+                         const std::function<bool(int, int)> &reaches,
+                         std::vector<RacyPair> &pairs);
 
 } // namespace sierra::race
 

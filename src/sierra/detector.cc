@@ -7,6 +7,7 @@
 #include <tuple>
 
 #include "air/logging.hh"
+#include "framework/known_api.hh"
 #include "util/thread_pool.hh"
 #include "util/trace.hh"
 
@@ -55,6 +56,15 @@ fillMetrics(util::metrics::Registry &m, const HarnessAnalysis &ha,
     m.add("race.alias_checked", ha.racyStats.aliasChecked);
     m.add("race.racy_pairs", ha.racyPairCount());
     m.add("race.lockset_refuted", ha.locksetRefuted);
+    m.add("race.enablement_refuted", ha.enablementRefuted);
+
+    const analysis::EnablementStats &en = ha.enablementStats;
+    m.add("enablement.tracked_actions", en.trackedActions);
+    m.add("enablement.enable_sites", en.enableSites);
+    m.add("enablement.disable_sites", en.disableSites);
+    m.add("enablement.disablers", en.disablers);
+    m.add("enablement.queries", en.queries);
+    m.add("enablement.exonerated", en.exonerated);
 
     const symbolic::RefutationStats &ref = ha.refutation;
     m.add("symbolic.refuted", ref.refuted);
@@ -88,16 +98,19 @@ fillMetrics(util::metrics::Registry &m, const HarnessAnalysis &ha,
           static_cast<int64_t>(ha.deadlocks.size()));
 
     // Per-pair refutation provenance (RefutedBy kinds).
-    int64_t by_none = 0, by_lockset = 0, by_symbolic = 0;
+    int64_t by_none = 0, by_lockset = 0, by_enablement = 0,
+            by_symbolic = 0;
     for (const race::RacyPair &p : ha.pairs) {
         switch (p.refutedBy) {
           case race::RefutedBy::None: ++by_none; break;
           case race::RefutedBy::Lockset: ++by_lockset; break;
+          case race::RefutedBy::Enablement: ++by_enablement; break;
           case race::RefutedBy::Symbolic: ++by_symbolic; break;
         }
     }
     m.add("refuted_by.none", by_none);
     m.add("refuted_by.lockset", by_lockset);
+    m.add("refuted_by.enablement", by_enablement);
     m.add("refuted_by.symbolic", by_symbolic);
 
     // Per-harness stage durations as histograms (seconds).
@@ -108,6 +121,7 @@ fillMetrics(util::metrics::Registry &m, const HarnessAnalysis &ha,
     m.observe("stage.racy.seconds", t.racy);
     m.observe("stage.lockset.seconds", t.lockset);
     m.observe("stage.deadlock.seconds", t.deadlock);
+    m.observe("stage.enablement.seconds", t.enablement);
     m.observe("stage.ifds.seconds", t.ifds);
     m.observe("stage.refutation.seconds", t.refutation);
     m.observe("harness.cpu.seconds", t.totalCpu);
@@ -278,6 +292,36 @@ SierraDetector::runHarness(const harness::HarnessPlan &plan,
     }
     locks.reset();
 
+    // Enablement stage: registration typestate composed with SHBG
+    // reachability — refute pairs whose callback is must-disabled at
+    // every point the other action can run. Demand-driven: the scan
+    // and typestate solves only happen when pairs survived lockset.
+    auto t_en = std::chrono::steady_clock::now();
+    double enablement;
+    {
+        SIERRA_TRACE_SPAN(span, "stage", "stage.enablement",
+                          util::trace::arg("activity", ha.activity));
+        if (options.enablement) {
+            bool any_surviving = false;
+            for (const race::RacyPair &p : ha.pairs) {
+                if (!p.refuted) {
+                    any_surviving = true;
+                    break;
+                }
+            }
+            if (any_surviving) {
+                const framework::KnownApis apis(_app.module());
+                analysis::EnablementAnalysis en(*ha.pta, apis);
+                ha.enablementRefuted = race::refuteWithEnablement(
+                    en,
+                    [&](int a, int b) { return ha.shbg->reaches(a, b); },
+                    ha.pairs);
+                ha.enablementStats = en.stats();
+            }
+        }
+        enablement = secondsSince(t_en);
+    }
+
     // IFDS stage: interprocedural constant summaries for the symbolic
     // refuter (setter parameters, callee returns, must-write-constant
     // call effects) plus the use-after-destroy typestate client.
@@ -327,10 +371,12 @@ SierraDetector::runHarness(const harness::HarnessPlan &plan,
         times->racy += racy;
         times->lockset += lockset;
         times->deadlock += deadlock;
+        times->enablement += enablement;
         times->ifds += ifds;
         times->refutation += refutation;
         times->totalCpu += cg_pa + hbg + dataflow + escape + racy +
-                           lockset + deadlock + ifds + refutation;
+                           lockset + deadlock + enablement + ifds +
+                           refutation;
     }
     return ha;
 }
@@ -348,6 +394,7 @@ SierraDetector::analyze(const SierraOptions &options)
     AppReport report;
     report.app = _app.name();
     report.harnesses = static_cast<int>(_plans.size());
+    report.enablementEnabled = options.enablement;
 
     const int num_plans = static_cast<int>(_plans.size());
     const int jobs = util::resolveJobs(options.jobs);
@@ -443,6 +490,7 @@ SierraDetector::analyze(const SierraOptions &options)
 
         report.accessesDropped += ha.accessesDropped;
         report.locksetRefuted += ha.locksetRefuted;
+        report.enablementRefuted += ha.enablementRefuted;
 
         // Use-after-destroy findings, deduplicated across harnesses in
         // plan order (findings are already sorted per harness, so the
@@ -554,8 +602,12 @@ formatReport(const AppReport &report, int max_races, bool with_times)
        << "  HB edges: " << report.hbEdges << " ("
        << static_cast<int>(report.orderedPct + 0.5) << "% ordered)\n";
     os << "racy pairs: " << report.racyPairs
-       << "  lockset-refuted: " << report.locksetRefuted
-       << "  after refutation: " << report.afterRefutation
+       << "  lockset-refuted: " << report.locksetRefuted;
+    // Emitted only when the stage ran, so --no-enablement output is
+    // byte-identical to the stage-less report.
+    if (report.enablementEnabled)
+        os << "  enablement-refuted: " << report.enablementRefuted;
+    os << "  after refutation: " << report.afterRefutation
        << "  (thread-local accesses dropped: "
        << report.accessesDropped << ")\n";
     if (with_times) {
@@ -565,8 +617,10 @@ formatReport(const AppReport &report, int max_races, bool with_times)
            << report.times.escape << "s, racy "
            << report.times.racy << "s, lockset "
            << report.times.lockset << "s, deadlock "
-           << report.times.deadlock << "s, ifds "
-           << report.times.ifds << "s, refutation "
+           << report.times.deadlock << "s, ";
+        if (report.enablementEnabled)
+            os << "enablement " << report.times.enablement << "s, ";
+        os << "ifds " << report.times.ifds << "s, refutation "
            << report.times.refutation << "s, total "
            << report.times.total << "s (cpu "
            << report.times.totalCpu << "s)\n";

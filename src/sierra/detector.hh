@@ -21,6 +21,7 @@
 
 #include "analysis/deadlock.hh"
 #include "analysis/effects.hh"
+#include "analysis/enablement.hh"
 #include "analysis/ifds.hh"
 #include "analysis/points_to.hh"
 #include "framework/app.hh"
@@ -63,6 +64,15 @@ struct SierraOptions {
      * lock, before symbolic refutation (`--no-lockset` ablates it).
      */
     bool locksetRefutation{true};
+    /**
+     * The enablement stage: registration typestate
+     * (analysis::EnablementAnalysis) composed with SHBG reachability
+     * to refute pairs whose callback is must-disabled at every point
+     * the other action can run. Demand-driven: runs only over pairs
+     * surviving lockset, between deadlock and IFDS (`--no-enablement`
+     * ablates it; measured by bench_ablation_enablement).
+     */
+    bool enablement{true};
     /**
      * The IFDS stage: summary-based interprocedural constant facts
      * (analysis::InterConstants) handed to the symbolic refuter via
@@ -125,6 +135,7 @@ struct StageTimes {
     double racy{0};       //!< access extraction + racy pairs (cpu-s)
     double lockset{0};    //!< lock-set analysis + refutation (cpu-s)
     double deadlock{0};   //!< lock-dependency cycles (cpu-s)
+    double enablement{0}; //!< registration typestate + refutation (cpu-s)
     double ifds{0};       //!< interprocedural summaries + UAD (cpu-s)
     /**
      * Symbolic refutation. Unlike the single-threaded stages above
@@ -135,7 +146,7 @@ struct StageTimes {
      * thread's elapsed time.
      */
     double refutation{0};
-    //! sum of all per-task stage times; equals the sum of the nine
+    //! sum of all per-task stage times; equals the sum of the ten
     //! stage fields (up to fp rounding) by construction, regardless of
     //! task completion order — the merge runs serially in plan order
     double totalCpu{0};
@@ -154,6 +165,7 @@ struct StageTimes {
         racy += o.racy;
         lockset += o.lockset;
         deadlock += o.deadlock;
+        enablement += o.enablement;
         ifds += o.ifds;
         refutation += o.refutation;
         totalCpu += o.totalCpu;
@@ -179,6 +191,9 @@ struct HarnessAnalysis {
     int accessesTotal{0};     //!< extracted accesses before filtering
     int accessesDropped{0};   //!< thread-local accesses escape removed
     int locksetRefuted{0};    //!< pairs refuted by the lock-set stage
+    int enablementRefuted{0}; //!< pairs refuted by the enablement stage
+    //! enablement-stage work counters (all zero when the stage is off)
+    analysis::EnablementStats enablementStats;
 
     int numActions() const { return pta->numRealActions(); }
     int64_t hbEdges() const { return shbg->numClosurePairs(); }
@@ -207,6 +222,10 @@ struct AppReport {
     int afterRefutation{0};
     int accessesDropped{0}; //!< summed thread-local accesses removed
     int locksetRefuted{0};  //!< summed pairs refuted by lock sets
+    int enablementRefuted{0}; //!< summed pairs refuted by enablement
+    //! whether the enablement stage ran (gates its report tokens, so
+    //! --no-enablement output is byte-identical to the stage-less text)
+    bool enablementEnabled{false};
     StageTimes times;
     std::vector<AppRace> races; //!< deduplicated, priority-ranked
     //! use-after-destroy findings, deduplicated across harnesses

@@ -363,6 +363,48 @@ class Main extends android.app.Activity {
     EXPECT_EQ(ok.out, "[]\n");
 }
 
+TEST(Cli, LintFlagsLeakedRegistration)
+{
+    // A receiver registered in onCreate with no teardown unregister:
+    // the leaked-registration check fires in both text and JSON modes.
+    const char *leaky = R"(
+app "leaky" {
+    package org.example.leaky
+    activity Main main
+}
+class Main extends android.app.Activity {
+    field recv: java.lang.Object
+    method <init>(): void regs=1 { @0: return-void }
+    method onCreate(): void regs=4 {
+        @0: r1 = new Main
+        @1: putfield r0.Main.recv = r1
+        @2: r2 = const "org.example.ACTION"
+        @3: invoke-virtual android.app.Activity.registerReceiver(r0, r1, r2)
+        @4: return-void
+    }
+}
+)";
+    TempFile file(".air");
+    {
+        std::ofstream out(file.path());
+        out << leaky;
+    }
+
+    CliRun r = run({"lint", file.path()});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.out.find("not unregistered in any teardown callback"),
+              std::string::npos)
+        << r.out;
+
+    CliRun j = run({"lint", file.path(), "--json"});
+    EXPECT_EQ(j.code, 1);
+    EXPECT_NE(j.out.find("\"severity\": \"warning\""),
+              std::string::npos);
+    EXPECT_NE(j.out.find("\"where\": \"Main.onCreate@3\""),
+              std::string::npos)
+        << j.out;
+}
+
 TEST(Cli, LintReportsUnbalancedMonitors)
 {
     const char *unbalanced = R"(
@@ -476,6 +518,37 @@ TEST(Cli, AnalyzeLockFlags)
     EXPECT_NE(json.out.find("\"locksetRefuted\":"), std::string::npos);
     EXPECT_NE(json.out.find("\"accessesDropped\":"),
               std::string::npos);
+}
+
+TEST(Cli, AnalyzeEnablementFlags)
+{
+    // OpenSudoku's signature carries removedCallback: the post-teardown
+    // read is refuted by default and only surfaces with --no-enablement.
+    TempFile file(".air");
+    ASSERT_EQ(run({"dump", "OpenSudoku", "-o", file.path()}).code, 0);
+
+    CliRun with = run({"analyze", file.path()});
+    ASSERT_EQ(with.code, 0) << with.err;
+    EXPECT_NE(with.out.find("enablement-refuted:"), std::string::npos);
+    EXPECT_EQ(with.out.find("enablement-refuted: 0"),
+              std::string::npos)
+        << "the stage refutes at least one pair by default";
+    EXPECT_EQ(with.out.find("jobTicks"), std::string::npos);
+
+    CliRun without = run({"analyze", file.path(), "--no-enablement"});
+    ASSERT_EQ(without.code, 0) << without.err;
+    EXPECT_EQ(without.out.find("enablement-refuted"),
+              std::string::npos)
+        << "--no-enablement output carries no enablement tokens";
+    EXPECT_NE(without.out.find("jobTicks"), std::string::npos)
+        << "without the stage the removed-callback read is reported";
+
+    CliRun json = run({"analyze", file.path(), "--json"});
+    ASSERT_EQ(json.code, 0) << json.err;
+    EXPECT_NE(json.out.find("\"enablementRefuted\":"),
+              std::string::npos);
+    EXPECT_NE(json.out.find("\"enablement\":"), std::string::npos)
+        << "timesMs carries the stage unconditionally";
 }
 
 TEST(Cli, AnalyzeTraceWritesChromeJson)

@@ -70,6 +70,7 @@ TEST(Detector, RefutationReducesReports)
     SierraOptions no_refute;
     no_refute.runRefutation = false;
     no_refute.locksetRefutation = false; // isolate the symbolic stage
+    no_refute.enablement = false;
     AppReport before = detector.analyze(no_refute);
     AppReport after = detector.analyze({});
 

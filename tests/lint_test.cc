@@ -296,5 +296,172 @@ TEST(Lint, UnreachableCodeProducesNoUseOrStoreNoise)
     EXPECT_EQ(issues[0].severity, Severity::Warning);
 }
 
+TEST(Lint, LeakedReceiverRegistrationIsWarning)
+{
+    auto mod = parse(R"(
+    class A {
+        field recv: java.lang.Object
+        method onCreate(): void regs=4 {
+            @0: r1 = new A
+            @1: putfield r0.A.recv = r1
+            @2: r2 = const "org.example.ACTION"
+            @3: invoke-virtual android.app.Activity.registerReceiver(r0, r1, r2)
+            @4: return-void
+        }
+    })");
+    auto issues = lintModule(*mod);
+    ASSERT_EQ(issues.size(), 1u);
+    EXPECT_TRUE(hasIssue(issues,
+                         "not unregistered in any teardown callback",
+                         Severity::Warning));
+    EXPECT_EQ(issues[0].where, "A.onCreate@3");
+}
+
+TEST(Lint, UnregisteredInTeardownIsClean)
+{
+    auto mod = parse(R"(
+    class A {
+        field recv: java.lang.Object
+        method onCreate(): void regs=4 {
+            @0: r1 = new A
+            @1: putfield r0.A.recv = r1
+            @2: r2 = const "org.example.ACTION"
+            @3: invoke-virtual android.app.Activity.registerReceiver(r0, r1, r2)
+            @4: return-void
+        }
+        method onDestroy(): void regs=3 {
+            @0: r1 = getfield r0.A.recv
+            @1: invoke-virtual android.app.Activity.unregisterReceiver(r0, r1)
+            @2: return-void
+        }
+    })");
+    EXPECT_TRUE(lintModule(*mod).empty());
+}
+
+TEST(Lint, UnregisterOnOnePathOnlyIsStillLeaked)
+{
+    // The unregister must happen on *every* path through a teardown
+    // callback; a branch that skips it keeps the warning.
+    auto mod = parse(R"(
+    class A {
+        field recv: java.lang.Object
+        field flag: int
+        method onCreate(): void regs=4 {
+            @0: r1 = new A
+            @1: putfield r0.A.recv = r1
+            @2: r2 = const "org.example.ACTION"
+            @3: invoke-virtual android.app.Activity.registerReceiver(r0, r1, r2)
+            @4: return-void
+        }
+        method onDestroy(): void regs=4 {
+            @0: r2 = getfield r0.A.flag
+            @1: ifz r2 eq goto @4
+            @2: r1 = getfield r0.A.recv
+            @3: invoke-virtual android.app.Activity.unregisterReceiver(r0, r1)
+            @4: return-void
+        }
+    })");
+    auto issues = lintModule(*mod);
+    EXPECT_TRUE(hasIssue(issues,
+                         "not unregistered in any teardown callback",
+                         Severity::Warning));
+}
+
+TEST(Lint, ReceiverNeverStoredIsWarning)
+{
+    auto mod = parse(R"(
+    class A {
+        method onCreate(): void regs=4 {
+            @0: r1 = new A
+            @1: r2 = const "org.example.ACTION"
+            @2: invoke-virtual android.app.Activity.registerReceiver(r0, r1, r2)
+            @3: return-void
+        }
+    })");
+    auto issues = lintModule(*mod);
+    ASSERT_EQ(issues.size(), 1u);
+    EXPECT_TRUE(hasIssue(issues, "never stored in a field",
+                         Severity::Warning));
+}
+
+TEST(Lint, ListenerOnFieldHeldViewWithoutClearIsWarning)
+{
+    auto mod = parse(R"(
+    class A {
+        field pane: java.lang.Object
+        field lsn: java.lang.Object
+        method onCreate(): void regs=4 {
+            @0: r1 = getfield r0.A.pane
+            @1: r2 = getfield r0.A.lsn
+            @2: invoke-virtual android.view.View.setOnClickListener(r1, r2)
+            @3: return-void
+        }
+    })");
+    auto issues = lintModule(*mod);
+    ASSERT_EQ(issues.size(), 1u);
+    EXPECT_TRUE(hasIssue(issues,
+                         "not cleared in any teardown callback",
+                         Severity::Warning));
+    EXPECT_EQ(issues[0].where, "A.onCreate@2");
+}
+
+TEST(Lint, ListenerClearedInTeardownIsClean)
+{
+    auto mod = parse(R"(
+    class A {
+        field pane: java.lang.Object
+        field lsn: java.lang.Object
+        method onCreate(): void regs=4 {
+            @0: r1 = getfield r0.A.pane
+            @1: r2 = getfield r0.A.lsn
+            @2: invoke-virtual android.view.View.setOnClickListener(r1, r2)
+            @3: return-void
+        }
+        method onPause(): void regs=4 {
+            @0: r1 = getfield r0.A.pane
+            @1: r2 = null
+            @2: invoke-virtual android.view.View.setOnClickListener(r1, r2)
+            @3: return-void
+        }
+    })");
+    EXPECT_TRUE(lintModule(*mod).empty());
+}
+
+TEST(Lint, ListenerOnLocalViewIsClean)
+{
+    // findViewById results die with the activity's view tree; setting a
+    // listener on one is the universal idiom, not a leak.
+    auto mod = parse(R"(
+    class A {
+        field lsn: java.lang.Object
+        method onCreate(): void regs=5 {
+            @0: r1 = const 7
+            @1: r2 = invoke-virtual android.app.Activity.findViewById(r0, r1)
+            @2: r3 = getfield r0.A.lsn
+            @3: invoke-virtual android.view.View.setOnClickListener(r2, r3)
+            @4: return-void
+        }
+    })");
+    EXPECT_TRUE(lintModule(*mod).empty());
+}
+
+TEST(Lint, LeakedRegistrationCanBeDisabled)
+{
+    auto mod = parse(R"(
+    class A {
+        field recv: java.lang.Object
+        method onCreate(): void regs=4 {
+            @0: r1 = new A
+            @1: putfield r0.A.recv = r1
+            @2: r2 = const "org.example.ACTION"
+            @3: invoke-virtual android.app.Activity.registerReceiver(r0, r1, r2)
+            @4: return-void
+        }
+    })");
+    LintOptions opts;
+    opts.leakedRegistration = false;
+    EXPECT_TRUE(lintModule(*mod, opts).empty());
+}
+
 } // namespace
 } // namespace sierra::analysis

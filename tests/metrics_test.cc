@@ -112,6 +112,10 @@ TEST(Metrics, CountersMirrorReportFields)
     EXPECT_EQ(m.counter("race.lockset_refuted"),
               report.locksetRefuted);
     EXPECT_EQ(m.counter("refuted_by.lockset"), report.locksetRefuted);
+    EXPECT_EQ(m.counter("race.enablement_refuted"),
+              report.enablementRefuted);
+    EXPECT_EQ(m.counter("refuted_by.enablement"),
+              report.enablementRefuted);
     EXPECT_EQ(m.counter("race.accesses_dropped"),
               report.accessesDropped);
     EXPECT_EQ(m.counter("shbg.closure_pairs"), report.hbEdges);
@@ -128,9 +132,10 @@ TEST(Metrics, CountersMirrorReportFields)
     EXPECT_EQ(m.counter("race.racy_pairs"), racy_pairs);
     EXPECT_EQ(m.counter("race.accesses_extracted"), accesses);
 
-    // The three provenance counters partition the racy pairs.
+    // The four provenance counters partition the racy pairs.
     EXPECT_EQ(m.counter("refuted_by.none") +
                   m.counter("refuted_by.lockset") +
+                  m.counter("refuted_by.enablement") +
                   m.counter("refuted_by.symbolic"),
               racy_pairs);
 
@@ -182,8 +187,8 @@ TEST(StageTimesAccounting, TotalCpuEqualsSumOfStageFields)
         AppReport report = analyzeWithMetrics("K-9 Mail", m, jobs);
         const StageTimes &t = report.times;
         double stage_sum = t.cgPa + t.hbg + t.dataflow + t.escape +
-                           t.racy + t.lockset + t.deadlock + t.ifds +
-                           t.refutation;
+                           t.racy + t.lockset + t.deadlock +
+                           t.enablement + t.ifds + t.refutation;
         // fp-rounding tolerance only: the merge must not lose or
         // double-count any worker's CPU at any jobs count.
         EXPECT_NEAR(t.totalCpu, stage_sum,

@@ -26,6 +26,7 @@ unrefutedAnalysis(const std::string &app_name)
     SierraDetector detector(*built.app);
     SierraOptions options;
     options.runRefutation = false;
+    options.enablement = false; // no pre-refuted pairs for the refuter to skip
     HarnessAnalysis ha = detector.analyzeActivity(
         built.app->manifest().activities[0], options);
     // The result's class hierarchy references the app's module, which

@@ -334,8 +334,8 @@ TEST(Trace, EverySierraStageGetsASpan)
     for (const char *expected :
          {"stage.cg_pa", "stage.hbg", "stage.dataflow",
           "stage.racy.extract", "stage.escape", "stage.racy.pairs",
-          "stage.lockset", "stage.deadlock", "stage.ifds",
-          "stage.refutation"}) {
+          "stage.lockset", "stage.deadlock", "stage.enablement",
+          "stage.ifds", "stage.refutation"}) {
         EXPECT_TRUE(stage_names.count(expected))
             << "missing span for " << expected;
     }

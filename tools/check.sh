@@ -9,7 +9,12 @@
 # proving the suite passes with every SIERRA_TRACE_* call site compiled
 # out (the observability layer must be optional, not load-bearing).
 #
-# Usage: tools/check.sh [plain|asan|tsan|ubsan|notrace|all] [-- <ctest args...>]
+# The "tidy" flavor runs clang-tidy (checks pinned in .clang-tidy)
+# over src/ via a compile_commands.json export; it is skipped with a
+# notice when clang-tidy is not installed, so plain containers still
+# pass. It is not part of "all" -- CI runs it as its own job.
+#
+# Usage: tools/check.sh [plain|asan|tsan|ubsan|notrace|tidy|all] [-- <ctest args...>]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -37,12 +42,26 @@ run_flavor() {
     (cd "${dir}" && ctest --output-on-failure -j "${jobs}" "${ctest_args[@]+"${ctest_args[@]}"}")
 }
 
+run_tidy() {
+    if ! command -v clang-tidy >/dev/null 2>&1; then
+        echo "=== tidy: clang-tidy not installed, skipping ==="
+        return 0
+    fi
+    echo "=== tidy: configure (compile_commands.json) ==="
+    cmake -B build-tidy -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    echo "=== tidy: clang-tidy over src/ ==="
+    find src -name '*.cc' -print0 |
+        xargs -0 -P "${jobs}" -n 8 clang-tidy -p build-tidy --quiet
+}
+
 case "${flavor}" in
   plain) run_flavor plain build "" ;;
   asan)  run_flavor asan build-asan address ;;
   tsan)  run_flavor tsan build-tsan thread ;;
   ubsan) run_flavor ubsan build-ubsan undefined ;;
   notrace) run_flavor notrace build-notrace "" -DSIERRA_DISABLE_TRACING=ON ;;
+  tidy) run_tidy ;;
   all)
     run_flavor plain build ""
     run_flavor asan build-asan address
@@ -51,7 +70,7 @@ case "${flavor}" in
     run_flavor notrace build-notrace "" -DSIERRA_DISABLE_TRACING=ON
     ;;
   *)
-    echo "usage: tools/check.sh [plain|asan|tsan|ubsan|notrace|all] [-- <ctest args>]" >&2
+    echo "usage: tools/check.sh [plain|asan|tsan|ubsan|notrace|tidy|all] [-- <ctest args>]" >&2
     exit 2
     ;;
 esac

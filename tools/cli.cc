@@ -30,8 +30,9 @@ commands:
                                  races by hunting both orders dynamically
   lint <file.air> [options]      structural verification plus dataflow
                                  lint (use-before-def, unreachable
-                                 blocks, dead stores); non-zero exit on
-                                 any finding
+                                 blocks, dead stores, leaked
+                                 registrations); non-zero exit on any
+                                 finding
   dump <app> [-o FILE]           write a corpus app as an app bundle
                                  (<app> is a Table 2 name or fdroid-N)
   harness <file.air> <activity>  print the generated harness for one activity
@@ -64,6 +65,9 @@ analyze options:
                     use-after-destroy section is skipped)
   --no-deadlock     disable the deadlock stage (the lock-dependency
                     cycle search; the deadlocks section is skipped)
+  --no-enablement   disable enablement refutation (pairs whose
+                    callback is provably unregistered/removed before
+                    the other action runs are no longer pruned)
   --no-icc          disable inter-component (Intent) modeling: target
                     activities launched via startActivity/PendingIntent
                     are not driven by the sender's harness, so
@@ -256,6 +260,8 @@ printReportJson(const AppReport &report, std::ostream &out,
     out << "  \"racyPairs\": " << report.racyPairs << ",\n";
     out << "  \"afterRefutation\": " << report.afterRefutation << ",\n";
     out << "  \"locksetRefuted\": " << report.locksetRefuted << ",\n";
+    out << "  \"enablementRefuted\": " << report.enablementRefuted
+        << ",\n";
     out << "  \"accessesDropped\": " << report.accessesDropped << ",\n";
     out << "  \"timesMs\": {\"cgPa\": " << report.times.cgPa * 1e3
         << ", \"hbg\": " << report.times.hbg * 1e3
@@ -264,6 +270,7 @@ printReportJson(const AppReport &report, std::ostream &out,
         << ", \"racy\": " << report.times.racy * 1e3
         << ", \"lockset\": " << report.times.lockset * 1e3
         << ", \"deadlock\": " << report.times.deadlock * 1e3
+        << ", \"enablement\": " << report.times.enablement * 1e3
         << ", \"ifds\": " << report.times.ifds * 1e3
         << ", \"refutation\": " << report.times.refutation * 1e3
         << ", \"totalCpu\": " << report.times.totalCpu * 1e3
@@ -352,6 +359,7 @@ cmdAnalyze(const ParsedFlags &flags, std::ostream &out,
     options.locksetRefutation = !flags.has("--no-lockset");
     options.ifds = !flags.has("--no-ifds");
     options.deadlock = !flags.has("--no-deadlock");
+    options.enablement = !flags.has("--no-enablement");
     options.icc = !flags.has("--no-icc");
 
     util::metrics::Registry registry;
