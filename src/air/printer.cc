@@ -8,7 +8,7 @@
 namespace sierra::air {
 
 std::string
-printMethod(const Method &method)
+printMethod(const Method &method, bool with_body)
 {
     std::ostringstream os;
     os << "    ";
@@ -28,16 +28,18 @@ printMethod(const Method &method)
         return os.str();
     }
     os << " regs=" << method.numRegisters() << " {\n";
-    for (int i = 0; i < method.numInstrs(); ++i) {
-        os << "        @" << i << ": " << method.instr(i).toString()
-           << "\n";
+    if (with_body) {
+        for (int i = 0; i < method.numInstrs(); ++i) {
+            os << "        @" << i << ": " << method.instr(i).toString()
+               << "\n";
+        }
     }
     os << "    }\n";
     return os.str();
 }
 
 std::string
-printKlass(const Klass &klass)
+printKlass(const Klass &klass, bool with_bodies)
 {
     std::ostringstream os;
     if (klass.isInterface())
@@ -63,7 +65,7 @@ printKlass(const Klass &klass)
         os << "field " << f.name << ": " << f.type.toString() << "\n";
     }
     for (const auto &m : klass.methods())
-        os << printMethod(*m);
+        os << printMethod(*m, with_bodies);
     os << "}\n";
     return os.str();
 }

@@ -17,11 +17,14 @@ class Module;
 class Klass;
 class Method;
 
-/** Print one method in AIR textual syntax. */
-std::string printMethod(const Method &method);
+/** Print one method in AIR textual syntax. With `with_body` false the
+ *  signature line (including `regs=`) and braces print but the
+ *  instruction lines are omitted -- the "shape" projection the
+ *  analysis store hashes (analysis/store.hh). */
+std::string printMethod(const Method &method, bool with_body = true);
 
-/** Print one class in AIR textual syntax. */
-std::string printKlass(const Klass &klass);
+/** Print one class in AIR textual syntax (`with_bodies` as above). */
+std::string printKlass(const Klass &klass, bool with_bodies = true);
 
 /** Print an entire module in AIR textual syntax. */
 std::string printModule(const Module &module);

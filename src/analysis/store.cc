@@ -1,0 +1,505 @@
+#include "store.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "air/klass.hh"
+#include "air/method.hh"
+#include "air/printer.hh"
+#include "analysis/cfg.hh"
+#include "analysis/dataflow.hh"
+#include "framework/app.hh"
+#include "framework/app_text.hh"
+#include "framework/known_api.hh"
+
+namespace sierra::analysis::store {
+
+namespace fs = std::filesystem;
+
+uint64_t
+fnv64(std::string_view bytes, uint64_t seed)
+{
+    uint64_t h = seed;
+    for (unsigned char c : bytes) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+uint64_t
+mixHash(uint64_t acc, uint64_t value)
+{
+    // Order-dependent: hash the value's bytes into the accumulator.
+    char buf[8];
+    for (int i = 0; i < 8; ++i)
+        buf[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+    return fnv64(std::string_view(buf, 8), acc);
+}
+
+std::string
+hashHex(uint64_t value)
+{
+    static const char *digits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[i] = digits[value & 0xf];
+        value >>= 4;
+    }
+    return out;
+}
+
+uint64_t
+classSliceHash(const air::Klass &klass)
+{
+    std::ostringstream os;
+    os << (klass.isInterface() ? "interface " : "class ")
+       << klass.name() << " extends " << klass.superName() << "\n";
+    for (const std::string &iface : klass.interfaces())
+        os << "implements " << iface << "\n";
+    for (const air::Field &f : klass.fields()) {
+        os << "field " << (f.isStatic ? "static " : "") << f.name
+           << ": " << f.type.toString() << "\n";
+    }
+    return fnv64(os.str());
+}
+
+namespace {
+
+/**
+ * Content hash of one method: signature plus every instruction's
+ * semantic fields, mixed in order. Hashing the fields directly instead
+ * of the printed text discriminates at least as finely (the text is a
+ * function of the fields) at a fraction of the cost -- this runs for
+ * every method on every submission, warm or cold.
+ */
+uint64_t
+hashMethodBody(const air::Method &method)
+{
+    uint64_t h = fnv64(method.name());
+    for (const air::Type &t : method.paramTypes())
+        h = fnv64(t.toString(), h);
+    h = fnv64(method.returnType().toString(), h);
+    h = mixHash(h, method.isStatic() ? 1 : 0);
+    h = mixHash(h, static_cast<uint64_t>(method.numRegisters()));
+    h = mixHash(h, static_cast<uint64_t>(method.numInstrs()));
+    for (int i = 0; i < method.numInstrs(); ++i) {
+        const air::Instruction &ins = method.instr(i);
+        h = mixHash(h, static_cast<uint64_t>(ins.op));
+        h = mixHash(h, static_cast<uint64_t>(ins.dst));
+        for (int src : ins.srcs)
+            h = mixHash(h, static_cast<uint64_t>(src));
+        h = mixHash(h, static_cast<uint64_t>(ins.intValue));
+        if (!ins.strValue.empty())
+            h = fnv64(ins.strValue, h);
+        if (!ins.typeName.empty())
+            h = fnv64(ins.typeName, h);
+        h = fnv64(ins.field.className, h);
+        h = fnv64(ins.field.fieldName, h);
+        h = fnv64(ins.method.className, h);
+        h = fnv64(ins.method.methodName, h);
+        h = mixHash(h, static_cast<uint64_t>(ins.method.numArgs));
+        h = mixHash(h, static_cast<uint64_t>(ins.invokeKind));
+        h = mixHash(h, static_cast<uint64_t>(ins.cond));
+        h = mixHash(h, static_cast<uint64_t>(ins.binop));
+        h = mixHash(h, static_cast<uint64_t>(ins.unop));
+        h = mixHash(h, static_cast<uint64_t>(ins.target));
+    }
+    return h;
+}
+
+uint64_t
+envHashWithSlice(const air::Method &method, uint64_t slice_hash)
+{
+    uint64_t h = hashMethodBody(method);
+    h = mixHash(h, slice_hash);
+    h = mixHash(h, static_cast<uint64_t>(
+                       framework::kKnownApiTableVersion));
+    h = mixHash(h, static_cast<uint64_t>(kStoreSchemaVersion));
+    return h;
+}
+
+} // namespace
+
+uint64_t
+methodEnvHash(const air::Method &method)
+{
+    return envHashWithSlice(
+        method, method.owner() ? classSliceHash(*method.owner()) : 0);
+}
+
+std::map<std::string, uint64_t>
+hashMethods(const framework::App &app)
+{
+    std::map<std::string, uint64_t> out;
+    for (const air::Klass *klass : app.module().classes()) {
+        if (klass->isFramework())
+            continue;
+        // One slice hash per class, not per method: the slice is the
+        // same for every member and its string is costly to rebuild.
+        const uint64_t slice = classSliceHash(*klass);
+        for (const auto &m : klass->methods()) {
+            if (!m->hasBody())
+                continue;
+            out[m->qualifiedName()] = envHashWithSlice(*m, slice);
+        }
+    }
+    return out;
+}
+
+uint64_t
+shapeHash(const framework::App &app)
+{
+    // The body-less bundle print covers manifest, layouts and app
+    // class shapes: class names, supers, fields, method signatures
+    // (including regs=), widget trees -- everything except the
+    // instruction lines. A body edit keeps this hash stable.
+    uint64_t h = fnv64(framework::printAppText(app, false));
+    h = mixHash(h, static_cast<uint64_t>(
+                       framework::kKnownApiTableVersion));
+    h = mixHash(h, static_cast<uint64_t>(kStoreSchemaVersion));
+    return h;
+}
+
+std::string
+serializeMethodIndex(const std::map<std::string, uint64_t> &index)
+{
+    std::ostringstream os;
+    for (const auto &[name, hash] : index)
+        os << name << "\t" << hashHex(hash) << "\n";
+    return os.str();
+}
+
+std::map<std::string, uint64_t>
+parseMethodIndex(const std::string &blob)
+{
+    std::map<std::string, uint64_t> out;
+    std::istringstream in(blob);
+    std::string line;
+    while (std::getline(in, line)) {
+        size_t tab = line.find('\t');
+        if (tab == std::string::npos)
+            continue;
+        std::string name = line.substr(0, tab);
+        std::string hex = line.substr(tab + 1);
+        if (name.empty() || hex.size() != 16)
+            continue;
+        uint64_t value = 0;
+        bool ok = true;
+        for (char c : hex) {
+            int digit;
+            if (c >= '0' && c <= '9')
+                digit = c - '0';
+            else if (c >= 'a' && c <= 'f')
+                digit = c - 'a' + 10;
+            else {
+                ok = false;
+                break;
+            }
+            value = (value << 4) | static_cast<uint64_t>(digit);
+        }
+        if (ok)
+            out[name] = value;
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// DepIndex
+// ---------------------------------------------------------------------
+
+void
+DepIndex::addEdge(const std::string &caller, const std::string &callee)
+{
+    if (caller == callee)
+        return;
+    _callers[callee].insert(caller);
+}
+
+void
+DepIndex::merge(const DepIndex &other)
+{
+    for (const auto &[callee, callers] : other._callers)
+        _callers[callee].insert(callers.begin(), callers.end());
+}
+
+void
+DepIndex::prune(const std::set<std::string> &keep)
+{
+    std::map<std::string, std::set<std::string>> pruned;
+    for (const auto &[callee, callers] : _callers) {
+        if (!keep.count(callee))
+            continue;
+        std::set<std::string> kept;
+        for (const std::string &c : callers) {
+            if (keep.count(c))
+                kept.insert(c);
+        }
+        if (!kept.empty())
+            pruned[callee] = std::move(kept);
+    }
+    _callers = std::move(pruned);
+}
+
+std::set<std::string>
+DepIndex::dirtyClosure(const std::set<std::string> &changed) const
+{
+    std::set<std::string> dirty = changed;
+    std::vector<std::string> work(changed.begin(), changed.end());
+    while (!work.empty()) {
+        std::string m = std::move(work.back());
+        work.pop_back();
+        auto it = _callers.find(m);
+        if (it == _callers.end())
+            continue;
+        for (const std::string &caller : it->second) {
+            if (dirty.insert(caller).second)
+                work.push_back(caller);
+        }
+    }
+    return dirty;
+}
+
+std::vector<std::string>
+DepIndex::callersOf(const std::string &method) const
+{
+    auto it = _callers.find(method);
+    if (it == _callers.end())
+        return {};
+    return {it->second.begin(), it->second.end()};
+}
+
+int64_t
+DepIndex::numEdges() const
+{
+    int64_t n = 0;
+    for (const auto &[callee, callers] : _callers)
+        n += static_cast<int64_t>(callers.size());
+    return n;
+}
+
+std::string
+DepIndex::serialize() const
+{
+    std::ostringstream os;
+    for (const auto &[callee, callers] : _callers) {
+        for (const std::string &caller : callers)
+            os << caller << "\t" << callee << "\n";
+    }
+    return os.str();
+}
+
+DepIndex
+DepIndex::parse(const std::string &blob)
+{
+    DepIndex out;
+    std::istringstream in(blob);
+    std::string line;
+    while (std::getline(in, line)) {
+        size_t tab = line.find('\t');
+        if (tab == std::string::npos)
+            continue;
+        std::string caller = line.substr(0, tab);
+        std::string callee = line.substr(tab + 1);
+        if (!caller.empty() && !callee.empty())
+            out.addEdge(caller, callee);
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Per-method facts
+// ---------------------------------------------------------------------
+
+std::string
+sccpFactsBlob(const air::Method &method)
+{
+    Cfg cfg(method);
+    MethodConstants consts(cfg);
+    std::ostringstream os;
+    for (int i = 0; i < method.numInstrs(); ++i) {
+        if (!consts.reachable(i))
+            continue;
+        for (int r = 0; r < method.numRegisters(); ++r) {
+            ConstVal v = consts.before(i, r);
+            if (v.isConst())
+                os << "const " << i << " " << r << " " << v.value
+                   << "\n";
+        }
+    }
+    // Record killed branch edges too: they are the facts the refuter
+    // prunes paths with.
+    for (int i = 0; i < method.numInstrs(); ++i) {
+        const air::Instruction &instr = method.instr(i);
+        if (!instr.isBranch())
+            continue;
+        for (int succ : {instr.target, i + 1}) {
+            if (succ >= 0 && succ < method.numInstrs() &&
+                !consts.edgeFeasible(i, succ))
+                os << "infeasible " << i << " " << succ << "\n";
+        }
+    }
+    return os.str();
+}
+
+std::vector<SccpFact>
+parseSccpFacts(const std::string &blob)
+{
+    std::vector<SccpFact> out;
+    std::istringstream in(blob);
+    std::string tag;
+    while (in >> tag) {
+        if (tag == "const") {
+            SccpFact f;
+            if (in >> f.instr >> f.reg >> f.value)
+                out.push_back(f);
+        } else {
+            std::string rest;
+            std::getline(in, rest);
+        }
+    }
+    return out;
+}
+
+std::string
+cfgDigest(const air::Method &method)
+{
+    Cfg cfg(method);
+    std::ostringstream structure;
+    int64_t edges = 0;
+    for (int b = 0; b < cfg.numBlocks(); ++b) {
+        const BasicBlock &block = cfg.blocks()[b];
+        structure << b << ":" << block.first << "-" << block.last
+                  << "->";
+        for (int succ : block.succs) {
+            structure << succ << ",";
+            ++edges;
+        }
+        structure << ";";
+    }
+    std::ostringstream os;
+    os << "blocks " << cfg.numBlocks() << " edges " << edges
+       << " hash " << hashHex(fnv64(structure.str()));
+    return os.str();
+}
+
+// ---------------------------------------------------------------------
+// Store
+// ---------------------------------------------------------------------
+
+std::string
+Store::versionStamp()
+{
+    std::ostringstream os;
+    os << "sierra-store schema " << kStoreSchemaVersion
+       << " known-api " << framework::kKnownApiTableVersion << "\n";
+    return os.str();
+}
+
+Store::Store(const std::string &dir) : _dir(dir)
+{
+    std::error_code ec;
+    fs::create_directories(_dir, ec);
+    const fs::path version_path = fs::path(_dir) / "VERSION";
+    std::string on_disk;
+    {
+        std::ifstream in(version_path, std::ios::binary);
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        on_disk = ss.str();
+    }
+    if (!on_disk.empty() && on_disk != versionStamp()) {
+        // Incompatible generation: discard rather than read blobs
+        // written under another schema or known-API table version.
+        for (const auto &entry : fs::directory_iterator(_dir, ec)) {
+            if (entry.path().filename() != "VERSION")
+                fs::remove_all(entry.path(), ec);
+        }
+    }
+    std::ofstream out(version_path, std::ios::binary);
+    out << versionStamp();
+}
+
+std::string
+Store::pathFor(const std::string &kind, const std::string &key) const
+{
+    std::string safe;
+    for (char c : key) {
+        safe += (std::isalnum(static_cast<unsigned char>(c)) ||
+                 c == '-' || c == '.' || c == '_')
+                    ? c
+                    : '_';
+    }
+    return _dir + "/" + kind + "/" + safe;
+}
+
+std::optional<std::string>
+Store::get(const std::string &kind, const std::string &key)
+{
+    ++_stats.gets;
+    const std::string mem_key = kind + "/" + key;
+    auto it = _blobs.find(mem_key);
+    if (it != _blobs.end()) {
+        ++_stats.hits;
+        return it->second;
+    }
+    if (_dir.empty())
+        return std::nullopt;
+    std::ifstream in(pathFor(kind, key), std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    ++_stats.hits;
+    ++_stats.diskReads;
+    _blobs[mem_key] = ss.str();
+    return _blobs[mem_key];
+}
+
+void
+Store::put(const std::string &kind, const std::string &key,
+           const std::string &blob)
+{
+    ++_stats.puts;
+    _stats.bytesWritten += static_cast<int64_t>(blob.size());
+    _blobs[kind + "/" + key] = blob;
+    if (_dir.empty())
+        return;
+    std::error_code ec;
+    fs::create_directories(fs::path(_dir) / kind, ec);
+    const std::string path = pathFor(kind, key);
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary);
+        out << blob;
+    }
+    fs::rename(tmp, path, ec);
+}
+
+std::vector<std::string>
+Store::keys(const std::string &kind) const
+{
+    std::set<std::string> out;
+    const std::string prefix = kind + "/";
+    for (const auto &[key, blob] : _blobs) {
+        if (key.rfind(prefix, 0) == 0)
+            out.insert(key.substr(prefix.size()));
+    }
+    if (!_dir.empty()) {
+        std::error_code ec;
+        for (const auto &entry :
+             fs::directory_iterator(fs::path(_dir) / kind, ec)) {
+            std::string name = entry.path().filename().string();
+            if (name.size() > 4 &&
+                name.compare(name.size() - 4, 4, ".tmp") == 0)
+                continue;
+            out.insert(name);
+        }
+    }
+    return {out.begin(), out.end()};
+}
+
+} // namespace sierra::analysis::store

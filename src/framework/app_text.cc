@@ -297,7 +297,7 @@ parseAppText(const std::string &text)
 }
 
 std::string
-printAppText(const App &app)
+printAppText(const App &app, bool with_bodies)
 {
     std::ostringstream os;
     os << "app \"" << app.name() << "\" {\n";
@@ -338,7 +338,7 @@ printAppText(const App &app)
     for (const air::Klass *k : app.module().classes()) {
         if (k->isFramework() || k->isSynthetic())
             continue;
-        os << air::printKlass(*k) << "\n";
+        os << air::printKlass(*k, with_bodies) << "\n";
     }
     return os.str();
 }

@@ -46,8 +46,11 @@ struct AppTextResult {
  *  model classes are installed into the resulting module. */
 AppTextResult parseAppText(const std::string &text);
 
-/** Serialize an app into the bundle format (app classes only). */
-std::string printAppText(const App &app);
+/** Serialize an app into the bundle format (app classes only). With
+ *  `with_bodies` false the instruction lines are omitted -- the
+ *  structural "shape" the analysis store hashes; this projection does
+ *  not round-trip. */
+std::string printAppText(const App &app, bool with_bodies = true);
 
 } // namespace sierra::framework
 

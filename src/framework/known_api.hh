@@ -18,6 +18,16 @@
 
 namespace sierra::framework {
 
+/**
+ * Version of the known-API table below. Bumped whenever the set of
+ * modeled framework classes or the call-site classifier changes in a
+ * way that affects analysis results; the artifact store
+ * (analysis/store) folds it into every content-hash key so cached
+ * facts computed under an older table are never reused (see
+ * docs/CACHING.md).
+ */
+inline constexpr int kKnownApiTableVersion = 1;
+
 /** Concurrency-relevant framework API kinds (paper Table 1, column 2-3). */
 enum class ApiKind {
     None,              //!< not a known concurrency API

@@ -15,6 +15,7 @@
 #ifndef SIERRA_SIERRA_DETECTOR_HH
 #define SIERRA_SIERRA_DETECTOR_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -24,6 +25,7 @@
 #include "analysis/enablement.hh"
 #include "analysis/ifds.hh"
 #include "analysis/points_to.hh"
+#include "artifact.hh"
 #include "framework/app.hh"
 #include "framework/icc.hh"
 #include "harness/harness.hh"
@@ -236,6 +238,30 @@ struct AppReport {
 };
 
 /**
+ * Stage-level reuse hooks for incremental re-analysis (`sierra serve`).
+ *
+ * When analyze() is given a HarnessReuse, it consults `tryLoad` for
+ * each harness plan *before* the parallel fan-out; a hit skips the
+ * whole pipeline for that plan and merges the loaded artifact instead.
+ * Misses run normally and their freshly made artifact is offered to
+ * `onComputed` for persistence. The merge consumes only artifact
+ * fields either way, so a warm report is byte-identical to the cold
+ * one by construction (incremental_test pins this; the caching rules
+ * live in docs/CACHING.md).
+ */
+struct HarnessReuse {
+    /** Return true and fill `out` to reuse a stored artifact for this
+     *  plan. Called serially in plan order. */
+    std::function<bool(const harness::HarnessPlan &, HarnessArtifact &)>
+        tryLoad;
+    /** Offered every freshly computed (plan, analysis, artifact)
+     *  triple, serially in plan order, for persistence. */
+    std::function<void(const harness::HarnessPlan &,
+                       const HarnessAnalysis &, const HarnessArtifact &)>
+        onComputed;
+};
+
+/**
  * The detector. Construction generates the per-activity harnesses into
  * the app's module (once); analyze() may be called repeatedly with
  * different options (e.g. to ablate the context policy). Options that
@@ -250,6 +276,11 @@ class SierraDetector
 
     /** Run the full pipeline over every activity harness. */
     AppReport analyze(const SierraOptions &options = {});
+
+    /** As above, with per-harness reuse hooks; `reuse` may be null
+     *  (then identical to the plain overload). */
+    AppReport analyze(const SierraOptions &options,
+                      const HarnessReuse *reuse);
 
     /** Analyze a single activity's harness. */
     HarnessAnalysis analyzeActivity(const std::string &activity,

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Executable documentation: every wire example in
+ * docs/DAEMON_PROTOCOL.md is replayed verbatim against a live
+ * ServeSession and its response byte-compared against the documented
+ * one. The doc's ```jsonl fences hold alternating request/response
+ * lines forming ONE serial session in document order (the doc states
+ * this convention); a drifting implementation or a hand-edited example
+ * fails here, so the protocol doc cannot rot.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "serve/serve.hh"
+
+#ifndef SIERRA_DOCS_DIR
+#define SIERRA_DOCS_DIR "docs"
+#endif
+
+namespace sierra::serve {
+namespace {
+
+/** The request/response lines of every ```jsonl fence, in doc order. */
+std::vector<std::string>
+exampleLines(const std::string &doc_path, std::string &error)
+{
+    std::ifstream in(doc_path, std::ios::binary);
+    if (!in) {
+        error = "cannot open " + doc_path;
+        return {};
+    }
+    std::vector<std::string> lines;
+    std::string line;
+    bool in_fence = false;
+    int fence_start = 0, lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (!in_fence) {
+            if (line == "```jsonl") {
+                in_fence = true;
+                fence_start = lineno;
+            }
+            continue;
+        }
+        if (line == "```") {
+            in_fence = false;
+            continue;
+        }
+        if (line.empty())
+            continue;
+        lines.push_back(line);
+    }
+    if (in_fence)
+        error = "unterminated ```jsonl fence at line " +
+                std::to_string(fence_start);
+    else if (lines.size() % 2 != 0)
+        error = "odd number of example lines: every request needs its "
+                "response";
+    return lines;
+}
+
+TEST(ProtocolExamples, DocExamplesReplayVerbatim)
+{
+    const std::string doc_path =
+        std::string(SIERRA_DOCS_DIR) + "/DAEMON_PROTOCOL.md";
+    std::string error;
+    std::vector<std::string> lines = exampleLines(doc_path, error);
+    ASSERT_TRUE(error.empty()) << error;
+    // A format drift that silently matched nothing would "pass"; pin a
+    // floor instead. 8 pairs = the documented kinds plus error cases.
+    ASSERT_GE(lines.size(), 16u)
+        << "suspiciously few examples parsed from " << doc_path;
+
+    // One serial session across all fences, exactly as the doc states:
+    // earlier examples' effects (cancellation marks, store warmth) are
+    // part of later examples' expected responses.
+    ServeSession session(ServeOptions{});
+    for (size_t i = 0; i + 1 < lines.size(); i += 2) {
+        const std::string &request = lines[i];
+        const std::string &documented = lines[i + 1];
+        EXPECT_EQ(session.handleLine(request), documented)
+            << "documented response differs for request: " << request;
+    }
+}
+
+} // namespace
+} // namespace sierra::serve

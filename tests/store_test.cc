@@ -1,0 +1,344 @@
+/**
+ * @file
+ * The artifact store's contracts (docs/CACHING.md): content-hash keys
+ * are pure functions of the input (stable across fresh builds, jobs
+ * counts and processes), the dependency index computes exact dirty
+ * closures, serializations round-trip byte-identically, and a
+ * version-stamp mismatch discards the on-disk generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "analysis/store.hh"
+#include "corpus/named_apps.hh"
+#include "framework/app_text.hh"
+#include "sierra/detector.hh"
+
+namespace sierra {
+namespace {
+
+namespace store = analysis::store;
+namespace fs = std::filesystem;
+
+struct TempDir {
+    std::string path;
+    TempDir()
+    {
+        path = (fs::temp_directory_path() /
+                ("sierra_store_test_" +
+                 std::to_string(::getpid()) + "_" +
+                 std::to_string(counter())))
+                   .string();
+    }
+    ~TempDir()
+    {
+        std::error_code ec;
+        fs::remove_all(path, ec);
+    }
+    static int
+    counter()
+    {
+        static int n = 0;
+        return n++;
+    }
+};
+
+TEST(Store, MethodHashesStableAcrossFreshBuilds)
+{
+    // Two independent builds of the same corpus app (fresh modules,
+    // fresh arenas, different pointer values) must produce identical
+    // per-method env hashes: keys depend only on content.
+    corpus::BuiltApp a = corpus::buildNamedApp("OpenSudoku");
+    corpus::BuiltApp b = corpus::buildNamedApp("OpenSudoku");
+    SierraDetector da(*a.app), db(*b.app); // generate harnesses too
+    EXPECT_EQ(store::hashMethods(*a.app), store::hashMethods(*b.app));
+    EXPECT_EQ(store::shapeHash(*a.app), store::shapeHash(*b.app));
+}
+
+TEST(Store, MethodHashesStableAcrossParseRoundTrip)
+{
+    corpus::BuiltApp built = corpus::buildNamedApp("OpenSudoku");
+    std::string text = framework::printAppText(*built.app);
+    framework::AppTextResult reparsed = framework::parseAppText(text);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.error;
+    // Harness generation mutates the module; hash only app methods
+    // here by not constructing detectors.
+    EXPECT_EQ(store::hashMethods(*built.app),
+              store::hashMethods(*reparsed.app));
+}
+
+TEST(Store, BodyEditChangesMethodHashButNotShape)
+{
+    corpus::BuiltApp a = corpus::buildNamedApp("OpenSudoku");
+    corpus::BuiltApp b = corpus::buildNamedApp("OpenSudoku");
+
+    // Append a no-op to the first app method with a body in b.
+    const air::Method *edited = nullptr;
+    for (air::Klass *klass : b.app->module().classes()) {
+        if (klass->isFramework())
+            continue;
+        for (const auto &m : klass->methods()) {
+            if (m->hasBody()) {
+                m->instrs().push_back(air::Instruction{});
+                edited = m.get();
+                break;
+            }
+        }
+        if (edited)
+            break;
+    }
+    ASSERT_NE(edited, nullptr);
+
+    auto ha = store::hashMethods(*a.app);
+    auto hb = store::hashMethods(*b.app);
+    EXPECT_NE(ha.at(edited->qualifiedName()),
+              hb.at(edited->qualifiedName()));
+    int differing = 0;
+    for (const auto &[name, hash] : ha) {
+        if (hb.at(name) != hash)
+            ++differing;
+    }
+    EXPECT_EQ(differing, 1) << "a body edit must re-key only itself";
+    // Instruction lines are stripped from the shape: it is unchanged.
+    EXPECT_EQ(store::shapeHash(*a.app), store::shapeHash(*b.app));
+}
+
+TEST(Store, ClassSliceChangesRekeyMemberMethods)
+{
+    corpus::BuiltApp a = corpus::buildNamedApp("OpenSudoku");
+    corpus::BuiltApp b = corpus::buildNamedApp("OpenSudoku");
+    // Retype-by-addition: a new field changes the owner's class slice
+    // and with it every member method's env hash.
+    air::Klass *victim = nullptr;
+    for (air::Klass *klass : b.app->module().classes()) {
+        if (!klass->isFramework() && !klass->methods().empty()) {
+            victim = klass;
+            break;
+        }
+    }
+    ASSERT_NE(victim, nullptr);
+    uint64_t before = store::classSliceHash(*victim);
+    victim->addField(air::Field{"__storeTestField",
+                                air::Type::object("java.lang.Object"),
+                                false});
+    EXPECT_NE(store::classSliceHash(*victim), before);
+
+    auto ha = store::hashMethods(*a.app);
+    auto hb = store::hashMethods(*b.app);
+    for (const auto &m : victim->methods()) {
+        if (m->hasBody())
+            EXPECT_NE(ha.at(m->qualifiedName()),
+                      hb.at(m->qualifiedName()));
+    }
+}
+
+TEST(Store, MethodIndexRoundTrip)
+{
+    std::map<std::string, uint64_t> index{
+        {"A.foo", 0x1234abcd5678ef00ULL},
+        {"B.bar", 42},
+        {"C.<init>", 0},
+    };
+    std::string blob = store::serializeMethodIndex(index);
+    EXPECT_EQ(store::parseMethodIndex(blob), index);
+    // Serialization is deterministic (sorted by name).
+    EXPECT_EQ(blob, store::serializeMethodIndex(
+                        store::parseMethodIndex(blob)));
+}
+
+TEST(Store, DepIndexDirtyClosureIsExact)
+{
+    // main -> helper -> leaf, plus lonely with no edges.
+    store::DepIndex dep;
+    dep.addEdge("main", "helper");
+    dep.addEdge("helper", "leaf");
+    dep.addEdge("other", "leaf");
+
+    // Editing the leaf dirties the whole caller chain.
+    auto dirty = dep.dirtyClosure({"leaf"});
+    EXPECT_EQ(dirty, (std::set<std::string>{"leaf", "helper", "main",
+                                            "other"}));
+    // Editing a mid-chain method dirties only its callers.
+    dirty = dep.dirtyClosure({"helper"});
+    EXPECT_EQ(dirty, (std::set<std::string>{"helper", "main"}));
+    // Editing a root dirties only itself.
+    dirty = dep.dirtyClosure({"main"});
+    EXPECT_EQ(dirty, (std::set<std::string>{"main"}));
+    // Unknown methods pass through unchanged.
+    dirty = dep.dirtyClosure({"lonely"});
+    EXPECT_EQ(dirty, (std::set<std::string>{"lonely"}));
+}
+
+TEST(Store, DepIndexSerializeRoundTripAndPrune)
+{
+    store::DepIndex dep;
+    dep.addEdge("main", "helper");
+    dep.addEdge("helper", "leaf");
+    store::DepIndex back = store::DepIndex::parse(dep.serialize());
+    EXPECT_EQ(back.serialize(), dep.serialize());
+    EXPECT_EQ(back.numEdges(), 2);
+    EXPECT_EQ(back.callersOf("leaf"),
+              std::vector<std::string>{"helper"});
+
+    back.prune({"main", "helper"}); // leaf was deleted
+    EXPECT_EQ(back.numEdges(), 1);
+    EXPECT_TRUE(back.callersOf("leaf").empty());
+}
+
+TEST(Store, DiskStoreWarmStartsAcrossInstances)
+{
+    TempDir dir;
+    {
+        store::Store first(dir.path);
+        first.put("kind", "key1", "blob one");
+        first.put("kind", "key2", "blob two");
+    }
+    // A second instance (standing in for a second process) reads the
+    // same artifacts back from disk.
+    store::Store second(dir.path);
+    auto blob = second.get("kind", "key1");
+    ASSERT_TRUE(blob.has_value());
+    EXPECT_EQ(*blob, "blob one");
+    EXPECT_EQ(second.stats().diskReads, 1);
+    EXPECT_EQ(second.keys("kind"),
+              (std::vector<std::string>{"key1", "key2"}));
+}
+
+TEST(Store, VersionMismatchDiscardsGeneration)
+{
+    TempDir dir;
+    {
+        store::Store first(dir.path);
+        first.put("kind", "key", "old generation");
+    }
+    {
+        // Corrupt the stamp as an older binary would have left it.
+        std::ofstream out(fs::path(dir.path) / "VERSION");
+        out << "sierra-store schema 0 known-api 0\n";
+    }
+    store::Store second(dir.path);
+    EXPECT_FALSE(second.get("kind", "key").has_value());
+    // The stamp is rewritten to the current version.
+    std::ifstream in(fs::path(dir.path) / "VERSION");
+    std::string stamp((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    EXPECT_EQ(stamp, store::Store::versionStamp());
+}
+
+TEST(Store, SccpFactsAndCfgDigestAreDeterministic)
+{
+    corpus::BuiltApp a = corpus::buildNamedApp("OpenSudoku");
+    corpus::BuiltApp b = corpus::buildNamedApp("OpenSudoku");
+    const air::Method *ma = nullptr, *mb = nullptr;
+    for (air::Klass *klass : a.app->module().classes()) {
+        if (klass->isFramework())
+            continue;
+        for (const auto &m : klass->methods()) {
+            if (m->hasBody()) {
+                ma = m.get();
+                break;
+            }
+        }
+        if (ma)
+            break;
+    }
+    ASSERT_NE(ma, nullptr);
+    for (air::Klass *klass : b.app->module().classes()) {
+        for (const auto &m : klass->methods()) {
+            if (m->qualifiedName() == ma->qualifiedName())
+                mb = m.get();
+        }
+    }
+    ASSERT_NE(mb, nullptr);
+    EXPECT_EQ(store::sccpFactsBlob(*ma), store::sccpFactsBlob(*mb));
+    EXPECT_EQ(store::cfgDigest(*ma), store::cfgDigest(*mb));
+    // Round-trip of the fact rows.
+    std::string blob = store::sccpFactsBlob(*ma);
+    for (const store::SccpFact &f : store::parseSccpFacts(blob)) {
+        EXPECT_GE(f.instr, 0);
+        EXPECT_GE(f.reg, 0);
+    }
+}
+
+TEST(Store, ArtifactSerializationRoundTrips)
+{
+    HarnessArtifact art;
+    art.activity = "MainActivity";
+    art.actions = 7;
+    art.hbEdges = 21;
+    art.accessesTotal = 5;
+    art.accessesDropped = 1;
+    art.locksetRefuted = 2;
+    art.enablementRefuted = 1;
+    art.races.push_back({"A.m", 3, "B.n", 4, "C.f",
+                         "race with\ttab and\nnewline", 9, false});
+    analysis::UseAfterDestroyFinding uad;
+    uad.fieldKey = "C.f";
+    uad.teardownAction = "onDestroy";
+    uad.useAction = "post#1";
+    uad.writeMethod = "C.onDestroy";
+    uad.readMethod = "C.run";
+    uad.writeInstr = 2;
+    uad.readInstr = 5;
+    art.useAfterDestroy.push_back(uad);
+    analysis::DeadlockFinding dl;
+    dl.edges.push_back({"lockA", "lockB", "C.m", 1, "post#2"});
+    dl.edges.push_back({"lockB", "lockA", "C.n", 3, "post#3"});
+    art.deadlocks.push_back(dl);
+    art.footprint.emplace_back("A.m", 0xdeadbeefcafef00dULL);
+    art.footprint.emplace_back("B.n", 1);
+
+    std::string blob = serializeArtifact(art);
+    auto back = parseArtifact(blob);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(serializeArtifact(*back), blob);
+    EXPECT_EQ(back->activity, art.activity);
+    EXPECT_EQ(back->races.size(), 1u);
+    EXPECT_EQ(back->races[0].description,
+              "race with\ttab and\nnewline");
+    EXPECT_EQ(back->footprint, art.footprint);
+    EXPECT_TRUE(back->useAfterDestroy[0] == uad);
+    EXPECT_TRUE(back->deadlocks[0] == dl);
+
+    EXPECT_FALSE(parseArtifact("not an artifact").has_value());
+    EXPECT_FALSE(parseArtifact("").has_value());
+}
+
+TEST(Store, SummaryExportRoundTrips)
+{
+    analysis::InterConstants::ExportedSummary s;
+    s.method = "A.compute";
+    s.open = true;
+    s.params.resize(2);
+    s.params[1] =
+        analysis::ConstVal{analysis::ConstVal::State::Const, 42};
+    s.ret = analysis::ConstVal{analysis::ConstVal::State::Top, 0};
+    analysis::InterConstants::MustWrite w;
+    w.field = air::FieldRef{"A", "flag"};
+    w.isStatic = true;
+    w.exclusive = true;
+    w.value = 1;
+    s.mustWrites.push_back(w);
+    s.callees = {"A.helper", "B.leaf"};
+
+    std::string blob = analysis::serializeSummaries({s});
+    auto back = analysis::parseSummaries(blob);
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_EQ(back[0].method, "A.compute");
+    EXPECT_TRUE(back[0].open);
+    ASSERT_EQ(back[0].params.size(), 2u);
+    EXPECT_TRUE(back[0].params[1].isConst());
+    EXPECT_EQ(back[0].params[1].value, 42);
+    EXPECT_EQ(back[0].callees,
+              (std::vector<std::string>{"A.helper", "B.leaf"}));
+    ASSERT_EQ(back[0].mustWrites.size(), 1u);
+    EXPECT_EQ(back[0].mustWrites[0].field.toString(), "A.flag");
+    EXPECT_EQ(analysis::serializeSummaries(back), blob);
+}
+
+} // namespace
+} // namespace sierra

@@ -1,6 +1,7 @@
 #include "cli.hh"
 
 #include <fstream>
+#include <iostream>
 #include <set>
 #include <sstream>
 
@@ -13,6 +14,7 @@
 #include "dynamic/event_racer.hh"
 #include "dynamic/race_verifier.hh"
 #include "framework/app_text.hh"
+#include "serve/serve.hh"
 #include "sierra/detector.hh"
 #include "util/metrics.hh"
 #include "util/trace.hh"
@@ -38,6 +40,9 @@ commands:
   harness <file.air> <activity>  print the generated harness for one activity
   actions <file.air> <activity>  print the actions and HB relations of one
                                  activity's harness (SHBG introspection)
+  serve [options]                run as a long-lived analysis daemon
+                                 speaking jsonl on stdin/stdout (see
+                                 docs/DAEMON_PROTOCOL.md)
   list                           list corpus apps and race patterns
   help                           this message
 
@@ -91,6 +96,15 @@ dynamic options:
   --schedules N     randomized schedules to run (default 3)
   --seed N          base RNG seed (default 1)
   --no-coverage-filter  disable the race-coverage filter
+
+serve options:
+  --store DIR       persist the artifact store to DIR so later daemon
+                    runs warm-start from it (default: memory only;
+                    caching model in docs/CACHING.md)
+  --socket PATH     listen on a Unix domain socket instead of
+                    stdin/stdout (one connection at a time)
+  --jobs N          default worker threads per analyze request
+                    (overridable per request)
 )";
 
 struct ParsedFlags {
@@ -125,7 +139,8 @@ flagTakesValue(const std::string &flag)
 {
     static const char *valued[] = {"--policy", "--k", "--max-races",
                                    "--jobs", "--schedules", "--seed",
-                                   "--trace", "-o"};
+                                   "--trace", "--store", "--socket",
+                                   "-o"};
     for (const char *v : valued) {
         if (flag == v)
             return true;
@@ -633,6 +648,21 @@ cmdHarness(const ParsedFlags &flags, std::ostream &out,
 }
 
 int
+cmdServe(const ParsedFlags &flags, std::ostream &out,
+         std::ostream &err)
+{
+    serve::ServeOptions options;
+    options.storeDir = flags.get("--store");
+    options.jobs = flags.getInt("--jobs", 0);
+    if (flags.has("--socket"))
+        return serve::serveSocket(flags.get("--socket"), options, err);
+    // stdin/stdout transport: requests arrive on std::cin; `out` is
+    // the session's response stream (the tests pass stringstreams).
+    serve::serveLoop(std::cin, out, options);
+    return 0;
+}
+
+int
 cmdList(std::ostream &out)
 {
     out << "corpus apps (paper Table 2):\n";
@@ -680,6 +710,8 @@ runCli(const std::vector<std::string> &args, std::ostream &out,
         return cmdHarness(flags, out, err);
     if (command == "actions")
         return cmdActions(flags, out, err);
+    if (command == "serve")
+        return cmdServe(flags, out, err);
     if (command == "list")
         return cmdList(out);
     err << "error: unknown command '" << command
