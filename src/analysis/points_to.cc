@@ -1293,6 +1293,7 @@ PointsToAnalysis::Engine::handleIntrinsic(NodeId n, const Method *m,
       case ApiKind::PendingIntentGetBroadcast:
       case ApiKind::PendingIntentSend:
       case ApiKind::ObjectInit:
+      case ApiKind::NullCheck:
       case ApiKind::None:
         return false;
     }

@@ -45,6 +45,16 @@ GroundTruth::isIccOnlyTrueKey(const std::string &key) const
     return false;
 }
 
+bool
+GroundTruth::isHarmfulKey(const std::string &key) const
+{
+    for (const auto &s : seeded) {
+        if (s.fieldKey == key && s.harmful)
+            return true;
+    }
+    return false;
+}
+
 Score
 scoreKeys(const std::vector<std::string> &surviving_keys,
           const GroundTruth &truth)

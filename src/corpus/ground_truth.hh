@@ -37,6 +37,10 @@ struct SeededRace {
     //! drives the target's lifecycle from the sender's harness, so
     //! `--no-icc` runs are *expected* to miss it
     bool requiresIcc{false};
+    //! losing the race dereferences null (the racing write is the sole
+    //! non-null source): the nullflow stage must classify a surviving
+    //! report on this key HARMFUL (bench_ablation_nullflow gates it)
+    bool harmful{false};
 };
 
 /** All seeds of one app. */
@@ -48,10 +52,10 @@ struct GroundTruth {
 
     void
     add(std::string key, SeedClass cls, std::string note,
-        bool requires_icc = false)
+        bool requires_icc = false, bool harmful = false)
     {
-        seeded.push_back(
-            {std::move(key), cls, std::move(note), requires_icc});
+        seeded.push_back({std::move(key), cls, std::move(note),
+                          requires_icc, harmful});
     }
     void addDeadlock() { ++seededDeadlocks; }
     void
@@ -66,6 +70,9 @@ struct GroundTruth {
     bool isKnownFpKey(const std::string &key) const;
     /** True if the key is a TrueRace seed flagged requiresIcc. */
     bool isIccOnlyTrueKey(const std::string &key) const;
+    /** True if the key is a seed flagged harmful (a surviving report
+     *  on it must classify HARMFUL under the nullflow stage). */
+    bool isHarmfulKey(const std::string &key) const;
 };
 
 /** Scoring of a detector run against the ground truth. */

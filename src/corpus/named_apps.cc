@@ -43,7 +43,8 @@ namedAppSpecs()
         {"APV", "500,000-1,000,000", 736, 3,
          {"threadRace", "guardedTimer", "interprocGuard"}},
         {"Astrid", "100,000-500,000", 5400, 8,
-         {"asyncNewsRace", "messageGuard", "workSession"}},
+         {"asyncNewsRace", "messageGuard", "workSession",
+          "guardedNullRead"}},
         {"Barcode Scanner", "100,000,000-500,000,000", 808, 3,
          {"messageGuard", "threadRace"}},
         {"Beem", "50,000-100,000", 1700, 5,
@@ -52,7 +53,8 @@ namedAppSpecs()
         {"ConnectBot", "1,000,000-5,000,000", 700, 3,
          {"threadRace", "receiverDbRace", "lockGuarded"}},
         {"FBReader", "10,000,000-50,000,000", 1013, 4,
-         {"asyncNewsRace", "actionAliasTrap", "workSession"}},
+         {"asyncNewsRace", "actionAliasTrap", "workSession",
+          "nullSourceCrash"}},
         {"K-9 Mail", "5,000,000-10,000,000", 2800, 6,
          {"receiverDbRace", "serviceStaticRace", "implicitDepTrap",
           "useAfterDestroy"}},
@@ -85,7 +87,8 @@ namedAppSpecs()
         {"VuDroid", "100,000-500,000", 63, 1,
          {"threadRace", "localScratch"}},
         {"XBMC remote", "100,000-500,000", 1100, 4,
-         {"messageGuard", "receiverDbRace", "workSession"}},
+         {"messageGuard", "receiverDbRace", "workSession",
+          "iccNullCrash"}},
     };
     return specs;
 }

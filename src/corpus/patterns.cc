@@ -2145,6 +2145,202 @@ addRemovedCallback(AppFactory &f, ActivityBuilder &act)
                   "onDestroy reads");
 }
 
+// --------------------------------------------------------------------
+// Pattern: harmful null race (nullflow HARMFUL). The racing write is
+// the field's ONLY store -- the activity never initializes it -- so a
+// GUI read that loses the race observes the absent-initialization null
+// and the dereference crashes.
+// --------------------------------------------------------------------
+void
+addNullSourceCrash(AppFactory &f, ActivityBuilder &act)
+{
+    int n = f.nextUnique();
+    std::string worker_cls = "Loader$" + std::to_string(n);
+    std::string act_cls = act.name();
+    std::string payload_field = "payload$" + std::to_string(n);
+    int wid = f.nextViewId();
+    std::string open = "onOpen$" + std::to_string(n);
+
+    air::Module &mod = f.app().module();
+
+    Klass *worker = mod.addClass(worker_cls, names::thread);
+    worker->addField({"act", Type::object(act_cls), false});
+    storingCtor(worker, worker_cls, "act", Type::object(act_cls));
+    defineMethod(worker, "run", {}, Type::voidTy(), false,
+                 [&](MethodBuilder &b) {
+                     int ra = b.newReg();
+                     int rn = b.newReg();
+                     b.getField(ra, b.thisReg(),
+                                fieldRef(worker_cls, "act"));
+                     b.newObject(rn, names::object);
+                     b.putField(ra, fieldRef(act_cls, payload_field),
+                                rn);
+                 });
+
+    act.addField(payload_field, Type::object(names::object));
+    framework::Widget w;
+    w.id = wid;
+    w.name = "btnOpen$" + std::to_string(n);
+    w.widgetClass = names::button;
+    w.xmlOnClick = open;
+    act.layout().addWidget(w);
+
+    // Unlike threadRace, onCreate deliberately does NOT null-init the
+    // field: the worker's store is its sole write anywhere, so the
+    // null the losing read observes is the absent initialization.
+    act.on("onCreate", [=](MethodBuilder &b) {
+        int rw = b.newReg();
+        b.newObject(rw, worker_cls);
+        b.invoke(-1, InvokeKind::Special, {worker_cls, "<init>", 0},
+                 {rw, b.thisReg()});
+        b.call(rw, worker_cls, "start");
+    });
+    defineMethod(act.klass(), open, {Type::object(names::view)},
+                 Type::voidTy(), false, [&](MethodBuilder &b) {
+                     int r1 = b.newReg();
+                     b.getField(r1, b.thisReg(),
+                                fieldRef(act_cls, payload_field));
+                 });
+
+    f.truth().add(act_cls + "." + payload_field, SeedClass::TrueRace,
+                  "nullSourceCrash: sole non-null write races the "
+                  "unguarded GUI read",
+                  /*requires_icc=*/false, /*harmful=*/true);
+}
+
+// --------------------------------------------------------------------
+// Pattern: guarded null race (nullflow GUARDED). Same write/read race
+// as nullSourceCrash -- it must still be reported -- but every use of
+// the field in the GUI handler sits behind a null check on the field
+// itself, so losing the race cannot dereference null.
+// --------------------------------------------------------------------
+void
+addGuardedNullRead(AppFactory &f, ActivityBuilder &act)
+{
+    int n = f.nextUnique();
+    std::string worker_cls = "Primer$" + std::to_string(n);
+    std::string act_cls = act.name();
+    std::string session_field = "session$" + std::to_string(n);
+    int wid = f.nextViewId();
+    std::string use = "onUse$" + std::to_string(n);
+
+    air::Module &mod = f.app().module();
+
+    Klass *worker = mod.addClass(worker_cls, names::thread);
+    worker->addField({"act", Type::object(act_cls), false});
+    storingCtor(worker, worker_cls, "act", Type::object(act_cls));
+    defineMethod(worker, "run", {}, Type::voidTy(), false,
+                 [&](MethodBuilder &b) {
+                     int ra = b.newReg();
+                     int rn = b.newReg();
+                     b.getField(ra, b.thisReg(),
+                                fieldRef(worker_cls, "act"));
+                     b.newObject(rn, names::object);
+                     b.putField(ra, fieldRef(act_cls, session_field),
+                                rn);
+                 });
+
+    act.addField(session_field, Type::object(names::object));
+    framework::Widget w;
+    w.id = wid;
+    w.name = "btnUse$" + std::to_string(n);
+    w.widgetClass = names::button;
+    w.xmlOnClick = use;
+    act.layout().addWidget(w);
+
+    act.on("onCreate", [=](MethodBuilder &b) {
+        int rn = b.newReg();
+        int rw = b.newReg();
+        b.constNull(rn);
+        b.putField(b.thisReg(), fieldRef(act_cls, session_field), rn);
+        b.newObject(rw, worker_cls);
+        b.invoke(-1, InvokeKind::Special, {worker_cls, "<init>", 0},
+                 {rw, b.thisReg()});
+        b.call(rw, worker_cls, "start");
+    });
+    // The guard tests the racy field itself (not a separate flag), so
+    // symbolic refutation cannot order the accesses away: the race
+    // survives and nullflow alone downgrades it to GUARDED.
+    defineMethod(act.klass(), use, {Type::object(names::view)},
+                 Type::voidTy(), false, [&](MethodBuilder &b) {
+                     Label l_end = b.newLabel();
+                     int r1 = b.newReg();
+                     b.getField(r1, b.thisReg(),
+                                fieldRef(act_cls, session_field));
+                     b.ifz(r1, CondKind::Eq, l_end);
+                     int r2 = b.newReg();
+                     b.getField(r2, b.thisReg(),
+                                fieldRef(act_cls, session_field));
+                     b.bind(l_end);
+                     b.retVoid();
+                 });
+
+    f.truth().add(act_cls + "." + session_field, SeedClass::TrueRace,
+                  "guardedNullRead: racy but null-guarded GUI read "
+                  "(benign severity)");
+}
+
+// --------------------------------------------------------------------
+// Pattern: cross-component harmful null race (nullflow HARMFUL via
+// ICC). iccStartActivity's shape with a reference-typed static whose
+// only write is the sender's worker: the launched activity's onCreate
+// read crashes when it wins the race.
+// --------------------------------------------------------------------
+void
+addIccNullCrash(AppFactory &f, ActivityBuilder &act)
+{
+    int n = f.nextUnique();
+    std::string cache_cls = "Cache$" + std::to_string(n);
+    std::string worker_cls = "Warmer$" + std::to_string(n);
+    // No '$' in the activity name: it must match the manifest entry
+    // the Intent string names.
+    std::string target_cls = "IccNullDetail" + std::to_string(n);
+    std::string act_cls = act.name();
+
+    air::Module &mod = f.app().module();
+
+    Klass *cache = mod.addClass(cache_cls, names::object);
+    cache->addField({"entry", Type::object(names::object), true});
+
+    Klass *worker = mod.addClass(worker_cls, names::thread);
+    emptyCtor(worker);
+    defineMethod(worker, "run", {}, Type::voidTy(), false,
+                 [&](MethodBuilder &b) {
+                     int rv = b.newReg();
+                     b.newObject(rv, names::object);
+                     b.putStatic(fieldRef(cache_cls, "entry"), rv);
+                 });
+
+    // The target dereferences the cache entry with no null check; the
+    // worker's store is the field's only write, so the ICC-ordered
+    // read is null whenever the worker loses the race.
+    ActivityBuilder &target = f.addActivity(target_cls);
+    target.on("onCreate", [=](MethodBuilder &b) {
+        int r = b.newReg();
+        b.getStatic(r, fieldRef(cache_cls, "entry"));
+    });
+
+    act.on("onCreate", [=](MethodBuilder &b) {
+        int rw = b.newReg();
+        b.newObject(rw, worker_cls);
+        b.invoke(-1, InvokeKind::Special, {worker_cls, "<init>", 0},
+                 {rw});
+        b.call(rw, worker_cls, "start");
+        int rs = b.newReg();
+        int ri = b.newReg();
+        b.constStr(rs, target_cls);
+        b.newObject(ri, names::intent);
+        b.invoke(-1, InvokeKind::Special, {names::intent, "<init>", 0},
+                 {ri, rs});
+        b.call(b.thisReg(), act_cls, "startActivity", {ri});
+    });
+
+    f.truth().add(cache_cls + ".entry", SeedClass::TrueRace,
+                  "iccNullCrash: sole non-null worker write vs "
+                  "launched activity's unguarded onCreate read",
+                  /*requires_icc=*/true, /*harmful=*/true);
+}
+
 const std::vector<PatternEntry> &
 patternCatalog()
 {
@@ -2179,6 +2375,9 @@ patternCatalog()
         {"registeredWindow", &addRegisteredWindow, 1, 1, 0},
         {"unregisteredFpTrap", &addUnregisteredFpTrap, 0, 1, 0},
         {"removedCallback", &addRemovedCallback, 0, 1, 0},
+        {"nullSourceCrash", &addNullSourceCrash, 1, 0, 0},
+        {"guardedNullRead", &addGuardedNullRead, 1, 0, 0},
+        {"iccNullCrash", &addIccNullCrash, 1, 0, 0},
     };
     return catalog;
 }

@@ -53,6 +53,16 @@
  *  - removedCallback    Handler.post in onCreate, removeCallbacks in
  *                       onPause: the onDestroy read is a pure
  *                       enablement FP
+ *  - nullSourceCrash    the racing worker write is the ref field's
+ *                       only store (no initialization), so the losing
+ *                       GUI read dereferences null: nullflow HARMFUL
+ *  - guardedNullRead    same race but every handler use sits behind a
+ *                       null check on the field itself: the report
+ *                       survives with nullflow severity GUARDED
+ *  - iccNullCrash       iccStartActivity with a ref-typed static whose
+ *                       sole write is the sender's worker: the
+ *                       launched activity's unguarded onCreate read is
+ *                       a cross-component nullflow HARMFUL
  */
 
 #ifndef SIERRA_CORPUS_PATTERNS_HH
@@ -90,6 +100,9 @@ void addIccPendingIntent(AppFactory &f, ActivityBuilder &act);
 void addRegisteredWindow(AppFactory &f, ActivityBuilder &act);
 void addUnregisteredFpTrap(AppFactory &f, ActivityBuilder &act);
 void addRemovedCallback(AppFactory &f, ActivityBuilder &act);
+void addNullSourceCrash(AppFactory &f, ActivityBuilder &act);
+void addGuardedNullRead(AppFactory &f, ActivityBuilder &act);
+void addIccNullCrash(AppFactory &f, ActivityBuilder &act);
 
 /** All pattern functions, for sweep-style corpus generation. */
 using PatternFn = void (*)(AppFactory &, ActivityBuilder &);

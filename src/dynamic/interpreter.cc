@@ -371,6 +371,7 @@ Interpreter::intrinsic(ApiKind kind, const Instruction &instr,
         return Value::null();
       }
       case ApiKind::ObjectInit:
+      case ApiKind::NullCheck:
       case ApiKind::HandlerRemove:
       case ApiKind::SetContentView:
       case ApiKind::StartActivity:

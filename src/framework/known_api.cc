@@ -45,6 +45,7 @@ apiKindName(ApiKind k)
       case ApiKind::HandlerInit: return "handler-init";
       case ApiKind::ThreadInit: return "thread-init";
       case ApiKind::ObjectInit: return "object-init";
+      case ApiKind::NullCheck: return "null-check";
     }
     panic("unreachable api kind");
 }
@@ -102,6 +103,10 @@ const ApiEntry kApiTable[] = {
      ApiKind::HandlerThreadGetLooper},
     {names::looper, "myLooper", ApiKind::LooperMy},
     {names::object, "<init>", ApiKind::ObjectInit},
+    {names::objects, "isNull", ApiKind::NullCheck},
+    {names::objects, "nonNull", ApiKind::NullCheck},
+    {names::objects, "requireNonNull", ApiKind::NullCheck},
+    {names::textUtils, "isEmpty", ApiKind::NullCheck},
 };
 
 } // namespace
@@ -509,6 +514,16 @@ installFrameworkModel(air::Module &module)
         native(k, "<init>");
         native(k, "setAdapter", {Type::object(names::baseAdapter)});
         native(k, "getAdapter", {}, Type::object(names::baseAdapter));
+    }
+    if (!have(names::objects)) {
+        auto *k = module.addClass(names::objects, names::object);
+        nativeStatic(k, "isNull", {obj_t}, Type::boolTy());
+        nativeStatic(k, "nonNull", {obj_t}, Type::boolTy());
+        nativeStatic(k, "requireNonNull", {obj_t}, obj_t);
+    }
+    if (!have(names::textUtils)) {
+        auto *k = module.addClass(names::textUtils, names::object);
+        nativeStatic(k, "isEmpty", {str_t}, Type::boolTy());
     }
     if (!have(names::recycleView)) {
         auto *k = module.addClass(names::recycleView, names::view);

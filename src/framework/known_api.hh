@@ -26,7 +26,7 @@ namespace sierra::framework {
  * facts computed under an older table are never reused (see
  * docs/CACHING.md).
  */
-inline constexpr int kKnownApiTableVersion = 1;
+inline constexpr int kKnownApiTableVersion = 2;
 
 /** Concurrency-relevant framework API kinds (paper Table 1, column 2-3). */
 enum class ApiKind {
@@ -60,6 +60,8 @@ enum class ApiKind {
     HandlerInit,       //!< new Handler(looper?)
     ThreadInit,        //!< new Thread(runnable?)
     ObjectInit,        //!< java.lang.Object.<init> and other no-op ctors
+    NullCheck,         //!< Objects.isNull/nonNull/requireNonNull,
+                       //!< TextUtils.isEmpty: tests/asserts nullness
 };
 
 const char *apiKindName(ApiKind k);
@@ -97,6 +99,8 @@ inline constexpr const char *textView = "android.widget.TextView";
 inline constexpr const char *listView = "android.widget.ListView";
 inline constexpr const char *recycleView =
     "android.widget.RecycleView";
+inline constexpr const char *objects = "java.util.Objects";
+inline constexpr const char *textUtils = "android.text.TextUtils";
 } // namespace names
 
 /**

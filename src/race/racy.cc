@@ -305,6 +305,43 @@ refuteWithEnablement(analysis::EnablementAnalysis &enablement,
     return refuted;
 }
 
+int
+classifyWithNullFlow(analysis::NullFlowAnalysis &nullflow,
+                     const std::vector<Access> &accesses,
+                     std::vector<RacyPair> &pairs)
+{
+    int classified = 0;
+    for (RacyPair &pair : pairs) {
+        if (pair.refuted)
+            continue;
+        const Access &x = accesses[pair.access1];
+        const Access &y = accesses[pair.access2];
+        // The sink shape is a reference-typed field read racing a
+        // write: read/read and write/write pairs stay Unknown, as do
+        // array-element races (no null-dereference shape to chase).
+        if (x.isWrite == y.isWrite)
+            continue;
+        const Access &read = x.isWrite ? y : x;
+        const Access &write = x.isWrite ? x : y;
+        if (!read.refTyped || read.isArrayElem)
+            continue;
+        analysis::NullFlowVerdict v = nullflow.classifyRead(
+            read.node, read.instrIdx, write.node, write.instrIdx,
+            pair.loc.key.str());
+        pair.severity = v.verdict;
+        pair.severityChain = std::move(v.chain);
+        if (v.verdict != analysis::NullVerdict::Unknown) {
+            ++classified;
+            SIERRA_TRACE_INSTANT(
+                "nullflow", "pair classified",
+                util::trace::arg(
+                    "verdict",
+                    analysis::nullVerdictName(v.verdict)));
+        }
+    }
+    return classified;
+}
+
 void
 prioritize(const PointsToResult &result,
            const std::vector<Access> &accesses,

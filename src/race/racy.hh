@@ -15,6 +15,7 @@
 #include "analysis/enablement.hh"
 #include "analysis/escape.hh"
 #include "analysis/lockset.hh"
+#include "analysis/nullflow.hh"
 #include "hb/shbg.hh"
 
 namespace sierra::race {
@@ -49,6 +50,11 @@ struct RacyPair {
     bool refuted{false}; //!< set by a refutation stage
     RefutedBy refutedBy{RefutedBy::None};
     bool refutationTimedOut{false};
+    //! null-value-flow severity (set by classifyWithNullFlow on
+    //! surviving pairs; Unknown with the stage off)
+    analysis::NullVerdict severity{analysis::NullVerdict::Unknown};
+    //! provenance chain of the severity verdict (empty for Unknown)
+    std::string severityChain;
 
     std::string toString(const analysis::PointsToResult &r,
                          const std::vector<Access> &accesses) const;
@@ -154,6 +160,21 @@ int refuteWithLockSets(const analysis::PointsToResult &result,
  */
 int refuteWithEnablement(analysis::EnablementAnalysis &enablement,
                          const std::function<bool(int, int)> &reaches,
+                         std::vector<RacyPair> &pairs);
+
+/**
+ * Null-value-flow severity classification (runs after every refutation
+ * stage, before prioritization): for each *surviving* pair whose
+ * accesses are a reference-typed field read racing a write, ask the
+ * demand-driven analysis::NullFlowAnalysis whether the read can
+ * observe null/absent state (HARMFUL), is protected by a dominating
+ * null check (GUARDED), or neither (UNKNOWN). Stamps
+ * RacyPair::severity + severityChain; refuted pairs and pairs without
+ * a read/write ref-field shape stay Unknown. Returns the number of
+ * pairs classified non-Unknown.
+ */
+int classifyWithNullFlow(analysis::NullFlowAnalysis &nullflow,
+                         const std::vector<Access> &accesses,
                          std::vector<RacyPair> &pairs);
 
 } // namespace sierra::race

@@ -27,6 +27,7 @@ IncrementalAnalyzer::optionsFingerprint(const SierraOptions &o)
     fold(o.ifds);
     fold(o.deadlock);
     fold(o.icc);
+    fold(o.nullflow);
     uint64_t h = store::mixHash(store::fnv64("sierra-options"), bits);
     h = store::mixHash(
         h, static_cast<uint64_t>(o.refuter.maxActionPairsPerRace));

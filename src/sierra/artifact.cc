@@ -14,7 +14,10 @@ namespace sierra {
 
 namespace {
 
-constexpr const char *kMagic = "harness-artifact v1";
+// v2: race rows carry the nullflow severity verdict + chain. The
+// version is part of the first line, so v1 blobs fail parseArtifact
+// and the store recomputes them (never a silently missing severity).
+constexpr const char *kMagic = "harness-artifact v2";
 
 /** Escape a field so it can live inside a tab-separated line. */
 std::string
@@ -139,6 +142,8 @@ makeArtifact(const HarnessAnalysis &ha)
         r.description = p.toString(*ha.pta, ha.accesses);
         r.priority = p.priority;
         r.refuted = p.refuted;
+        r.severity = p.severity;
+        r.severityChain = p.severityChain;
         art.races.push_back(std::move(r));
     }
 
@@ -175,6 +180,8 @@ serializeArtifact(const HarnessArtifact &a)
         os << "race\t" << esc(r.m1) << "\t" << r.i1 << "\t"
            << esc(r.m2) << "\t" << r.i2 << "\t" << esc(r.key) << "\t"
            << r.priority << "\t" << (r.refuted ? 1 : 0) << "\t"
+           << analysis::nullVerdictName(r.severity) << "\t"
+           << esc(r.severityChain) << "\t"
            << esc(r.description) << "\n";
     }
     for (const analysis::UseAfterDestroyFinding &f : a.useAfterDestroy) {
@@ -230,11 +237,13 @@ parseArtifact(const std::string &blob)
             a.locksetRefuted = static_cast<int>(v[4]);
             a.enablementRefuted = static_cast<int>(v[5]);
             saw_counts = true;
-        } else if (tag == "race" && f.size() == 9) {
+        } else if (tag == "race" && f.size() == 11) {
             ArtifactRace r;
             int64_t i1, i2, prio, refuted;
             if (!parseInt(f[2], i1) || !parseInt(f[4], i2) ||
                 !parseInt(f[6], prio) || !parseInt(f[7], refuted))
+                return std::nullopt;
+            if (!analysis::nullVerdictFromName(f[8], r.severity))
                 return std::nullopt;
             r.m1 = unesc(f[1]);
             r.i1 = static_cast<int>(i1);
@@ -243,7 +252,8 @@ parseArtifact(const std::string &blob)
             r.key = unesc(f[5]);
             r.priority = static_cast<int>(prio);
             r.refuted = refuted != 0;
-            r.description = unesc(f[8]);
+            r.severityChain = unesc(f[9]);
+            r.description = unesc(f[10]);
             a.races.push_back(std::move(r));
         } else if (tag == "uad" && f.size() == 8) {
             analysis::UseAfterDestroyFinding u;

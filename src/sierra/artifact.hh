@@ -31,6 +31,7 @@
 
 #include "analysis/deadlock.hh"
 #include "analysis/ifds.hh"
+#include "analysis/nullflow.hh"
 
 namespace sierra {
 
@@ -51,6 +52,9 @@ struct ArtifactRace {
     std::string description;
     int priority{0};
     bool refuted{false};
+    //! null-value-flow verdict of the pair (Unknown with the stage off)
+    analysis::NullVerdict severity{analysis::NullVerdict::Unknown};
+    std::string severityChain; //!< its provenance (empty for Unknown)
 };
 
 /** The merge-relevant projection of one harness's analysis. */

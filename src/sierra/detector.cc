@@ -4,6 +4,7 @@
 #include <chrono>
 #include <map>
 #include <sstream>
+#include <string_view>
 #include <tuple>
 
 #include "air/logging.hh"
@@ -90,6 +91,16 @@ fillMetrics(util::metrics::Registry &m, const HarnessAnalysis &ha,
     m.add("ifds.use_after_destroy",
           static_cast<int64_t>(ha.useAfterDestroy.size()));
 
+    const analysis::NullFlowStats &nf = ha.nullflowStats;
+    m.add("nullflow.queries", nf.queries);
+    m.add("nullflow.sinks_examined", nf.sinksExamined);
+    m.add("nullflow.stores_indexed", nf.storesIndexed);
+    m.add("nullflow.null_stores", nf.nullStores);
+    m.add("nullflow.guarded", nf.guarded);
+    m.add("nullflow.harmful", nf.harmful);
+    m.add("nullflow.dom_trees", nf.domTrees);
+    m.add("nullflow.classified", ha.nullflowClassified);
+
     m.add("deadlock.observations", ha.deadlockStats.observations);
     m.add("deadlock.lock_nodes", ha.deadlockStats.lockNodes);
     m.add("deadlock.lock_edges", ha.deadlockStats.lockEdges);
@@ -124,6 +135,7 @@ fillMetrics(util::metrics::Registry &m, const HarnessAnalysis &ha,
     m.observe("stage.enablement.seconds", t.enablement);
     m.observe("stage.ifds.seconds", t.ifds);
     m.observe("stage.refutation.seconds", t.refutation);
+    m.observe("stage.nullflow.seconds", t.nullflow);
     m.observe("harness.cpu.seconds", t.totalCpu);
 }
 
@@ -361,6 +373,37 @@ SierraDetector::runHarness(const harness::HarnessPlan &plan,
         refutation =
             std::max(wall, ha.refutation.cpuSeconds);
     }
+
+    // Null-value-flow stage: classify surviving pairs by whether
+    // losing the race dereferences null (analysis/nullflow.hh).
+    // Demand-driven like enablement: the store index and dominator
+    // trees are only built when pairs survived every refuter.
+    auto t_nf = std::chrono::steady_clock::now();
+    double nullflow;
+    {
+        SIERRA_TRACE_SPAN(span, "stage", "stage.nullflow",
+                          util::trace::arg("activity", ha.activity));
+        if (options.nullflow) {
+            bool any_surviving = false;
+            for (const race::RacyPair &p : ha.pairs) {
+                if (!p.refuted) {
+                    any_surviving = true;
+                    break;
+                }
+            }
+            if (any_surviving) {
+                const framework::KnownApis apis(_app.module());
+                analysis::NullFlowAnalysis nf(
+                    *ha.pta, ha.inter.get(), apis, [&](int a, int b) {
+                        return ha.shbg->reaches(a, b);
+                    });
+                ha.nullflowClassified = race::classifyWithNullFlow(
+                    nf, ha.accesses, ha.pairs);
+                ha.nullflowStats = nf.stats();
+            }
+        }
+        nullflow = secondsSince(t_nf);
+    }
     race::prioritize(*ha.pta, ha.accesses, ha.pairs);
 
     if (times) {
@@ -374,9 +417,10 @@ SierraDetector::runHarness(const harness::HarnessPlan &plan,
         times->enablement += enablement;
         times->ifds += ifds;
         times->refutation += refutation;
+        times->nullflow += nullflow;
         times->totalCpu += cg_pa + hbg + dataflow + escape + racy +
                            lockset + deadlock + enablement + ifds +
-                           refutation;
+                           refutation + nullflow;
     }
     return ha;
 }
@@ -402,6 +446,7 @@ SierraDetector::analyze(const SierraOptions &options,
     report.app = _app.name();
     report.harnesses = static_cast<int>(_plans.size());
     report.enablementEnabled = options.enablement;
+    report.nullflowEnabled = options.nullflow;
 
     const int num_plans = static_cast<int>(_plans.size());
     const int jobs = util::resolveJobs(options.jobs);
@@ -519,6 +564,9 @@ SierraDetector::analyze(const SierraOptions &options,
     struct Agg {
         AppRace race;
         bool survivesSomewhere{false};
+        //! a surviving instance has stamped the severity; refuted
+        //! instances carry Unknown and must not wash out a verdict
+        bool haveSeverity{false};
     };
     std::map<Key, Agg> dedup;
 
@@ -576,8 +624,20 @@ SierraDetector::analyze(const SierraOptions &options,
                 agg.race.fieldKey = r.key;
             }
             agg.race.activities.push_back(plan.activityClass);
-            if (!r.refuted)
+            if (!r.refuted) {
                 agg.survivesSomewhere = true;
+                // Highest-rank verdict of any surviving instance wins
+                // (strict >, plan order: deterministic at every jobs
+                // count). Initialized from the first surviving row so
+                // a Guarded verdict is representable at all.
+                if (!agg.haveSeverity ||
+                    analysis::nullVerdictRank(r.severity) >
+                        analysis::nullVerdictRank(agg.race.severity)) {
+                    agg.race.severity = r.severity;
+                    agg.race.severityChain = r.severityChain;
+                    agg.haveSeverity = true;
+                }
+            }
         }
         report.perHarness.push_back(std::move(analyses[i]));
     }
@@ -585,14 +645,27 @@ SierraDetector::analyze(const SierraOptions &options,
     report.racyPairs = static_cast<int>(dedup.size());
     for (auto &[key, agg] : dedup) {
         agg.race.refuted = !agg.survivesSomewhere;
-        if (agg.survivesSomewhere)
+        if (agg.survivesSomewhere) {
             ++report.afterRefutation;
+            if (agg.race.severity == analysis::NullVerdict::Harmful)
+                ++report.harmfulRaces;
+            else if (agg.race.severity ==
+                     analysis::NullVerdict::Guarded)
+                ++report.guardedRaces;
+        }
         report.races.push_back(std::move(agg.race));
     }
+    // Severity-ranked order: harmful > unknown > guarded within the
+    // surviving block. With the stage off every verdict is Unknown and
+    // this degenerates to the pre-nullflow order exactly.
     std::sort(report.races.begin(), report.races.end(),
               [](const AppRace &a, const AppRace &b) {
                   if (a.refuted != b.refuted)
                       return !a.refuted;
+                  int ra = analysis::nullVerdictRank(a.severity);
+                  int rb = analysis::nullVerdictRank(b.severity);
+                  if (ra != rb)
+                      return ra > rb;
                   if (a.priority != b.priority)
                       return a.priority > b.priority;
                   return a.description < b.description;
@@ -632,6 +705,38 @@ SierraDetector::analyze(const SierraOptions &options,
     return report;
 }
 
+// Rendering StageTimes through this list is what keeps the `time:`
+// line and the JSON `timesMs` object complete: a StageTimes field
+// added without a row here trips the static_assert below.
+std::vector<StageTimeEntry>
+stageTimeEntries(const AppReport &report)
+{
+    const StageTimes &t = report.times;
+    return {
+        {"cgPa", "cg+pa", t.cgPa, true},
+        {"hbg", "hbg", t.hbg, true},
+        {"dataflow", "dataflow", t.dataflow, true},
+        {"escape", "escape", t.escape, true},
+        {"racy", "racy", t.racy, true},
+        {"lockset", "lockset", t.lockset, true},
+        {"deadlock", "deadlock", t.deadlock, true},
+        {"enablement", "enablement", t.enablement,
+         report.enablementEnabled},
+        {"ifds", "ifds", t.ifds, true},
+        {"refutation", "refutation", t.refutation, true},
+        {"nullflow", "nullflow", t.nullflow, report.nullflowEnabled},
+        {"totalCpu", "cpu", t.totalCpu, true},
+        {"total", "total", t.total, true},
+    };
+}
+
+// 13 doubles: 11 stages + totalCpu + total. Mirrors the entry list
+// above; adding a StageTimes field updates this count and forces a
+// matching stageTimeEntries row (report_times_test checks both
+// renderings cover every entry).
+static_assert(sizeof(StageTimes) == 13 * sizeof(double),
+              "StageTimes changed: update stageTimeEntries()");
+
 std::string
 formatReport(const AppReport &report, int max_races, bool with_times)
 {
@@ -647,23 +752,28 @@ formatReport(const AppReport &report, int max_races, bool with_times)
     // byte-identical to the stage-less report.
     if (report.enablementEnabled)
         os << "  enablement-refuted: " << report.enablementRefuted;
-    os << "  after refutation: " << report.afterRefutation
-       << "  (thread-local accesses dropped: "
+    os << "  after refutation: " << report.afterRefutation;
+    // Same gating for the nullflow severity tallies (--no-nullflow).
+    if (report.nullflowEnabled) {
+        os << "  harmful: " << report.harmfulRaces
+           << "  guarded: " << report.guardedRaces;
+    }
+    os << "  (thread-local accesses dropped: "
        << report.accessesDropped << ")\n";
     if (with_times) {
-        os << "time: cg+pa " << report.times.cgPa << "s, hbg "
-           << report.times.hbg << "s, dataflow "
-           << report.times.dataflow << "s, escape "
-           << report.times.escape << "s, racy "
-           << report.times.racy << "s, lockset "
-           << report.times.lockset << "s, deadlock "
-           << report.times.deadlock << "s, ";
-        if (report.enablementEnabled)
-            os << "enablement " << report.times.enablement << "s, ";
-        os << "ifds " << report.times.ifds << "s, refutation "
-           << report.times.refutation << "s, total "
-           << report.times.total << "s (cpu "
-           << report.times.totalCpu << "s)\n";
+        os << "time: ";
+        for (const StageTimeEntry &e : stageTimeEntries(report)) {
+            if (!e.inText)
+                continue;
+            if (std::string_view(e.jsonName) == "totalCpu")
+                continue; // rendered inside total's parens below
+            if (std::string_view(e.jsonName) == "total") {
+                os << "total " << e.seconds << "s (cpu "
+                   << report.times.totalCpu << "s)\n";
+            } else {
+                os << e.textName << " " << e.seconds << "s, ";
+            }
+        }
     }
     int shown = 0;
     for (const auto &race : report.races) {
@@ -676,6 +786,15 @@ formatReport(const AppReport &report, int max_races, bool with_times)
         }
         os << "  [p" << race.priority << "] " << race.description
            << "\n";
+        // One severity tag per surviving pair, gated like the header
+        // tallies so --no-nullflow output has no nullflow tokens.
+        if (report.nullflowEnabled) {
+            os << "      severity: "
+               << analysis::nullVerdictName(race.severity);
+            if (!race.severityChain.empty())
+                os << "  (" << race.severityChain << ")";
+            os << "\n";
+        }
     }
     if (!report.useAfterDestroy.empty()) {
         os << "use-after-destroy: "

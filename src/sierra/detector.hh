@@ -93,6 +93,17 @@ struct SierraOptions {
      */
     bool deadlock{true};
     /**
+     * The null-value-flow stage (analysis/nullflow): classify each
+     * *surviving* pair as HARMFUL (the read can observe null/absent
+     * state whose only non-null source is the racing write), GUARDED
+     * (a dominating null check protects the sink) or UNKNOWN, and
+     * severity-sort the report. Purely additive — it refutes nothing;
+     * with the stage off every verdict is Unknown and the report is
+     * byte-identical to today's (`--no-nullflow` ablates it; measured
+     * by bench_ablation_nullflow).
+     */
+    bool nullflow{true};
+    /**
      * ICC modeling (framework::IccModel): resolve explicit Intent
      * targets at startActivity/startService/sendBroadcast/PendingIntent
      * sites and extend each activity harness with the lifecycles of the
@@ -148,7 +159,9 @@ struct StageTimes {
      * thread's elapsed time.
      */
     double refutation{0};
-    //! sum of all per-task stage times; equals the sum of the ten
+    //! null-value-flow severity classification (cpu-s)
+    double nullflow{0};
+    //! sum of all per-task stage times; equals the sum of the eleven
     //! stage fields (up to fp rounding) by construction, regardless of
     //! task completion order — the merge runs serially in plan order
     double totalCpu{0};
@@ -170,6 +183,7 @@ struct StageTimes {
         enablement += o.enablement;
         ifds += o.ifds;
         refutation += o.refutation;
+        nullflow += o.nullflow;
         totalCpu += o.totalCpu;
     }
 };
@@ -196,6 +210,10 @@ struct HarnessAnalysis {
     int enablementRefuted{0}; //!< pairs refuted by the enablement stage
     //! enablement-stage work counters (all zero when the stage is off)
     analysis::EnablementStats enablementStats;
+    //! surviving pairs classified non-Unknown by the nullflow stage
+    int nullflowClassified{0};
+    //! nullflow-stage work counters (all zero when the stage is off)
+    analysis::NullFlowStats nullflowStats;
 
     int numActions() const { return pta->numRealActions(); }
     int64_t hbEdges() const { return shbg->numClosurePairs(); }
@@ -211,6 +229,11 @@ struct AppRace {
     std::string fieldKey; //!< canonical location key (for scoring)
     //! which activities' harnesses exposed it
     std::vector<std::string> activities;
+    //! null-value-flow severity (merged across harnesses: the
+    //! highest-rank verdict of any surviving instance wins)
+    analysis::NullVerdict severity{analysis::NullVerdict::Unknown};
+    //! provenance chain of the winning verdict (empty for Unknown)
+    std::string severityChain;
 };
 
 /** The aggregated result for one app (paper Table 3/4 rows). */
@@ -228,6 +251,11 @@ struct AppReport {
     //! whether the enablement stage ran (gates its report tokens, so
     //! --no-enablement output is byte-identical to the stage-less text)
     bool enablementEnabled{false};
+    int harmfulRaces{0}; //!< surviving races classified HARMFUL
+    int guardedRaces{0}; //!< surviving races classified GUARDED
+    //! whether the nullflow stage ran (gates its report tokens, so
+    //! --no-nullflow output is byte-identical to the stage-less text)
+    bool nullflowEnabled{false};
     StageTimes times;
     std::vector<AppRace> races; //!< deduplicated, priority-ranked
     //! use-after-destroy findings, deduplicated across harnesses
@@ -312,6 +340,26 @@ class SierraDetector
     std::vector<harness::HarnessPlan> _plans;
     framework::IccStats _iccStats;
 };
+
+/**
+ * One row of the stage-time rendering. The text `time:` line and the
+ * JSON `timesMs` object are both generated from stageTimeEntries(), so
+ * a stage added to StageTimes cannot silently miss either output — a
+ * static_assert in detector.cc ties the entry count to
+ * sizeof(StageTimes), and report_times_test checks both renderings
+ * cover every entry.
+ */
+struct StageTimeEntry {
+    const char *jsonName; //!< key in the JSON `timesMs` object
+    const char *textName; //!< token on the text `time:` line
+    double seconds;       //!< the StageTimes field value
+    //! rendered on the text line (gated stages drop out when off, so
+    //! ablated output stays byte-identical; JSON always has all keys)
+    bool inText;
+};
+
+/** Every StageTimes field exactly once, in render order. */
+std::vector<StageTimeEntry> stageTimeEntries(const AppReport &report);
 
 /**
  * Render an app report as human-readable text (ranked race list).

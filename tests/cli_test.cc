@@ -119,7 +119,7 @@ TEST(Cli, AnalyzeJsonCarriesSchemaVersion)
     ASSERT_EQ(r.code, 0) << r.err;
     // The version is the first key, so consumers can dispatch on it
     // before reading anything else.
-    EXPECT_NE(r.out.find("{\n  \"schemaVersion\": 2,"),
+    EXPECT_NE(r.out.find("{\n  \"schemaVersion\": 3,"),
               std::string::npos)
         << r.out.substr(0, 200);
 }

@@ -97,7 +97,7 @@ INSTANTIATE_TEST_SUITE_P(Sample, FdroidBuild,
 TEST(Patterns, CatalogShape)
 {
     const auto &catalog = patternCatalog();
-    EXPECT_EQ(catalog.size(), 28u);
+    EXPECT_EQ(catalog.size(), 31u);
     int true_races = 0;
     int traps = 0;
     int deadlocks = 0;

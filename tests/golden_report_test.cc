@@ -14,10 +14,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include "cli.hh"
 #include "corpus/named_apps.hh"
 #include "sierra/detector.hh"
 
@@ -29,13 +31,19 @@ namespace sierra {
 namespace {
 
 std::string
-goldenPath(const std::string &app_name)
+goldenFileName(const std::string &app_name)
 {
     std::string fname;
     for (char c : app_name)
         fname += (c == ' ' || c == '/') ? '_' : c;
-    return std::string(SIERRA_GOLDEN_DIR) + "/" + fname +
-           ".report.txt";
+    return fname;
+}
+
+std::string
+goldenPath(const std::string &app_name)
+{
+    return std::string(SIERRA_GOLDEN_DIR) + "/" +
+           goldenFileName(app_name) + ".report.txt";
 }
 
 std::string
@@ -66,6 +74,103 @@ TEST(GoldenReports, AllNamedAppsByteIdentical)
         ++checked;
     }
     EXPECT_EQ(checked, 20) << "the corpus pins all 20 named apps";
+}
+
+/**
+ * Ablation snapshots: with the nullflow stage off the report must have
+ * no severity tokens at all, pinned under tests/golden/nullflow_off/.
+ * For every app without a nullflow signature pattern these bytes equal
+ * the pre-stage goldens exactly — the stage is purely additive.
+ */
+TEST(GoldenReports, NullflowOffByteIdentical)
+{
+    for (const auto &spec : corpus::namedAppSpecs()) {
+        std::string path = std::string(SIERRA_GOLDEN_DIR) +
+                           "/nullflow_off/" +
+                           goldenFileName(spec.name) + ".report.txt";
+        std::string expected = readFile(path);
+        ASSERT_FALSE(expected.empty())
+            << "missing golden snapshot " << path;
+        EXPECT_EQ(expected.find("severity:"), std::string::npos)
+            << path << " leaked severity tokens into ablated output";
+
+        corpus::BuiltApp built = corpus::buildNamedApp(spec);
+        SierraDetector detector(*built.app);
+        SierraOptions options;
+        options.nullflow = false;
+        AppReport report = detector.analyze(options);
+        std::string actual = formatReport(report, 50, false);
+
+        EXPECT_EQ(actual, expected)
+            << spec.name << ": report diverged from " << path;
+    }
+}
+
+/** A temp file path that cleans itself up. */
+class TempFile
+{
+  public:
+    explicit TempFile(const std::string &suffix)
+    {
+        _path = std::string(std::tmpnam(nullptr)) + suffix;
+    }
+    ~TempFile() { std::remove(_path.c_str()); }
+    const std::string &path() const { return _path; }
+
+  private:
+    std::string _path;
+};
+
+/** Drop the `"timesMs": {...}` line: stage timings are the one
+ *  nondeterministic part of the JSON report. */
+std::string
+stripTimesMs(const std::string &json)
+{
+    std::istringstream in(json);
+    std::ostringstream out;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.rfind("  \"timesMs\": {", 0) == 0)
+            continue;
+        out << line << "\n";
+    }
+    return out.str();
+}
+
+/**
+ * Machine-readable pinning (schemaVersion 3): the `--json` report for
+ * the three apps carrying nullflow signature patterns, severity and
+ * provenance fields included, must match the committed snapshots
+ * byte-for-byte once the timing line is stripped.
+ */
+TEST(GoldenReports, JsonReportsByteIdentical)
+{
+    for (const std::string name :
+         {"FBReader", "Astrid", "XBMC remote"}) {
+        std::string path = std::string(SIERRA_GOLDEN_DIR) + "/" +
+                           goldenFileName(name) + ".report.json";
+        std::string expected = readFile(path);
+        ASSERT_FALSE(expected.empty())
+            << "missing golden snapshot " << path;
+        EXPECT_NE(expected.find("\"schemaVersion\": 3,"),
+                  std::string::npos);
+        EXPECT_NE(expected.find("\"severity\": "), std::string::npos);
+
+        TempFile file(".air");
+        std::ostringstream dout, derr;
+        ASSERT_EQ(cli::runCli({"dump", name, "-o", file.path()}, dout,
+                              derr),
+                  0)
+            << derr.str();
+        std::ostringstream jout, jerr;
+        ASSERT_EQ(cli::runCli({"analyze", file.path(), "--json"},
+                              jout, jerr),
+                  0)
+            << jerr.str();
+
+        EXPECT_EQ(stripTimesMs(jout.str()), expected)
+            << name << ": JSON report diverged from " << path;
+    }
 }
 
 } // namespace

@@ -150,6 +150,40 @@ TEST(Metrics, CountersMirrorReportFields)
               report.harnesses);
 }
 
+TEST(Metrics, RefutedByCountersPartitionPairsAtEveryJobsCount)
+{
+    // The refuted_by.* provenance counters must partition the racy
+    // pairs — every pair counted exactly once, no matter how the
+    // plan-level fan-out interleaves the refuters. ConnectBot
+    // exercises lockset + symbolic, Beem adds enablement.
+    for (const char *app : {"ConnectBot", "Beem"}) {
+        for (int jobs : {1, 2, 4}) {
+            Registry m;
+            AppReport report = analyzeWithMetrics(app, m, jobs);
+
+            int64_t refuted_pairs = 0, racy_pairs = 0;
+            for (const HarnessAnalysis &ha : report.perHarness) {
+                racy_pairs += ha.racyPairCount();
+                for (const race::RacyPair &p : ha.pairs)
+                    refuted_pairs += p.refuted ? 1 : 0;
+            }
+            EXPECT_EQ(m.counter("refuted_by.lockset") +
+                          m.counter("refuted_by.enablement") +
+                          m.counter("refuted_by.symbolic"),
+                      refuted_pairs)
+                << app << " jobs=" << jobs;
+            EXPECT_EQ(m.counter("refuted_by.none"),
+                      racy_pairs - refuted_pairs)
+                << app << " jobs=" << jobs;
+            // The counter must agree with the report header's
+            // enablement-refuted line at every jobs count.
+            EXPECT_EQ(m.counter("race.enablement_refuted"),
+                      report.enablementRefuted)
+                << app << " jobs=" << jobs;
+        }
+    }
+}
+
 TEST(Metrics, RegistryIsIdenticalAtEveryJobsCount)
 {
     Registry serial, parallel;
@@ -188,7 +222,8 @@ TEST(StageTimesAccounting, TotalCpuEqualsSumOfStageFields)
         const StageTimes &t = report.times;
         double stage_sum = t.cgPa + t.hbg + t.dataflow + t.escape +
                            t.racy + t.lockset + t.deadlock +
-                           t.enablement + t.ifds + t.refutation;
+                           t.enablement + t.ifds + t.refutation +
+                           t.nullflow;
         // fp-rounding tolerance only: the merge must not lose or
         // double-count any worker's CPU at any jobs count.
         EXPECT_NEAR(t.totalCpu, stage_sum,

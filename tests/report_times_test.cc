@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Stage-time rendering completeness (report_times_test).
+ *
+ * The text `time:` line and the JSON `timesMs` object are both
+ * generated from stageTimeEntries(); a static_assert in detector.cc
+ * pins the entry count to sizeof(StageTimes). These tests close the
+ * remaining gap: every entry actually reaches both renderings, so a
+ * stage added to StageTimes cannot silently miss the report or the
+ * machine-readable output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli.hh"
+#include "corpus/named_apps.hh"
+#include "sierra/detector.hh"
+
+namespace sierra {
+namespace {
+
+AppReport
+analyzeNamed(const std::string &name, const SierraOptions &options)
+{
+    corpus::BuiltApp built = corpus::buildNamedApp(name);
+    SierraDetector detector(*built.app);
+    return detector.analyze(options);
+}
+
+/** The `time: ...` line of a text report ("" if absent). */
+std::string
+timeLine(const std::string &text)
+{
+    size_t begin = text.find("time: ");
+    if (begin == std::string::npos)
+        return "";
+    size_t end = text.find('\n', begin);
+    return text.substr(begin, end - begin);
+}
+
+TEST(ReportTimes, EntriesCoverEveryStageTimesField)
+{
+    AppReport report = analyzeNamed("NotePad", {});
+    std::vector<StageTimeEntry> entries = stageTimeEntries(report);
+
+    // One row per StageTimes double (the static_assert in detector.cc
+    // keeps this count in lock-step with the struct).
+    EXPECT_EQ(entries.size(), sizeof(StageTimes) / sizeof(double));
+
+    std::set<std::string> json_names, text_names;
+    for (const StageTimeEntry &e : entries) {
+        EXPECT_TRUE(json_names.insert(e.jsonName).second)
+            << "duplicate jsonName " << e.jsonName;
+        EXPECT_TRUE(text_names.insert(e.textName).second)
+            << "duplicate textName " << e.textName;
+    }
+}
+
+TEST(ReportTimes, TextTimeLineRendersEveryInTextEntry)
+{
+    AppReport report = analyzeNamed("NotePad", {});
+    std::string line = timeLine(formatReport(report, 50, true));
+    ASSERT_FALSE(line.empty());
+
+    for (const StageTimeEntry &e : stageTimeEntries(report)) {
+        std::string token = std::string(e.textName) + " ";
+        if (!e.inText) {
+            EXPECT_EQ(line.find(token), std::string::npos)
+                << e.textName << " rendered while gated off:\n"
+                << line;
+            continue;
+        }
+        // totalCpu renders inside total's parenthetical: "(cpu Xs)".
+        if (std::string(e.jsonName) == "totalCpu")
+            token = "(cpu ";
+        EXPECT_NE(line.find(token), std::string::npos)
+            << e.textName << " missing from the time line:\n"
+            << line;
+    }
+
+    // And the no-times rendering has no time line at all.
+    EXPECT_EQ(timeLine(formatReport(report, 50, false)), "");
+}
+
+TEST(ReportTimes, GatedStagesDropFromTextButNeverFromEntries)
+{
+    SierraOptions off;
+    off.nullflow = false;
+    off.enablement = false;
+    AppReport report = analyzeNamed("NotePad", off);
+
+    std::vector<StageTimeEntry> entries = stageTimeEntries(report);
+    EXPECT_EQ(entries.size(), sizeof(StageTimes) / sizeof(double));
+
+    std::string line = timeLine(formatReport(report, 50, true));
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.find("nullflow"), std::string::npos) << line;
+    EXPECT_EQ(line.find("enablement"), std::string::npos) << line;
+}
+
+/** A temp file path that cleans itself up. */
+class TempFile
+{
+  public:
+    explicit TempFile(const std::string &suffix)
+    {
+        _path = std::string(std::tmpnam(nullptr)) + suffix;
+    }
+    ~TempFile() { std::remove(_path.c_str()); }
+    const std::string &path() const { return _path; }
+
+  private:
+    std::string _path;
+};
+
+/** The `"timesMs": {...}` object of a JSON report ("" if absent). */
+std::string
+timesMsObject(const std::string &json)
+{
+    size_t begin = json.find("\"timesMs\": {");
+    if (begin == std::string::npos)
+        return "";
+    size_t end = json.find('}', begin);
+    return json.substr(begin, end - begin + 1);
+}
+
+TEST(ReportTimes, JsonTimesMsHasOneKeyPerStageTimesField)
+{
+    TempFile file(".air");
+    std::ostringstream out, err;
+    ASSERT_EQ(cli::runCli({"dump", "NotePad", "-o", file.path()}, out,
+                          err),
+              0)
+        << err.str();
+
+    // Unlike the text line, the JSON object keeps every key even for
+    // gated-off stages (their value is just 0), so consumers never
+    // need existence checks.
+    for (bool ablated : {false, true}) {
+        std::vector<std::string> args = {"analyze", file.path(),
+                                         "--json"};
+        if (ablated) {
+            args.push_back("--no-nullflow");
+            args.push_back("--no-enablement");
+        }
+        std::ostringstream jout, jerr;
+        ASSERT_EQ(cli::runCli(args, jout, jerr), 0) << jerr.str();
+        std::string times = timesMsObject(jout.str());
+        ASSERT_FALSE(times.empty()) << jout.str().substr(0, 400);
+
+        AppReport report = analyzeNamed("NotePad", {});
+        size_t keys = 0;
+        for (const StageTimeEntry &e : stageTimeEntries(report)) {
+            EXPECT_NE(times.find("\"" + std::string(e.jsonName) +
+                                 "\": "),
+                      std::string::npos)
+                << e.jsonName << " missing from timesMs: " << times;
+            ++keys;
+        }
+        // No extra keys either: entry count == quote-pair count.
+        size_t quotes = 0;
+        for (char c : times)
+            quotes += (c == '"');
+        // "timesMs" itself contributes one quoted token.
+        EXPECT_EQ(quotes, 2 * (keys + 1)) << times;
+    }
+}
+
+} // namespace
+} // namespace sierra

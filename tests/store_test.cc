@@ -275,7 +275,9 @@ TEST(Store, ArtifactSerializationRoundTrips)
     art.locksetRefuted = 2;
     art.enablementRefuted = 1;
     art.races.push_back({"A.m", 3, "B.n", 4, "C.f",
-                         "race with\ttab and\nnewline", 9, false});
+                         "race with\ttab and\nnewline", 9, false,
+                         analysis::NullVerdict::Harmful,
+                         "null-source A.m:1 -> C.f -> read\tB.n:4"});
     analysis::UseAfterDestroyFinding uad;
     uad.fieldKey = "C.f";
     uad.teardownAction = "onDestroy";

@@ -335,7 +335,7 @@ TEST(Trace, EverySierraStageGetsASpan)
          {"stage.cg_pa", "stage.hbg", "stage.dataflow",
           "stage.racy.extract", "stage.escape", "stage.racy.pairs",
           "stage.lockset", "stage.deadlock", "stage.enablement",
-          "stage.ifds", "stage.refutation"}) {
+          "stage.ifds", "stage.refutation", "stage.nullflow"}) {
         EXPECT_TRUE(stage_names.count(expected))
             << "missing span for " << expected;
     }

@@ -73,6 +73,9 @@ analyze options:
   --no-enablement   disable enablement refutation (pairs whose
                     callback is provably unregistered/removed before
                     the other action runs are no longer pruned)
+  --no-nullflow     disable null-value-flow severity classification
+                    (surviving races lose their HARMFUL/GUARDED/
+                    UNKNOWN severity tags and severity-sorted order)
   --no-icc          disable inter-component (Intent) modeling: target
                     activities launched via startActivity/PendingIntent
                     are not driven by the sender's harness, so
@@ -266,7 +269,9 @@ printReportJson(const AppReport &report, std::ostream &out,
     out << "{\n";
     // Bumped whenever a field is added, renamed or retyped, so
     // downstream consumers can gate on the shape they understand.
-    out << "  \"schemaVersion\": 2,\n";
+    // v3: per-race severity + provenance, harmful/guarded tallies,
+    // timesMs gains the nullflow stage.
+    out << "  \"schemaVersion\": 3,\n";
     out << "  \"app\": \"" << jsonEscape(report.app) << "\",\n";
     out << "  \"harnesses\": " << report.harnesses << ",\n";
     out << "  \"actions\": " << report.actions << ",\n";
@@ -277,19 +282,19 @@ printReportJson(const AppReport &report, std::ostream &out,
     out << "  \"locksetRefuted\": " << report.locksetRefuted << ",\n";
     out << "  \"enablementRefuted\": " << report.enablementRefuted
         << ",\n";
+    out << "  \"harmfulRaces\": " << report.harmfulRaces << ",\n";
+    out << "  \"guardedRaces\": " << report.guardedRaces << ",\n";
     out << "  \"accessesDropped\": " << report.accessesDropped << ",\n";
-    out << "  \"timesMs\": {\"cgPa\": " << report.times.cgPa * 1e3
-        << ", \"hbg\": " << report.times.hbg * 1e3
-        << ", \"dataflow\": " << report.times.dataflow * 1e3
-        << ", \"escape\": " << report.times.escape * 1e3
-        << ", \"racy\": " << report.times.racy * 1e3
-        << ", \"lockset\": " << report.times.lockset * 1e3
-        << ", \"deadlock\": " << report.times.deadlock * 1e3
-        << ", \"enablement\": " << report.times.enablement * 1e3
-        << ", \"ifds\": " << report.times.ifds * 1e3
-        << ", \"refutation\": " << report.times.refutation * 1e3
-        << ", \"totalCpu\": " << report.times.totalCpu * 1e3
-        << ", \"total\": " << report.times.total * 1e3 << "},\n";
+    // Generated from the same entry list as the text `time:` line, so
+    // every StageTimes field is present (report_times_test pins this).
+    out << "  \"timesMs\": {";
+    bool first_time = true;
+    for (const StageTimeEntry &e : stageTimeEntries(report)) {
+        out << (first_time ? "" : ", ") << "\"" << e.jsonName
+            << "\": " << e.seconds * 1e3;
+        first_time = false;
+    }
+    out << "},\n";
     if (metrics)
         out << "  \"metrics\": " << metrics->toJson() << ",\n";
     out << "  \"useAfterDestroy\": [";
@@ -331,7 +336,11 @@ printReportJson(const AppReport &report, std::ostream &out,
         out << "    {\"location\": \"" << jsonEscape(race.fieldKey)
             << "\", \"priority\": " << race.priority
             << ", \"refuted\": " << (race.refuted ? "true" : "false")
-            << ", \"description\": \""
+            << ", \"severity\": \""
+            << analysis::nullVerdictName(race.severity)
+            << "\", \"provenance\": \""
+            << jsonEscape(race.severityChain)
+            << "\", \"description\": \""
             << jsonEscape(race.description) << "\"}";
     }
     out << "\n  ]\n}\n";
@@ -375,6 +384,7 @@ cmdAnalyze(const ParsedFlags &flags, std::ostream &out,
     options.ifds = !flags.has("--no-ifds");
     options.deadlock = !flags.has("--no-deadlock");
     options.enablement = !flags.has("--no-enablement");
+    options.nullflow = !flags.has("--no-nullflow");
     options.icc = !flags.has("--no-icc");
 
     util::metrics::Registry registry;
